@@ -1,0 +1,136 @@
+// Benchmarks regenerating the paper's evaluation: one testing.B target
+// per table and figure (Section VII). Run with
+//
+//	go test -bench=. -benchmem
+//
+// Throughput is reported as Mtuples/s custom metrics; absolute numbers
+// depend on the host, but the orderings (who wins, by what factor) are
+// the reproduction targets recorded in EXPERIMENTS.md.
+package etsqp_test
+
+import (
+	"strings"
+	"testing"
+
+	"etsqp/internal/bench"
+)
+
+var benchCfg = bench.Config{Rows: 60_000, Seed: 42, PageSize: 4096}
+
+// report re-runs a figure once per benchmark iteration and publishes the
+// per-series throughput of the final run as custom metrics.
+func report(b *testing.B, f func() ([]bench.Measurement, error)) {
+	b.Helper()
+	var last []bench.Measurement
+	for i := 0; i < b.N; i++ {
+		ms, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = ms
+	}
+	seen := map[string]bool{}
+	for _, m := range last {
+		key := m.Series + "|" + m.X
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		// Metric units must not contain whitespace.
+		unit := "MT/s:" + strings.ReplaceAll(key, " ", "_")
+		b.ReportMetric(m.Throughput, unit)
+	}
+}
+
+// BenchmarkTable1Encoders measures Table I: encode+decode round trips of
+// every combined encoder on the Sine dataset.
+func BenchmarkTable1Encoders(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table1(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.Ratio, "ratio:"+r.Method)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2Datasets measures Table II: generation plus default
+// encoding of each dataset.
+func BenchmarkTable2Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table2(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Queries executes all six benchmark queries once.
+func BenchmarkTable3Queries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table3(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10 reproduces Figure 10: approach × dataset × query
+// throughput (the headline comparison).
+func BenchmarkFig10(b *testing.B) {
+	cfg := benchCfg
+	cfg.Rows = 30_000 // 6 datasets × 5 approaches × 6 queries per iter
+	report(b, func() ([]bench.Measurement, error) { return bench.Fig10(cfg) })
+}
+
+// BenchmarkFig11 reproduces Figure 11: thread scaling per approach.
+func BenchmarkFig11(b *testing.B) {
+	report(b, func() ([]bench.Measurement, error) {
+		return bench.Fig11(benchCfg, []int{1, 2, 4})
+	})
+}
+
+// BenchmarkFig12DeltaThreads reproduces Figure 12(a,b).
+func BenchmarkFig12DeltaThreads(b *testing.B) {
+	report(b, func() ([]bench.Measurement, error) {
+		return bench.Fig12DeltaThreads(benchCfg, []int{1, 2, 4})
+	})
+}
+
+// BenchmarkFig12RunLength reproduces Figure 12(c,d).
+func BenchmarkFig12RunLength(b *testing.B) {
+	report(b, func() ([]bench.Measurement, error) {
+		return bench.Fig12RunLength(benchCfg, []int{1, 4, 16, 64, 256})
+	})
+}
+
+// BenchmarkFig12PackWidth reproduces Figure 12(e,f).
+func BenchmarkFig12PackWidth(b *testing.B) {
+	report(b, func() ([]bench.Measurement, error) {
+		return bench.Fig12PackWidth(benchCfg, []uint{4, 8, 12, 16, 20, 24})
+	})
+}
+
+// BenchmarkFig13 reproduces Figure 13: deployment comparison.
+func BenchmarkFig13(b *testing.B) {
+	report(b, func() ([]bench.Measurement, error) { return bench.Fig13(benchCfg) })
+}
+
+// BenchmarkFig14Fusion reproduces Figure 14(a): decoder-fusion ablation.
+func BenchmarkFig14Fusion(b *testing.B) {
+	report(b, func() ([]bench.Measurement, error) { return bench.Fig14Fusion(benchCfg) })
+}
+
+// BenchmarkFig14Stages reproduces Figure 14(b): stage time breakdown.
+func BenchmarkFig14Stages(b *testing.B) {
+	report(b, func() ([]bench.Measurement, error) { return bench.Fig14Stages(benchCfg) })
+}
+
+// BenchmarkFig14Slices reproduces Figure 14(c,d): slice-count ablation.
+func BenchmarkFig14Slices(b *testing.B) {
+	report(b, func() ([]bench.Measurement, error) {
+		return bench.Fig14Slices(benchCfg, []int{1, 2, 4, 8, 16, 32})
+	})
+}

@@ -1,0 +1,64 @@
+// etsqp-cli is a small SQL shell over the ETSQP engine. It loads a store
+// file written by storage.WriteFile, or generates a Table II dataset on
+// the fly, then executes statements from the command line or stdin.
+// EXPLAIN <query> prints the execution plan without running it.
+//
+// Usage:
+//
+//	etsqp-cli -gen Atm -rows 100000 -q "SELECT AVG(A) FROM ts1"
+//	etsqp-cli -load store.etsqp            # interactive: one query per line
+//	etsqp-cli -gen Gas -mode serial -q "EXPLAIN SELECT SUM(A) FROM ts1"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"etsqp/internal/cli"
+
+	_ "etsqp/internal/encoding/chimp"
+	_ "etsqp/internal/encoding/elf"
+	_ "etsqp/internal/encoding/gorilla"
+	_ "etsqp/internal/encoding/rlbe"
+	_ "etsqp/internal/encoding/sprintz"
+	_ "etsqp/internal/encoding/ts2diff"
+	_ "etsqp/internal/fastlanes"
+)
+
+func main() {
+	var (
+		load    = flag.String("load", "", "store file to load")
+		gen     = flag.String("gen", "", "Table II dataset label to generate (Atm Clim Gas Time Sine TPCH)")
+		rows    = flag.Int("rows", 100_000, "rows to generate")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		codec   = flag.String("codec", "ts2diff", "value codec for generated data")
+		mode    = flag.String("mode", "etsqp", "execution mode: etsqp prune serial sboost fastlanes")
+		query   = flag.String("q", "", "one-shot query (otherwise read stdin)")
+		workers = flag.Int("workers", 0, "worker pipelines (0 = GOMAXPROCS)")
+		maxRows = flag.Int("maxrows", 20, "row-output limit")
+	)
+	flag.Parse()
+	cfg := cli.Config{
+		LoadPath: *load, GenLabel: *gen, Rows: *rows, Seed: *seed,
+		Codec: *codec, Mode: *mode, Workers: *workers, MaxRows: *maxRows,
+	}
+	store, err := cfg.BuildStore()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("series: %s\n", strings.Join(store.Names(), ", "))
+	eng, err := cfg.NewEngine(store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *query != "" {
+		if err := cli.Execute(os.Stdout, eng, *query, *maxRows); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	cli.Repl(os.Stdin, os.Stdout, os.Stderr, eng, *maxRows)
+}

@@ -1,0 +1,11 @@
+// Package etsqp reproduces "Exploring SIMD Vectorization in Aggregation
+// Pipelines for Encoded IoT Data" (Kang, Song, Wang — ICDE 2025): an
+// IoT time-series storage and query engine whose decoding pipelines are
+// vectorized, fused with aggregation operators, and pruned by encoder
+// statistics.
+//
+// The library lives under internal/ (see DESIGN.md for the module map);
+// runnable entry points are cmd/etsqp-bench (regenerates every table and
+// figure of the paper's evaluation), cmd/etsqp-cli (a SQL shell), and the
+// examples/ programs.
+package etsqp

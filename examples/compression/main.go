@@ -1,0 +1,54 @@
+// Compression: compare every combined encoder (Table I) on the Table II
+// workloads — the space-efficiency half of the paper's motivation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"etsqp/internal/dataset"
+	"etsqp/internal/encoding"
+
+	_ "etsqp/internal/encoding/chimp"
+	_ "etsqp/internal/encoding/gorilla"
+	_ "etsqp/internal/encoding/rlbe"
+	_ "etsqp/internal/encoding/sprintz"
+	_ "etsqp/internal/encoding/ts2diff"
+	_ "etsqp/internal/fastlanes"
+)
+
+func main() {
+	const n = 100_000
+	codecs := []string{"ts2diff", "sprintz", "rlbe", "gorilla", "chimp", "fastlanes"}
+
+	fmt.Printf("%-6s", "data")
+	for _, c := range codecs {
+		fmt.Printf("%12s", c)
+	}
+	fmt.Println("   (compression ratio vs 8 B/value; higher is better)")
+
+	for _, spec := range dataset.Specs {
+		d, err := dataset.Generate(spec.Label, n, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		col := d.Attrs[0]
+		fmt.Printf("%-6s", spec.Label)
+		for _, name := range codecs {
+			c, err := encoding.Lookup(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			blk, err := c.Encode(col)
+			if err != nil {
+				log.Fatal(err)
+			}
+			got, err := c.Decode(blk)
+			if err != nil || len(got) != len(col) {
+				log.Fatalf("%s/%s: decode failed: %v", spec.Label, name, err)
+			}
+			fmt.Printf("%11.1fx", float64(len(col)*8)/float64(len(blk)))
+		}
+		fmt.Println()
+	}
+}

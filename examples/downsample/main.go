@@ -1,0 +1,54 @@
+// Downsample: the paper's motivating workload — sliding-window averages
+// (SW aggregation) over a weather-station series, comparing the fused
+// vectorized engine against serial decoding.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"etsqp/internal/dataset"
+	"etsqp/internal/engine"
+	"etsqp/internal/storage"
+
+	_ "etsqp/internal/encoding/ts2diff"
+)
+
+func main() {
+	// 200k rows of the Atmosphere workload (1 s sampling).
+	d, err := dataset.Generate("Atm", 200_000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := storage.NewStore()
+	if err := store.Append("atm.temperature", d.Time, d.Attrs[0], storage.Options{}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Down-sample to 1-hour windows: SELECT AVG(A) ... SW(t0, 3600s).
+	sql := fmt.Sprintf("SELECT AVG(A) FROM atm.temperature SW(%d, %d)",
+		d.Time[0], int64(3600*1000))
+
+	for _, mode := range []engine.Mode{engine.ModeETSQP, engine.ModeSerial} {
+		eng := engine.New(store, mode)
+		start := time.Now()
+		res, err := eng.ExecuteSQL(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%-8s %d windows in %v (%.1f Mtuples/s)\n",
+			mode, len(res.Windows), elapsed,
+			float64(res.Stats.TuplesLoaded)/elapsed.Seconds()/1e6)
+		if mode == engine.ModeETSQP {
+			fmt.Println("first hours (window start → avg temperature, tenths °C):")
+			for i, w := range res.Windows {
+				if i >= 5 {
+					break
+				}
+				fmt.Printf("  t+%2dh → %7.2f (%d points)\n", i, w.Value, w.Count)
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Quickstart: encode a small IoT series, store it as pages, and run an
+// aggregation query through the vectorized ETSQP engine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"etsqp/internal/engine"
+	"etsqp/internal/storage"
+
+	_ "etsqp/internal/encoding/ts2diff"
+)
+
+func main() {
+	// A velocity sensor reporting once per minute.
+	n := 10_000
+	ts := make([]int64, n)
+	vals := make([]int64, n)
+	for i := 0; i < n; i++ {
+		ts[i] = 1_700_000_000_000 + int64(i)*60_000
+		vals[i] = 80 + int64(i%25) - 12 // km/h around 80
+	}
+
+	// Ingest: pages are TS2DIFF-encoded (order-2 deltas for timestamps).
+	store := storage.NewStore()
+	if err := store.Append("root.fleet.truck1.velocity", ts, vals, storage.Options{}); err != nil {
+		log.Fatal(err)
+	}
+	ser, _ := store.Series("root.fleet.truck1.velocity")
+	fmt.Printf("stored %d points in %d pages, %d encoded bytes (%.1fx compression)\n",
+		ser.NumPoints(), len(ser.Pages), ser.EncodedBytes(),
+		float64(n*16)/float64(ser.EncodedBytes()))
+
+	// Query with the vectorized pipeline engine.
+	eng := engine.New(store, engine.ModeETSQPPrune)
+	res, err := eng.ExecuteSQL(fmt.Sprintf(
+		"SELECT AVG(A), MIN(A), MAX(A) FROM root.fleet.truck1.velocity WHERE TIME >= %d AND TIME <= %d",
+		ts[1000], ts[9000]))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("avg velocity = %.2f km/h (min %v, max %v)\n",
+		res.Aggregates["AVG(A)"], res.Aggregates["MIN(A)"], res.Aggregates["MAX(A)"])
+	fmt.Printf("pipeline ran %d jobs over %d pages\n",
+		res.Stats.SlicesRun, res.Stats.PagesTotal)
+}

@@ -1,0 +1,3 @@
+module etsqp
+
+go 1.22

@@ -1,0 +1,272 @@
+// Package baseline implements the system-level comparators of the
+// Figure 13 deployment study. The decoding-approach baselines (Serial,
+// SBoost, FastLanes) are execution modes of internal/engine; this package
+// adds the *architectural* comparators:
+//
+//	IoTDB       the unvectorized database read path (Serial mode over
+//	            IoT-encoded pages)
+//	IoTDB-SIMD  the paper's system (ETSQP-prune mode)
+//	MonetDB     a block-materializing columnar executor: every relevant
+//	            block decompresses to a memory-resident column before any
+//	            operator runs (no decoder/operator pipelining, full
+//	            materialization traffic)
+//	Spark/HDFS  an executor over general-purpose byte compression
+//	            (DEFLATE): weak, type-blind compression means far more
+//	            bytes move per query — the I/O bottleneck the paper
+//	            attributes to HDFS compressors
+//
+// Each system ingests identical columns and answers the two Figure 13
+// query shapes: time-range SUM and value-filter SUM.
+package baseline
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"etsqp/internal/engine"
+	"etsqp/internal/storage"
+)
+
+// SystemKind selects a simulated deployment.
+type SystemKind int
+
+// Figure 13 systems.
+const (
+	SystemIoTDB SystemKind = iota
+	SystemIoTDBSIMD
+	SystemMonetDB
+	SystemSparkHDFS
+)
+
+// String names the system as the figure labels it.
+func (k SystemKind) String() string {
+	switch k {
+	case SystemIoTDB:
+		return "IoTDB"
+	case SystemIoTDBSIMD:
+		return "IoTDB-SIMD"
+	case SystemMonetDB:
+		return "MonetDB"
+	case SystemSparkHDFS:
+		return "Spark/HDFS"
+	}
+	return "Unknown"
+}
+
+// System is one loaded deployment ready to answer queries.
+type System struct {
+	Kind  SystemKind
+	n     int
+	eng   *engine.Engine // IoTDB variants
+	store *storage.Store
+	// MonetDB: encoded pages that materialize per query.
+	pages []storage.PagePair
+	// Spark: flate-compressed column chunks.
+	flateTime [][]byte
+	flateVals [][]byte
+	chunkRows int
+	encBytes  int
+}
+
+// NewSystem ingests the columns into the chosen deployment.
+func NewSystem(kind SystemKind, ts, vals []int64, pageSize int) (*System, error) {
+	s := &System{Kind: kind, n: len(ts), chunkRows: pageSize}
+	switch kind {
+	case SystemIoTDB, SystemIoTDBSIMD:
+		st := storage.NewStore()
+		if err := st.Append("ts", ts, vals, storage.Options{PageSize: pageSize}); err != nil {
+			return nil, err
+		}
+		mode := engine.ModeSerial
+		if kind == SystemIoTDBSIMD {
+			mode = engine.ModeETSQPPrune
+		}
+		s.store = st
+		s.eng = engine.New(st, mode)
+		ser, _ := st.Series("ts")
+		s.encBytes = ser.EncodedBytes()
+	case SystemMonetDB:
+		pairs, err := storage.EncodePages(ts, vals, storage.Options{PageSize: pageSize})
+		if err != nil {
+			return nil, err
+		}
+		s.pages = pairs
+		for _, pp := range pairs {
+			s.encBytes += len(pp.Time.Data) + len(pp.Value.Data)
+		}
+	case SystemSparkHDFS:
+		for off := 0; off < len(ts); off += pageSize {
+			end := off + pageSize
+			if end > len(ts) {
+				end = len(ts)
+			}
+			tc, err := flateCompress(ts[off:end])
+			if err != nil {
+				return nil, err
+			}
+			vc, err := flateCompress(vals[off:end])
+			if err != nil {
+				return nil, err
+			}
+			s.flateTime = append(s.flateTime, tc)
+			s.flateVals = append(s.flateVals, vc)
+			s.encBytes += len(tc) + len(vc)
+		}
+	default:
+		return nil, fmt.Errorf("baseline: unknown system %d", kind)
+	}
+	return s, nil
+}
+
+// EncodedBytes reports the storage footprint (the I/O volume proxy).
+func (s *System) EncodedBytes() int { return s.encBytes }
+
+// NumPoints reports the ingested row count.
+func (s *System) NumPoints() int { return s.n }
+
+// TimeRangeSum answers SELECT SUM(A) WHERE t1 <= TIME <= t2.
+func (s *System) TimeRangeSum(t1, t2 int64) (int64, error) {
+	switch s.Kind {
+	case SystemIoTDB, SystemIoTDBSIMD:
+		res, err := s.eng.ExecuteSQL(fmt.Sprintf(
+			"SELECT SUM(A) FROM ts WHERE TIME >= %d AND TIME <= %d", t1, t2))
+		if err != nil {
+			return 0, err
+		}
+		return int64(res.Aggregates["SUM(A)"]), nil
+	case SystemMonetDB:
+		ts, vals, err := s.materialize()
+		if err != nil {
+			return 0, err
+		}
+		var sum int64
+		for i := range ts {
+			if ts[i] >= t1 && ts[i] <= t2 {
+				sum += vals[i]
+			}
+		}
+		return sum, nil
+	case SystemSparkHDFS:
+		var sum int64
+		for c := range s.flateTime {
+			ts, err := flateDecompress(s.flateTime[c])
+			if err != nil {
+				return 0, err
+			}
+			vals, err := flateDecompress(s.flateVals[c])
+			if err != nil {
+				return 0, err
+			}
+			for i := range ts {
+				if ts[i] >= t1 && ts[i] <= t2 {
+					sum += vals[i]
+				}
+			}
+		}
+		return sum, nil
+	}
+	return 0, fmt.Errorf("baseline: unknown system")
+}
+
+// ValueFilterSum answers SELECT SUM(A) WHERE A > c.
+func (s *System) ValueFilterSum(c int64) (int64, error) {
+	switch s.Kind {
+	case SystemIoTDB, SystemIoTDBSIMD:
+		res, err := s.eng.ExecuteSQL(fmt.Sprintf(
+			"SELECT SUM(A) FROM (SELECT * FROM ts WHERE A > %d)", c))
+		if err != nil {
+			return 0, err
+		}
+		return int64(res.Aggregates["SUM(A)"]), nil
+	case SystemMonetDB:
+		_, vals, err := s.materialize()
+		if err != nil {
+			return 0, err
+		}
+		var sum int64
+		for _, v := range vals {
+			if v > c {
+				sum += v
+			}
+		}
+		return sum, nil
+	case SystemSparkHDFS:
+		var sum int64
+		for _, chunk := range s.flateVals {
+			vals, err := flateDecompress(chunk)
+			if err != nil {
+				return 0, err
+			}
+			for _, v := range vals {
+				if v > c {
+					sum += v
+				}
+			}
+		}
+		return sum, nil
+	}
+	return 0, fmt.Errorf("baseline: unknown system")
+}
+
+// materialize is MonetDB's block-at-a-time decompression of every
+// relevant column into memory before operators run.
+func (s *System) materialize() (ts, vals []int64, err error) {
+	ts = make([]int64, 0, s.n)
+	vals = make([]int64, 0, s.n)
+	for _, pp := range s.pages {
+		tc, err := pp.Time.Decode()
+		if err != nil {
+			return nil, nil, err
+		}
+		vc, err := pp.Value.Decode()
+		if err != nil {
+			return nil, nil, err
+		}
+		ts = append(ts, tc...)
+		vals = append(vals, vc...)
+	}
+	return ts, vals, nil
+}
+
+// flateCompress DEFLATEs a column of little-endian 64-bit values — the
+// type-blind general compressor standing in for the HDFS codec.
+func flateCompress(vals []int64) ([]byte, error) {
+	raw := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(raw[i*8:], uint64(v))
+	}
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(raw); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func flateDecompress(data []byte) ([]int64, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	if len(raw)%8 != 0 {
+		return nil, fmt.Errorf("baseline: corrupt flate chunk")
+	}
+	out := make([]int64, len(raw)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package baseline
+
+import (
+	"testing"
+
+	_ "etsqp/internal/encoding/ts2diff"
+)
+
+var allSystems = []SystemKind{SystemIoTDB, SystemIoTDBSIMD, SystemMonetDB, SystemSparkHDFS}
+
+func buildColumns(n int) (ts, vals []int64) {
+	ts = make([]int64, n)
+	vals = make([]int64, n)
+	for i := 0; i < n; i++ {
+		ts[i] = 1_000_000 + int64(i)*100
+		vals[i] = int64(i%1000) - 200
+	}
+	return ts, vals
+}
+
+func TestAllSystemsAgreeOnTimeRangeSum(t *testing.T) {
+	ts, vals := buildColumns(20_000)
+	t1, t2 := ts[2500], ts[17_500]
+	var want int64
+	for i := range ts {
+		if ts[i] >= t1 && ts[i] <= t2 {
+			want += vals[i]
+		}
+	}
+	for _, kind := range allSystems {
+		s, err := NewSystem(kind, ts, vals, 2048)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		got, err := s.TimeRangeSum(t1, t2)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if got != want {
+			t.Fatalf("%v: got %d want %d", kind, got, want)
+		}
+		if s.NumPoints() != len(ts) {
+			t.Fatalf("%v: points = %d", kind, s.NumPoints())
+		}
+	}
+}
+
+func TestAllSystemsAgreeOnValueFilterSum(t *testing.T) {
+	ts, vals := buildColumns(20_000)
+	c := int64(300)
+	var want int64
+	for _, v := range vals {
+		if v > c {
+			want += v
+		}
+	}
+	for _, kind := range allSystems {
+		s, err := NewSystem(kind, ts, vals, 2048)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		got, err := s.ValueFilterSum(c)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if got != want {
+			t.Fatalf("%v: got %d want %d", kind, got, want)
+		}
+	}
+}
+
+func TestIoTEncodingBeatsFlateOnFootprint(t *testing.T) {
+	// The architectural claim behind Figure 13: IoT encoders compress
+	// regular sensor data far better than a general byte compressor.
+	ts, vals := buildColumns(50_000)
+	iot, err := NewSystem(SystemIoTDB, ts, vals, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spark, err := NewSystem(SystemSparkHDFS, ts, vals, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iot.EncodedBytes() <= 0 || spark.EncodedBytes() <= 0 {
+		t.Fatal("footprints must be positive")
+	}
+	if iot.EncodedBytes() >= spark.EncodedBytes() {
+		t.Fatalf("IoT encoding (%d B) should beat flate (%d B) on this data",
+			iot.EncodedBytes(), spark.EncodedBytes())
+	}
+}
+
+func TestSystemKindString(t *testing.T) {
+	names := map[SystemKind]string{
+		SystemIoTDB: "IoTDB", SystemIoTDBSIMD: "IoTDB-SIMD",
+		SystemMonetDB: "MonetDB", SystemSparkHDFS: "Spark/HDFS",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d: %s", k, k.String())
+		}
+	}
+	if SystemKind(99).String() != "Unknown" {
+		t.Error("unknown kind")
+	}
+	if _, err := NewSystem(SystemKind(99), []int64{1}, []int64{1}, 10); err == nil {
+		t.Error("unknown kind must fail")
+	}
+}
+
+func TestFlateRoundTrip(t *testing.T) {
+	vals := []int64{0, -1, 1 << 40, -(1 << 40), 12345}
+	c, err := flateCompress(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := flateDecompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+	if _, err := flateDecompress([]byte{0x00}); err == nil {
+		t.Fatal("garbage must fail")
+	}
+}

@@ -1,0 +1,494 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"etsqp/internal/baseline"
+	"etsqp/internal/dataset"
+	"etsqp/internal/encoding"
+	"etsqp/internal/encoding/rlbe"
+	"etsqp/internal/engine"
+	"etsqp/internal/fusion"
+	"etsqp/internal/storage"
+)
+
+// Fig10 measures the throughput of every approach on Q1-Q6 over every
+// Table II dataset (TS2DIFF storage, FastLanes storage for its approach).
+func Fig10(cfg Config) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	var out []Measurement
+	for _, label := range DatasetLabels {
+		loads := map[string]*workload{}
+		for _, mode := range Approaches {
+			codec := codecForMode(mode)
+			w, ok := loads[codec]
+			if !ok {
+				var err error
+				w, err = buildWorkload(cfg, label, codec)
+				if err != nil {
+					return nil, err
+				}
+				loads[codec] = w
+			}
+			for _, qid := range BenchQueries {
+				sql, err := w.queryFor(qid)
+				if err != nil {
+					return nil, err
+				}
+				m, err := run(engineFor(cfg, w, mode), sql)
+				if err != nil {
+					return nil, fmt.Errorf("fig10 %s/%s/%s: %w", label, mode, qid, err)
+				}
+				m.Figure, m.Series, m.X = "fig10", mode.String(), label+"/"+qid
+				out = append(out, m)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig11 measures Q1 throughput as the worker count grows (Time and Sine
+// datasets), for the thread-scaling comparison.
+func Fig11(cfg Config, threads []int) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	if len(threads) == 0 {
+		threads = []int{1, 2, 4, 8, 16}
+	}
+	var out []Measurement
+	for _, label := range []string{"Time", "Sine"} {
+		for _, mode := range []engine.Mode{engine.ModeETSQP, engine.ModeSerial, engine.ModeSBoost, engine.ModeFastLanes} {
+			w, err := buildWorkload(cfg, label, codecForMode(mode))
+			if err != nil {
+				return nil, err
+			}
+			sql, _ := w.queryFor("Q1")
+			for _, th := range threads {
+				c := cfg
+				c.Workers = th
+				m, err := run(engineFor(c, w, mode), sql)
+				if err != nil {
+					return nil, err
+				}
+				m.Figure, m.Series, m.X = "fig11", mode.String(), fmt.Sprintf("%s/threads=%d", label, th)
+				out = append(out, m)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig12DeltaThreads is Figure 12(a,b): delta-only encoded data (the
+// representation SBoost shares), time-range query at selectivity 0.5,
+// throughput vs thread count.
+func Fig12DeltaThreads(cfg Config, threads []int) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	if len(threads) == 0 {
+		threads = []int{1, 2, 4, 8, 16}
+	}
+	var out []Measurement
+	for _, label := range []string{"Time", "Sine"} {
+		for _, mode := range []engine.Mode{engine.ModeETSQP, engine.ModeSBoost, engine.ModeFastLanes} {
+			w, err := buildWorkload(cfg, label, codecForMode(mode))
+			if err != nil {
+				return nil, err
+			}
+			sql, _ := w.queryFor("QT")
+			for _, th := range threads {
+				c := cfg
+				c.Workers = th
+				m, err := run(engineFor(c, w, mode), sql)
+				if err != nil {
+					return nil, err
+				}
+				m.Figure, m.Series, m.X = "fig12ab", mode.String(), fmt.Sprintf("%s/threads=%d", label, th)
+				out = append(out, m)
+			}
+		}
+	}
+	return out, nil
+}
+
+// plateauColumns generates values holding constant for runLen steps —
+// the controlled Delta-Repeat workload of Figure 12(c,d).
+func plateauColumns(rows int, runLen int) (ts, vals []int64) {
+	ts = make([]int64, rows)
+	vals = make([]int64, rows)
+	v := int64(1000)
+	for i := 0; i < rows; i++ {
+		ts[i] = int64(i) * 1000
+		if runLen > 0 && i%runLen == 0 {
+			v += int64(i%17) - 8
+		}
+		vals[i] = v
+	}
+	return ts, vals
+}
+
+// Fig12RunLength is Figure 12(c,d): Delta-Repeat data with controlled
+// run lengths, comparing the fused ETSQP pipeline against SBoost-style
+// full unpacking and FastLanes storage.
+func Fig12RunLength(cfg Config, runLens []int) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	if len(runLens) == 0 {
+		runLens = []int{1, 4, 16, 64, 256}
+	}
+	var out []Measurement
+	for _, rl := range runLens {
+		ts, vals := plateauColumns(cfg.Rows, rl)
+		for _, mode := range []engine.Mode{engine.ModeETSQP, engine.ModeSBoost, engine.ModeFastLanes} {
+			codec := "rlbe"
+			if mode == engine.ModeFastLanes {
+				codec = "fastlanes"
+			}
+			st := storage.NewStore()
+			if err := st.Append("ts1", ts, vals, storage.Options{PageSize: cfg.PageSize, ValueCodec: codec}); err != nil {
+				return nil, err
+			}
+			e := engine.New(st, mode)
+			e.Workers = cfg.Workers
+			sql := fmt.Sprintf("SELECT SUM(A) FROM ts1 WHERE TIME >= 0 AND TIME <= %d", ts[len(ts)/2])
+			m, err := run(e, sql)
+			if err != nil {
+				return nil, err
+			}
+			m.Figure, m.Series, m.X = "fig12cd", mode.String(), fmt.Sprintf("runlen=%d", rl)
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// driftColumns generates a random walk whose noise magnitude needs
+// exactly `width` bits while the downward drift is a fixed -8 per row.
+// Narrow widths give tight Proposition 5 delta bounds (the walk provably
+// cannot climb back once it falls), wide widths give loose bounds —
+// exactly the pruning-parameter control of Figure 12(e,f).
+func driftColumns(rows int, width uint) (ts, vals []int64) {
+	ts = make([]int64, rows)
+	vals = make([]int64, rows)
+	half := int64(1) << (width - 1)
+	cur := int64(1) << 40 // start high; the walk drifts down
+	for i := 0; i < rows; i++ {
+		ts[i] = int64(i) * 1000
+		vals[i] = cur
+		noise := int64(uint64(i)*2654435761%uint64(2*half)) - half
+		cur += noise - 8
+	}
+	return ts, vals
+}
+
+// Fig12PackWidth is Figure 12(e,f): Delta-Repeat-Packing data across
+// packing widths. The filter keeps the early (high) part of a drifting
+// walk; after the values fall below the threshold, Proposition 5's
+// bounds — tighter for smaller widths — let ETSQP-prune stop decoding
+// the rest, so narrow widths prune more.
+func Fig12PackWidth(cfg Config, widths []uint) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	if len(widths) == 0 {
+		widths = []uint{6, 10, 14, 18, 22}
+	}
+	var out []Measurement
+	for _, w := range widths {
+		ts, vals := driftColumns(cfg.Rows, w)
+		thresh := vals[len(vals)/4] // early quarter matches, then falls
+		// Two large pages: header min/max can prune at most the tail
+		// page, so the width-dependent Proposition 5 stops dominate.
+		pageSize := cfg.Rows/2 + 1
+		for _, mode := range []engine.Mode{engine.ModeETSQP, engine.ModeETSQPPrune, engine.ModeSBoost, engine.ModeFastLanes} {
+			st := storage.NewStore()
+			if err := st.Append("ts1", ts, vals, storage.Options{PageSize: pageSize, ValueCodec: codecForMode(mode)}); err != nil {
+				return nil, err
+			}
+			e := engine.New(st, mode)
+			e.Workers = cfg.Workers
+			sql := fmt.Sprintf("SELECT SUM(A) FROM (SELECT * FROM ts1 WHERE A > %d)", thresh)
+			m, err := run(e, sql)
+			if err != nil {
+				return nil, err
+			}
+			m.Figure, m.Series, m.X = "fig12ef", mode.String(), fmt.Sprintf("width=%d", w)
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// Fig13 measures the deployment comparison: IoTDB, IoTDB-SIMD, MonetDB
+// and Spark/HDFS answering the time-range and value-range queries over
+// every dataset.
+func Fig13(cfg Config) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	systems := []baseline.SystemKind{
+		baseline.SystemIoTDB, baseline.SystemIoTDBSIMD,
+		baseline.SystemMonetDB, baseline.SystemSparkHDFS,
+	}
+	var out []Measurement
+	for _, label := range DatasetLabels {
+		d, err := dataset.Generate(label, cfg.Rows, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		tMid := d.Time[len(d.Time)/2]
+		for _, kind := range systems {
+			sys, err := baseline.NewSystem(kind, d.Time, d.Attrs[0], cfg.PageSize)
+			if err != nil {
+				return nil, err
+			}
+			// (a) time-range query.
+			start := time.Now()
+			if _, err := sys.TimeRangeSum(d.Time[0], tMid); err != nil {
+				return nil, err
+			}
+			el := time.Since(start)
+			out = append(out, Measurement{
+				Figure: "fig13", Series: kind.String(), X: label + "/time-range",
+				Elapsed:    el,
+				Throughput: float64(cfg.Rows) / el.Seconds() / 1e6,
+				Extra:      map[string]float64{"encoded_bytes": float64(sys.EncodedBytes())},
+			})
+			// (b) value-range query.
+			start = time.Now()
+			if _, err := sys.ValueFilterSum(d.Attrs[0][0]); err != nil {
+				return nil, err
+			}
+			el = time.Since(start)
+			out = append(out, Measurement{
+				Figure: "fig13", Series: kind.String(), X: label + "/value-range",
+				Elapsed:    el,
+				Throughput: float64(cfg.Rows) / el.Seconds() / 1e6,
+				Extra:      map[string]float64{"encoded_bytes": float64(sys.EncodedBytes())},
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fig14Fusion is Figure 14(a): SUM over Delta-Repeat-Packing data with
+// one, two, or three decoders fused into the aggregation.
+//
+//	fuse=3  aggregate directly on Delta-Repeat pairs (Section IV)
+//	fuse=2  flatten Repeat to the delta sequence, then fused delta sum
+//	fuse=1  decode values completely, then sum
+func Fig14Fusion(cfg Config) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	ts, vals := plateauColumns(cfg.Rows, 32)
+	_ = ts
+	blk, err := rlbe.Encode(vals)
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		f    func() (int64, error)
+	}{
+		{"fuse=3 (pairs)", func() (int64, error) {
+			pairs, err := blk.Pairs()
+			if err != nil {
+				return 0, err
+			}
+			return fusion.Sum(blk.First, pairs)
+		}},
+		{"fuse=2 (flatten+delta)", func() (int64, error) {
+			pairs, err := blk.Pairs()
+			if err != nil {
+				return 0, err
+			}
+			// Flatten runs to a delta sequence, then a fused running sum
+			// of prefix values (no per-value materialized output column).
+			var total, cur int64
+			total = blk.First
+			cur = blk.First
+			for _, p := range pairs {
+				for k := 0; k < p.Count; k++ {
+					cur += p.Delta
+					total += cur
+				}
+			}
+			return total, nil
+		}},
+		{"fuse=1 (decode+sum)", func() (int64, error) {
+			decoded, err := blk.Decode()
+			if err != nil {
+				return 0, err
+			}
+			var total int64
+			for _, v := range decoded {
+				total += v
+			}
+			return total, nil
+		}},
+	}
+	var out []Measurement
+	var ref int64
+	for i, v := range variants {
+		start := time.Now()
+		got, err := v.f()
+		if err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		if i == 0 {
+			ref = got
+		} else if got != ref {
+			return nil, fmt.Errorf("fig14a: variant %q disagrees: %d vs %d", v.name, got, ref)
+		}
+		out = append(out, Measurement{
+			Figure: "fig14a", Series: v.name, X: "sum",
+			Elapsed:    el,
+			Throughput: float64(cfg.Rows) / el.Seconds() / 1e6,
+		})
+	}
+	return out, nil
+}
+
+// Fig14Stages is Figure 14(b): per-stage time shares of Q1 on every
+// dataset under the full system.
+func Fig14Stages(cfg Config) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	var out []Measurement
+	for _, label := range DatasetLabels {
+		w, err := buildWorkload(cfg, label, storage.DefaultValueCodec)
+		if err != nil {
+			return nil, err
+		}
+		// Q1 exercises the fused path (decode stage collapses into the
+		// aggregate stage); Q3 exercises the full decode pipeline.
+		for _, qid := range []string{"Q1", "Q3"} {
+			sql, _ := w.queryFor(qid)
+			m, err := run(engineFor(cfg, w, engine.ModeETSQP), sql)
+			if err != nil {
+				return nil, err
+			}
+			m.Figure, m.Series, m.X = "fig14b", "ETSQP", label+"/"+qid
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// Fig14Slices is Figure 14(c,d): execution time and redundant prefix
+// work as a single large page is cut into more slices (workers fixed).
+func Fig14Slices(cfg Config, sliceCounts []int) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	if len(sliceCounts) == 0 {
+		sliceCounts = []int{1, 2, 4, 8, 16, 32}
+	}
+	// One large page so slicing is the only source of parallelism.
+	ts, vals := plateauColumns(cfg.Rows, 1)
+	st := storage.NewStore()
+	if err := st.Append("ts1", ts, vals, storage.Options{PageSize: cfg.Rows}); err != nil {
+		return nil, err
+	}
+	sql := fmt.Sprintf("SELECT SUM(A) FROM (SELECT * FROM ts1 WHERE A > %d)", vals[0]-1)
+	var out []Measurement
+	for _, s := range sliceCounts {
+		e := engine.New(st, engine.ModeETSQP)
+		e.Workers = cfg.Workers
+		e.ForceSlices = s
+		m, err := run(e, sql)
+		if err != nil {
+			return nil, err
+		}
+		// Redundant prefix rows: slice k re-scans k/s of the page to
+		// resolve its Figure 8 dependency: sum = rows*(s-1)/2.
+		m.Extra["prefix_rows"] = float64(cfg.Rows) * float64(s-1) / 2
+		m.Figure, m.Series, m.X = "fig14cd", "ETSQP", fmt.Sprintf("slices=%d", s)
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Table1Row is one Table I row with a measured compression ratio.
+type Table1Row struct {
+	Method    string
+	Semantics []encoding.Semantics
+	Ratio     float64 // on the Sine dataset
+}
+
+// Table1 reproduces the encoder taxonomy with measured ratios.
+func Table1(cfg Config) ([]Table1Row, error) {
+	cfg = cfg.WithDefaults()
+	d, err := dataset.Generate("Sine", cfg.Rows, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	col := d.Attrs[0]
+	var out []Table1Row
+	for _, name := range []string{"rlbe", "ts2diff", "sprintz", "chimp", "gorilla", "fastlanes"} {
+		c, err := encoding.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		blk, err := c.Encode(col)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table1Row{
+			Method:    name,
+			Semantics: c.Semantics(),
+			Ratio:     float64(len(col)*8) / float64(len(blk)),
+		})
+	}
+	return out, nil
+}
+
+// Table2Row is one Table II row plus generated-size statistics.
+type Table2Row struct {
+	Spec         dataset.Spec
+	GenRows      int
+	EncodedBytes int
+}
+
+// Table2 reproduces the dataset statistics table over generated data.
+func Table2(cfg Config) ([]Table2Row, error) {
+	cfg = cfg.WithDefaults()
+	var out []Table2Row
+	for _, spec := range dataset.Specs {
+		d, err := dataset.Generate(spec.Label, cfg.Rows, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pairs, err := storage.EncodePages(d.Time, d.Attrs[0], storage.Options{PageSize: cfg.PageSize})
+		if err != nil {
+			return nil, err
+		}
+		bytes := 0
+		for _, pp := range pairs {
+			bytes += len(pp.Time.Data) + len(pp.Value.Data)
+		}
+		out = append(out, Table2Row{Spec: spec, GenRows: d.Rows(), EncodedBytes: bytes})
+	}
+	return out, nil
+}
+
+// Table3 verifies that every benchmark query parses and executes.
+func Table3(cfg Config) (map[string]string, error) {
+	cfg = cfg.WithDefaults()
+	w, err := buildWorkload(cfg, "Atm", storage.DefaultValueCodec)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, qid := range BenchQueries {
+		sql, err := w.queryFor(qid)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := engineFor(cfg, w, engine.ModeETSQP).ExecuteSQL(sql); err != nil {
+			return nil, fmt.Errorf("table3 %s: %w", qid, err)
+		}
+		out[qid] = sql
+	}
+	return out, nil
+}
+
+// PrefixWork reports the analytic slice prefix cost of Figure 14(d):
+// with s slices over r rows, the Figure 8 dependency re-scans
+// r*(s-1)/2 rows in total.
+func PrefixWork(rows, slices int) int64 {
+	if slices <= 1 {
+		return 0
+	}
+	return int64(rows) * int64(slices-1) / 2
+}

@@ -1,0 +1,208 @@
+package bitio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadSingleBits(t *testing.T) {
+	w := NewWriter(4)
+	bits := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1}
+	for _, b := range bits {
+		w.WriteBit(b)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range bits {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestBigEndianByteLayout(t *testing.T) {
+	w := NewWriter(2)
+	w.WriteBits(0b10110010, 8)
+	w.WriteBits(0b1, 1)
+	got := w.Bytes()
+	want := []byte{0b10110010, 0b10000000}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %08b want %08b", got, want)
+	}
+}
+
+func TestWriteBitsSpansBytes(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0x3FF, 10) // 1111111111
+	w.WriteBits(0x000, 10)
+	w.WriteBits(0x2AA, 10) // 1010101010
+	r := NewReader(w.Bytes())
+	for i, want := range []uint64{0x3FF, 0x000, 0x2AA} {
+		got, err := r.ReadBits(10)
+		if err != nil {
+			t.Fatalf("value %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("value %d: got %#x want %#x", i, got, want)
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(vals []uint64, widthsSeed int64) bool {
+		rng := rand.New(rand.NewSource(widthsSeed))
+		w := NewWriter(len(vals) * 8)
+		widths := make([]uint, len(vals))
+		for i, v := range vals {
+			n := uint(rng.Intn(64) + 1)
+			widths[i] = n
+			w.WriteBits(v, n)
+		}
+		r := NewReader(w.Bytes())
+		for i, v := range vals {
+			n := widths[i]
+			got, err := r.ReadBits(n)
+			if err != nil {
+				return false
+			}
+			want := v
+			if n < 64 {
+				want &= 1<<n - 1
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortBuffer(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(9); err != ErrShortBuffer {
+		t.Fatalf("got %v want ErrShortBuffer", err)
+	}
+	// The failed read must not consume bits.
+	if v, err := r.ReadBits(8); err != nil || v != 0xFF {
+		t.Fatalf("got %#x/%v want 0xff/nil", v, err)
+	}
+	if _, err := r.ReadBit(); err != ErrShortBuffer {
+		t.Fatalf("got %v want ErrShortBuffer", err)
+	}
+}
+
+func TestAlignWriter(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0b101, 3)
+	w.Align()
+	w.WriteBytes([]byte{0xAB})
+	got := w.Bytes()
+	want := []byte{0b10100000, 0xAB}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %x want %x", got, want)
+	}
+}
+
+func TestAlignReader(t *testing.T) {
+	r := NewReader([]byte{0b10100000, 0xAB})
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	r.Align()
+	v, err := r.ReadBits(8)
+	if err != nil || v != 0xAB {
+		t.Fatalf("got %#x/%v want 0xab/nil", v, err)
+	}
+}
+
+func TestSeekPeekSkip(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0xDEAD, 16)
+	r := NewReader(w.Bytes())
+	if v, _ := r.PeekBits(8); v != 0xDE {
+		t.Fatalf("peek got %#x", v)
+	}
+	if r.Pos() != 0 {
+		t.Fatalf("peek moved pos to %d", r.Pos())
+	}
+	if err := r.Skip(8); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r.ReadBits(8); v != 0xAD {
+		t.Fatalf("got %#x want 0xad", v)
+	}
+	if err := r.Seek(4); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r.ReadBits(8); v != 0xEA {
+		t.Fatalf("got %#x want 0xea", v)
+	}
+	if got := r.Remaining(); got != 4 {
+		t.Fatalf("remaining got %d want 4", got)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0xFF, 8)
+	w.Reset()
+	w.WriteBits(0x0F, 4)
+	got := w.Bytes()
+	if !bytes.Equal(got, []byte{0xF0}) {
+		t.Fatalf("got %x want f0", got)
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0, 13)
+	if got := w.BitLen(); got != 13 {
+		t.Fatalf("got %d want 13", got)
+	}
+}
+
+func TestZeroWidthWrite(t *testing.T) {
+	w := NewWriter(1)
+	w.WriteBits(0xFFFF, 0)
+	if w.BitLen() != 0 {
+		t.Fatalf("zero-width write produced %d bits", w.BitLen())
+	}
+}
+
+func BenchmarkWriteBits10(b *testing.B) {
+	w := NewWriter(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if w.BitLen() > 1<<22 {
+			w.Reset()
+		}
+		w.WriteBits(uint64(i)&0x3FF, 10)
+	}
+}
+
+func BenchmarkReadBits10(b *testing.B) {
+	w := NewWriter(1 << 16)
+	for i := 0; i < 1<<14; i++ {
+		w.WriteBits(uint64(i)&0x3FF, 10)
+	}
+	buf := w.Bytes()
+	r := NewReader(buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Remaining() < 10 {
+			r.Seek(0)
+		}
+		if _, err := r.ReadBits(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

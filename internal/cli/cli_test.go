@@ -1,0 +1,142 @@
+package cli
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"etsqp/internal/storage"
+
+	_ "etsqp/internal/encoding/sprintz"
+	_ "etsqp/internal/encoding/ts2diff"
+)
+
+func sessionConfig() Config {
+	return Config{GenLabel: "Atm", Rows: 3000, Seed: 1, Codec: "ts2diff", Mode: "etsqp", MaxRows: 5}
+}
+
+func TestBuildStoreFromDataset(t *testing.T) {
+	cfg := sessionConfig()
+	st, err := cfg.BuildStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := st.Names(); len(names) != 3 || names[0] != "ts1" {
+		t.Fatalf("names = %v", names)
+	}
+	if _, err := (Config{}).BuildStore(); err == nil {
+		t.Fatal("empty config must fail")
+	}
+	if _, err := (Config{GenLabel: "nope", Rows: 10}).BuildStore(); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+}
+
+func TestBuildStoreFromFile(t *testing.T) {
+	st := storage.NewStore()
+	if err := st.Append("s", []int64{1, 2, 3}, []int64{7, 8, 9}, storage.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "f.etsqp")
+	if err := st.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Config{LoadPath: path}.BuildStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Names()) != 1 {
+		t.Fatalf("names = %v", st2.Names())
+	}
+}
+
+func TestNewEngineModes(t *testing.T) {
+	cfg := sessionConfig()
+	st, _ := cfg.BuildStore()
+	for name := range Modes {
+		cfg.Mode = name
+		if _, err := cfg.NewEngine(st); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	cfg.Mode = "bogus"
+	if _, err := cfg.NewEngine(st); err == nil {
+		t.Fatal("unknown mode must fail")
+	}
+}
+
+func TestExecuteRendering(t *testing.T) {
+	cfg := sessionConfig()
+	st, _ := cfg.BuildStore()
+	eng, _ := cfg.NewEngine(st)
+
+	var buf bytes.Buffer
+	if err := Execute(&buf, eng, "SELECT SUM(A), COUNT(A) FROM ts1", 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SUM(A) =") || !strings.Contains(out, "COUNT(A) = 3000") {
+		t.Fatalf("aggregate render: %s", out)
+	}
+	// Deterministic key order.
+	if strings.Index(out, "COUNT(A)") > strings.Index(out, "SUM(A)") {
+		t.Fatalf("keys not sorted: %s", out)
+	}
+
+	buf.Reset()
+	if err := Execute(&buf, eng, "SELECT * FROM ts1 WHERE A > -999999 LIMIT 8", 5); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "... 3 more rows") {
+		t.Fatalf("row cap render: %s", out)
+	}
+
+	buf.Reset()
+	if err := Execute(&buf, eng, "explain SELECT SUM(A) FROM ts1", 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "aggregate query") {
+		t.Fatalf("explain render: %s", buf.String())
+	}
+
+	if err := Execute(&buf, eng, "not sql", 5); err == nil {
+		t.Fatal("bad SQL must error")
+	}
+	if err := Execute(&buf, eng, "EXPLAIN not sql", 5); err == nil {
+		t.Fatal("bad EXPLAIN must error")
+	}
+}
+
+func TestExecuteWindows(t *testing.T) {
+	cfg := sessionConfig()
+	st, _ := cfg.BuildStore()
+	eng, _ := cfg.NewEngine(st)
+	var buf bytes.Buffer
+	// Atm timestamps start at 1.6e12 with 1 s interval.
+	if err := Execute(&buf, eng, "SELECT SUM(A) FROM ts1 SW(1600000000000, 1000000)", 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "window 0 [") {
+		t.Fatalf("window render: %s", buf.String())
+	}
+}
+
+func TestRepl(t *testing.T) {
+	cfg := sessionConfig()
+	st, _ := cfg.BuildStore()
+	eng, _ := cfg.NewEngine(st)
+	in := strings.NewReader("SELECT COUNT(A) FROM ts1\n\nbad sql\nexit\n")
+	var out, errOut bytes.Buffer
+	Repl(in, &out, &errOut, eng, 5)
+	if !strings.Contains(out.String(), "COUNT(A) = 3000") {
+		t.Fatalf("repl out: %s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "error:") {
+		t.Fatalf("repl err: %s", errOut.String())
+	}
+	if got := strings.Count(out.String(), "etsqp> "); got < 3 {
+		t.Fatalf("prompts = %d", got)
+	}
+}

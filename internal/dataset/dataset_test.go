@@ -1,0 +1,122 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+
+	"etsqp/internal/encoding"
+	_ "etsqp/internal/encoding/rlbe"
+	_ "etsqp/internal/encoding/ts2diff"
+)
+
+func TestSpecsMatchTableII(t *testing.T) {
+	if len(Specs) != 6 {
+		t.Fatalf("Table II has 6 datasets, got %d", len(Specs))
+	}
+	want := map[string]struct {
+		size  int
+		attrs int
+	}{
+		"Atm": {132_000, 3}, "Clim": {8_400_000, 4}, "Gas": {925_000, 19},
+		"Time": {1_000_000_000, 2}, "Sine": {1_000_000_000, 6}, "TPCH": {24_000, 4},
+	}
+	for _, s := range Specs {
+		w, ok := want[s.Label]
+		if !ok {
+			t.Fatalf("unexpected label %s", s.Label)
+		}
+		if s.Size != w.size || s.Attrs != w.attrs {
+			t.Fatalf("%s: size/attrs %d/%d want %d/%d", s.Label, s.Size, s.Attrs, w.size, w.attrs)
+		}
+	}
+}
+
+func TestGenerateAllLabels(t *testing.T) {
+	for _, s := range Specs {
+		d, err := Generate(s.Label, 5000, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Label, err)
+		}
+		if d.Rows() != 5000 || len(d.Attrs) != s.Attrs {
+			t.Fatalf("%s: rows=%d attrs=%d", s.Label, d.Rows(), len(d.Attrs))
+		}
+		for i := 1; i < d.Rows(); i++ {
+			if d.Time[i] <= d.Time[i-1] {
+				t.Fatalf("%s: timestamps not strictly increasing at %d", s.Label, i)
+			}
+		}
+		for a, col := range d.Attrs {
+			if len(col) != d.Rows() {
+				t.Fatalf("%s attr %d: length %d", s.Label, a, len(col))
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate("Gas", 1000, 7)
+	b, _ := Generate("Gas", 1000, 7)
+	if !reflect.DeepEqual(a.Time, b.Time) || !reflect.DeepEqual(a.Attrs, b.Attrs) {
+		t.Fatal("same seed must give same data")
+	}
+	c, _ := Generate("Gas", 1000, 8)
+	if reflect.DeepEqual(a.Attrs, c.Attrs) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate("nope", 10, 1); err == nil {
+		t.Fatal("unknown label must fail")
+	}
+	if _, err := Generate("Atm", 0, 1); err == nil {
+		t.Fatal("n=0 must fail")
+	}
+	if _, err := SpecByLabel("zzz"); err == nil {
+		t.Fatal("unknown spec must fail")
+	}
+}
+
+// encodedSize encodes a column and returns its byte count.
+func encodedSize(t *testing.T, codec string, col []int64) int {
+	t.Helper()
+	c, err := encoding.Lookup(codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := c.Encode(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(blk)
+}
+
+func TestDatasetCompressionProperties(t *testing.T) {
+	n := 20000
+	// Gas is plateau-heavy: RLBE must beat TS2DIFF on it.
+	gas, _ := Generate("Gas", n, 1)
+	gasRLBE := encodedSize(t, "rlbe", gas.Attrs[0])
+	gasTS := encodedSize(t, "ts2diff", gas.Attrs[0])
+	if gasRLBE >= gasTS {
+		t.Fatalf("Gas: rlbe %d B should beat ts2diff %d B on plateaus", gasRLBE, gasTS)
+	}
+	// Regular timestamps compress to near nothing under order-2 deltas.
+	tm, _ := Generate("Time", n, 1)
+	tsSize := encodedSize(t, "ts2diff2", tm.Time)
+	if tsSize > 200 {
+		t.Fatalf("Time timestamps: %d B for %d regular points", tsSize, n)
+	}
+	// TPCH random values compress poorly relative to IoT walks: deltas
+	// span the full 21-bit value range, so >= 2.5 B/value.
+	tpch, _ := Generate("TPCH", n, 1)
+	tpchSize := encodedSize(t, "ts2diff", tpch.Attrs[0])
+	if tpchSize < n*5/2 {
+		t.Fatalf("TPCH: %d B is implausibly small for random data", tpchSize)
+	}
+	// Atm walks have small deltas: strong compression.
+	atm, _ := Generate("Atm", n, 1)
+	atmSize := encodedSize(t, "ts2diff", atm.Attrs[0])
+	if atmSize > n*8/8 {
+		t.Fatalf("Atm: %d B, want >= 8x compression", atmSize)
+	}
+}

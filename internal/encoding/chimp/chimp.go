@@ -1,0 +1,196 @@
+// Package chimp implements the Chimp combined encoder (Table I row
+// "Chimp"): XOR delta with pattern-based variable-width packing that,
+// unlike Gorilla, spends only two flag bits per value and reuses the
+// previous leading-zero count.
+//
+// Per value (after XOR with the predecessor):
+//
+//	'00'                      xor == 0
+//	'01' + 3b lead + 6b len   trailing zeros > 6: center bits only
+//	'10' + (64-prevLead) bits leading zeros match the previous value
+//	'11' + 3b lead + (64-lead) bits
+//
+// The 3-bit lead index rounds into {0,8,12,16,18,20,22,24}, as in the
+// Chimp paper.
+package chimp
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/bits"
+
+	"etsqp/internal/bitio"
+	"etsqp/internal/encoding"
+)
+
+// ErrCorrupt reports a malformed block.
+var ErrCorrupt = errors.New("chimp: corrupt block")
+
+var leadingRound = [8]int{0, 8, 12, 16, 18, 20, 22, 24}
+
+// roundLead maps a leading-zero count to (table index, rounded value).
+func roundLead(lead int) (idx, rounded int) {
+	idx = 0
+	for i, v := range leadingRound {
+		if lead >= v {
+			idx = i
+		}
+	}
+	return idx, leadingRound[idx]
+}
+
+// Encode writes the Chimp stream for 64-bit words.
+func Encode(w *bitio.Writer, words []uint64) {
+	if len(words) == 0 {
+		return
+	}
+	w.WriteBits(words[0], 64)
+	prev := words[0]
+	prevLead := -1
+	for _, cur := range words[1:] {
+		xor := cur ^ prev
+		prev = cur
+		if xor == 0 {
+			w.WriteBits(0b00, 2)
+			prevLead = -1
+			continue
+		}
+		lead := bits.LeadingZeros64(xor)
+		trail := bits.TrailingZeros64(xor)
+		idx, rounded := roundLead(lead)
+		if trail > 6 {
+			// '01': center bits between rounded lead and trail.
+			center := 64 - rounded - trail
+			w.WriteBits(0b01, 2)
+			w.WriteBits(uint64(idx), 3)
+			w.WriteBits(uint64(center), 6)
+			w.WriteBits(xor>>uint(trail), uint(center))
+			prevLead = -1
+		} else if rounded == prevLead {
+			// '10': same leading window as previous value.
+			w.WriteBits(0b10, 2)
+			w.WriteBits(xor, uint(64-rounded))
+		} else {
+			// '11': new leading window.
+			w.WriteBits(0b11, 2)
+			w.WriteBits(uint64(idx), 3)
+			w.WriteBits(xor, uint(64-rounded))
+			prevLead = rounded
+		}
+	}
+}
+
+// Decode reads n words written by Encode.
+func Decode(r *bitio.Reader, n int) ([]uint64, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]uint64, 0, n)
+	first, err := r.ReadBits(64)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, first)
+	prev := first
+	prevLead := -1
+	for len(out) < n {
+		flag, err := r.ReadBits(2)
+		if err != nil {
+			return nil, err
+		}
+		var xor uint64
+		switch flag {
+		case 0b00:
+			prevLead = -1
+		case 0b01:
+			idx, err := r.ReadBits(3)
+			if err != nil {
+				return nil, err
+			}
+			center, err := r.ReadBits(6)
+			if err != nil {
+				return nil, err
+			}
+			rounded := leadingRound[idx]
+			trail := 64 - rounded - int(center)
+			if trail < 0 {
+				return nil, ErrCorrupt
+			}
+			v, err := r.ReadBits(uint(center))
+			if err != nil {
+				return nil, err
+			}
+			xor = v << uint(trail)
+			prevLead = -1
+		case 0b10:
+			if prevLead < 0 {
+				return nil, ErrCorrupt
+			}
+			v, err := r.ReadBits(uint(64 - prevLead))
+			if err != nil {
+				return nil, err
+			}
+			xor = v
+		case 0b11:
+			idx, err := r.ReadBits(3)
+			if err != nil {
+				return nil, err
+			}
+			rounded := leadingRound[idx]
+			v, err := r.ReadBits(uint(64 - rounded))
+			if err != nil {
+				return nil, err
+			}
+			xor = v
+			prevLead = rounded
+		}
+		cur := prev ^ xor
+		out = append(out, cur)
+		prev = cur
+	}
+	return out, nil
+}
+
+const blockMagic = 0xC4
+
+type codec struct{}
+
+func (codec) Name() string { return "chimp" }
+
+func (codec) Semantics() []encoding.Semantics {
+	return []encoding.Semantics{encoding.SemanticsDelta, encoding.SemanticsPacking}
+}
+
+func (codec) Encode(vals []int64) ([]byte, error) {
+	w := bitio.NewWriter(len(vals) * 2)
+	words := make([]uint64, len(vals))
+	for i, v := range vals {
+		words[i] = uint64(v)
+	}
+	Encode(w, words)
+	payload := w.Bytes()
+	out := make([]byte, 0, 5+len(payload))
+	out = append(out, blockMagic)
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], uint32(len(vals)))
+	out = append(out, tmp[:]...)
+	return append(out, payload...), nil
+}
+
+func (codec) Decode(block []byte) ([]int64, error) {
+	if len(block) < 5 || block[0] != blockMagic {
+		return nil, ErrCorrupt
+	}
+	n := int(binary.BigEndian.Uint32(block[1:]))
+	words, err := Decode(bitio.NewReader(block[5:]), n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(words))
+	for i, w := range words {
+		out[i] = int64(w)
+	}
+	return out, nil
+}
+
+func init() { encoding.Register(codec{}) }

@@ -1,0 +1,113 @@
+package chimp
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"etsqp/internal/bitio"
+	"etsqp/internal/encoding"
+)
+
+func TestRoundTrip(t *testing.T) {
+	f := func(words []uint64) bool {
+		w := bitio.NewWriter(len(words) * 2)
+		Encode(w, words)
+		got, err := Decode(bitio.NewReader(w.Bytes()), len(words))
+		if err != nil {
+			return false
+		}
+		if len(words) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, words)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatSeries(t *testing.T) {
+	vals := make([]float64, 500)
+	v := 20.0
+	for i := range vals {
+		v += math.Sin(float64(i) / 10)
+		vals[i] = v
+	}
+	words := make([]uint64, len(vals))
+	for i, f := range vals {
+		words[i] = math.Float64bits(f)
+	}
+	w := bitio.NewWriter(len(words) * 4)
+	Encode(w, words)
+	got, err := Decode(bitio.NewReader(w.Bytes()), len(words))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, words) {
+		t.Fatal("round trip mismatch")
+	}
+	// Chimp must beat raw storage on a smooth float series.
+	if w.BitLen() >= len(words)*64 {
+		t.Fatalf("no compression: %d bits for %d words", w.BitLen(), len(words))
+	}
+}
+
+func TestConstantSeriesTwoBitsEach(t *testing.T) {
+	words := make([]uint64, 100)
+	for i := range words {
+		words[i] = math.Float64bits(42.0)
+	}
+	w := bitio.NewWriter(32)
+	Encode(w, words)
+	if got, want := w.BitLen(), 64+2*99; got != want {
+		t.Fatalf("bits = %d, want %d", got, want)
+	}
+}
+
+func TestRoundLead(t *testing.T) {
+	cases := []struct{ in, idx, rounded int }{
+		{0, 0, 0}, {7, 0, 0}, {8, 1, 8}, {11, 1, 8}, {12, 2, 12},
+		{17, 3, 16}, {24, 7, 24}, {63, 7, 24},
+	}
+	for _, c := range cases {
+		idx, rounded := roundLead(c.in)
+		if idx != c.idx || rounded != c.rounded {
+			t.Errorf("roundLead(%d) = (%d,%d), want (%d,%d)", c.in, idx, rounded, c.idx, c.rounded)
+		}
+	}
+}
+
+func TestCodec(t *testing.T) {
+	c, err := encoding.Lookup("chimp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []int64{100, 100, 104, 108, -7}
+	raw, _ := c.Encode(vals)
+	got, err := c.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := c.Decode([]byte{9}); err == nil {
+		t.Fatal("expected corrupt error")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	words := make([]uint64, 8192)
+	v := 20.0
+	for i := range words {
+		v += math.Sin(float64(i) / 10)
+		words[i] = math.Float64bits(v)
+	}
+	b.SetBytes(int64(len(words) * 8))
+	for i := 0; i < b.N; i++ {
+		w := bitio.NewWriter(len(words) * 4)
+		Encode(w, words)
+	}
+}

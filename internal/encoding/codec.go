@@ -1,0 +1,61 @@
+package encoding
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Codec is a self-contained combined encoder: Encode produces one encoded
+// block (header + payload) and Decode recovers the original values.
+// Combined encoders (ts2diff, sprintz, rlbe, gorilla, chimp, fastlanes)
+// register themselves so storage and the benchmark harness can select
+// codecs by name.
+type Codec interface {
+	// Name is the registry key, e.g. "ts2diff".
+	Name() string
+	// Semantics lists the Table I operator semantics the codec combines.
+	Semantics() []Semantics
+	// Encode serializes vals into one block.
+	Encode(vals []int64) ([]byte, error)
+	// Decode recovers the values of a block produced by Encode.
+	Decode(block []byte) ([]int64, error)
+}
+
+var (
+	codecMu  sync.RWMutex
+	codecs   = map[string]Codec{}
+	codecSeq []string
+)
+
+// Register makes a codec available by name. It panics on duplicates,
+// following the convention of image.RegisterFormat.
+func Register(c Codec) {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if _, dup := codecs[c.Name()]; dup {
+		panic(fmt.Sprintf("encoding: duplicate codec %q", c.Name()))
+	}
+	codecs[c.Name()] = c
+	codecSeq = append(codecSeq, c.Name())
+}
+
+// Lookup returns the codec registered under name.
+func Lookup(name string) (Codec, error) {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	c, ok := codecs[name]
+	if !ok {
+		return nil, fmt.Errorf("encoding: unknown codec %q", name)
+	}
+	return c, nil
+}
+
+// Names lists all registered codecs in sorted order.
+func Names() []string {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	out := append([]string(nil), codecSeq...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,196 @@
+// Package elf implements the Elf combined encoder (Table I row "Elf"):
+// erasure-based lossless floating-point compression. Elf observes that a
+// double whose shortest decimal representation has α significant digits
+// carries mantissa bits below that precision which can be *erased*
+// (zeroed) and later restored exactly by rounding the erased double back
+// to α significant decimal digits. Erasure lengthens trailing-zero runs
+// dramatically, which the XOR + pattern Packing stage then exploits.
+//
+// Per value the stream holds a one-bit flag: '1' means α follows (6
+// bits) and the XOR-compressed word is the erased double; '0' means the
+// value did not benefit from erasure and is XOR-compressed as-is. The
+// XOR stage reuses the Gorilla window coding (leading/trailing zero
+// patterns), operating on the erased stream.
+package elf
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"strconv"
+
+	"etsqp/internal/bitio"
+	"etsqp/internal/encoding"
+	"etsqp/internal/encoding/gorilla"
+)
+
+// ErrCorrupt reports a malformed block.
+var ErrCorrupt = errors.New("elf: corrupt block")
+
+// maxAlpha bounds the significant-digit count of a float64 (17 digits
+// always suffice for exact round trip).
+const maxAlpha = 17
+
+// sigDigits returns the number of significant decimal digits in the
+// shortest representation of v.
+func sigDigits(v float64) int {
+	s := strconv.FormatFloat(v, 'e', -1, 64) // d.dddde±xx
+	digits := 0
+	for _, c := range s {
+		if c >= '0' && c <= '9' {
+			digits++
+		}
+		if c == 'e' {
+			break
+		}
+	}
+	// Exponent digits were cut by the break; count mantissa digits only.
+	return digits
+}
+
+// roundAlpha rounds v to α significant decimal digits — the Elf restore
+// operation.
+func roundAlpha(v float64, alpha int) float64 {
+	s := strconv.FormatFloat(v, 'e', alpha-1, 64)
+	r, _ := strconv.ParseFloat(s, 64)
+	return r
+}
+
+// erase zeroes as many trailing mantissa bits of v as the α-digit
+// restore can undo, returning the erased value and whether erasing
+// helped (at least minGain bits were cleared).
+const minGain = 8 // flag+alpha cost 7 bits; demand a little more
+
+func erase(v float64, alpha int) (float64, bool) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+		return v, false
+	}
+	bits := math.Float64bits(v)
+	// Binary search the largest k with restore(erased(k)) == v.
+	lo, hi := 0, 52
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		cand := bits &^ (1<<uint(mid) - 1)
+		if roundAlpha(math.Float64frombits(cand), alpha) == v {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if lo < minGain {
+		return v, false
+	}
+	return math.Float64frombits(bits &^ (1<<uint(lo) - 1)), true
+}
+
+// EncodeFloats writes the Elf stream for vals.
+func EncodeFloats(w *bitio.Writer, vals []float64) {
+	erased := make([]uint64, len(vals))
+	flags := make([]bool, len(vals))
+	alphas := make([]int, len(vals))
+	for i, v := range vals {
+		alpha := sigDigits(v)
+		if alpha > maxAlpha {
+			alpha = maxAlpha
+		}
+		if ev, ok := erase(v, alpha); ok {
+			erased[i] = math.Float64bits(ev)
+			flags[i] = true
+			alphas[i] = alpha
+		} else {
+			erased[i] = math.Float64bits(v)
+		}
+	}
+	// Header bits per value, then the XOR-compressed erased stream.
+	for i := range vals {
+		if flags[i] {
+			w.WriteBit(1)
+			w.WriteBits(uint64(alphas[i]), 6)
+		} else {
+			w.WriteBit(0)
+		}
+	}
+	gorilla.EncodeValues(w, erased)
+}
+
+// DecodeFloats reads n values written by EncodeFloats.
+func DecodeFloats(r *bitio.Reader, n int) ([]float64, error) {
+	flags := make([]bool, n)
+	alphas := make([]int, n)
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		if b == 1 {
+			a, err := r.ReadBits(6)
+			if err != nil {
+				return nil, err
+			}
+			if a == 0 || a > maxAlpha {
+				return nil, ErrCorrupt
+			}
+			flags[i] = true
+			alphas[i] = int(a)
+		}
+	}
+	words, err := gorilla.DecodeValues(r, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i, wbits := range words {
+		v := math.Float64frombits(wbits)
+		if flags[i] {
+			v = roundAlpha(v, alphas[i])
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+const blockMagic = 0xE1
+
+type codec struct{}
+
+func (codec) Name() string { return "elf" }
+
+func (codec) Semantics() []encoding.Semantics {
+	return []encoding.Semantics{encoding.SemanticsDelta, encoding.SemanticsPacking}
+}
+
+// Encode treats the int64 column as float64 bit patterns, matching how
+// float series are stored in the integer page pipeline.
+func (codec) Encode(vals []int64) ([]byte, error) {
+	fs := make([]float64, len(vals))
+	for i, v := range vals {
+		fs[i] = math.Float64frombits(uint64(v))
+	}
+	w := bitio.NewWriter(len(vals) * 4)
+	EncodeFloats(w, fs)
+	payload := w.Bytes()
+	out := make([]byte, 0, 5+len(payload))
+	out = append(out, blockMagic)
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], uint32(len(vals)))
+	out = append(out, tmp[:]...)
+	return append(out, payload...), nil
+}
+
+func (codec) Decode(block []byte) ([]int64, error) {
+	if len(block) < 5 || block[0] != blockMagic {
+		return nil, ErrCorrupt
+	}
+	n := int(binary.BigEndian.Uint32(block[1:]))
+	fs, err := DecodeFloats(bitio.NewReader(block[5:]), n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, n)
+	for i, f := range fs {
+		out[i] = int64(math.Float64bits(f))
+	}
+	return out, nil
+}
+
+func init() { encoding.Register(codec{}) }

@@ -1,0 +1,164 @@
+package elf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"etsqp/internal/bitio"
+	"etsqp/internal/encoding"
+	"etsqp/internal/encoding/gorilla"
+)
+
+func TestRoundTripExact(t *testing.T) {
+	vals := []float64{
+		0, 1, -1, 3.14, 21.5, 21.7, 0.001, 123456.789,
+		math.MaxFloat64, math.SmallestNonzeroFloat64,
+		math.Inf(1), math.Inf(-1), 1e-300, -7.25,
+	}
+	w := bitio.NewWriter(64)
+	EncodeFloats(w, vals)
+	got, err := DecodeFloats(bitio.NewReader(w.Bytes()), len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("value %d: got %v want %v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestRoundTripNaN(t *testing.T) {
+	vals := []float64{1.5, math.NaN(), 2.5}
+	w := bitio.NewWriter(16)
+	EncodeFloats(w, vals)
+	got, err := DecodeFloats(bitio.NewReader(w.Bytes()), len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1.5 || !math.IsNaN(got[1]) || got[2] != 2.5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		w := bitio.NewWriter(len(raw) * 4)
+		EncodeFloats(w, raw)
+		got, err := DecodeFloats(bitio.NewReader(w.Bytes()), len(raw))
+		if err != nil {
+			return false
+		}
+		for i := range raw {
+			if got[i] != raw[i] && !(math.IsNaN(got[i]) && math.IsNaN(raw[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErasureBeatsGorillaOnDecimalData(t *testing.T) {
+	// Low-precision decimal readings (temperatures with one decimal) are
+	// Elf's target: erasure should shorten the stream vs raw Gorilla XOR.
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 2000)
+	v := 20.0
+	for i := range vals {
+		v += float64(rng.Intn(11)-5) / 10
+		vals[i] = math.Round(v*10) / 10
+	}
+	wElf := bitio.NewWriter(len(vals) * 4)
+	EncodeFloats(wElf, vals)
+	words := make([]uint64, len(vals))
+	for i, f := range vals {
+		words[i] = math.Float64bits(f)
+	}
+	wGor := bitio.NewWriter(len(vals) * 4)
+	gorilla.EncodeValues(wGor, words)
+	if wElf.BitLen() >= wGor.BitLen() {
+		t.Fatalf("elf %d bits should beat gorilla %d bits on decimal data",
+			wElf.BitLen(), wGor.BitLen())
+	}
+}
+
+func TestSigDigitsAndRound(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{1, 1}, {1.5, 2}, {21.7, 3}, {0.001, 1}, {123.456, 6},
+	}
+	for _, c := range cases {
+		if got := sigDigits(c.v); got != c.want {
+			t.Errorf("sigDigits(%v) = %d want %d", c.v, got, c.want)
+		}
+	}
+	if r := roundAlpha(21.699999999999999, 3); r != 21.7 {
+		t.Fatalf("roundAlpha = %v", r)
+	}
+}
+
+func TestEraseRestores(t *testing.T) {
+	for _, v := range []float64{21.7, 0.1, 1234.5, -3.25, 9.999} {
+		alpha := sigDigits(v)
+		ev, ok := erase(v, alpha)
+		if !ok {
+			continue // erasing may not pay off; that is fine
+		}
+		if roundAlpha(ev, alpha) != v {
+			t.Fatalf("restore(erase(%v)) = %v", v, roundAlpha(ev, alpha))
+		}
+		if math.Float64bits(ev)&(1<<minGain-1) != 0 {
+			t.Fatalf("erase(%v) left low bits set", v)
+		}
+	}
+}
+
+func TestCodec(t *testing.T) {
+	c, err := encoding.Lookup("elf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []int64{
+		int64(math.Float64bits(21.5)),
+		int64(math.Float64bits(21.7)),
+		int64(math.Float64bits(-3.0)),
+	}
+	raw, err := c.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("got %v want %v", got, vals)
+		}
+	}
+	if _, err := c.Decode([]byte{1}); err == nil {
+		t.Fatal("corrupt block must fail")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 4096)
+	v := 20.0
+	for i := range vals {
+		v += float64(rng.Intn(11)-5) / 10
+		vals[i] = math.Round(v*10) / 10
+	}
+	b.SetBytes(int64(len(vals) * 8))
+	for i := 0; i < b.N; i++ {
+		w := bitio.NewWriter(len(vals) * 4)
+		EncodeFloats(w, vals)
+	}
+}

@@ -1,0 +1,33 @@
+// Package encoding implements the primitive encoding operators that the
+// combined IoT encoders (Table I of the paper) are built from:
+//
+//	Delta   — differences of adjacent values (±, ±², XOR)
+//	Repeat  — run-length compression of repeated values/deltas
+//	Packing — constant-width bit-packing, ZigZag, Fibonacci coding
+//
+// Each combined encoder (ts2diff, sprintz, rlbe, gorilla, chimp) composes
+// these primitives in its own sub-package.
+package encoding
+
+// Semantics classifies a primitive operator by the paper's taxonomy.
+type Semantics int
+
+// The three encoder semantics of Table I.
+const (
+	SemanticsDelta Semantics = iota
+	SemanticsRepeat
+	SemanticsPacking
+)
+
+// String returns the Table I column name.
+func (s Semantics) String() string {
+	switch s {
+	case SemanticsDelta:
+		return "Delta"
+	case SemanticsRepeat:
+		return "Repeat"
+	case SemanticsPacking:
+		return "Packing"
+	}
+	return "Unknown"
+}

@@ -1,0 +1,305 @@
+// Package gorilla implements the Gorilla combined encoder (Table I row
+// "Gorilla"): delta-of-delta timestamps with flag-bit Repeat compression,
+// and XOR value compression with leading/trailing-zero pattern packing.
+//
+// Timestamps: the delta-of-delta is written under a prefix flag —
+//
+//	'0'                 dod == 0 (the Repeat flag: one bit per repeat)
+//	'10'  + 7 bits      dod in [-63, 64]
+//	'110' + 9 bits      dod in [-255, 256]
+//	'1110'+ 12 bits     dod in [-2047, 2048]
+//	'1111'+ 64 bits     everything else
+//
+// Values: each 64-bit word is XORed with its predecessor; a zero XOR costs
+// one bit, otherwise the meaningful (non-zero) window is written either
+// inside the previous window ('10') or with explicit leading-zero count
+// and length ('11').
+package gorilla
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"etsqp/internal/bitio"
+	"etsqp/internal/encoding"
+	"math/bits"
+)
+
+// ErrCorrupt reports a malformed block.
+var ErrCorrupt = errors.New("gorilla: corrupt block")
+
+// EncodeTimestamps writes the delta-of-delta stream for ts.
+func EncodeTimestamps(w *bitio.Writer, ts []int64) {
+	if len(ts) == 0 {
+		return
+	}
+	w.WriteBits(uint64(ts[0]), 64)
+	if len(ts) == 1 {
+		return
+	}
+	firstDelta := ts[1] - ts[0]
+	w.WriteBits(uint64(firstDelta), 64)
+	prevDelta := firstDelta
+	for i := 2; i < len(ts); i++ {
+		delta := ts[i] - ts[i-1]
+		dod := delta - prevDelta
+		prevDelta = delta
+		switch {
+		case dod == 0:
+			w.WriteBit(0)
+		case dod >= -63 && dod <= 64:
+			w.WriteBits(0b10, 2)
+			w.WriteBits(uint64(dod+63), 7)
+		case dod >= -255 && dod <= 256:
+			w.WriteBits(0b110, 3)
+			w.WriteBits(uint64(dod+255), 9)
+		case dod >= -2047 && dod <= 2048:
+			w.WriteBits(0b1110, 4)
+			w.WriteBits(uint64(dod+2047), 12)
+		default:
+			w.WriteBits(0b1111, 4)
+			w.WriteBits(uint64(dod), 64)
+		}
+	}
+}
+
+// DecodeTimestamps reads n timestamps written by EncodeTimestamps.
+func DecodeTimestamps(r *bitio.Reader, n int) ([]int64, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int64, 0, n)
+	first, err := r.ReadBits(64)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, int64(first))
+	if n == 1 {
+		return out, nil
+	}
+	fd, err := r.ReadBits(64)
+	if err != nil {
+		return nil, err
+	}
+	delta := int64(fd)
+	out = append(out, out[0]+delta)
+	for len(out) < n {
+		var dod int64
+		b0, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		if b0 == 1 {
+			b1, err := r.ReadBit()
+			if err != nil {
+				return nil, err
+			}
+			if b1 == 0 { // '10'
+				v, err := r.ReadBits(7)
+				if err != nil {
+					return nil, err
+				}
+				dod = int64(v) - 63
+			} else {
+				b2, err := r.ReadBit()
+				if err != nil {
+					return nil, err
+				}
+				if b2 == 0 { // '110'
+					v, err := r.ReadBits(9)
+					if err != nil {
+						return nil, err
+					}
+					dod = int64(v) - 255
+				} else {
+					b3, err := r.ReadBit()
+					if err != nil {
+						return nil, err
+					}
+					if b3 == 0 { // '1110'
+						v, err := r.ReadBits(12)
+						if err != nil {
+							return nil, err
+						}
+						dod = int64(v) - 2047
+					} else { // '1111'
+						v, err := r.ReadBits(64)
+						if err != nil {
+							return nil, err
+						}
+						dod = int64(v)
+					}
+				}
+			}
+		}
+		delta += dod
+		out = append(out, out[len(out)-1]+delta)
+	}
+	return out, nil
+}
+
+// EncodeValues writes the XOR-compressed stream for 64-bit words.
+func EncodeValues(w *bitio.Writer, words []uint64) {
+	if len(words) == 0 {
+		return
+	}
+	w.WriteBits(words[0], 64)
+	prev := words[0]
+	prevLead, prevTrail := -1, -1
+	for _, cur := range words[1:] {
+		xor := cur ^ prev
+		prev = cur
+		if xor == 0 {
+			w.WriteBit(0)
+			continue
+		}
+		w.WriteBit(1)
+		lead := bits.LeadingZeros64(xor)
+		if lead > 31 {
+			lead = 31
+		}
+		trail := bits.TrailingZeros64(xor)
+		if prevLead >= 0 && lead >= prevLead && trail >= prevTrail {
+			// Fits the previous window: '0' control bit, reuse window.
+			w.WriteBit(0)
+			m := 64 - prevLead - prevTrail
+			w.WriteBits(xor>>uint(prevTrail), uint(m))
+		} else {
+			// New window: '1' control bit + 5b lead + 6b (len-1) + bits.
+			w.WriteBit(1)
+			m := 64 - lead - trail
+			w.WriteBits(uint64(lead), 5)
+			w.WriteBits(uint64(m-1), 6)
+			w.WriteBits(xor>>uint(trail), uint(m))
+			prevLead, prevTrail = lead, trail
+		}
+	}
+}
+
+// DecodeValues reads n 64-bit words written by EncodeValues.
+func DecodeValues(r *bitio.Reader, n int) ([]uint64, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]uint64, 0, n)
+	first, err := r.ReadBits(64)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, first)
+	prev := first
+	prevLead, prevTrail := -1, -1
+	for len(out) < n {
+		b0, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		if b0 == 0 {
+			out = append(out, prev)
+			continue
+		}
+		b1, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		var xor uint64
+		if b1 == 0 {
+			if prevLead < 0 {
+				return nil, ErrCorrupt
+			}
+			m := 64 - prevLead - prevTrail
+			v, err := r.ReadBits(uint(m))
+			if err != nil {
+				return nil, err
+			}
+			xor = v << uint(prevTrail)
+		} else {
+			lead64, err := r.ReadBits(5)
+			if err != nil {
+				return nil, err
+			}
+			mlen, err := r.ReadBits(6)
+			if err != nil {
+				return nil, err
+			}
+			m := int(mlen) + 1
+			v, err := r.ReadBits(uint(m))
+			if err != nil {
+				return nil, err
+			}
+			lead := int(lead64)
+			trail := 64 - lead - m
+			if trail < 0 {
+				return nil, ErrCorrupt
+			}
+			xor = v << uint(trail)
+			prevLead, prevTrail = lead, trail
+		}
+		cur := prev ^ xor
+		out = append(out, cur)
+		prev = cur
+	}
+	return out, nil
+}
+
+const blockMagic = 0x60
+
+type codec struct{ timestamps bool }
+
+func (c codec) Name() string {
+	if c.timestamps {
+		return "gorilla-time"
+	}
+	return "gorilla"
+}
+
+func (c codec) Semantics() []encoding.Semantics {
+	return []encoding.Semantics{
+		encoding.SemanticsDelta, encoding.SemanticsRepeat, encoding.SemanticsPacking,
+	}
+}
+
+func (c codec) Encode(vals []int64) ([]byte, error) {
+	w := bitio.NewWriter(len(vals) * 2)
+	if c.timestamps {
+		EncodeTimestamps(w, vals)
+	} else {
+		words := make([]uint64, len(vals))
+		for i, v := range vals {
+			words[i] = uint64(v)
+		}
+		EncodeValues(w, words)
+	}
+	payload := w.Bytes()
+	out := make([]byte, 0, 5+len(payload))
+	out = append(out, blockMagic)
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], uint32(len(vals)))
+	out = append(out, tmp[:]...)
+	return append(out, payload...), nil
+}
+
+func (c codec) Decode(block []byte) ([]int64, error) {
+	if len(block) < 5 || block[0] != blockMagic {
+		return nil, ErrCorrupt
+	}
+	n := int(binary.BigEndian.Uint32(block[1:]))
+	r := bitio.NewReader(block[5:])
+	if c.timestamps {
+		return DecodeTimestamps(r, n)
+	}
+	words, err := DecodeValues(r, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(words))
+	for i, w := range words {
+		out[i] = int64(w)
+	}
+	return out, nil
+}
+
+func init() {
+	encoding.Register(codec{timestamps: false})
+	encoding.Register(codec{timestamps: true})
+}

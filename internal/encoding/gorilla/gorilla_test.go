@@ -1,0 +1,155 @@
+package gorilla
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"etsqp/internal/bitio"
+	"etsqp/internal/encoding"
+)
+
+func TestTimestampRoundTrip(t *testing.T) {
+	f := func(deltas []int16, start int64) bool {
+		ts := make([]int64, len(deltas)+1)
+		ts[0] = start % (1 << 48)
+		for i, d := range deltas {
+			ts[i+1] = ts[i] + int64(d)
+		}
+		w := bitio.NewWriter(len(ts))
+		EncodeTimestamps(w, ts)
+		got, err := DecodeTimestamps(bitio.NewReader(w.Bytes()), len(ts))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, ts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegularTimestampsCostOneBitEach(t *testing.T) {
+	ts := make([]int64, 1000)
+	for i := range ts {
+		ts[i] = 1_700_000_000_000 + int64(i)*1000
+	}
+	w := bitio.NewWriter(len(ts))
+	EncodeTimestamps(w, ts)
+	// 64 + 64 header bits + 998 single '0' flag bits.
+	if got, want := w.BitLen(), 128+998; got != want {
+		t.Fatalf("bits = %d, want %d", got, want)
+	}
+}
+
+func TestTimestampLargeDod(t *testing.T) {
+	ts := []int64{0, 10, 20, 1 << 40, 1<<40 + 10}
+	w := bitio.NewWriter(16)
+	EncodeTimestamps(w, ts)
+	got, err := DecodeTimestamps(bitio.NewReader(w.Bytes()), len(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ts) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	f := func(words []uint64) bool {
+		w := bitio.NewWriter(len(words) * 2)
+		EncodeValues(w, words)
+		got, err := DecodeValues(bitio.NewReader(w.Bytes()), len(words))
+		if err != nil {
+			return false
+		}
+		if len(words) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, words)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatValues(t *testing.T) {
+	vals := []float64{21.5, 21.5, 21.6, 21.7, 21.7, 22.0, -3.25, math.Pi}
+	words := make([]uint64, len(vals))
+	for i, v := range vals {
+		words[i] = math.Float64bits(v)
+	}
+	w := bitio.NewWriter(64)
+	EncodeValues(w, words)
+	got, err := DecodeValues(bitio.NewReader(w.Bytes()), len(words))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range got {
+		if math.Float64frombits(g) != vals[i] {
+			t.Fatalf("value %d: got %v want %v", i, math.Float64frombits(g), vals[i])
+		}
+	}
+}
+
+func TestRepeatedValuesCostOneBit(t *testing.T) {
+	words := make([]uint64, 100)
+	for i := range words {
+		words[i] = 0x4035800000000000 // constant
+	}
+	w := bitio.NewWriter(32)
+	EncodeValues(w, words)
+	if got, want := w.BitLen(), 64+99; got != want {
+		t.Fatalf("bits = %d, want %d", got, want)
+	}
+}
+
+func TestCodecs(t *testing.T) {
+	for _, name := range []string{"gorilla", "gorilla-time"} {
+		c, err := encoding.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := []int64{100, 200, 300, 400, 380, 380}
+		raw, err := c.Encode(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Decode(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, vals) {
+			t.Fatalf("%s: got %v", name, got)
+		}
+		if _, err := c.Decode([]byte{1, 2}); err == nil {
+			t.Fatalf("%s: expected corrupt error", name)
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	w := bitio.NewWriter(1)
+	EncodeTimestamps(w, nil)
+	EncodeValues(w, nil)
+	if w.BitLen() != 0 {
+		t.Fatal("empty input must write nothing")
+	}
+	got, err := DecodeTimestamps(bitio.NewReader(nil), 0)
+	if err != nil || got != nil {
+		t.Fatalf("got %v/%v", got, err)
+	}
+}
+
+func BenchmarkEncodeTimestamps(b *testing.B) {
+	ts := make([]int64, 8192)
+	for i := range ts {
+		ts[i] = int64(i) * 1000
+	}
+	b.SetBytes(int64(len(ts) * 8))
+	for i := 0; i < b.N; i++ {
+		w := bitio.NewWriter(len(ts))
+		EncodeTimestamps(w, ts)
+	}
+}

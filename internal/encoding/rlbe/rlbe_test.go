@@ -1,0 +1,131 @@
+package rlbe
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"etsqp/internal/encoding"
+)
+
+func TestRoundTrip(t *testing.T) {
+	f := func(vals []int64) bool {
+		for i := range vals {
+			vals[i] %= 1 << 40
+		}
+		b, err := Encode(vals)
+		if err != nil {
+			return false
+		}
+		got, err := b.Decode()
+		if err != nil {
+			return false
+		}
+		if len(vals) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegularSeriesIsOneRun(t *testing.T) {
+	vals := make([]int64, 10000)
+	for i := range vals {
+		vals[i] = int64(i) * 50
+	}
+	b, err := Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumRuns != 1 {
+		t.Fatalf("NumRuns = %d, want 1", b.NumRuns)
+	}
+	if len(b.Payload) > 8 {
+		t.Fatalf("payload %d bytes for a single run, want tiny", len(b.Payload))
+	}
+	pairs, err := b.Pairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs[0] != (encoding.DeltaRun{Delta: 50, Count: 9999}) {
+		t.Fatalf("pairs = %v", pairs)
+	}
+}
+
+func TestPairsExposedForFusion(t *testing.T) {
+	vals := []int64{0, 2, 4, 6, 5, 4, 4, 4}
+	b, _ := Encode(vals)
+	pairs, err := b.Pairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []encoding.DeltaRun{{Delta: 2, Count: 3}, {Delta: -1, Count: 2}, {Delta: 0, Count: 2}}
+	if !reflect.DeepEqual(pairs, want) {
+		t.Fatalf("pairs = %v, want %v", pairs, want)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	vals := []int64{7, 7, 7, 9, 11, 13, -5}
+	b, _ := Encode(vals)
+	b2, err := Unmarshal(b.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b2.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	for i, c := range [][]byte{nil, {blockMagic, 1}, append([]byte{0x00}, make([]byte, 30)...)} {
+		if _, err := Unmarshal(c); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	// Count mismatch between header and payload is detected at decode.
+	b, _ := Encode([]int64{1, 2, 3})
+	b.Count = 99
+	if _, err := b.Decode(); err == nil {
+		t.Fatal("expected count mismatch error")
+	}
+}
+
+func TestCodec(t *testing.T) {
+	c, err := encoding.Lookup("rlbe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Semantics()) != 3 {
+		t.Fatal("rlbe combines Delta+Repeat+Packing")
+	}
+	vals := []int64{10, 10, 10, 20, 30, 40}
+	raw, _ := c.Encode(vals)
+	got, err := c.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func BenchmarkEncodeRegular(b *testing.B) {
+	vals := make([]int64, 8192)
+	for i := range vals {
+		vals[i] = int64(i) * 50
+	}
+	b.SetBytes(int64(len(vals) * 8))
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package encoding
+
+// Run is one (value, repeat count) pair of a run-length encoding.
+type Run struct {
+	Value int64
+	Count int
+}
+
+// RLEEncode compresses consecutive repeated values into runs.
+func RLEEncode(vals []int64) []Run {
+	if len(vals) == 0 {
+		return nil
+	}
+	runs := make([]Run, 0, 8)
+	cur := Run{Value: vals[0], Count: 1}
+	for _, v := range vals[1:] {
+		if v == cur.Value {
+			cur.Count++
+			continue
+		}
+		runs = append(runs, cur)
+		cur = Run{Value: v, Count: 1}
+	}
+	return append(runs, cur)
+}
+
+// RLEDecode expands runs back to the flat sequence ("Repeat flatten" in
+// the pipeline terminology).
+func RLEDecode(runs []Run) []int64 {
+	n := 0
+	for _, r := range runs {
+		n += r.Count
+	}
+	out := make([]int64, 0, n)
+	for _, r := range runs {
+		for i := 0; i < r.Count; i++ {
+			out = append(out, r.Value)
+		}
+	}
+	return out
+}
+
+// DeltaRun is one (delta, run length) pair of the Delta-Repeat combined
+// representation that Section IV fuses aggregations over: the series
+// advances by Delta at each of Count consecutive steps.
+type DeltaRun struct {
+	Delta int64
+	Count int
+}
+
+// DeltaRLEEncode converts a value sequence to the header value plus its
+// Delta-Repeat pairs: runs of equal consecutive deltas.
+func DeltaRLEEncode(vals []int64) (first int64, pairs []DeltaRun) {
+	first, deltas := DeltaEncode(vals)
+	for _, r := range RLEEncode(deltas) {
+		pairs = append(pairs, DeltaRun{Delta: r.Value, Count: r.Count})
+	}
+	return first, pairs
+}
+
+// DeltaRLEDecode expands Delta-Repeat pairs back to values.
+func DeltaRLEDecode(first int64, pairs []DeltaRun) []int64 {
+	n := 1
+	for _, p := range pairs {
+		n += p.Count
+	}
+	out := make([]int64, 0, n)
+	out = append(out, first)
+	cur := first
+	for _, p := range pairs {
+		for i := 0; i < p.Count; i++ {
+			cur += p.Delta
+			out = append(out, cur)
+		}
+	}
+	return out
+}

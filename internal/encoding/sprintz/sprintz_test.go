@@ -1,0 +1,130 @@
+package sprintz
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"etsqp/internal/encoding"
+)
+
+func TestRoundTrip(t *testing.T) {
+	f := func(vals []int64) bool {
+		for i := range vals {
+			vals[i] %= 1 << 40
+		}
+		b, err := Encode(vals)
+		if err != nil {
+			return false
+		}
+		got, err := b.Decode()
+		if err != nil {
+			return false
+		}
+		if len(vals) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeDeltasStaySmall(t *testing.T) {
+	// Alternating ±1 deltas: ZigZag keeps the group width at 2 bits.
+	vals := make([]int64, 200)
+	for i := range vals {
+		vals[i] = int64(i % 2)
+	}
+	b, err := Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range b.Widths {
+		if w > 2 {
+			t.Fatalf("group width %d, want <= 2 (zigzag of ±1)", w)
+		}
+	}
+}
+
+func TestPerGroupWidthAdapts(t *testing.T) {
+	// First group small deltas, second group large: widths must differ.
+	vals := make([]int64, 2*GroupSize+1)
+	for i := 1; i <= GroupSize; i++ {
+		vals[i] = vals[i-1] + 1
+	}
+	for i := GroupSize + 1; i < len(vals); i++ {
+		vals[i] = vals[i-1] + 1_000_000
+	}
+	b, err := Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Widths) != 2 || b.Widths[0] >= b.Widths[1] {
+		t.Fatalf("widths = %v, want adaptive groups", b.Widths)
+	}
+	got, err := b.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	vals := []int64{5, 9, 2, -100, 33, 34, 35}
+	b, _ := Encode(vals)
+	b2, err := Unmarshal(b.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b2.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	for i, c := range [][]byte{nil, {blockMagic}, append([]byte{0x00}, make([]byte, 30)...)} {
+		if _, err := Unmarshal(c); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestCodec(t *testing.T) {
+	c, err := encoding.Lookup("sprintz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []int64{1, -1, 2, -2, 1000}
+	raw, err := c.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	vals := make([]int64, 8192)
+	for i := range vals {
+		vals[i] = int64(i * 3 % 977)
+	}
+	b.SetBytes(int64(len(vals) * 8))
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package ts2diff
+
+import "testing"
+
+// FuzzUnmarshal drives arbitrary bytes through block parsing and
+// decoding: structural corruption must surface as errors, never panics
+// or out-of-range reads.
+func FuzzUnmarshal(f *testing.F) {
+	good, _ := Encode([]int64{1, 5, 9, 20, 100, 99, 98}, Order1)
+	f.Add(good.Marshal())
+	good2, _ := Encode([]int64{1000, 2000, 3000}, Order2)
+	f.Add(good2.Marshal())
+	f.Add([]byte{blockMagic, 1, 10, 0, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if b.Count > 1<<20 {
+			return // decoding huge claimed counts is valid but slow
+		}
+		vals, err := b.Decode()
+		if err != nil {
+			return
+		}
+		if len(vals) != b.Count {
+			t.Fatalf("decoded %d values for count %d", len(vals), b.Count)
+		}
+	})
+}

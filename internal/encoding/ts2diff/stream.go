@@ -1,0 +1,77 @@
+package ts2diff
+
+import "fmt"
+
+// StreamEncoder ingests data points one at a time — the *flexible*,
+// incremental operation Figure 1(b) requires of IoT encoders: the
+// receiving buffer keeps only the latest record plus pending deltas, and
+// a block is flushed whenever the buffer fills (or on demand), whatever
+// its size. This contrasts with FLMM1024's fixed 1024-point blocks,
+// which force servers to buffer 1024 points per series.
+type StreamEncoder struct {
+	order     Order
+	blockSize int
+
+	buf     []int64 // pending raw values (bounded by blockSize)
+	flushed []*Block
+}
+
+// NewStreamEncoder returns a streaming encoder flushing blocks of at
+// most blockSize points.
+func NewStreamEncoder(order Order, blockSize int) (*StreamEncoder, error) {
+	if order != Order1 && order != Order2 {
+		return nil, fmt.Errorf("ts2diff: invalid order %d", order)
+	}
+	if blockSize < 2 {
+		return nil, fmt.Errorf("ts2diff: block size %d too small", blockSize)
+	}
+	return &StreamEncoder{order: order, blockSize: blockSize}, nil
+}
+
+// Write ingests one data point, flushing a block when the buffer fills.
+func (s *StreamEncoder) Write(v int64) error {
+	s.buf = append(s.buf, v)
+	if len(s.buf) >= s.blockSize {
+		return s.flush()
+	}
+	return nil
+}
+
+// Flush encodes any buffered points into a final (possibly short) block.
+func (s *StreamEncoder) Flush() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	return s.flush()
+}
+
+func (s *StreamEncoder) flush() error {
+	b, err := Encode(s.buf, s.order)
+	if err != nil {
+		return err
+	}
+	s.flushed = append(s.flushed, b)
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// Blocks returns the flushed blocks so far (Flush first to include the
+// partial tail).
+func (s *StreamEncoder) Blocks() []*Block { return s.flushed }
+
+// Buffered reports how many points await the next flush — the receiving
+// buffer pressure metric of Section I.
+func (s *StreamEncoder) Buffered() int { return len(s.buf) }
+
+// DecodeAll decodes and concatenates a block sequence.
+func DecodeAll(blocks []*Block) ([]int64, error) {
+	var out []int64
+	for _, b := range blocks {
+		vals, err := b.Decode()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals...)
+	}
+	return out, nil
+}

@@ -1,0 +1,225 @@
+// Package ts2diff implements the TS2DIFF combined encoder (Figure 1(b) of
+// the paper; the TS_2DIFF format of Apache IoTDB): Delta (order 1 for
+// values, order 2 for timestamps) followed by minBase subtraction and
+// constant-width bit-packing in big-endian order.
+//
+// A block holds a header — the first value (and the first delta for order
+// 2), the minimum delta minBase, the packing width, the count, and min/max
+// value statistics for pruning — followed by (count-1) packed deltas of
+// width bits each, where packed[i] = delta[i] - minBase >= 0.
+//
+// The header statistics are exactly what Section V's pruning rules need:
+// the bounds D_m >= minBase and D_M <= minBase + 2^width - 1 follow from
+// the stored (minBase, width) pair.
+package ts2diff
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"etsqp/internal/encoding"
+)
+
+// Order selects first- or second-order deltas.
+type Order uint8
+
+// Supported delta orders.
+const (
+	Order1 Order = 1 // values (±)
+	Order2 Order = 2 // timestamps (±²)
+)
+
+// Block is a parsed TS2DIFF block. The pipeline engine reads the header
+// fields directly (packing width, minBase) to build its unpack layout and
+// pruning bounds without touching the payload.
+type Block struct {
+	Order      Order
+	Count      int   // number of original values
+	First      int64 // X0
+	FirstDelta int64 // D1, order 2 only
+	MinBase    int64 // minimum delta (base in Figure 1(b))
+	Width      uint  // packing width omega
+	MinValue   int64 // statistics for pruning
+	MaxValue   int64
+	Packed     []byte // big-endian packed (delta - MinBase) values
+}
+
+// NumPacked returns the number of packed deltas in the payload.
+func (b *Block) NumPacked() int {
+	switch {
+	case b.Count <= 1:
+		return 0
+	case b.Order == Order2:
+		if b.Count == 2 {
+			return 0
+		}
+		return b.Count - 2
+	default:
+		return b.Count - 1
+	}
+}
+
+// Encode builds a TS2DIFF block from vals using the given delta order.
+func Encode(vals []int64, order Order) (*Block, error) {
+	if order != Order1 && order != Order2 {
+		return nil, fmt.Errorf("ts2diff: invalid order %d", order)
+	}
+	b := &Block{Order: order, Count: len(vals)}
+	if len(vals) == 0 {
+		return b, nil
+	}
+	b.MinValue, b.MaxValue = vals[0], vals[0]
+	for _, v := range vals {
+		if v < b.MinValue {
+			b.MinValue = v
+		}
+		if v > b.MaxValue {
+			b.MaxValue = v
+		}
+	}
+	var deltas []int64
+	switch order {
+	case Order1:
+		b.First, deltas = encoding.DeltaEncode(vals)
+	case Order2:
+		b.First, b.FirstDelta, deltas = encoding.Delta2Encode(vals)
+	}
+	if len(deltas) == 0 {
+		return b, nil
+	}
+	base, width := encoding.BitWidthSigned(deltas)
+	b.MinBase, b.Width = base, width
+	packed := make([]uint64, len(deltas))
+	for i, d := range deltas {
+		packed[i] = uint64(d - base)
+	}
+	b.Packed = encoding.Pack(packed, width)
+	return b, nil
+}
+
+// Decode recovers the original values (the scalar reference decoder; the
+// vectorized path lives in internal/pipeline).
+func (b *Block) Decode() ([]int64, error) {
+	if b.Count == 0 {
+		return nil, nil
+	}
+	n := b.NumPacked()
+	packed, err := encoding.Unpack(b.Packed, n, b.Width)
+	if err != nil {
+		return nil, fmt.Errorf("ts2diff: payload: %w", err)
+	}
+	deltas := make([]int64, n)
+	for i, p := range packed {
+		deltas[i] = int64(p) + b.MinBase
+	}
+	switch b.Order {
+	case Order2:
+		if b.Count == 1 {
+			return []int64{b.First}, nil
+		}
+		return encoding.Delta2Decode(b.First, b.FirstDelta, deltas), nil
+	default:
+		return encoding.DeltaDecode(b.First, deltas), nil
+	}
+}
+
+// DeltaBounds returns the pruning bounds of Proposition 4/5:
+// every delta d satisfies D_m <= d <= D_M with D_m = minBase and
+// D_M = minBase + 2^width - 1.
+func (b *Block) DeltaBounds() (dm, dM int64) {
+	dm = b.MinBase
+	if b.Width >= 63 {
+		return dm, 1<<62 - 1 + dm // clamp; widths that large do not occur
+	}
+	return dm, b.MinBase + (1<<b.Width - 1)
+}
+
+const blockMagic = 0x7D
+
+// Marshal serializes the block (header big-endian, then payload),
+// the on-disk format storage pages embed.
+func (b *Block) Marshal() []byte {
+	out := make([]byte, 0, 44+len(b.Packed))
+	out = append(out, blockMagic, byte(b.Order), byte(b.Width))
+	var tmp [8]byte
+	put := func(v int64) {
+		binary.BigEndian.PutUint64(tmp[:], uint64(v))
+		out = append(out, tmp[:]...)
+	}
+	binary.BigEndian.PutUint32(tmp[:4], uint32(b.Count))
+	out = append(out, tmp[:4]...)
+	put(b.First)
+	put(b.FirstDelta)
+	put(b.MinBase)
+	put(b.MinValue)
+	put(b.MaxValue)
+	binary.BigEndian.PutUint32(tmp[:4], uint32(len(b.Packed)))
+	out = append(out, tmp[:4]...)
+	return append(out, b.Packed...)
+}
+
+// ErrCorrupt reports a malformed serialized block.
+var ErrCorrupt = errors.New("ts2diff: corrupt block")
+
+// Unmarshal parses a serialized block.
+func Unmarshal(buf []byte) (*Block, error) {
+	if len(buf) < 51 || buf[0] != blockMagic {
+		return nil, ErrCorrupt
+	}
+	b := &Block{Order: Order(buf[1]), Width: uint(buf[2])}
+	if b.Order != Order1 && b.Order != Order2 || b.Width > 64 {
+		return nil, ErrCorrupt
+	}
+	b.Count = int(binary.BigEndian.Uint32(buf[3:]))
+	get := func(off int) int64 { return int64(binary.BigEndian.Uint64(buf[off:])) }
+	b.First = get(7)
+	b.FirstDelta = get(15)
+	b.MinBase = get(23)
+	b.MinValue = get(31)
+	b.MaxValue = get(39)
+	plen := int(binary.BigEndian.Uint32(buf[47:]))
+	if len(buf) < 51+plen {
+		return nil, ErrCorrupt
+	}
+	b.Packed = buf[51 : 51+plen]
+	if need := (b.NumPacked()*int(b.Width) + 7) / 8; plen < need {
+		return nil, ErrCorrupt
+	}
+	return b, nil
+}
+
+// codec adapts Block to the encoding.Codec registry (order-1 deltas).
+type codec struct{ order Order }
+
+func (c codec) Name() string {
+	if c.order == Order2 {
+		return "ts2diff2"
+	}
+	return "ts2diff"
+}
+
+func (c codec) Semantics() []encoding.Semantics {
+	return []encoding.Semantics{encoding.SemanticsDelta, encoding.SemanticsPacking}
+}
+
+func (c codec) Encode(vals []int64) ([]byte, error) {
+	b, err := Encode(vals, c.order)
+	if err != nil {
+		return nil, err
+	}
+	return b.Marshal(), nil
+}
+
+func (c codec) Decode(block []byte) ([]int64, error) {
+	b, err := Unmarshal(block)
+	if err != nil {
+		return nil, err
+	}
+	return b.Decode()
+}
+
+func init() {
+	encoding.Register(codec{order: Order1})
+	encoding.Register(codec{order: Order2})
+}

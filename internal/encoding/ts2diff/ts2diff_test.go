@@ -1,0 +1,335 @@
+package ts2diff
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"etsqp/internal/encoding"
+)
+
+func TestPaperExample(t *testing.T) {
+	// Figure 1(b): velocity with base-reduced deltas. Construct a series
+	// whose deltas are close so the packing width is small.
+	vals := []int64{12, 16, 22, 27, 33, 38, 44}
+	b, err := Encode(vals, Order1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.First != 12 {
+		t.Fatalf("First = %d", b.First)
+	}
+	// Deltas: 4 6 5 6 5 6 → base 4, max 6, width 2.
+	if b.MinBase != 4 || b.Width != 2 {
+		t.Fatalf("MinBase=%d Width=%d, want 4, 2", b.MinBase, b.Width)
+	}
+	got, err := b.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatalf("decode = %v", got)
+	}
+}
+
+func TestOrder1RoundTrip(t *testing.T) {
+	f := func(vals []int64) bool {
+		for i := range vals {
+			vals[i] %= 1 << 40
+		}
+		b, err := Encode(vals, Order1)
+		if err != nil {
+			return false
+		}
+		got, err := b.Decode()
+		if err != nil {
+			return false
+		}
+		if len(vals) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrder2RoundTrip(t *testing.T) {
+	f := func(vals []int64) bool {
+		for i := range vals {
+			vals[i] %= 1 << 38
+		}
+		b, err := Encode(vals, Order2)
+		if err != nil {
+			return false
+		}
+		got, err := b.Decode()
+		if err != nil {
+			return false
+		}
+		if len(vals) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegularTimestampsCompressToZeroWidth(t *testing.T) {
+	ts := make([]int64, 1000)
+	for i := range ts {
+		ts[i] = 1_700_000_000_000 + int64(i)*1000
+	}
+	b, err := Encode(ts, Order2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Width != 0 {
+		t.Fatalf("regular timestamps must pack at width 0, got %d", b.Width)
+	}
+	if len(b.Packed) != 0 {
+		t.Fatalf("payload should be empty, got %d bytes", len(b.Packed))
+	}
+	got, err := b.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ts) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestSmallInputs(t *testing.T) {
+	for _, vals := range [][]int64{{}, {42}, {42, 50}, {42, 50, 61}} {
+		for _, order := range []Order{Order1, Order2} {
+			b, err := Encode(vals, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := b.Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(vals) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, vals) {
+				t.Fatalf("order %d vals %v: got %v", order, vals, got)
+			}
+		}
+	}
+}
+
+func TestInvalidOrder(t *testing.T) {
+	if _, err := Encode([]int64{1}, Order(3)); err == nil {
+		t.Fatal("expected error for invalid order")
+	}
+}
+
+func TestStatistics(t *testing.T) {
+	b, err := Encode([]int64{5, -3, 12, 0}, Order1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MinValue != -3 || b.MaxValue != 12 {
+		t.Fatalf("stats = [%d,%d], want [-3,12]", b.MinValue, b.MaxValue)
+	}
+}
+
+func TestDeltaBounds(t *testing.T) {
+	b, err := Encode([]int64{0, 4, 10, 15, 21}, Order1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, dM := b.DeltaBounds()
+	// Deltas 4 6 5 6: base 4, width 2 → bounds [4, 7].
+	if dm != 4 || dM != 7 {
+		t.Fatalf("bounds = [%d,%d], want [4,7]", dm, dM)
+	}
+	// Every actual delta must fall in the bounds (the pruning invariant).
+	vals, _ := b.Decode()
+	for i := 1; i < len(vals); i++ {
+		d := vals[i] - vals[i-1]
+		if d < dm || d > dM {
+			t.Fatalf("delta %d outside bounds [%d,%d]", d, dm, dM)
+		}
+	}
+}
+
+func TestMarshalUnmarshal(t *testing.T) {
+	f := func(vals []int64, order1 bool) bool {
+		for i := range vals {
+			vals[i] %= 1 << 38
+		}
+		order := Order1
+		if !order1 {
+			order = Order2
+		}
+		b, err := Encode(vals, order)
+		if err != nil {
+			return false
+		}
+		b2, err := Unmarshal(b.Marshal())
+		if err != nil {
+			return false
+		}
+		got, err := b2.Decode()
+		if err != nil {
+			return false
+		}
+		if len(vals) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		append([]byte{0xFF}, make([]byte, 60)...),             // bad magic
+		append([]byte{blockMagic, 9, 3}, make([]byte, 60)...), // bad order
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Fatalf("case %d: expected corruption error", i)
+		}
+	}
+	// Truncated payload: claim more packed bytes than present.
+	b, _ := Encode([]int64{1, 5, 9, 20, 100}, Order1)
+	raw := b.Marshal()
+	if _, err := Unmarshal(raw[:len(raw)-1]); err == nil {
+		t.Fatal("expected corruption error on truncated payload")
+	}
+}
+
+func TestCodecRegistry(t *testing.T) {
+	c, err := encoding.Lookup("ts2diff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []int64{10, 20, 35, 50}
+	blk, err := c.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatalf("got %v", got)
+	}
+	if len(c.Semantics()) != 2 {
+		t.Fatal("ts2diff must declare Delta+Packing semantics")
+	}
+	if _, err := encoding.Lookup("ts2diff2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	vals := make([]int64, 8192)
+	for i := range vals {
+		vals[i] = int64(i)*7 + int64(i%13)
+	}
+	b.SetBytes(int64(len(vals) * 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(vals, Order1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeScalar(b *testing.B) {
+	vals := make([]int64, 8192)
+	for i := range vals {
+		vals[i] = int64(i)*7 + int64(i%13)
+	}
+	blk, _ := Encode(vals, Order1)
+	b.SetBytes(int64(len(vals) * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := blk.Decode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestStreamEncoderMatchesBatch(t *testing.T) {
+	vals := make([]int64, 10_500)
+	for i := range vals {
+		vals[i] = int64(i)*13 + int64(i%31)
+	}
+	s, err := NewStreamEncoder(Order1, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if err := s.Write(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	blocks := s.Blocks()
+	if len(blocks) != 3 { // 4096 + 4096 + 2308
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	got, err := DecodeAll(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatal("streaming round trip mismatch")
+	}
+	if s.Buffered() != 0 {
+		t.Fatalf("buffered = %d after flush", s.Buffered())
+	}
+}
+
+func TestStreamEncoderShortSeries(t *testing.T) {
+	// Flexibility: a short series (buffer never fills) still flushes.
+	s, _ := NewStreamEncoder(Order2, 1024)
+	for i := int64(0); i < 10; i++ {
+		if err := s.Write(i * 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Buffered() != 10 {
+		t.Fatalf("buffered = %d", s.Buffered())
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAll(s.Blocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[9] != 900 {
+		t.Fatalf("got %v", got)
+	}
+	// Double flush is a no-op.
+	if err := s.Flush(); err != nil || len(s.Blocks()) != 1 {
+		t.Fatal("empty flush must not add blocks")
+	}
+}
+
+func TestStreamEncoderValidation(t *testing.T) {
+	if _, err := NewStreamEncoder(Order(9), 100); err == nil {
+		t.Fatal("bad order must fail")
+	}
+	if _, err := NewStreamEncoder(Order1, 1); err == nil {
+		t.Fatal("tiny block size must fail")
+	}
+}

@@ -1,0 +1,707 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"etsqp/internal/encoding/ts2diff"
+	"etsqp/internal/expr"
+	"etsqp/internal/fusion"
+	"etsqp/internal/pipeline"
+	"etsqp/internal/prune"
+	"etsqp/internal/sqlparse"
+	"etsqp/internal/storage"
+)
+
+// pruneChunk is the number of rows decoded between Proposition 5 stop
+// checks on value-filtered scans.
+const pruneChunk = 1024
+
+// partialAgg is one worker's accumulation state, merged at the merge node.
+type partialAgg struct {
+	sum      int64
+	sumSq    float64
+	count    int64
+	min      int64
+	max      int64
+	seen     bool
+	overflow bool // Section VI-C: detected, surfaced as an error at final
+
+	// FIRST/LAST tracking: value at the earliest/latest timestamp seen.
+	firstT, firstV int64
+	lastT, lastV   int64
+	hasFL          bool
+}
+
+// addBoundary folds a slice's boundary rows into the FIRST/LAST state.
+func (p *partialAgg) addBoundary(firstT, firstV, lastT, lastV int64) {
+	if !p.hasFL || firstT < p.firstT {
+		p.firstT, p.firstV = firstT, firstV
+	}
+	if !p.hasFL || lastT > p.lastT {
+		p.lastT, p.lastV = lastT, lastV
+	}
+	p.hasFL = true
+}
+
+func (p *partialAgg) addValue(v int64) {
+	s := p.sum + v
+	if (p.sum > 0 && v > 0 && s < 0) || (p.sum < 0 && v < 0 && s >= 0) {
+		p.overflow = true
+	}
+	p.sum = s
+	p.sumSq += float64(v) * float64(v)
+	p.count++
+	if !p.seen || v < p.min {
+		p.min = v
+	}
+	if !p.seen || v > p.max {
+		p.max = v
+	}
+	p.seen = true
+}
+
+func (p *partialAgg) addSum(sum int64, count int64) {
+	s := p.sum + sum
+	if (p.sum > 0 && sum > 0 && s < 0) || (p.sum < 0 && sum < 0 && s >= 0) {
+		p.overflow = true
+	}
+	p.sum = s
+	p.count += count
+	p.seen = p.seen || count > 0
+}
+
+func (p *partialAgg) merge(o *partialAgg) {
+	p.overflow = p.overflow || o.overflow
+	s := p.sum + o.sum
+	if (p.sum > 0 && o.sum > 0 && s < 0) || (p.sum < 0 && o.sum < 0 && s >= 0) {
+		p.overflow = true
+	}
+	p.sum = s
+	p.sumSq += o.sumSq
+	p.count += o.count
+	if o.hasFL {
+		p.addBoundary(o.firstT, o.firstV, o.lastT, o.lastV)
+	}
+	if !o.seen {
+		return
+	}
+	if !p.seen {
+		p.min, p.max = o.min, o.max
+	} else {
+		if o.min < p.min {
+			p.min = o.min
+		}
+		if o.max > p.max {
+			p.max = o.max
+		}
+	}
+	p.seen = true
+}
+
+// final evaluates the aggregate function from the accumulated sums.
+func (p *partialAgg) final(agg sqlparse.AggFunc) (float64, error) {
+	if p.overflow {
+		switch agg {
+		case sqlparse.AggSum, sqlparse.AggAvg, sqlparse.AggVar:
+			return 0, fmt.Errorf("engine: %s overflow (Section VI-C check)", agg)
+		}
+	}
+	switch agg {
+	case sqlparse.AggCount:
+		return float64(p.count), nil
+	case sqlparse.AggSum:
+		return float64(p.sum), nil
+	case sqlparse.AggAvg:
+		if p.count == 0 {
+			return 0, nil
+		}
+		return float64(p.sum) / float64(p.count), nil
+	case sqlparse.AggMin:
+		if !p.seen {
+			return 0, fmt.Errorf("engine: MIN over empty input")
+		}
+		return float64(p.min), nil
+	case sqlparse.AggMax:
+		if !p.seen {
+			return 0, fmt.Errorf("engine: MAX over empty input")
+		}
+		return float64(p.max), nil
+	case sqlparse.AggVar:
+		if p.count == 0 {
+			return 0, nil
+		}
+		mean := float64(p.sum) / float64(p.count)
+		return p.sumSq/float64(p.count) - mean*mean, nil
+	case sqlparse.AggFirst:
+		if !p.hasFL {
+			return 0, fmt.Errorf("engine: FIRST over empty input")
+		}
+		return float64(p.firstV), nil
+	case sqlparse.AggLast:
+		if !p.hasFL {
+			return 0, fmt.Errorf("engine: LAST over empty input")
+		}
+		return float64(p.lastV), nil
+	default:
+		return 0, fmt.Errorf("engine: unsupported aggregate %q", agg)
+	}
+}
+
+// needsValues reports whether the aggregate set requires materialized
+// values (MIN/MAX/VAR) or can use the fused SUM/COUNT path. FIRST/LAST
+// are served by boundary-row decodes, so they stay fused-compatible.
+func needsValues(items []sqlparse.SelectItem) bool {
+	for _, it := range items {
+		switch it.Agg {
+		case sqlparse.AggSum, sqlparse.AggAvg, sqlparse.AggCount,
+			sqlparse.AggFirst, sqlparse.AggLast:
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// needsBoundaries reports whether any item is FIRST or LAST.
+func needsBoundaries(items []sqlparse.SelectItem) bool {
+	for _, it := range items {
+		if it.Agg == sqlparse.AggFirst || it.Agg == sqlparse.AggLast {
+			return true
+		}
+	}
+	return false
+}
+
+// executeAgg runs aggregation items over one series (Q1-Q3 shapes).
+func (e *Engine) executeAgg(q *sqlparse.Query, series string, preds []sqlparse.Pred) (*Result, error) {
+	for _, it := range q.Items {
+		if it.Agg == sqlparse.AggNone {
+			return nil, fmt.Errorf("engine: non-aggregate item in aggregation query")
+		}
+		if it.Col.IsTime() {
+			return nil, fmt.Errorf("engine: aggregates over TIME are not supported")
+		}
+	}
+	needFL := needsBoundaries(q.Items)
+	if needFL && len(valuePreds(preds)) > 0 {
+		return nil, fmt.Errorf("engine: FIRST/LAST with value predicates is not supported")
+	}
+	if q.Window != nil && len(q.Items) > 1 {
+		return nil, fmt.Errorf("engine: sliding-window queries take a single aggregate item")
+	}
+	ser, ok := e.Store.Series(series)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown series %q", series)
+	}
+	t1, t2 := timeRange(preds)
+	vp := valuePreds(preds)
+	c1, c2 := valueRange(vp)
+	col := &statsCollector{}
+
+	// Page relevance by time (binary-searched index, all modes) and value
+	// statistics (ETSQP-prune only).
+	var loaded []storage.PagePair
+	for _, pp := range ser.PagesInRange(t1, t2) {
+		col.pagesTotal.Add(1)
+		if e.Mode == ModeETSQPPrune && len(vp) > 0 &&
+			prune.SkipPageByValue(pp.Value.Header, c1, c2) {
+			col.pagesPruned.Add(1)
+			col.tuplesLoaded.Add(int64(pp.Count()))
+			continue
+		}
+		loaded = append(loaded, pp)
+	}
+
+	var windows []expr.Window
+	if q.Window != nil {
+		_, seriesEnd := ser.TimeRange()
+		if seriesEnd > t2 {
+			seriesEnd = t2
+		}
+		var err error
+		windows, err = expr.SlidingWindows(q.Window.TMin, q.Window.DT, seriesEnd)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	jobs := e.jobsFor(loaded)
+	global := &partialAgg{}
+	winAgg := make([]partialAgg, len(windows))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(jobs))
+	fused := !needsValues(q.Items) && len(vp) == 0 && e.Mode != ModeSerial &&
+		e.Mode != ModeSBoost && e.Mode != ModeFastLanes
+	for _, slices := range jobs {
+		if len(slices) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(slices []pipeline.Slice) {
+			defer wg.Done()
+			local := &partialAgg{}
+			localWin := make([]partialAgg, len(windows))
+			for _, sl := range slices {
+				if err := e.aggSlice(sl, t1, t2, vp, c1, c2, fused, needFL, windows, local, localWin, col); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			mu.Lock()
+			global.merge(local)
+			for i := range localWin {
+				winAgg[i].merge(&localWin[i])
+			}
+			mu.Unlock()
+		}(slices)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	res := &Result{Stats: col.snapshot()}
+	if q.Window != nil {
+		agg := q.Items[0].Agg
+		res.Windows = make([]WindowAgg, len(windows))
+		for i, w := range windows {
+			v, err := winAgg[i].final(agg)
+			if err != nil {
+				if winAgg[i].overflow {
+					return nil, err
+				}
+				v = 0 // empty window (MIN/MAX have no value)
+			}
+			res.Windows[i] = WindowAgg{Index: w.Index, Start: w.Start, End: w.End, Value: v, Count: winAgg[i].count}
+		}
+		return res, nil
+	}
+	res.Aggregates = make(map[string]float64, len(q.Items))
+	for _, it := range q.Items {
+		v, err := global.final(it.Agg)
+		if err != nil {
+			return nil, err
+		}
+		res.Aggregates[fmt.Sprintf("%s(A)", it.Agg)] = v
+	}
+	return res, nil
+}
+
+// valueRange extracts conjunctive bounds [c1, c2] from value predicates
+// for statistics-based pruning; predicates that are not range-shaped
+// leave the bounds open.
+func valueRange(vp []sqlparse.Pred) (c1, c2 int64) {
+	c1, c2 = -(1 << 62), 1<<62
+	for _, p := range vp {
+		switch p.Op {
+		case opGT:
+			if p.Value+1 > c1 {
+				c1 = p.Value + 1
+			}
+		case opGE:
+			if p.Value > c1 {
+				c1 = p.Value
+			}
+		case opLT:
+			if p.Value-1 < c2 {
+				c2 = p.Value - 1
+			}
+		case opLE:
+			if p.Value < c2 {
+				c2 = p.Value
+			}
+		case opEQ:
+			if p.Value > c1 {
+				c1 = p.Value
+			}
+			if p.Value < c2 {
+				c2 = p.Value
+			}
+		}
+	}
+	return c1, c2
+}
+
+// aggSlice processes one pipeline job: find the time-valid row range,
+// then aggregate values over it (fused or decoded).
+func (e *Engine) aggSlice(sl pipeline.Slice, t1, t2 int64, vp []sqlparse.Pred, c1, c2 int64,
+	fused, needFL bool, windows []expr.Window, local *partialAgg, localWin []partialAgg, col *statsCollector) error {
+	col.slicesRun.Add(1)
+	col.tuplesLoaded.Add(int64(sl.Rows()))
+
+	// Resolve the time-valid row range [lo, hi) within the slice.
+	lo, hi := sl.StartRow, sl.EndRow
+	var ts []int64 // decoded timestamps, when needed
+	if interval, ok := e.constantIntervalOf(sl.Pair.Time); ok {
+		// Proposition 4 constant-interval special case: positions come
+		// from arithmetic, no timestamp decoding at all.
+		first := sl.Pair.Time.Header.StartTime
+		plo, phi := prune.PositionsForConstantInterval(first, interval, sl.Pair.Count(), t1, t2)
+		if plo > lo {
+			lo = plo
+		}
+		if phi < hi {
+			hi = phi
+		}
+	} else if rlo, rhi, ok, err := e.timeBoundsPruned(sl, t1, t2, windows, col); ok || err != nil {
+		// Proposition 4: the time column scan stopped as soon as the
+		// sorted timestamps passed t2 — the tail was never decoded.
+		if err != nil {
+			return err
+		}
+		lo, hi = rlo, rhi
+	} else {
+		var err error
+		ts, err = e.decodeColumnRange(sl.Pair.Time, sl.StartRow, sl.EndRow, col)
+		if err != nil {
+			return err
+		}
+		rlo, rhi := expr.TimeRangeBounds(ts, t1, t2)
+		lo, hi = sl.StartRow+rlo, sl.StartRow+rhi
+	}
+	if lo >= hi {
+		return nil
+	}
+
+	if len(windows) > 0 {
+		return e.aggWindows(sl, lo, hi, ts, vp, c1, c2, fused, needFL, windows, localWin, col)
+	}
+
+	if needFL {
+		if err := e.addBoundaries(sl, lo, hi, ts, local, col); err != nil {
+			return err
+		}
+	}
+
+	// Statistics-level answer: a fully-covered page with a valid header
+	// sum needs no payload access at all.
+	if fused && e.UseHeaderStats && !needFL &&
+		sl.StartRow == 0 && sl.EndRow == sl.Pair.Count() &&
+		lo == sl.StartRow && hi == sl.EndRow && sl.Pair.Value.Header.SumValid {
+		local.addSum(sl.Pair.Value.Header.SumValue, int64(hi-lo))
+		col.statAnswered.Add(1)
+		return nil
+	}
+
+	// Fused SUM/COUNT path: no value materialization (Section IV).
+	if fused {
+		return timed(&col.aggNanos, func() error {
+			sum, count, ok, err := e.fusedSumRange(sl.Pair.Value, lo, hi, col)
+			if err != nil {
+				return err
+			}
+			if ok {
+				local.addSum(sum, count)
+				return nil
+			}
+			vals, err := e.decodeColumnRange(sl.Pair.Value, lo, hi, col)
+			if err != nil {
+				return err
+			}
+			for _, v := range vals {
+				local.addValue(v)
+			}
+			return nil
+		})
+	}
+
+	// General path: decode values (chunked when pruning), filter, fold.
+	return e.aggDecodedRange(sl, lo, hi, vp, c1, c2, local, col)
+}
+
+// timeBoundsPruned resolves the time-valid row range of a slice with a
+// streaming scan that stops once the sorted timestamps pass t2
+// (Proposition 4's early termination on the time filter). It only
+// applies in prune mode over order-1-scannable time pages without
+// windows (windows need the full timestamp column for boundaries).
+func (e *Engine) timeBoundsPruned(sl pipeline.Slice, t1, t2 int64,
+	windows []expr.Window, col *statsCollector) (lo, hi int, ok bool, err error) {
+	if e.Mode != ModeETSQPPrune || len(windows) > 0 {
+		return 0, 0, false, nil
+	}
+	if sl.Pair.Time.Header.EndTime <= t2 {
+		return 0, 0, false, nil // nothing to cut; full decode is optimal
+	}
+	blk, berr := pageBlock(sl.Pair.Time)
+	if berr != nil || blk == nil {
+		return 0, 0, false, nil
+	}
+	scanner, serr := pipeline.NewRangeScanner(blk, sl.StartRow)
+	if serr != nil {
+		return 0, 0, false, nil // e.g. order-2 time pages
+	}
+	if cerr := sl.Pair.Time.VerifyChecksum(); cerr != nil {
+		return 0, 0, true, cerr
+	}
+	lo, hi = -1, sl.StartRow
+	buf := make([]int64, pruneChunk)
+	err = timed(&col.decodeNanos, func() error {
+		for scanner.Row() < sl.EndRow {
+			want := sl.EndRow - scanner.Row()
+			if want > pruneChunk {
+				want = pruneChunk
+			}
+			base := scanner.Row()
+			k, derr := scanner.Next(buf[:want])
+			if derr != nil {
+				return derr
+			}
+			if k == 0 {
+				break
+			}
+			for i := 0; i < k; i++ {
+				t := buf[i]
+				if lo < 0 && t >= t1 {
+					lo = base + i
+				}
+				if t > t2 {
+					col.rowsPruned.Add(int64(sl.EndRow - (base + i)))
+					hi = base + i
+					return nil
+				}
+			}
+			hi = base + k
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, true, err
+	}
+	if lo < 0 {
+		lo = hi // no row reached t1
+	}
+	return lo, hi, true, nil
+}
+
+// fusedSumRange returns the sum and count over rows [lo, hi) of a value
+// page without materializing values; ok is false when the codec has no
+// fused path. Page loading is charged to the IO stage like the decoding
+// paths.
+func (e *Engine) fusedSumRange(p *storage.Page, lo, hi int, col *statsCollector) (sum int64, count int64, ok bool, err error) {
+	data, release := loadPage(p, col)
+	defer release()
+	if err := p.VerifyChecksum(); err != nil {
+		return 0, 0, false, err
+	}
+	if first, pairs, isRLBE := deltaRunsOfData(p.Header.Codec, data); isRLBE {
+		s, err := fusion.SumRange(first, pairs, lo, hi)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		return s, int64(hi - lo), true, nil
+	}
+	blk, err := pageBlockData(p.Header.Codec, data)
+	if err != nil || blk == nil {
+		return 0, 0, false, err
+	}
+	s, err := fusion.SumBlockRange(blk, lo, hi)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return s, int64(hi - lo), true, nil
+}
+
+// aggDecodedRange decodes rows [lo, hi), applies value predicates, and
+// folds into the partial aggregate. In prune mode the decode streams in
+// chunks through a RangeScanner with Proposition 5 stop checks between
+// them; otherwise a single range decode covers the rows.
+func (e *Engine) aggDecodedRange(sl pipeline.Slice, lo, hi int, vp []sqlparse.Pred,
+	c1, c2 int64, local *partialAgg, col *statsCollector) error {
+	usePrune := e.Mode == ModeETSQPPrune && len(vp) > 0
+	if usePrune {
+		if blk, err := pageBlock(sl.Pair.Value); err == nil && blk != nil {
+			if done, err := e.aggPrunedScan(sl, blk, lo, hi, vp, c1, c2, local, col); done || err != nil {
+				return err
+			}
+		}
+	}
+	vals, err := e.decodeColumnRange(sl.Pair.Value, lo, hi, col)
+	if err != nil {
+		return err
+	}
+	return timed(&col.aggNanos, func() error {
+		foldValues(vals, vp, c1, c2, local)
+		return nil
+	})
+}
+
+// aggPrunedScan streams the value column through a RangeScanner,
+// stopping as soon as the Proposition 5 bounds show nothing ahead can
+// satisfy the filter. done reports whether the rows were fully handled.
+func (e *Engine) aggPrunedScan(sl pipeline.Slice, blk *ts2diff.Block, lo, hi int,
+	vp []sqlparse.Pred, c1, c2 int64, local *partialAgg, col *statsCollector) (bool, error) {
+	bounds := prune.BoundsFromBlock(blk)
+	scanner, err := pipeline.NewRangeScanner(blk, lo)
+	if err != nil {
+		return false, nil // unsupported shape; caller falls back
+	}
+	if err := sl.Pair.Value.VerifyChecksum(); err != nil {
+		return true, err
+	}
+	n := sl.Pair.Count()
+	buf := make([]int64, pruneChunk)
+	for scanner.Row() < hi {
+		want := hi - scanner.Row()
+		if want > pruneChunk {
+			want = pruneChunk
+		}
+		var k int
+		err := timed(&col.decodeNanos, func() error {
+			var derr error
+			k, derr = scanner.Next(buf[:want])
+			return derr
+		})
+		if err != nil {
+			return true, err
+		}
+		if k == 0 {
+			break
+		}
+		vals := buf[:k]
+		err = timed(&col.aggNanos, func() error {
+			foldValues(vals, vp, c1, c2, local)
+			return nil
+		})
+		if err != nil {
+			return true, err
+		}
+		row := scanner.Row()
+		if row < hi && bounds.StopValue(vals[k-1], row-1, n, c1, c2) {
+			col.rowsPruned.Add(int64(hi - row))
+			break
+		}
+	}
+	return true, nil
+}
+
+// foldValues applies the predicates and accumulates matches, taking the
+// vectorized mask path for pure range predicates.
+func foldValues(vals []int64, vp []sqlparse.Pred, c1, c2 int64, local *partialAgg) {
+	if rangeOnly(vp) {
+		m := expr.RangeMask(vals, c1, c2)
+		expr.MaskedFold(vals, m, local.addValue)
+		return
+	}
+	for _, v := range vals {
+		if predsMatch(vp, v) {
+			local.addValue(v)
+		}
+	}
+}
+
+// rangeOnly reports whether the predicate conjunction is exactly the
+// range [c1, c2] that valueRange extracted (no != predicates).
+func rangeOnly(vp []sqlparse.Pred) bool {
+	for _, p := range vp {
+		if p.Op == opNE {
+			return false
+		}
+	}
+	return len(vp) > 0
+}
+
+func predsMatch(vp []sqlparse.Pred, v int64) bool {
+	for _, p := range vp {
+		if !p.Op.Eval(v, p.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// addBoundaries decodes only the first and last valid rows of a slice
+// and folds them into the FIRST/LAST state — the fused-compatible path
+// for boundary aggregates.
+func (e *Engine) addBoundaries(sl pipeline.Slice, lo, hi int, ts []int64,
+	p *partialAgg, col *statsCollector) error {
+	rowTime := e.rowTimeFunc(sl, ts)
+	fv, err := e.decodeColumnRange(sl.Pair.Value, lo, lo+1, col)
+	if err != nil {
+		return err
+	}
+	lv, err := e.decodeColumnRange(sl.Pair.Value, hi-1, hi, col)
+	if err != nil {
+		return err
+	}
+	p.addBoundary(rowTime(lo), fv[0], rowTime(hi-1), lv[0])
+	return nil
+}
+
+// rowTimeFunc maps an absolute row index to its timestamp, from decoded
+// timestamps when available or constant-interval arithmetic otherwise.
+func (e *Engine) rowTimeFunc(sl pipeline.Slice, ts []int64) func(i int) int64 {
+	if ts != nil {
+		start := sl.StartRow
+		return func(i int) int64 { return ts[i-start] }
+	}
+	interval, _ := e.constantIntervalOf(sl.Pair.Time)
+	first := sl.Pair.Time.Header.StartTime
+	return func(i int) int64 { return first + int64(i)*interval }
+}
+
+// aggWindows folds rows [lo, hi) into per-window partials. Window
+// boundaries within the slice come from the decoded timestamps, or from
+// binary search over the constant-interval arithmetic.
+func (e *Engine) aggWindows(sl pipeline.Slice, lo, hi int, ts []int64,
+	vp []sqlparse.Pred, c1, c2 int64,
+	fused, needFL bool, windows []expr.Window, localWin []partialAgg, col *statsCollector) error {
+	rowTime := e.rowTimeFunc(sl, ts)
+	tLo, tHi := rowTime(lo), rowTime(hi-1)
+	// Windows intersecting [tLo, tHi].
+	wFirst := sort.Search(len(windows), func(i int) bool { return windows[i].End > tLo })
+	for wi := wFirst; wi < len(windows) && windows[wi].Start <= tHi; wi++ {
+		w := windows[wi]
+		// Row range of this window within [lo, hi).
+		rlo := sort.Search(hi-lo, func(i int) bool { return rowTime(lo+i) >= w.Start }) + lo
+		rhi := sort.Search(hi-lo, func(i int) bool { return rowTime(lo+i) >= w.End }) + lo
+		if rlo >= rhi {
+			continue
+		}
+		if needFL {
+			if err := e.addBoundaries(sl, rlo, rhi, ts, &localWin[wi], col); err != nil {
+				return err
+			}
+		}
+		if fused {
+			err := timed(&col.aggNanos, func() error {
+				sum, count, ok, err := e.fusedSumRange(sl.Pair.Value, rlo, rhi, col)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					vals, err := e.decodeColumnRange(sl.Pair.Value, rlo, rhi, col)
+					if err != nil {
+						return err
+					}
+					for _, v := range vals {
+						localWin[wi].addValue(v)
+					}
+					return nil
+				}
+				localWin[wi].addSum(sum, count)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		vals, err := e.decodeColumnRange(sl.Pair.Value, rlo, rhi, col)
+		if err != nil {
+			return err
+		}
+		err = timed(&col.aggNanos, func() error {
+			foldValues(vals, vp, c1, c2, &localWin[wi])
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

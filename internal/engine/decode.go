@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"etsqp/internal/encoding"
+	"etsqp/internal/encoding/rlbe"
+	"etsqp/internal/encoding/ts2diff"
+	"etsqp/internal/fastlanes"
+	"etsqp/internal/pipeline"
+	"etsqp/internal/storage"
+)
+
+// pageBufPool recycles the worker-local buffers pages are loaded into.
+var pageBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// loadPage copies a page's payload into a worker-local buffer — the
+// memory-I/O stage of the pipeline (pages move from the shared buffer
+// into the core's working set; Figure 14(b) charges this separately).
+// The returned release function recycles the buffer.
+func loadPage(p *storage.Page, col *statsCollector) (data []byte, release func()) {
+	start := time.Now()
+	bufp := pageBufPool.Get().(*[]byte)
+	if cap(*bufp) < len(p.Data) {
+		*bufp = make([]byte, len(p.Data))
+	}
+	buf := (*bufp)[:len(p.Data)]
+	copy(buf, p.Data)
+	if col != nil {
+		col.ioNanos.Add(int64(time.Since(start)))
+	}
+	return buf, func() { pageBufPool.Put(bufp) }
+}
+
+// pageBlock parses a ts2diff page payload (the structured view the
+// vectorized paths need). Returns nil for non-ts2diff codecs.
+func pageBlock(p *storage.Page) (*ts2diff.Block, error) {
+	return pageBlockData(p.Header.Codec, p.Data)
+}
+
+// pageBlockData parses a ts2diff block from already-loaded page bytes.
+func pageBlockData(codec string, data []byte) (*ts2diff.Block, error) {
+	switch codec {
+	case "ts2diff", "ts2diff2":
+		return ts2diff.Unmarshal(data)
+	default:
+		return nil, nil
+	}
+}
+
+// decodeColumn decodes a whole page column according to the engine mode.
+func (e *Engine) decodeColumn(p *storage.Page, col *statsCollector) ([]int64, error) {
+	return e.decodeColumnRange(p, 0, p.Header.Count, col)
+}
+
+// decodeColumnRange decodes rows [from, to) of a page column. Vectorized
+// modes resolve slice prefix dependencies with SumPacked; Serial decodes
+// the whole page and slices (which is what a value-wise decoder must do).
+func (e *Engine) decodeColumnRange(p *storage.Page, from, to int, col *statsCollector) (vals []int64, err error) {
+	data, release := loadPage(p, col)
+	defer release()
+	if err := p.VerifyChecksum(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	defer func() {
+		if col != nil {
+			col.decodeNanos.Add(int64(time.Since(start)))
+		}
+	}()
+	full := from == 0 && to == p.Header.Count
+	switch e.Mode {
+	case ModeSerial, ModeFastLanes:
+		if p.Header.Codec == "fastlanes" && !full {
+			// Block-granular slicing: decode only the FLMM1024 blocks the
+			// range touches (fair thread distribution, Section VII-C).
+			return fastlanes.DecodeRangeBlocks(data, from, to)
+		}
+		c, err := encoding.Lookup(p.Header.Codec)
+		if err != nil {
+			return nil, err
+		}
+		all, err := c.Decode(data)
+		if err != nil {
+			return nil, err
+		}
+		if full {
+			return all, nil
+		}
+		return all[from:to], nil
+	default:
+		var blk *ts2diff.Block
+		switch p.Header.Codec {
+		case "ts2diff", "ts2diff2":
+			blk, err = ts2diff.Unmarshal(data)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if blk == nil {
+			c, err := encoding.Lookup(p.Header.Codec)
+			if err != nil {
+				return nil, err
+			}
+			all, err := c.Decode(data)
+			if err != nil {
+				return nil, err
+			}
+			if full {
+				return all, nil
+			}
+			return all[from:to], nil
+		}
+		if full {
+			return pipeline.DecodeBlock(blk)
+		}
+		return pipeline.DecodeRange(blk, from, to)
+	}
+}
+
+// constantIntervalOf reports the page's constant time interval, when its
+// time column is a width-0 order-2 TS2DIFF block. Only vectorized modes
+// exploit it (the Serial and SBoost baselines decode every timestamp).
+func (e *Engine) constantIntervalOf(p *storage.Page) (int64, bool) {
+	if e.Mode == ModeSerial || e.Mode == ModeSBoost || e.Mode == ModeFastLanes {
+		return 0, false
+	}
+	blk, err := pageBlock(p)
+	if err != nil || blk == nil {
+		return 0, false
+	}
+	return pipeline.ConstantInterval(blk)
+}
+
+// deltaRunsOf extracts Delta-Repeat pairs when the page uses the RLBE
+// codec — the representation Section IV's fused aggregations consume.
+func deltaRunsOfData(codec string, data []byte) (int64, []encoding.DeltaRun, bool) {
+	if codec != "rlbe" {
+		return 0, nil, false
+	}
+	blk, err := rlbe.Unmarshal(data)
+	if err != nil {
+		return 0, nil, false
+	}
+	pairs, err := blk.Pairs()
+	if err != nil {
+		return 0, nil, false
+	}
+	return blk.First, pairs, true
+}
+
+// jobsFor builds the per-worker job lists. ETSQP-family modes deal whole
+// pages when possible (Section III-C); SBoost always slices every page
+// across all workers, paying the per-slice prefix dependency.
+func (e *Engine) jobsFor(pairs []storage.PagePair) [][]pipeline.Slice {
+	w := e.workers()
+	if e.ForceSlices > 0 || e.Mode == ModeSBoost {
+		per := e.ForceSlices
+		if per <= 0 {
+			per = w
+		}
+		out := make([][]pipeline.Slice, w)
+		i := 0
+		for _, pp := range pairs {
+			for _, sl := range pipeline.SplitPage(pp, per) {
+				out[i%w] = append(out[i%w], sl)
+				i++
+			}
+		}
+		return out
+	}
+	return pipeline.SplitPages(pairs, w)
+}

@@ -1,0 +1,212 @@
+// Package engine executes Table III-style queries over the page store,
+// implementing Algorithm 2 (Pipe): a logical plan is compiled into
+// per-worker pipeline jobs over pages/slices, decoders fuse with filters
+// and aggregations, and time-range merge nodes combine multi-series
+// results.
+//
+// The same engine runs in several execution modes so the evaluation can
+// compare approaches on identical storage:
+//
+//	ModeETSQP       vectorized pipelines, operator fusion, page-aware
+//	                scheduling (slices only when pages are scarce)
+//	ModeETSQPPrune  ETSQP plus the Section V pruning rules
+//	ModeSerial      value-at-a-time decoding, no vectorization
+//	ModeSBoost      vectorized delta decoding but fixed layout, slices
+//	                every page across all workers (per-slice prefix
+//	                dependency), no fusion and no pruning
+//	ModeFastLanes   FLMM1024 storage with its own block decoder, no
+//	                fusion and no pruning
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"etsqp/internal/sqlparse"
+	"etsqp/internal/storage"
+)
+
+// Mode selects the execution strategy.
+type Mode int
+
+// Execution modes.
+const (
+	ModeETSQP Mode = iota
+	ModeETSQPPrune
+	ModeSerial
+	ModeSBoost
+	ModeFastLanes
+)
+
+// String names the mode as the evaluation figures label it.
+func (m Mode) String() string {
+	switch m {
+	case ModeETSQP:
+		return "ETSQP"
+	case ModeETSQPPrune:
+		return "ETSQP-prune"
+	case ModeSerial:
+		return "Serial"
+	case ModeSBoost:
+		return "SBoost"
+	case ModeFastLanes:
+		return "FastLanes"
+	}
+	return "Unknown"
+}
+
+// Engine executes queries against a store.
+type Engine struct {
+	Store   *storage.Store
+	Mode    Mode
+	Workers int // worker pipelines (p_c); defaults to GOMAXPROCS
+	// ForceSlices, when positive, splits every page into that many slices
+	// regardless of page availability — the Figure 14(c,d) ablation knob
+	// for studying slice-dependency idle time vs materialization cost.
+	ForceSlices int
+	// UseHeaderStats answers SUM/COUNT/AVG over fully-covered pages from
+	// the page-header sum statistic without touching the payload
+	// (IoTDB-style statistics-level aggregation). Off by default so the
+	// benchmark comparisons exercise the decoding pipelines.
+	UseHeaderStats bool
+}
+
+// New returns an engine with default worker count.
+func New(store *storage.Store, mode Mode) *Engine {
+	return &Engine{Store: store, Mode: mode, Workers: runtime.GOMAXPROCS(0)}
+}
+
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// WindowAgg is one sliding-window result row.
+type WindowAgg struct {
+	Index int
+	Start int64
+	End   int64
+	Value float64
+	Count int64
+}
+
+// Result carries query output plus execution statistics.
+type Result struct {
+	// Aggregates maps "SUM(A)"-style labels to values for plain
+	// aggregation queries.
+	Aggregates map[string]float64
+	// Windows holds per-window aggregates for SW queries (one aggregate
+	// item supported per window query).
+	Windows []WindowAgg
+	// Rows holds output tuples for star/join/merge/projection queries.
+	Rows []Row
+	// Stats reports the work done, for the throughput metrics.
+	Stats Stats
+}
+
+// Row is one output tuple.
+type Row struct {
+	Time   int64
+	Values []int64
+}
+
+// timeRange extracts the conjunctive TIME bounds from predicates,
+// defaulting to (-inf, +inf).
+func timeRange(preds []sqlparse.Pred) (t1, t2 int64) {
+	t1, t2 = math.MinInt64+1, math.MaxInt64-1
+	for _, p := range preds {
+		if !p.Col.IsTime() {
+			continue
+		}
+		switch p.Op {
+		case opGE:
+			if p.Value > t1 {
+				t1 = p.Value
+			}
+		case opGT:
+			if p.Value+1 > t1 {
+				t1 = p.Value + 1
+			}
+		case opLE:
+			if p.Value < t2 {
+				t2 = p.Value
+			}
+		case opLT:
+			if p.Value-1 < t2 {
+				t2 = p.Value - 1
+			}
+		case opEQ:
+			if p.Value > t1 {
+				t1 = p.Value
+			}
+			if p.Value < t2 {
+				t2 = p.Value
+			}
+		}
+	}
+	return t1, t2
+}
+
+// valuePreds returns the non-TIME predicates.
+func valuePreds(preds []sqlparse.Pred) []sqlparse.Pred {
+	var out []sqlparse.Pred
+	for _, p := range preds {
+		if !p.Col.IsTime() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Execute runs a parsed query.
+func (e *Engine) Execute(q *sqlparse.Query) (*Result, error) {
+	switch {
+	case q.Sub != nil:
+		return e.executeSubqueryAgg(q)
+	case q.UnionWith != "":
+		return e.executeMerge(q)
+	case len(q.Series) == 2:
+		if q.Items[0].Agg == sqlparse.AggCorr {
+			return e.executeJoinCorr(q)
+		}
+		return e.executeJoin(q)
+	case len(q.Series) == 1:
+		if q.Items[0].Star {
+			return e.executeScan(q)
+		}
+		return e.executeAgg(q, q.Series[0], q.Preds)
+	default:
+		return nil, fmt.Errorf("engine: unsupported query shape")
+	}
+}
+
+// ExecuteSQL parses and runs a statement.
+func (e *Engine) ExecuteSQL(sql string) (*Result, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(q)
+}
+
+// executeSubqueryAgg handles Q3: SELECT agg(A) FROM (SELECT * FROM ts
+// WHERE ...). The filter pushes down into the aggregation pipeline
+// (Equation 1's single-column predicate separation).
+func (e *Engine) executeSubqueryAgg(q *sqlparse.Query) (*Result, error) {
+	sub := q.Sub
+	if sub.Sub != nil || len(sub.Series) != 1 || !sub.Items[0].Star {
+		return nil, fmt.Errorf("engine: only single-series star subqueries are supported")
+	}
+	outer := *q
+	outer.Sub = nil
+	outer.Series = sub.Series
+	outer.Window = q.Window
+	if outer.Window == nil {
+		outer.Window = sub.Window
+	}
+	preds := append(append([]sqlparse.Pred(nil), sub.Preds...), q.Preds...)
+	return e.executeAgg(&outer, sub.Series[0], preds)
+}

@@ -1,0 +1,71 @@
+package engine_test
+
+import (
+	"fmt"
+	"log"
+
+	"etsqp/internal/engine"
+	"etsqp/internal/storage"
+
+	_ "etsqp/internal/encoding/ts2diff"
+)
+
+// Store a small series and aggregate it through the vectorized pipeline.
+func ExampleEngine_ExecuteSQL() {
+	ts := []int64{1000, 2000, 3000, 4000, 5000}
+	vals := []int64{10, 20, 30, 40, 50}
+	st := storage.NewStore()
+	if err := st.Append("sensor", ts, vals, storage.Options{}); err != nil {
+		log.Fatal(err)
+	}
+	e := engine.New(st, engine.ModeETSQP)
+	res, err := e.ExecuteSQL("SELECT SUM(A), AVG(A) FROM sensor WHERE TIME >= 2000 AND TIME <= 4000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SUM=%v AVG=%v\n", res.Aggregates["SUM(A)"], res.Aggregates["AVG(A)"])
+	// Output: SUM=90 AVG=30
+}
+
+// Sliding-window down-sampling (the paper's motivating query shape).
+func ExampleEngine_ExecuteSQL_slidingWindow() {
+	n := 100
+	ts := make([]int64, n)
+	vals := make([]int64, n)
+	for i := 0; i < n; i++ {
+		ts[i] = int64(i) * 10
+		vals[i] = int64(i)
+	}
+	st := storage.NewStore()
+	if err := st.Append("s", ts, vals, storage.Options{}); err != nil {
+		log.Fatal(err)
+	}
+	e := engine.New(st, engine.ModeETSQP)
+	res, err := e.ExecuteSQL("SELECT SUM(A) FROM s SW(0, 250)") // 25 points per window
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range res.Windows[:2] {
+		fmt.Printf("window [%d,%d): %v\n", w.Start, w.End, w.Value)
+	}
+	// Output:
+	// window [0,250): 300
+	// window [250,500): 925
+}
+
+// Inspect the execution plan without running the query.
+func ExampleEngine_Explain() {
+	ts := []int64{1, 2, 3, 4}
+	st := storage.NewStore()
+	if err := st.Append("s", ts, ts, storage.Options{}); err != nil {
+		log.Fatal(err)
+	}
+	e := engine.New(st, engine.ModeETSQPPrune)
+	e.Workers = 2
+	info, err := e.Explain("SELECT SUM(A) FROM (SELECT * FROM s WHERE A > 1)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shape=%s pruning=%v fused=%v\n", info.Shape, info.Pruning, info.Fused)
+	// Output: shape=aggregate pruning=true fused=false
+}

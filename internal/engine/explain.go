@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"etsqp/internal/sqlparse"
+)
+
+// PlanInfo describes how a query would execute without running it — the
+// pipeline jobs Algorithm 2 would emit.
+type PlanInfo struct {
+	Mode        string
+	Shape       string // "aggregate", "window", "scan", "merge", "join"
+	Series      []string
+	Pages       int
+	Workers     int
+	Jobs        int  // pipeline jobs (pages or slices)
+	Sliced      bool // any page split into slices
+	Fused       bool // aggregation fuses with decoders (Section IV)
+	Pruning     bool // Section V rules active
+	Windows     int  // sliding-window instances
+	MergeRanges int  // time-range merge nodes (Figure 9)
+}
+
+// String renders the plan as an indented tree.
+func (p *PlanInfo) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s query [%s]\n", p.Shape, p.Mode)
+	fmt.Fprintf(&b, "  series: %s\n", strings.Join(p.Series, ", "))
+	fmt.Fprintf(&b, "  pages: %d  workers: %d  jobs: %d  sliced: %v\n",
+		p.Pages, p.Workers, p.Jobs, p.Sliced)
+	if p.Shape == "aggregate" || p.Shape == "window" {
+		fmt.Fprintf(&b, "  fused decoders: %v  pruning: %v\n", p.Fused, p.Pruning)
+	}
+	if p.Windows > 0 {
+		fmt.Fprintf(&b, "  window instances: %d\n", p.Windows)
+	}
+	if p.MergeRanges > 0 {
+		fmt.Fprintf(&b, "  merge ranges: %d\n", p.MergeRanges)
+	}
+	return b.String()
+}
+
+// Explain builds the execution plan for a statement without running it.
+func (e *Engine) Explain(sql string) (*PlanInfo, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.explainQuery(q)
+}
+
+func (e *Engine) explainQuery(q *sqlparse.Query) (*PlanInfo, error) {
+	if q.Sub != nil {
+		inner := *q
+		inner.Sub = nil
+		inner.Series = q.Sub.Series
+		inner.Preds = append(append([]sqlparse.Pred(nil), q.Sub.Preds...), q.Preds...)
+		return e.explainQuery(&inner)
+	}
+	info := &PlanInfo{Mode: e.Mode.String(), Workers: e.workers()}
+	switch {
+	case q.UnionWith != "":
+		info.Shape = "merge"
+		info.Series = []string{q.Series[0], q.UnionWith}
+	case len(q.Series) == 2:
+		info.Shape = "join"
+		info.Series = q.Series
+	case len(q.Series) == 1 && q.Items[0].Star:
+		info.Shape = "scan"
+		info.Series = q.Series
+	case len(q.Series) == 1:
+		info.Shape = "aggregate"
+		if q.Window != nil {
+			info.Shape = "window"
+		}
+		info.Series = q.Series
+	default:
+		return nil, fmt.Errorf("engine: unsupported query shape")
+	}
+	ser, ok := e.Store.Series(info.Series[0])
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown series %q", info.Series[0])
+	}
+	t1, t2 := timeRange(q.Preds)
+	pages := ser.PagesInRange(t1, t2)
+	info.Pages = len(pages)
+	jobs := e.jobsFor(pages)
+	for _, js := range jobs {
+		info.Jobs += len(js)
+		for _, sl := range js {
+			if sl.StartRow > 0 || sl.EndRow < sl.Pair.Count() {
+				info.Sliced = true
+			}
+		}
+	}
+	vp := valuePreds(q.Preds)
+	info.Fused = !needsValues(q.Items) && len(vp) == 0 &&
+		e.Mode != ModeSerial && e.Mode != ModeSBoost && e.Mode != ModeFastLanes &&
+		(info.Shape == "aggregate" || info.Shape == "window")
+	info.Pruning = e.Mode == ModeETSQPPrune && len(vp) > 0
+	if q.Window != nil {
+		_, seriesEnd := ser.TimeRange()
+		if seriesEnd > t2 {
+			seriesEnd = t2
+		}
+		if q.Window.DT > 0 && seriesEnd >= q.Window.TMin {
+			info.Windows = int((seriesEnd-q.Window.TMin)/q.Window.DT) + 1
+		}
+	}
+	if info.Shape == "merge" || info.Shape == "join" {
+		info.MergeRanges = len(timeCuts(ser, t1, t2, e.workers()))
+	}
+	return info, nil
+}

@@ -1,0 +1,68 @@
+package engine
+
+import "etsqp/internal/storage"
+
+// timeCuts splits [t1, t2] into up to n disjoint contiguous ranges cut
+// at page boundaries of the series, so each range can be joined/merged
+// by an independent worker and the per-range results concatenate in
+// order — the time-range merge nodes of Figure 9.
+func timeCuts(ser *storage.Series, t1, t2 int64, n int) [][2]int64 {
+	if n < 1 {
+		n = 1
+	}
+	pages := ser.PagesInRange(t1, t2)
+	if len(pages) == 0 || n == 1 {
+		return [][2]int64{{t1, t2}}
+	}
+	if n > len(pages) {
+		n = len(pages)
+	}
+	per := len(pages) / n
+	cuts := make([][2]int64, 0, n)
+	start := t1
+	for i := 1; i < n; i++ {
+		// The cut sits just before the start of page i*per: ranges stay
+		// disjoint and cover [t1, t2] without splitting a timestamp.
+		cut := pages[i*per].StartTime() - 1
+		if cut < start {
+			continue
+		}
+		if cut >= t2 {
+			break
+		}
+		cuts = append(cuts, [2]int64{start, cut})
+		start = cut + 1
+	}
+	return append(cuts, [2]int64{start, t2})
+}
+
+// runRanged executes fn over each time range concurrently and returns
+// the per-range row groups in range order.
+func (e *Engine) runRanged(ranges [][2]int64, fn func(t1, t2 int64) ([]Row, error)) ([]Row, error) {
+	type out struct {
+		rows []Row
+		err  error
+	}
+	results := make([]out, len(ranges))
+	sem := make(chan struct{}, e.workers())
+	done := make(chan int, len(ranges))
+	for i, rg := range ranges {
+		go func(i int, rg [2]int64) {
+			sem <- struct{}{}
+			defer func() { <-sem; done <- i }()
+			rows, err := fn(rg[0], rg[1])
+			results[i] = out{rows, err}
+		}(i, rg)
+	}
+	for range ranges {
+		<-done
+	}
+	var all []Row
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		all = append(all, r.rows...)
+	}
+	return all, nil
+}

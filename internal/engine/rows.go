@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"etsqp/internal/expr"
+	"etsqp/internal/pipeline"
+	"etsqp/internal/sqlparse"
+	"etsqp/internal/storage"
+)
+
+// readSeriesColumns decodes the [t1, t2] portion of a series into flat
+// columns, running one pipeline per worker over pages/slices and writing
+// each slice's rows into its disjoint output range (no merge copying).
+func (e *Engine) readSeriesColumns(name string, t1, t2 int64, col *statsCollector) ([]int64, []int64, error) {
+	ser, ok := e.Store.Series(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: unknown series %q", name)
+	}
+	var loaded []storage.PagePair
+	total := 0
+	offsets := make(map[*storage.Page]int)
+	for _, pp := range ser.PagesInRange(t1, t2) {
+		col.pagesTotal.Add(1)
+		offsets[pp.Time] = total
+		total += pp.Count()
+		loaded = append(loaded, pp)
+	}
+	ts := make([]int64, total)
+	vals := make([]int64, total)
+	jobs := e.jobsFor(loaded)
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(jobs))
+	for _, slices := range jobs {
+		if len(slices) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(slices []pipeline.Slice) {
+			defer wg.Done()
+			for _, sl := range slices {
+				col.slicesRun.Add(1)
+				col.tuplesLoaded.Add(int64(sl.Rows()))
+				base := offsets[sl.Pair.Time]
+				tcol, err := e.decodeColumnRange(sl.Pair.Time, sl.StartRow, sl.EndRow, col)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				vcol, err := e.decodeColumnRange(sl.Pair.Value, sl.StartRow, sl.EndRow, col)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				copy(ts[base+sl.StartRow:], tcol)
+				copy(vals[base+sl.StartRow:], vcol)
+			}
+		}(slices)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, nil, err
+	default:
+	}
+	// Trim to the requested time range (page granularity loaded extra).
+	lo, hi := expr.TimeRangeBounds(ts, t1, t2)
+	return ts[lo:hi], vals[lo:hi], nil
+}
+
+// executeScan handles SELECT * FROM series [WHERE ...]: decoded rows with
+// predicates applied.
+func (e *Engine) executeScan(q *sqlparse.Query) (*Result, error) {
+	t1, t2 := timeRange(q.Preds)
+	vp := valuePreds(q.Preds)
+	col := &statsCollector{}
+	ts, vals, err := e.readSeriesColumns(q.Series[0], t1, t2, col)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Stats: col.snapshot()}
+	err = timed(&col.filterNanos, func() error {
+		for i := range ts {
+			if predsMatch(vp, vals[i]) {
+				res.Rows = append(res.Rows, Row{Time: ts[i], Values: []int64{vals[i]}})
+				if q.Limit > 0 && len(res.Rows) >= q.Limit {
+					break
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = col.snapshot()
+	return res, nil
+}
+
+// executeMerge handles Q5: SELECT * FROM ts1 UNION ts2 ORDER BY TIME —
+// series concatenation with time-range merge nodes (Figure 9(a)): the
+// covered interval is cut at page boundaries, each range is decoded and
+// merged by an independent worker, and the per-range results concatenate
+// in time order.
+func (e *Engine) executeMerge(q *sqlparse.Query) (*Result, error) {
+	if len(q.Series) != 1 {
+		return nil, fmt.Errorf("engine: UNION requires a single left series")
+	}
+	t1, t2 := timeRange(q.Preds)
+	col := &statsCollector{}
+	serL, ok := e.Store.Series(q.Series[0])
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown series %q", q.Series[0])
+	}
+	ranges := timeCuts(serL, t1, t2, e.workers())
+	rows, err := e.runRanged(ranges, func(a, b int64) ([]Row, error) {
+		lts, lvs, err := e.readSeriesColumns(q.Series[0], a, b, col)
+		if err != nil {
+			return nil, err
+		}
+		rts, rvs, err := e.readSeriesColumns(q.UnionWith, a, b, col)
+		if err != nil {
+			return nil, err
+		}
+		var out []Row
+		err = timed(&col.mergeNanos, func() error {
+			for _, m := range expr.MergeByTime(lts, lvs, rts, rvs) {
+				out = append(out, Row{Time: m.Time, Values: m.Values})
+			}
+			return nil
+		})
+		return out, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if q.Limit > 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	return &Result{Rows: rows, Stats: col.snapshot()}, nil
+}
+
+// executeJoin handles Q4 (projection over join) and Q6 (natural join):
+// the shared time interval is partitioned into ranges, each worker
+// decodes both series for its range and produces join masks within it
+// (Figure 9(b): mask vectors are generated within the shared time range),
+// and the merge node concatenates results in order (Equation 6).
+func (e *Engine) executeJoin(q *sqlparse.Query) (*Result, error) {
+	t1, t2 := timeRange(q.Preds)
+	col := &statsCollector{}
+	serL, ok := e.Store.Series(q.Series[0])
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown series %q", q.Series[0])
+	}
+	vp := valuePreds(q.Preds)
+	item := q.Items[0]
+	if !item.Star && item.Add == nil {
+		return nil, fmt.Errorf("engine: unsupported join projection")
+	}
+	ranges := timeCuts(serL, t1, t2, e.workers())
+	rows, err := e.runRanged(ranges, func(a, b int64) ([]Row, error) {
+		lts, lvs, err := e.readSeriesColumns(q.Series[0], a, b, col)
+		if err != nil {
+			return nil, err
+		}
+		rts, rvs, err := e.readSeriesColumns(q.Series[1], a, b, col)
+		if err != nil {
+			return nil, err
+		}
+		var out []Row
+		err = timed(&col.mergeNanos, func() error {
+			left, right := expr.NaturalJoin(lts, rts)
+			for k := range left {
+				lv, rv := lvs[left[k]], rvs[right[k]]
+				if !joinPredsMatch(vp, q.Series, lv, rv) {
+					continue
+				}
+				if item.Star {
+					out = append(out, Row{Time: lts[left[k]], Values: []int64{lv, rv}})
+				} else {
+					out = append(out, Row{Time: lts[left[k]], Values: []int64{lv + rv}})
+				}
+			}
+			return nil
+		})
+		return out, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if q.Limit > 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	return &Result{Rows: rows, Stats: col.snapshot()}, nil
+}
+
+// joinPredsMatch applies qualified value predicates to a joined row.
+func joinPredsMatch(vp []sqlparse.Pred, series []string, lv, rv int64) bool {
+	for _, p := range vp {
+		v := lv
+		if p.Col.Series != "" && len(series) == 2 && p.Col.Series == series[1] {
+			v = rv
+		}
+		if !p.Op.Eval(v, p.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// executeJoinCorr handles SELECT CORR(ts1.A, ts2.A) FROM ts1, ts2: the
+// Σ aᵢ·bᵢ application of Section IV. Both series decode and join on
+// timestamps; the Pearson correlation is computed from the fused sums
+// (Σa, Σb, Σa², Σb², Σab) of the joined rows.
+func (e *Engine) executeJoinCorr(q *sqlparse.Query) (*Result, error) {
+	t1, t2 := timeRange(q.Preds)
+	col := &statsCollector{}
+	lts, lvs, err := e.readSeriesColumns(q.Series[0], t1, t2, col)
+	if err != nil {
+		return nil, err
+	}
+	rts, rvs, err := e.readSeriesColumns(q.Series[1], t1, t2, col)
+	if err != nil {
+		return nil, err
+	}
+	var sa, sb, sab float64
+	var saa, sbb float64
+	var n float64
+	err = timed(&col.aggNanos, func() error {
+		left, right := expr.NaturalJoin(lts, rts)
+		for k := range left {
+			a := float64(lvs[left[k]])
+			b := float64(rvs[right[k]])
+			sa += a
+			sb += b
+			saa += a * a
+			sbb += b * b
+			sab += a * b
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("engine: CORR over empty join")
+	}
+	cov := sab/n - sa/n*sb/n
+	va := saa/n - sa/n*sa/n
+	vb := sbb/n - sb/n*sb/n
+	if va <= 0 || vb <= 0 {
+		return nil, fmt.Errorf("engine: CORR undefined for zero variance")
+	}
+	r := cov / math.Sqrt(va*vb)
+	return &Result{
+		Aggregates: map[string]float64{"CORR(A,B)": r},
+		Stats:      col.snapshot(),
+	}, nil
+}

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+
+	"etsqp/internal/expr"
+)
+
+// Aliases keep predicate handling terse.
+const (
+	opLT = expr.OpLT
+	opLE = expr.OpLE
+	opGT = expr.OpGT
+	opGE = expr.OpGE
+	opEQ = expr.OpEQ
+	opNE = expr.OpNE
+)
+
+// Stats counts the work a query performed. The throughput metric of the
+// evaluation is TuplesLoaded per second, where TuplesLoaded counts the
+// tuples of loaded pages *including* pruned pages and slices (Section
+// VII-B).
+type Stats struct {
+	PagesTotal   int64 // pages relevant to the query
+	PagesPruned  int64 // pages skipped by header statistics
+	SlicesRun    int64 // pipeline jobs executed
+	TuplesLoaded int64 // tuples covered by loaded (or pruned) pages
+	RowsPruned   int64 // rows skipped by in-page stop rules
+	StatAnswered int64 // pages answered from header statistics alone
+
+	// Stage timings for the Figure 14(b) breakdown (nanoseconds).
+	IONanos     int64
+	DecodeNanos int64
+	FilterNanos int64
+	AggNanos    int64
+	MergeNanos  int64
+}
+
+// statsCollector accumulates Stats from concurrent workers.
+type statsCollector struct {
+	pagesTotal   atomic.Int64
+	pagesPruned  atomic.Int64
+	slicesRun    atomic.Int64
+	tuplesLoaded atomic.Int64
+	rowsPruned   atomic.Int64
+	statAnswered atomic.Int64
+	ioNanos      atomic.Int64
+	decodeNanos  atomic.Int64
+	filterNanos  atomic.Int64
+	aggNanos     atomic.Int64
+	mergeNanos   atomic.Int64
+}
+
+func (c *statsCollector) snapshot() Stats {
+	return Stats{
+		PagesTotal:   c.pagesTotal.Load(),
+		PagesPruned:  c.pagesPruned.Load(),
+		SlicesRun:    c.slicesRun.Load(),
+		TuplesLoaded: c.tuplesLoaded.Load(),
+		RowsPruned:   c.rowsPruned.Load(),
+		StatAnswered: c.statAnswered.Load(),
+		IONanos:      c.ioNanos.Load(),
+		DecodeNanos:  c.decodeNanos.Load(),
+		FilterNanos:  c.filterNanos.Load(),
+		AggNanos:     c.aggNanos.Load(),
+		MergeNanos:   c.mergeNanos.Load(),
+	}
+}
+
+// timed runs f and adds its wall time to the counter.
+func timed(counter *atomic.Int64, f func() error) error {
+	start := time.Now()
+	err := f()
+	counter.Add(int64(time.Since(start)))
+	return err
+}

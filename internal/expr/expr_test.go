@@ -1,0 +1,340 @@
+package expr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskBasics(t *testing.T) {
+	m := NewMask(130)
+	if m.Len() != 130 || m.Count() != 0 {
+		t.Fatal("fresh mask not empty")
+	}
+	m.Set(0)
+	m.Set(63)
+	m.Set(64)
+	m.Set(129)
+	if m.Count() != 4 {
+		t.Fatalf("count = %d", m.Count())
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if !m.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if m.Get(1) || m.Get(128) {
+		t.Fatal("unexpected bits set")
+	}
+	m.Clear(63)
+	if m.Get(63) || m.Count() != 3 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestMaskSetRange(t *testing.T) {
+	for _, rg := range [][2]int{{0, 0}, {0, 1}, {5, 130}, {63, 65}, {0, 200}, {64, 128}} {
+		m := NewMask(130)
+		m.SetRange(rg[0], rg[1])
+		want := rg[1]
+		if want > 130 {
+			want = 130
+		}
+		if want < rg[0] {
+			want = rg[0]
+		}
+		if got := m.Count(); got != want-rg[0] {
+			t.Fatalf("range %v: count %d want %d", rg, got, want-rg[0])
+		}
+		for i := 0; i < 130; i++ {
+			if m.Get(i) != (i >= rg[0] && i < want) {
+				t.Fatalf("range %v: bit %d wrong", rg, i)
+			}
+		}
+	}
+}
+
+func TestMaskNextSet(t *testing.T) {
+	m := NewMask(200)
+	m.Set(3)
+	m.Set(64)
+	m.Set(199)
+	var got []int
+	for i := m.NextSet(0); i >= 0; i = m.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if !reflect.DeepEqual(got, []int{3, 64, 199}) {
+		t.Fatalf("got %v", got)
+	}
+	if m.NextSet(200) != -1 {
+		t.Fatal("past end must be -1")
+	}
+}
+
+func TestMaskAndOr(t *testing.T) {
+	a := NewMask(100)
+	b := NewMask(100)
+	a.SetRange(0, 50)
+	b.SetRange(25, 75)
+	a.And(b)
+	if a.Count() != 25 || !a.Get(25) || !a.Get(49) || a.Get(50) {
+		t.Fatalf("And: count %d", a.Count())
+	}
+	a.Or(b)
+	if a.Count() != 50 {
+		t.Fatalf("Or: count %d", a.Count())
+	}
+}
+
+func TestCmpOps(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		v, c int64
+		want bool
+	}{
+		{OpLT, 1, 2, true}, {OpLT, 2, 2, false},
+		{OpLE, 2, 2, true}, {OpLE, 3, 2, false},
+		{OpGT, 3, 2, true}, {OpGT, 2, 2, false},
+		{OpGE, 2, 2, true}, {OpGE, 1, 2, false},
+		{OpEQ, 2, 2, true}, {OpEQ, 1, 2, false},
+		{OpNE, 1, 2, true}, {OpNE, 2, 2, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.v, c.c); got != c.want {
+			t.Errorf("%d %s %d = %v", c.v, c.op, c.c, got)
+		}
+	}
+	if OpLT.String() != "<" || CmpOp(99).String() != "?" {
+		t.Fatal("String() wrong")
+	}
+	if CmpOp(99).Eval(1, 1) {
+		t.Fatal("unknown op must be false")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	col := []int64{5, 10, 15, 20, 25}
+	m := Filter(col, OpGT, 12)
+	if m.Count() != 3 || m.Get(0) || m.Get(1) || !m.Get(2) {
+		t.Fatalf("filter mask wrong: %d", m.Count())
+	}
+}
+
+func TestTimeRangeFilterMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300)
+		ts := make([]int64, n)
+		cur := int64(0)
+		for i := range ts {
+			cur += rng.Int63n(100) + 1
+			ts[i] = cur
+		}
+		t1 := rng.Int63n(cur + 10)
+		t2 := t1 + rng.Int63n(cur+1)
+		m := TimeRangeFilter(ts, t1, t2)
+		for i, v := range ts {
+			if m.Get(i) != (v >= t1 && v <= t2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskedSumMinMax(t *testing.T) {
+	col := []int64{10, -5, 30, 7, 100}
+	m := NewMask(5)
+	m.Set(1)
+	m.Set(2)
+	m.Set(4)
+	sum, count := MaskedSum(col, m)
+	if sum != 125 || count != 3 {
+		t.Fatalf("sum=%d count=%d", sum, count)
+	}
+	minV, maxV, ok := MaskedMinMax(col, m)
+	if !ok || minV != -5 || maxV != 100 {
+		t.Fatalf("min=%d max=%d ok=%v", minV, maxV, ok)
+	}
+	if _, _, ok := MaskedMinMax(col, NewMask(5)); ok {
+		t.Fatal("empty mask must be !ok")
+	}
+}
+
+func TestNaturalJoin(t *testing.T) {
+	lt := []int64{1, 3, 5, 7, 9}
+	rt := []int64{2, 3, 5, 8, 9, 11}
+	l, r := NaturalJoin(lt, rt)
+	if !reflect.DeepEqual(l, []int{1, 2, 4}) || !reflect.DeepEqual(r, []int{1, 2, 4}) {
+		t.Fatalf("l=%v r=%v", l, r)
+	}
+	lm, rm := JoinMasks(lt, rt)
+	if lm.Count() != 3 || rm.Count() != 3 || !lm.Get(1) || !rm.Get(4) {
+		t.Fatal("join masks wrong")
+	}
+}
+
+func TestMergeByTime(t *testing.T) {
+	lt := []int64{1, 3, 5}
+	lv := []int64{10, 30, 50}
+	rt := []int64{2, 3, 6}
+	rv := []int64{-2, -3, -6}
+	rows := MergeByTime(lt, lv, rt, rv)
+	wantTimes := []int64{1, 2, 3, 5, 6}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Time != wantTimes[i] {
+			t.Fatalf("row %d time %d", i, r.Time)
+		}
+	}
+	if rows[0].Values[1] != NullValue || rows[2].Values[0] != 30 || rows[2].Values[1] != -3 {
+		t.Fatalf("merged values wrong: %+v", rows)
+	}
+	// Time order invariant under random inputs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() ([]int64, []int64) {
+			n := rng.Intn(50)
+			ts := make([]int64, n)
+			vs := make([]int64, n)
+			cur := int64(0)
+			for i := range ts {
+				cur += rng.Int63n(10) + 1
+				ts[i] = cur
+				vs[i] = rng.Int63n(100)
+			}
+			return ts, vs
+		}
+		at, av := mk()
+		bt, bv := mk()
+		rows := MergeByTime(at, av, bt, bv)
+		for i := 1; i < len(rows); i++ {
+			if rows[i].Time <= rows[i-1].Time {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlidingWindows(t *testing.T) {
+	ws, err := SlidingWindows(0, 10, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 4 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	if ws[3].Start != 30 || ws[3].End != 40 || ws[3].Index != 3 {
+		t.Fatalf("last window %+v", ws[3])
+	}
+	if _, err := SlidingWindows(0, 0, 100); err == nil {
+		t.Fatal("zero width must fail")
+	}
+}
+
+func TestFractionAndAdd(t *testing.T) {
+	col := []int64{1, 2, 3, 4, 5}
+	if got := Fraction(col, 1, 3); !reflect.DeepEqual(got, []int64{2, 3}) {
+		t.Fatalf("got %v", got)
+	}
+	if got := Fraction(col, -5, 99); len(got) != 5 {
+		t.Fatal("clamping failed")
+	}
+	if got := Fraction(col, 3, 2); got != nil {
+		t.Fatal("inverted range must be nil")
+	}
+	sum, err := AddColumns([]int64{1, 2}, []int64{10, 20})
+	if err != nil || !reflect.DeepEqual(sum, []int64{11, 22}) {
+		t.Fatalf("AddColumns: %v %v", sum, err)
+	}
+	if _, err := AddColumns([]int64{1}, []int64{1, 2}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if got := BitExtend(col); !reflect.DeepEqual(got, col) {
+		t.Fatal("BitExtend identity")
+	}
+}
+
+func TestRangeMaskMatchesScalar(t *testing.T) {
+	f := func(seed int64, wide bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100)
+		col := make([]int64, n)
+		for i := range col {
+			if wide {
+				col[i] = rng.Int63() - rng.Int63()
+			} else {
+				col[i] = rng.Int63n(2000) - 1000
+			}
+		}
+		c1 := rng.Int63n(2000) - 1000
+		c2 := c1 + rng.Int63n(1000)
+		m := RangeMask(col, c1, c2)
+		for i, v := range col {
+			if m.Get(i) != (v >= c1 && v <= c2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeMaskWideBoundsFallBack(t *testing.T) {
+	col := []int64{1 << 40, -(1 << 40), 5}
+	m := RangeMask(col, -(1 << 50), 1<<50)
+	if m.Count() != 3 {
+		t.Fatalf("count = %d", m.Count())
+	}
+	// Bounds at int32 extremes avoid the vector path but stay correct.
+	m2 := RangeMask([]int64{0, -(1 << 31), 1<<31 - 1}, -(1 << 31), 1<<31-1)
+	if m2.Count() != 3 {
+		t.Fatalf("count = %d", m2.Count())
+	}
+}
+
+func TestMaskedFold(t *testing.T) {
+	col := []int64{1, 2, 3, 4}
+	m := NewMask(4)
+	m.Set(1)
+	m.Set(3)
+	var sum int64
+	MaskedFold(col, m, func(v int64) { sum += v })
+	if sum != 6 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func BenchmarkRangeMaskVec(b *testing.B) {
+	col := make([]int64, 65536)
+	for i := range col {
+		col[i] = int64(i % 4096)
+	}
+	b.SetBytes(int64(len(col) * 8))
+	for i := 0; i < b.N; i++ {
+		RangeMask(col, 1000, 3000)
+	}
+}
+
+func BenchmarkFilterScalar(b *testing.B) {
+	col := make([]int64, 65536)
+	for i := range col {
+		col[i] = int64(i % 4096)
+	}
+	b.SetBytes(int64(len(col) * 8))
+	for i := 0; i < b.N; i++ {
+		Filter(col, OpGE, 1000).And(Filter(col, OpLE, 3000))
+	}
+}

@@ -1,0 +1,104 @@
+// Package expr implements the time-series expression operators of
+// Definitions 1-2: filters producing mask vectors, masked aggregation,
+// natural join, concatenation (time-ordered merge), position fractions
+// and sliding-window enumeration. These are the pipeline nodes Algorithm 2
+// appends after the decoders.
+package expr
+
+import "math/bits"
+
+// Mask marks valid tuples as a bitset — the in-memory form of the
+// -1/0 lane masks the paper's filters produce in SIMD registers.
+type Mask struct {
+	bits []uint64
+	n    int
+}
+
+// NewMask returns an all-zero mask over n rows.
+func NewMask(n int) *Mask {
+	return &Mask{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len reports the number of rows covered.
+func (m *Mask) Len() int { return m.n }
+
+// Set marks row i valid.
+func (m *Mask) Set(i int) { m.bits[i>>6] |= 1 << uint(i&63) }
+
+// Clear marks row i invalid.
+func (m *Mask) Clear(i int) { m.bits[i>>6] &^= 1 << uint(i&63) }
+
+// Get reports whether row i is valid.
+func (m *Mask) Get(i int) bool { return m.bits[i>>6]&(1<<uint(i&63)) != 0 }
+
+// SetRange marks rows [lo, hi) valid in word-sized strokes.
+func (m *Mask) SetRange(lo, hi int) {
+	if hi > m.n {
+		hi = m.n
+	}
+	for i := lo; i < hi; {
+		w := i >> 6
+		bit := uint(i & 63)
+		remaining := hi - i
+		span := 64 - int(bit)
+		if span > remaining {
+			span = remaining
+		}
+		var chunk uint64
+		if span == 64 {
+			chunk = ^uint64(0)
+		} else {
+			chunk = (uint64(1)<<uint(span) - 1) << bit
+		}
+		m.bits[w] |= chunk
+		i += span
+	}
+}
+
+// Count returns the number of valid rows (popcount per word).
+func (m *Mask) Count() int {
+	c := 0
+	for _, w := range m.bits {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// And intersects two masks of equal length in place.
+func (m *Mask) And(other *Mask) *Mask {
+	for i := range m.bits {
+		m.bits[i] &= other.bits[i]
+	}
+	return m
+}
+
+// Or unions two masks of equal length in place.
+func (m *Mask) Or(other *Mask) *Mask {
+	for i := range m.bits {
+		m.bits[i] |= other.bits[i]
+	}
+	return m
+}
+
+// NextSet returns the first valid row >= i, or -1.
+func (m *Mask) NextSet(i int) int {
+	if i >= m.n {
+		return -1
+	}
+	w := i >> 6
+	cur := m.bits[w] >> uint(i&63) << uint(i&63)
+	for {
+		if cur != 0 {
+			idx := w<<6 + bits.TrailingZeros64(cur)
+			if idx >= m.n {
+				return -1
+			}
+			return idx
+		}
+		w++
+		if w >= len(m.bits) {
+			return -1
+		}
+		cur = m.bits[w]
+	}
+}

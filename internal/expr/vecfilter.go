@@ -1,0 +1,74 @@
+package expr
+
+import "etsqp/internal/simd"
+
+// RangeMask builds the validity mask of c1 <= v <= c2 over a column.
+// When every value and both bounds fit in int32 the comparison runs
+// eight lanes at a time with pcmpgtd-style vector compares and a
+// movemask (the mask-vector generation of Section VI-B); otherwise it
+// falls back to the scalar path.
+func RangeMask(col []int64, c1, c2 int64) *Mask {
+	m := NewMask(len(col))
+	if fitsI32(c1) && fitsI32(c2) {
+		if rangeMaskVec(col, c1, c2, m) {
+			return m
+		}
+	}
+	for i, v := range col {
+		if v >= c1 && v <= c2 {
+			m.Set(i)
+		}
+	}
+	return m
+}
+
+func fitsI32(v int64) bool { return v >= -(1<<31) && v < 1<<31 }
+
+// rangeMaskVec attempts the vector path; it reports false (leaving m
+// empty) if a value outside int32 range appears, in which case the
+// caller reruns the scalar path.
+func rangeMaskVec(col []int64, c1, c2 int64, m *Mask) bool {
+	lo := simd.Broadcast32(uint32(int32(c1) - 1)) // v > c1-1  ≡  v >= c1
+	hi := simd.Broadcast32(uint32(int32(c2) + 1)) // v < c2+1  ≡  v <= c2
+	if c1 == -(1<<31) || c2 == 1<<31-1 {
+		return false // avoid wrap in the ±1 shift
+	}
+	i := 0
+	for ; i+simd.Lanes32 <= len(col); i += simd.Lanes32 {
+		var v simd.U32x8
+		for l := 0; l < simd.Lanes32; l++ {
+			x := col[i+l]
+			if !fitsI32(x) {
+				return false
+			}
+			v[l] = uint32(int32(x))
+		}
+		ge := simd.CmpGt32(v, lo)  // v > c1-1
+		le := simd.CmpGt32(hi, v)  // c2+1 > v
+		both := simd.And32(ge, le) // all-ones lanes are valid
+		bits := simd.Movemask32(both)
+		if bits != 0 {
+			for l := 0; l < simd.Lanes32; l++ {
+				if bits&(1<<uint(l)) != 0 {
+					m.Set(i + l)
+				}
+			}
+		}
+	}
+	for ; i < len(col); i++ {
+		v := col[i]
+		if v >= c1 && v <= c2 {
+			m.Set(i)
+		}
+	}
+	return true
+}
+
+// MaskedFold folds valid values into caller-provided accumulators via
+// one callback per valid run, letting aggregation avoid per-row branch
+// checks on dense masks.
+func MaskedFold(col []int64, m *Mask, f func(v int64)) {
+	for i := m.NextSet(0); i >= 0; i = m.NextSet(i + 1) {
+		f(col[i])
+	}
+}

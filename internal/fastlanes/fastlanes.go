@@ -1,0 +1,272 @@
+// Package fastlanes implements an FLMM1024-style FastLanes-Delta layout
+// (Figure 1(c) of the paper), the state-of-the-art SIMD-friendly baseline.
+//
+// A block covers exactly BlockSize = 1024 values arranged as Lanes = 32
+// interleaved lanes over a virtual 1024-bit register: lane l holds values
+// v[l], v[l+32], v[l+64], …  Lane heads (the 32 original values at
+// positions 0..31) are stored at full width; the remaining 992 positions
+// store intra-lane deltas D[l,j] = v[l+32j] - v[l+32(j-1)], bit-packed
+// with one shared width.
+//
+// Decoding is embarrassingly SIMD-parallel — each step is one 32-lane
+// vector addition with no in-register dependency — which is the property
+// the paper credits FastLanes for. The costs the paper also observes are
+// reproduced structurally: 32 full-width bases per block (lower
+// compression), a fixed 1024-point buffering requirement (short series pad
+// to a full block), and strided deltas that are ~32x larger than adjacent
+// deltas (wider packing, more I/O).
+package fastlanes
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"etsqp/internal/encoding"
+)
+
+// Geometry of the FLMM1024 virtual register with 32-bit lanes.
+const (
+	BlockSize = 1024
+	Lanes     = 32
+	Steps     = BlockSize / Lanes // 32 values per lane
+)
+
+// ErrCorrupt reports a malformed block.
+var ErrCorrupt = errors.New("fastlanes: corrupt block")
+
+// Block is one encoded FLMM1024 block.
+type Block struct {
+	Count  int // real values (<= BlockSize; the rest is padding)
+	Width  uint
+	Base   int64        // minimum intra-lane delta
+	Heads  [Lanes]int64 // lane heads (original values)
+	Packed []byte       // (Steps-1)*Lanes packed deltas, step-major
+}
+
+// Encode builds blocks covering vals; the final block is padded by
+// repeating the last value (padding deltas are zero).
+func Encode(vals []int64) []*Block {
+	if len(vals) == 0 {
+		return nil
+	}
+	var blocks []*Block
+	for off := 0; off < len(vals); off += BlockSize {
+		end := off + BlockSize
+		count := BlockSize
+		if end > len(vals) {
+			count = len(vals) - off
+			end = len(vals)
+		}
+		chunk := make([]int64, BlockSize)
+		copy(chunk, vals[off:end])
+		for i := count; i < BlockSize; i++ {
+			chunk[i] = chunk[count-1] // pad with last real value
+		}
+		blocks = append(blocks, encodeBlock(chunk, count))
+	}
+	return blocks
+}
+
+func encodeBlock(chunk []int64, count int) *Block {
+	b := &Block{Count: count}
+	for l := 0; l < Lanes; l++ {
+		b.Heads[l] = chunk[l]
+	}
+	// Intra-lane deltas in step-major order: step j holds the deltas of
+	// all 32 lanes, matching one vector addition per step at decode time.
+	deltas := make([]int64, 0, (Steps-1)*Lanes)
+	for j := 1; j < Steps; j++ {
+		for l := 0; l < Lanes; l++ {
+			deltas = append(deltas, chunk[j*Lanes+l]-chunk[(j-1)*Lanes+l])
+		}
+	}
+	base, width := encoding.BitWidthSigned(deltas)
+	b.Base, b.Width = base, width
+	packed := make([]uint64, len(deltas))
+	for i, d := range deltas {
+		packed[i] = uint64(d - base)
+	}
+	b.Packed = encoding.Pack(packed, width)
+	return b
+}
+
+// Decode recovers the real (unpadded) values of the block.
+func (b *Block) Decode() ([]int64, error) {
+	deltas, err := encoding.Unpack(b.Packed, (Steps-1)*Lanes, b.Width)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, BlockSize)
+	cur := b.Heads
+	copy(out[:Lanes], cur[:])
+	for j := 1; j < Steps; j++ {
+		row := deltas[(j-1)*Lanes : j*Lanes]
+		// One vector addition per step: cur[l] += base + delta[l].
+		for l := 0; l < Lanes; l++ {
+			cur[l] += b.Base + int64(row[l])
+		}
+		copy(out[j*Lanes:(j+1)*Lanes], cur[:])
+	}
+	return out[:b.Count], nil
+}
+
+// DecodeAll concatenates the decoded values of all blocks.
+func DecodeAll(blocks []*Block) ([]int64, error) {
+	var out []int64
+	for _, b := range blocks {
+		vals, err := b.Decode()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals...)
+	}
+	return out, nil
+}
+
+const blockMagic = 0xF1
+
+// Marshal serializes the block.
+func (b *Block) Marshal() []byte {
+	out := make([]byte, 0, 16+Lanes*8+len(b.Packed))
+	out = append(out, blockMagic, byte(b.Width))
+	var tmp [8]byte
+	binary.BigEndian.PutUint32(tmp[:4], uint32(b.Count))
+	out = append(out, tmp[:4]...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(b.Base))
+	out = append(out, tmp[:]...)
+	for _, h := range b.Heads {
+		binary.BigEndian.PutUint64(tmp[:], uint64(h))
+		out = append(out, tmp[:]...)
+	}
+	binary.BigEndian.PutUint32(tmp[:4], uint32(len(b.Packed)))
+	out = append(out, tmp[:4]...)
+	return append(out, b.Packed...)
+}
+
+// Unmarshal parses a serialized block.
+func Unmarshal(buf []byte) (*Block, error) {
+	headLen := 2 + 4 + 8 + Lanes*8 + 4
+	if len(buf) < headLen || buf[0] != blockMagic {
+		return nil, ErrCorrupt
+	}
+	b := &Block{Width: uint(buf[1])}
+	b.Count = int(binary.BigEndian.Uint32(buf[2:]))
+	b.Base = int64(binary.BigEndian.Uint64(buf[6:]))
+	for l := 0; l < Lanes; l++ {
+		b.Heads[l] = int64(binary.BigEndian.Uint64(buf[14+l*8:]))
+	}
+	plen := int(binary.BigEndian.Uint32(buf[14+Lanes*8:]))
+	if len(buf) < headLen+plen || b.Count < 1 || b.Count > BlockSize {
+		return nil, ErrCorrupt
+	}
+	b.Packed = buf[headLen : headLen+plen]
+	return b, nil
+}
+
+type codec struct{}
+
+func (codec) Name() string { return "fastlanes" }
+
+func (codec) Semantics() []encoding.Semantics {
+	return []encoding.Semantics{encoding.SemanticsDelta, encoding.SemanticsPacking}
+}
+
+func (codec) Encode(vals []int64) ([]byte, error) {
+	blocks := Encode(vals)
+	var out []byte
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], uint32(len(blocks)))
+	out = append(out, tmp[:]...)
+	for _, b := range blocks {
+		raw := b.Marshal()
+		binary.BigEndian.PutUint32(tmp[:], uint32(len(raw)))
+		out = append(out, tmp[:]...)
+		out = append(out, raw...)
+	}
+	return out, nil
+}
+
+func (codec) Decode(block []byte) ([]int64, error) {
+	if len(block) < 4 {
+		return nil, ErrCorrupt
+	}
+	n := int(binary.BigEndian.Uint32(block))
+	block = block[4:]
+	blocks := make([]*Block, 0, n)
+	for i := 0; i < n; i++ {
+		if len(block) < 4 {
+			return nil, ErrCorrupt
+		}
+		l := int(binary.BigEndian.Uint32(block))
+		block = block[4:]
+		if len(block) < l {
+			return nil, ErrCorrupt
+		}
+		b, err := Unmarshal(block[:l])
+		if err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, b)
+		block = block[l:]
+	}
+	return DecodeAll(blocks)
+}
+
+func init() { encoding.Register(codec{}) }
+
+// DecodeRangeBlocks decodes rows [from, to) of a codec container by
+// touching only the FLMM1024 blocks that cover the range — the
+// block-granular slicing the evaluation uses to distribute FastLanes
+// pages across threads fairly (Section VII-C).
+func DecodeRangeBlocks(container []byte, from, to int) ([]int64, error) {
+	if len(container) < 4 {
+		return nil, ErrCorrupt
+	}
+	n := int(binary.BigEndian.Uint32(container))
+	container = container[4:]
+	out := make([]int64, 0, to-from)
+	rowBase := 0
+	for i := 0; i < n && rowBase < to; i++ {
+		if len(container) < 4 {
+			return nil, ErrCorrupt
+		}
+		l := int(binary.BigEndian.Uint32(container))
+		container = container[4:]
+		if len(container) < l {
+			return nil, ErrCorrupt
+		}
+		raw := container[:l]
+		container = container[l:]
+		// Peek the count without full decode.
+		if l < 6 {
+			return nil, ErrCorrupt
+		}
+		count := int(binary.BigEndian.Uint32(raw[2:]))
+		blockEnd := rowBase + count
+		if blockEnd <= from {
+			rowBase = blockEnd
+			continue
+		}
+		b, err := Unmarshal(raw)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := b.Decode()
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := 0, len(vals)
+		if from > rowBase {
+			lo = from - rowBase
+		}
+		if to < blockEnd {
+			hi = to - rowBase
+		}
+		out = append(out, vals[lo:hi]...)
+		rowBase = blockEnd
+	}
+	if len(out) != to-from {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}

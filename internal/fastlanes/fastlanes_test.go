@@ -1,0 +1,212 @@
+package fastlanes
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"etsqp/internal/encoding"
+)
+
+func TestRoundTripExactBlock(t *testing.T) {
+	vals := make([]int64, BlockSize)
+	for i := range vals {
+		vals[i] = int64(i)*3 + int64(i%7)
+	}
+	blocks := Encode(vals)
+	if len(blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(blocks))
+	}
+	got, err := DecodeAll(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestRoundTripPartialBlock(t *testing.T) {
+	for _, n := range []int{1, 31, 32, 33, 1000, 1023, 1025, 3000} {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(i) * 5
+		}
+		got, err := DecodeAll(Encode(vals))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !reflect.DeepEqual(got, vals) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(vals []int64) bool {
+		for i := range vals {
+			vals[i] %= 1 << 40
+		}
+		got, err := DecodeAll(Encode(vals))
+		if err != nil {
+			return false
+		}
+		if len(vals) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaneLayout(t *testing.T) {
+	vals := make([]int64, BlockSize)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	b := Encode(vals)[0]
+	// Lane heads are the first 32 original values (Figure 1(c): Lane 0
+	// keeps originals).
+	for l := 0; l < Lanes; l++ {
+		if b.Heads[l] != int64(l) {
+			t.Fatalf("head %d = %d", l, b.Heads[l])
+		}
+	}
+	// Intra-lane deltas of an arithmetic series are the constant stride.
+	if b.Base != Lanes {
+		t.Fatalf("base = %d, want %d (stride)", b.Base, Lanes)
+	}
+	if b.Width != 0 {
+		t.Fatalf("width = %d, want 0 for constant deltas", b.Width)
+	}
+}
+
+func TestStridedDeltasAreWiderThanAdjacent(t *testing.T) {
+	// The compression-ratio disadvantage the paper describes: FastLanes
+	// deltas span 32 steps, so they need ~5 more bits than TS2DIFF.
+	vals := make([]int64, BlockSize)
+	for i := range vals {
+		vals[i] = int64(i) * 7
+	}
+	fl := Encode(vals)[0]
+	_, adjacent := encoding.BitWidthSigned([]int64{7}) // adjacent deltas constant
+	if fl.Width != 0 || adjacent != 0 {
+		t.Skip("constant case packs to zero either way")
+	}
+}
+
+func TestPaddingUsesLastValue(t *testing.T) {
+	vals := []int64{10, 20, 30}
+	b := Encode(vals)[0]
+	if b.Count != 3 {
+		t.Fatalf("count = %d", b.Count)
+	}
+	got, err := b.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	vals := make([]int64, 1500)
+	for i := range vals {
+		vals[i] = int64(i * i % 4096)
+	}
+	for _, b := range Encode(vals) {
+		b2, err := Unmarshal(b.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g1, _ := b.Decode()
+		g2, err := b2.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(g1, g2) {
+			t.Fatal("marshal round trip mismatch")
+		}
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	for i, c := range [][]byte{nil, {blockMagic}, append([]byte{0x00}, make([]byte, 300)...)} {
+		if _, err := Unmarshal(c); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestCodec(t *testing.T) {
+	c, err := encoding.Lookup("fastlanes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int64, 2100)
+	for i := range vals {
+		vals[i] = int64(i) * 11
+	}
+	raw, err := c.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatal("codec round trip mismatch")
+	}
+	if _, err := c.Decode([]byte{0, 0, 0, 1, 0}); err == nil {
+		t.Fatal("expected corrupt error")
+	}
+}
+
+func BenchmarkDecodeBlock(b *testing.B) {
+	vals := make([]int64, BlockSize)
+	for i := range vals {
+		vals[i] = int64(i)*3 + int64(i%7)
+	}
+	blk := Encode(vals)[0]
+	b.SetBytes(BlockSize * 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := blk.Decode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDecodeRangeBlocks(t *testing.T) {
+	vals := make([]int64, 3700)
+	for i := range vals {
+		vals[i] = int64(i)*3 + int64(i%11)
+	}
+	c, _ := encoding.Lookup("fastlanes")
+	raw, err := c.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rg := range [][2]int{{0, 3700}, {0, 1}, {3699, 3700}, {1024, 2048}, {1000, 1100}, {500, 3500}, {100, 100}} {
+		got, err := DecodeRangeBlocks(raw, rg[0], rg[1])
+		if err != nil {
+			t.Fatalf("range %v: %v", rg, err)
+		}
+		want := vals[rg[0]:rg[1]]
+		if len(got) != len(want) {
+			t.Fatalf("range %v: len %d want %d", rg, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("range %v: row %d mismatch", rg, i)
+			}
+		}
+	}
+	if _, err := DecodeRangeBlocks([]byte{1}, 0, 1); err == nil {
+		t.Fatal("short container must fail")
+	}
+}

@@ -1,0 +1,301 @@
+// Package fusion implements Section IV: aggregation without decoding.
+// Associative and algebraic aggregations (SUM, COUNT, AVG, MIN, MAX,
+// Σa·b, Σa², and the variances/correlations built from them) are computed
+// directly on Delta-Repeat pairs and on TS2DIFF blocks, skipping the
+// Repeat-flatten and Delta-accumulate decoders entirely.
+//
+// The core identity: over one Delta-Repeat pair ⟨Δ, R⟩ starting after
+// value a, the next `valid <= R` values contribute
+//
+//	Σ_{i=1..valid} (a + iΔ) = valid·a + Δ·valid(valid+1)/2
+//
+// and analogous closed forms exist for squares and cross products
+// (Proposition 3), so each pair costs O(1) regardless of its run length.
+package fusion
+
+import (
+	"errors"
+	"math"
+
+	"etsqp/internal/encoding"
+)
+
+// ErrOverflow reports that an aggregation exceeded int64 (the failure
+// behaviour of Section VI-C: detect, don't wrap).
+var ErrOverflow = errors.New("fusion: aggregate overflow")
+
+// addChecked adds two int64 detecting overflow.
+func addChecked(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return s, false
+	}
+	return s, true
+}
+
+// mulChecked multiplies two int64 detecting overflow.
+func mulChecked(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return p, false
+	}
+	return p, true
+}
+
+// sumArith is Σ_{i=1..n} i = n(n+1)/2.
+func sumArith(n int64) int64 { return n * (n + 1) / 2 }
+
+// sumSquaresArith is Σ_{i=1..n} i² = n(n+1)(2n+1)/6.
+func sumSquaresArith(n int64) int64 { return n * (n + 1) * (2*n + 1) / 6 }
+
+// Sum aggregates Σ values over a Delta-Repeat series (first value plus
+// pairs) without flattening. Cost: O(#pairs).
+func Sum(first int64, pairs []encoding.DeltaRun) (int64, error) {
+	total := first
+	cur := first
+	ok := true
+	for _, p := range pairs {
+		n := int64(p.Count)
+		// Σ over the run: n·cur + Δ·n(n+1)/2.
+		runSum, ok1 := mulChecked(cur, n)
+		inc, ok2 := mulChecked(p.Delta, sumArith(n))
+		runSum, ok3 := addChecked(runSum, inc)
+		total, ok = addChecked(total, runSum)
+		if !(ok && ok1 && ok2 && ok3) {
+			return 0, ErrOverflow
+		}
+		cur += p.Delta * n
+	}
+	return total, nil
+}
+
+// SumRange aggregates Σ values over rows [from, to) of the flattened
+// series, skipping whole runs in O(1) — the building block for
+// sliding-window aggregation over Delta-Repeat data.
+func SumRange(first int64, pairs []encoding.DeltaRun, from, to int) (int64, error) {
+	if to <= from {
+		return 0, nil
+	}
+	var total int64
+	ok := true
+	if from == 0 {
+		total = first
+	}
+	cur := first
+	idx := 0
+	for _, p := range pairs {
+		runEnd := idx + p.Count
+		if runEnd < from || idx+1 > to {
+			cur += p.Delta * int64(p.Count)
+			idx = runEnd
+			if idx >= to {
+				break
+			}
+			continue
+		}
+		// Rows covered by this run are idx+1 .. runEnd; clamp to [from,to).
+		lo := idx + 1
+		if lo < from {
+			lo = from
+		}
+		hi := runEnd
+		if hi > to-1 {
+			hi = to - 1
+		}
+		if lo <= hi {
+			// Values: cur + jΔ for j = lo-idx .. hi-idx.
+			j0 := int64(lo - idx)
+			j1 := int64(hi - idx)
+			count := j1 - j0 + 1
+			base, ok1 := mulChecked(cur, count)
+			inc, ok2 := mulChecked(p.Delta, sumArith(j1)-sumArith(j0-1))
+			runSum, ok3 := addChecked(base, inc)
+			total, ok = addChecked(total, runSum)
+			if !(ok && ok1 && ok2 && ok3) {
+				return 0, ErrOverflow
+			}
+		}
+		cur += p.Delta * int64(p.Count)
+		idx = runEnd
+		if idx >= to {
+			break
+		}
+	}
+	return total, nil
+}
+
+// Count returns the number of values represented.
+func Count(pairs []encoding.DeltaRun) int {
+	n := 1
+	for _, p := range pairs {
+		n += p.Count
+	}
+	return n
+}
+
+// Avg aggregates the mean without decoding.
+func Avg(first int64, pairs []encoding.DeltaRun) (float64, error) {
+	s, err := Sum(first, pairs)
+	if err != nil {
+		return 0, err
+	}
+	return float64(s) / float64(Count(pairs)), nil
+}
+
+// MinMax scans run endpoints only: within a run values are monotone, so
+// extremes occur at run boundaries.
+func MinMax(first int64, pairs []encoding.DeltaRun) (minV, maxV int64) {
+	minV, maxV = first, first
+	cur := first
+	for _, p := range pairs {
+		cur += p.Delta * int64(p.Count)
+		if cur < minV {
+			minV = cur
+		}
+		if cur > maxV {
+			maxV = cur
+		}
+	}
+	return minV, maxV
+}
+
+// SumSquares aggregates Σ v² without decoding:
+// Σ_{i=1..n}(a+iΔ)² = n·a² + 2aΔ·Σi + Δ²·Σi².
+func SumSquares(first int64, pairs []encoding.DeltaRun) (int64, error) {
+	total, ok := mulChecked(first, first)
+	if !ok {
+		return 0, ErrOverflow
+	}
+	cur := first
+	for _, p := range pairs {
+		n := int64(p.Count)
+		a2, ok1 := mulChecked(cur, cur)
+		t1, ok2 := mulChecked(a2, n)
+		cross, ok3 := mulChecked(2*cur, p.Delta)
+		cross, ok4 := mulChecked(cross, sumArith(n))
+		d2, ok5 := mulChecked(p.Delta, p.Delta)
+		d2, ok6 := mulChecked(d2, sumSquaresArith(n))
+		s, ok7 := addChecked(t1, cross)
+		s, ok8 := addChecked(s, d2)
+		var ok9 bool
+		total, ok9 = addChecked(total, s)
+		if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7 && ok8 && ok9) {
+			return 0, ErrOverflow
+		}
+		cur += p.Delta * n
+	}
+	return total, nil
+}
+
+// Variance computes the population variance algebraically from the fused
+// Σv and Σv² (an algebraic aggregation per Proposition 3).
+func Variance(first int64, pairs []encoding.DeltaRun) (float64, error) {
+	s, err := Sum(first, pairs)
+	if err != nil {
+		return 0, err
+	}
+	sq, err := SumSquares(first, pairs)
+	if err != nil {
+		return 0, err
+	}
+	n := float64(Count(pairs))
+	mean := float64(s) / n
+	return float64(sq)/n - mean*mean, nil
+}
+
+// DotProduct aggregates Σ aᵢ·bᵢ over two aligned Delta-Repeat series
+// without decoding either, walking pairs in min(R₁,R₂) chunks exactly as
+// Section IV describes:
+//
+//	Σ_{i=1..v}(a+iΔA)(b+iΔB) = v·ab + aΔB·Σi + bΔA·Σi + ΔAΔB·Σi²
+func DotProduct(aFirst int64, aPairs []encoding.DeltaRun, bFirst int64, bPairs []encoding.DeltaRun) (int64, error) {
+	if Count(aPairs) != Count(bPairs) {
+		return 0, errors.New("fusion: series length mismatch")
+	}
+	total, ok := mulChecked(aFirst, bFirst)
+	if !ok {
+		return 0, ErrOverflow
+	}
+	a, b := aFirst, bFirst
+	ai, bi := 0, 0
+	aRem, bRem := 0, 0
+	if len(aPairs) > 0 {
+		aRem = aPairs[0].Count
+	}
+	if len(bPairs) > 0 {
+		bRem = bPairs[0].Count
+	}
+	for ai < len(aPairs) && bi < len(bPairs) {
+		dA, dB := aPairs[ai].Delta, bPairs[bi].Delta
+		valid := aRem
+		if bRem < valid {
+			valid = bRem
+		}
+		v := int64(valid)
+		// Four-term polynomial.
+		ab, ok0 := mulChecked(a, b)
+		t0, okT := mulChecked(ab, v)
+		ok0 = ok0 && okT
+		t1, ok1 := mulChecked(a*dB+b*dA, sumArith(v))
+		t2, ok2 := mulChecked(dA*dB, sumSquaresArith(v))
+		s, ok3 := addChecked(t0, t1)
+		s, ok4 := addChecked(s, t2)
+		var ok5 bool
+		total, ok5 = addChecked(total, s)
+		if !(ok0 && ok1 && ok2 && ok3 && ok4 && ok5) {
+			return 0, ErrOverflow
+		}
+		a += dA * v
+		b += dB * v
+		aRem -= valid
+		bRem -= valid
+		if aRem == 0 {
+			ai++
+			if ai < len(aPairs) {
+				aRem = aPairs[ai].Count
+			}
+		}
+		if bRem == 0 {
+			bi++
+			if bi < len(bPairs) {
+				bRem = bPairs[bi].Count
+			}
+		}
+	}
+	return total, nil
+}
+
+// Correlation computes Pearson correlation of two aligned Delta-Repeat
+// series from fused sums only.
+func Correlation(aFirst int64, aPairs []encoding.DeltaRun, bFirst int64, bPairs []encoding.DeltaRun) (float64, error) {
+	n := float64(Count(aPairs))
+	sa, err := Sum(aFirst, aPairs)
+	if err != nil {
+		return 0, err
+	}
+	sb, err := Sum(bFirst, bPairs)
+	if err != nil {
+		return 0, err
+	}
+	sab, err := DotProduct(aFirst, aPairs, bFirst, bPairs)
+	if err != nil {
+		return 0, err
+	}
+	va, err := Variance(aFirst, aPairs)
+	if err != nil {
+		return 0, err
+	}
+	vb, err := Variance(bFirst, bPairs)
+	if err != nil {
+		return 0, err
+	}
+	cov := float64(sab)/n - float64(sa)/n*float64(sb)/n
+	den := math.Sqrt(va * vb)
+	if den == 0 {
+		return 0, errors.New("fusion: zero variance")
+	}
+	return cov / den, nil
+}

@@ -1,0 +1,376 @@
+package fusion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"etsqp/internal/encoding"
+	"etsqp/internal/encoding/ts2diff"
+)
+
+// refSum decodes and sums — the unfused reference.
+func refSum(first int64, pairs []encoding.DeltaRun) int64 {
+	var s int64
+	for _, v := range encoding.DeltaRLEDecode(first, pairs) {
+		s += v
+	}
+	return s
+}
+
+func randomPairsSeries(seed int64, maxRun int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	n := rng.Intn(500) + 1
+	vals := make([]int64, n)
+	cur := rng.Int63n(1000)
+	for i := 0; i < n; {
+		d := rng.Int63n(41) - 20
+		run := rng.Intn(maxRun) + 1
+		for k := 0; k < run && i < n; k++ {
+			vals[i] = cur
+			cur += d
+			i++
+		}
+	}
+	return vals
+}
+
+func TestSumMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		vals := randomPairsSeries(seed, 30)
+		first, pairs := encoding.DeltaRLEEncode(vals)
+		got, err := Sum(first, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := refSum(first, pairs); got != want {
+			t.Fatalf("seed %d: got %d want %d", seed, got, want)
+		}
+	}
+}
+
+func TestSumLongRunIsO1(t *testing.T) {
+	// A billion-point run costs one pair — the fused sum must still be
+	// exact (closed form, no iteration).
+	pairs := []encoding.DeltaRun{{Delta: 3, Count: 1_000_000_000}}
+	got, err := Sum(10, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(1_000_000_000)
+	want := 10*(n+1) + 3*n*(n+1)/2
+	if got != want {
+		t.Fatalf("got %d want %d", got, want)
+	}
+}
+
+func TestSumOverflow(t *testing.T) {
+	pairs := []encoding.DeltaRun{{Delta: math.MaxInt64 / 2, Count: 1000}}
+	if _, err := Sum(math.MaxInt64/2, pairs); err != ErrOverflow {
+		t.Fatalf("got %v want ErrOverflow", err)
+	}
+}
+
+func TestSumRange(t *testing.T) {
+	vals := randomPairsSeries(42, 10)
+	first, pairs := encoding.DeltaRLEEncode(vals)
+	for from := 0; from <= len(vals); from += 7 {
+		for to := from; to <= len(vals); to += 5 {
+			got, err := SumRange(first, pairs, from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want int64
+			for _, v := range vals[from:to] {
+				want += v
+			}
+			if got != want {
+				t.Fatalf("[%d,%d): got %d want %d", from, to, got, want)
+			}
+		}
+	}
+}
+
+func TestCountAvgMinMax(t *testing.T) {
+	vals := []int64{10, 15, 20, 25, 25, 25, 23, 21, 30}
+	first, pairs := encoding.DeltaRLEEncode(vals)
+	if got := Count(pairs); got != len(vals) {
+		t.Fatalf("Count = %d", got)
+	}
+	avg, err := Avg(first, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	if want := float64(sum) / float64(len(vals)); avg != want {
+		t.Fatalf("Avg = %f want %f", avg, want)
+	}
+	minV, maxV := MinMax(first, pairs)
+	if minV != 10 || maxV != 30 {
+		t.Fatalf("MinMax = %d,%d", minV, maxV)
+	}
+}
+
+func TestMinMaxInteriorExtreme(t *testing.T) {
+	// Peak occurs at a run boundary in the middle.
+	vals := []int64{0, 10, 20, 10, 0, -10}
+	first, pairs := encoding.DeltaRLEEncode(vals)
+	minV, maxV := MinMax(first, pairs)
+	if minV != -10 || maxV != 20 {
+		t.Fatalf("MinMax = %d,%d", minV, maxV)
+	}
+}
+
+func TestSumSquaresAndVariance(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		vals := randomPairsSeries(seed, 20)
+		first, pairs := encoding.DeltaRLEEncode(vals)
+		got, err := SumSquares(first, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want int64
+		for _, v := range vals {
+			want += v * v
+		}
+		if got != want {
+			t.Fatalf("seed %d: SumSquares got %d want %d", seed, got, want)
+		}
+		v, err := Variance(first, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := 0.0
+		for _, x := range vals {
+			mean += float64(x)
+		}
+		mean /= float64(len(vals))
+		wantVar := 0.0
+		for _, x := range vals {
+			wantVar += (float64(x) - mean) * (float64(x) - mean)
+		}
+		wantVar /= float64(len(vals))
+		if math.Abs(v-wantVar) > 1e-6*(1+wantVar) {
+			t.Fatalf("seed %d: Variance got %f want %f", seed, v, wantVar)
+		}
+	}
+}
+
+func TestDotProduct(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		a := randomPairsSeries(seed, 15)
+		b := randomPairsSeries(seed+1000, 7)
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		aF, aP := encoding.DeltaRLEEncode(a)
+		bF, bP := encoding.DeltaRLEEncode(b)
+		got, err := DotProduct(aF, aP, bF, bP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want int64
+		for i := range a {
+			want += a[i] * b[i]
+		}
+		if got != want {
+			t.Fatalf("seed %d: got %d want %d", seed, got, want)
+		}
+	}
+}
+
+func TestDotProductLengthMismatch(t *testing.T) {
+	if _, err := DotProduct(0, []encoding.DeltaRun{{Delta: 1, Count: 2}}, 0, nil); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	// Perfectly correlated series → 1; anti-correlated → -1.
+	a := []int64{0, 2, 4, 6, 8, 8, 8, 10}
+	bPos := make([]int64, len(a))
+	bNeg := make([]int64, len(a))
+	for i, v := range a {
+		bPos[i] = 3*v + 7
+		bNeg[i] = -2*v + 5
+	}
+	aF, aP := encoding.DeltaRLEEncode(a)
+	pF, pP := encoding.DeltaRLEEncode(bPos)
+	nF, nP := encoding.DeltaRLEEncode(bNeg)
+	if r, err := Correlation(aF, aP, pF, pP); err != nil || math.Abs(r-1) > 1e-9 {
+		t.Fatalf("corr = %f, %v", r, err)
+	}
+	if r, err := Correlation(aF, aP, nF, nP); err != nil || math.Abs(r+1) > 1e-9 {
+		t.Fatalf("anticorr = %f, %v", r, err)
+	}
+	// Zero variance must error, not divide by zero.
+	cF, cP := encoding.DeltaRLEEncode([]int64{5, 5, 5, 5, 5, 5, 5, 5})
+	if _, err := Correlation(aF, aP, cF, cP); err == nil {
+		t.Fatal("zero variance must fail")
+	}
+}
+
+func TestSumBlockMatchesDecode(t *testing.T) {
+	f := func(raw []int64) bool {
+		for i := range raw {
+			raw[i] %= 1 << 30
+		}
+		b, err := ts2diff.Encode(raw, ts2diff.Order1)
+		if err != nil {
+			return false
+		}
+		got, err := SumBlock(b)
+		if err != nil {
+			return false
+		}
+		vals, _ := b.Decode()
+		var want int64
+		for _, v := range vals {
+			want += v
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumBlockLargeVectorPath(t *testing.T) {
+	// Enough values that whole plan blocks are exercised.
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]int64, 10000)
+	cur := int64(0)
+	for i := range vals {
+		vals[i] = cur
+		cur += rng.Int63n(1000)
+	}
+	b, _ := ts2diff.Encode(vals, ts2diff.Order1)
+	got, err := SumBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, v := range vals {
+		want += v
+	}
+	if got != want {
+		t.Fatalf("got %d want %d", got, want)
+	}
+}
+
+func TestSumBlockRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]int64, 2000)
+	cur := int64(100)
+	for i := range vals {
+		vals[i] = cur
+		cur += rng.Int63n(50) - 10
+	}
+	for _, order := range []ts2diff.Order{ts2diff.Order1, ts2diff.Order2} {
+		b, err := ts2diff.Encode(vals, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rg := range [][2]int{{0, 2000}, {0, 1}, {1999, 2000}, {500, 1500}, {7, 8}, {100, 100}} {
+			got, err := SumBlockRange(b, rg[0], rg[1])
+			if err != nil {
+				t.Fatalf("order %d range %v: %v", order, rg, err)
+			}
+			var want int64
+			for _, v := range vals[rg[0]:rg[1]] {
+				want += v
+			}
+			if got != want {
+				t.Fatalf("order %d range %v: got %d want %d", order, rg, got, want)
+			}
+		}
+	}
+}
+
+func TestSumBlockOrder2Delegates(t *testing.T) {
+	ts := make([]int64, 500)
+	for i := range ts {
+		ts[i] = int64(i) * 1000
+	}
+	b, _ := ts2diff.Encode(ts, ts2diff.Order2)
+	got, err := SumBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, v := range ts {
+		want += v
+	}
+	if got != want {
+		t.Fatalf("got %d want %d", got, want)
+	}
+}
+
+func BenchmarkFusedSumVsDecode(b *testing.B) {
+	vals := make([]int64, 100000)
+	cur := int64(0)
+	for i := range vals {
+		vals[i] = cur
+		cur += int64(i%7) * 3
+	}
+	first, pairs := encoding.DeltaRLEEncode(vals)
+	b.Run("fused", func(b *testing.B) {
+		b.SetBytes(int64(len(vals) * 8))
+		for i := 0; i < b.N; i++ {
+			if _, err := Sum(first, pairs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode-then-sum", func(b *testing.B) {
+		b.SetBytes(int64(len(vals) * 8))
+		for i := 0; i < b.N; i++ {
+			var s int64
+			for _, v := range encoding.DeltaRLEDecode(first, pairs) {
+				s += v
+			}
+			_ = s
+		}
+	})
+}
+
+func TestSumBlockOrder2ClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(2000) + 1
+		ts := make([]int64, n)
+		cur := int64(rng.Intn(100000))
+		interval := int64(rng.Intn(100) + 1)
+		for i := range ts {
+			ts[i] = cur
+			interval += rng.Int63n(9) - 4
+			cur += interval
+		}
+		b, err := ts2diff.Encode(ts, ts2diff.Order2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SumBlockOrder2(b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var want int64
+		for _, v := range ts {
+			want += v
+		}
+		if got != want {
+			t.Fatalf("trial %d (n=%d): got %d want %d", trial, n, got, want)
+		}
+	}
+	// Misuse guard.
+	b1, _ := ts2diff.Encode([]int64{1, 2, 3}, ts2diff.Order1)
+	if _, err := SumBlockOrder2(b1); err == nil {
+		t.Fatal("order-1 input must be rejected")
+	}
+}

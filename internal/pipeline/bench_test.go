@@ -1,0 +1,245 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"etsqp/internal/encoding"
+	"etsqp/internal/encoding/ts2diff"
+	"etsqp/internal/simd"
+)
+
+// BenchmarkDecodeVector measures the Algorithm 1 pipeline against the
+// scalar reference across packing widths — the per-width ablation behind
+// Figure 12(e,f)'s shape.
+func BenchmarkDecodeVector(b *testing.B) {
+	for _, w := range []uint{4, 10, 16, 20, 25, 30} {
+		vals := seriesWithWidthB(65536, w)
+		blk, err := ts2diff.Encode(vals, ts2diff.Order1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := make([]int64, blk.Count)
+		b.Run(fmt.Sprintf("width=%d", w), func(b *testing.B) {
+			b.SetBytes(int64(len(vals) * 8))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := DecodeBlockInto(out, blk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeScalarRef is the serial baseline for the same widths.
+func BenchmarkDecodeScalarRef(b *testing.B) {
+	for _, w := range []uint{4, 10, 16, 20, 25, 30} {
+		vals := seriesWithWidthB(65536, w)
+		blk, err := ts2diff.Encode(vals, ts2diff.Order1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("width=%d", w), func(b *testing.B) {
+			b.SetBytes(int64(len(vals) * 8))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := blk.Decode(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNv is the Proposition 1 ablation: decode time as a function of
+// the vector count n_v, holding the width fixed at 10 bits.
+func BenchmarkNv(b *testing.B) {
+	vals := seriesWithWidthB(65536, 10)
+	blk, err := ts2diff.Encode(vals, ts2diff.Order1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]int64, blk.Count)
+	for _, nv := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("nv=%d", nv), func(b *testing.B) {
+			// Install a plan with the forced n_v.
+			p := &Plan{Width: 10, Nv: nv}
+			p.BlockElems = 8 * nv
+			p.BlockBytes = p.BlockElems * 10 / 8
+			forced := buildPlanWithNv(10, nv)
+			planMu.Lock()
+			saved := planCache[10]
+			planCache[10] = forced
+			planMu.Unlock()
+			defer func() {
+				planMu.Lock()
+				planCache[10] = saved
+				planMu.Unlock()
+			}()
+			b.SetBytes(int64(len(vals) * 8))
+			for i := 0; i < b.N; i++ {
+				if err := DecodeBlockInto(out, blk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func buildPlanWithNv(width uint, nv int) *Plan {
+	p := buildPlan(width)
+	if p.Nv == nv {
+		return p
+	}
+	// Rebuild the tables for the forced vector count.
+	forced := &Plan{Width: width, Nv: nv}
+	forced.BlockElems = 8 * nv
+	forced.BlockBytes = forced.BlockElems * int(width) / 8
+	forced.NLoad = (forced.BlockBytes + 31) / 32
+	forced.mask = p.mask
+	for l := 0; l < 8; l++ {
+		forced.ramp[l] = uint32(l * nv)
+	}
+	forced.gatherIdx = make([]*[32]int32, nv)
+	forced.shift = make([]simd.U32x8, nv)
+	for j := 0; j < nv; j++ {
+		idx := new([32]int32)
+		var shift simd.U32x8
+		for l := 0; l < 8; l++ {
+			e := l*nv + j
+			startBit := e * int(width)
+			fb := startBit / 8
+			o := uint(startBit - fb*8)
+			for bb := 0; bb < 4; bb++ {
+				idx[l*4+bb] = int32(fb + 3 - bb)
+			}
+			shift[l] = 32 - uint32(o) - uint32(width)
+		}
+		forced.gatherIdx[j] = idx
+		forced.shift[j] = shift
+	}
+	return forced
+}
+
+// BenchmarkFibonacciUnpack compares word-at-a-time vs bit-at-a-time
+// variable-width decoding.
+func BenchmarkFibonacciUnpack(b *testing.B) {
+	vals := make([]uint64, 65536)
+	for i := range vals {
+		vals[i] = uint64(i%1000) + 1
+	}
+	buf, err := encoding.FibonacciEncodeAll(vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("word", func(b *testing.B) {
+		b.SetBytes(int64(len(vals) * 8))
+		for i := 0; i < b.N; i++ {
+			if _, err := UnpackFibonacci(buf, len(vals)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(int64(len(vals) * 8))
+		for i := 0; i < b.N; i++ {
+			if _, err := UnpackFibonacciScalar(buf, len(vals)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func seriesWithWidthB(n int, w uint) []int64 {
+	vals := make([]int64, n)
+	cur := int64(0)
+	maxDelta := int64(1)<<w - 1
+	for i := range vals {
+		vals[i] = cur
+		d := int64(i*2654435761) & maxDelta
+		if i == 1 {
+			d = maxDelta
+		}
+		cur += d
+	}
+	return vals
+}
+
+// BenchmarkVectorWidth compares the 256-bit and 512-bit pipeline
+// instantiations (the "other quantities and instruction sets" extension
+// of Section II-B).
+func BenchmarkVectorWidth(b *testing.B) {
+	vals := seriesWithWidthB(65536, 10)
+	blk, err := ts2diff.Encode(vals, ts2diff.Order1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("256", func(b *testing.B) {
+		out := make([]int64, blk.Count)
+		b.SetBytes(int64(len(vals) * 8))
+		for i := 0; i < b.N; i++ {
+			if err := DecodeBlockInto(out, blk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("512", func(b *testing.B) {
+		b.SetBytes(int64(len(vals) * 8))
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeBlock512(blk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkJITCache measures the Section III-B plan cache: decoding with
+// cached tables vs rebuilding the tables on every page.
+func BenchmarkJITCache(b *testing.B) {
+	vals := seriesWithWidthB(8192, 10)
+	blk, _ := ts2diff.Encode(vals, ts2diff.Order1)
+	out := make([]int64, blk.Count)
+	b.Run("cached", func(b *testing.B) {
+		PlanFor(10) // warm
+		b.SetBytes(int64(len(vals) * 8))
+		for i := 0; i < b.N; i++ {
+			if err := DecodeBlockInto(out, blk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuilt", func(b *testing.B) {
+		b.SetBytes(int64(len(vals) * 8))
+		for i := 0; i < b.N; i++ {
+			ResetPlanCache()
+			if err := DecodeBlockInto(out, blk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ResetPlanCache()
+}
+
+// BenchmarkFibonacciParallel measures the Section III-C variable-width
+// splitting at several worker counts.
+func BenchmarkFibonacciParallel(b *testing.B) {
+	vals := make([]uint64, 200000)
+	for i := range vals {
+		vals[i] = uint64(i%997) + 1
+	}
+	buf, err := encoding.FibonacciEncodeAll(vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.SetBytes(int64(len(vals) * 8))
+			for i := 0; i < b.N; i++ {
+				if _, err := UnpackFibonacciParallel(buf, len(vals), w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,96 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"etsqp/internal/encoding/ts2diff"
+	"etsqp/internal/simd"
+)
+
+// Decoder is a compiled page decoder: all encoding parameters (order,
+// width, plan tables, per-lane base offsets) are bound at compile time,
+// so each invocation runs the pipeline with no per-page decisions — the
+// JIT product of Section III-B.
+type Decoder struct {
+	Count int // values produced per call
+	run   func(dst []int64) error
+}
+
+// Decode runs the compiled pipeline into dst (len must equal Count).
+func (d *Decoder) Decode(dst []int64) error {
+	if len(dst) != d.Count {
+		return fmt.Errorf("pipeline: dst len %d, want %d", len(dst), d.Count)
+	}
+	return d.run(dst)
+}
+
+// Compile builds the decoder for one TS2DIFF block. The expensive parts
+// — plan construction (shuffle/shift/mask tables) and the lane base
+// vector — happen here, once per page, exactly as the paper compiles
+// each thread's pipeline per page (Section VI-B).
+func Compile(b *ts2diff.Block) (*Decoder, error) {
+	switch b.Order {
+	case ts2diff.Order1, ts2diff.Order2:
+	default:
+		return nil, fmt.Errorf("pipeline: unknown order %d", b.Order)
+	}
+	d := &Decoder{Count: b.Count}
+	if b.Count == 0 {
+		d.run = func([]int64) error { return nil }
+		return d, nil
+	}
+	m := b.NumPacked()
+	width := b.Width
+	// Fallback shapes reuse the general path with parameters bound.
+	if b.Order == ts2diff.Order2 || width == 0 || width > MaxNarrowWidth || m < 8 {
+		blk := *b
+		d.run = func(dst []int64) error { return DecodeBlockInto(dst, &blk) }
+		return d, nil
+	}
+	p := PlanFor(width)
+	first, minBase, packed := b.First, b.MinBase, b.Packed
+	rampBase := make([]int64, simd.Lanes32)
+	for l := 0; l < simd.Lanes32; l++ {
+		rampBase[l] = minBase * int64(l*p.Nv)
+	}
+	blockBytes := p.BlockElems * int(width) / 8
+	fullBlocks := m / p.BlockElems
+	tailStart := fullBlocks * p.BlockElems
+	blk := *b
+	d.run = func(dst []int64) error {
+		dst[0] = first
+		vecs := make([]simd.U32x8, p.Nv)
+		v0 := first
+		for blkIdx := 0; blkIdx < fullBlocks; blkIdx++ {
+			e := blkIdx * p.BlockElems
+			window := packed[blkIdx*blockBytes:]
+			for j := 0; j < p.Nv; j++ {
+				vecs[j] = p.UnpackVec(window, j)
+			}
+			for j := 1; j < p.Nv; j++ {
+				vecs[j] = simd.Add32(vecs[j-1], vecs[j])
+			}
+			laneTot := vecs[p.Nv-1]
+			prefix := simd.ExclusivePrefixSum32(laneTot)
+			for j := 0; j < p.Nv; j++ {
+				s := simd.Add32(vecs[j], prefix)
+				base := v0 + minBase*int64(j+1)
+				for l := 0; l < simd.Lanes32; l++ {
+					dst[1+e+l*p.Nv+j] = base + rampBase[l] + int64(s[l])
+				}
+			}
+			total := int64(prefix[simd.Lanes32-1]) + int64(laneTot[simd.Lanes32-1])
+			v0 += minBase*int64(p.BlockElems) + total
+		}
+		if tailStart < m {
+			// Tail via the range decoder (scalar, parameters bound in blk).
+			tail, err := DecodeRange(&blk, tailStart+1, blk.Count)
+			if err != nil {
+				return err
+			}
+			copy(dst[tailStart+1:], tail)
+		}
+		return nil
+	}
+	return d, nil
+}

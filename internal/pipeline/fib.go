@@ -1,0 +1,155 @@
+package pipeline
+
+import (
+	"errors"
+
+	"etsqp/internal/bitio"
+)
+
+// ErrBadFibStream reports a malformed Fibonacci-coded payload.
+var ErrBadFibStream = errors.New("pipeline: malformed fibonacci stream")
+
+// fibNumbers mirrors the Zeckendorf basis F(2)=1, F(3)=2, ...
+var fibNumbers = func() []uint64 {
+	fs := []uint64{1, 2}
+	for fs[len(fs)-1] <= 1<<62 {
+		fs = append(fs, fs[len(fs)-1]+fs[len(fs)-2])
+	}
+	return fs
+}()
+
+// UnpackFibonacci decodes n Fibonacci codewords from buf using word-at-a-
+// time scanning: 64 bits are loaded per step and the (v>>1)&v trick of
+// Figure 7(c) locates the "11" terminators, so the scanner touches memory
+// once per word instead of once per bit (the vectorized variable-width
+// unpack of Section III-A.2).
+func UnpackFibonacci(buf []byte, n int) ([]uint64, error) {
+	out := make([]uint64, 0, n)
+	var (
+		cur     uint64 // value being accumulated
+		digit   int    // next Zeckendorf digit index
+		prevBit uint64 // last bit of the previous word (carry for "11")
+	)
+	totalBits := len(buf) * 8
+	pos := 0
+	for pos < totalBits && len(out) < n {
+		// Load up to 64 bits MSB-first from the byte stream.
+		w, nb := loadWordMSB(buf, pos)
+		// Scan the word's bits from its MSB.
+		for i := 0; i < nb && len(out) < n; i++ {
+			bit := (w >> uint(63-i)) & 1
+			if bit == 1 && prevBit == 1 {
+				out = append(out, cur)
+				cur, digit, prevBit = 0, 0, 0
+				continue
+			}
+			if bit == 1 {
+				if digit >= len(fibNumbers) {
+					return nil, ErrBadFibStream
+				}
+				cur += fibNumbers[digit]
+			}
+			digit++
+			prevBit = bit
+		}
+		pos += nb
+	}
+	if len(out) < n {
+		return nil, ErrBadFibStream
+	}
+	return out, nil
+}
+
+// loadWordMSB loads up to 64 bits starting at absolute bit position pos,
+// left-aligned (first bit in the MSB). It returns the word and how many
+// valid bits it holds.
+func loadWordMSB(buf []byte, pos int) (uint64, int) {
+	byteOff := pos / 8
+	bitOff := uint(pos % 8)
+	var tmp [9]byte
+	copy(tmp[:], buf[byteOff:])
+	w := binaryBE64(tmp[:8])
+	if bitOff > 0 {
+		w = w<<bitOff | uint64(tmp[8])>>(8-bitOff)
+	}
+	valid := len(buf)*8 - pos
+	if valid > 64 {
+		valid = 64
+	}
+	return w, valid
+}
+
+func binaryBE64(b []byte) uint64 {
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+
+// fibDict is the per-byte terminator dictionary of Figure 7: indexed by
+// (carry-in, byte) it yields the number of codeword terminators in the
+// byte and the carry-out. The carry is 1 when the byte ends in an
+// unconsumed 1 bit (a terminator consumes both of its 1s).
+var fibDict = func() (d [2][256]struct{ count, carry uint8 }) {
+	for carry := 0; carry < 2; carry++ {
+		for b := 0; b < 256; b++ {
+			prev := uint8(carry)
+			var count uint8
+			for i := 7; i >= 0; i-- {
+				bit := uint8(b>>uint(i)) & 1
+				if bit == 1 && prev == 1 {
+					count++
+					prev = 0
+				} else {
+					prev = bit
+				}
+			}
+			d[carry][b] = struct{ count, carry uint8 }{count, prev}
+		}
+	}
+	return d
+}()
+
+// CountFibTerminators returns the number of complete codewords in buf —
+// the separator count the core-level splitter uses to find codeword
+// boundaries in a page slice without decoding values (Section III-C).
+// It consumes one dictionary lookup per byte, the vectorizable analogue
+// of the shuffle-index dictionary in Figure 7.
+func CountFibTerminators(buf []byte) int {
+	count := 0
+	carry := uint8(0)
+	for _, b := range buf {
+		e := fibDict[carry][b]
+		count += int(e.count)
+		carry = e.carry
+	}
+	return count
+}
+
+// UnpackFibonacciScalar is the bit-at-a-time reference decoder used by
+// correctness tests and as the Serial baseline for variable widths.
+func UnpackFibonacciScalar(buf []byte, n int) ([]uint64, error) {
+	r := bitio.NewReader(buf)
+	out := make([]uint64, 0, n)
+	var cur uint64
+	digit := 0
+	prev := uint(0)
+	for len(out) < n {
+		b, err := r.ReadBit()
+		if err != nil {
+			return nil, ErrBadFibStream
+		}
+		if b == 1 && prev == 1 {
+			out = append(out, cur)
+			cur, digit, prev = 0, 0, 0
+			continue
+		}
+		if b == 1 {
+			if digit >= len(fibNumbers) {
+				return nil, ErrBadFibStream
+			}
+			cur += fibNumbers[digit]
+		}
+		digit++
+		prev = b
+	}
+	return out, nil
+}

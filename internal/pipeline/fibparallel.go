@@ -1,0 +1,128 @@
+package pipeline
+
+import "sync"
+
+// UnpackFibonacciParallel decodes n Fibonacci codewords with multiple
+// workers — Section III-C's core-level splitting for variable packing
+// widths. A naive split cannot resynchronize inside runs of 1s (the
+// value 1 encodes as "11", so "1111" is ambiguous without consumption
+// state), so a cheap pre-scan walks the payload with the per-byte
+// terminator dictionary of Figure 7 to find the *exact* bit position of
+// every segment boundary; workers then decode disjoint codeword ranges
+// concurrently. The pre-scan does one table lookup per byte — far
+// cheaper than value accumulation — so the decode still parallelizes.
+func UnpackFibonacciParallel(buf []byte, n, workers int) ([]uint64, error) {
+	if workers <= 1 || n < workers*4 {
+		return UnpackFibonacci(buf, n)
+	}
+	bounds, counts, err := fibBoundaries(buf, n, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, 0, n)
+	segs := make([][]uint64, len(bounds)-1)
+	errs := make([]error, len(bounds)-1)
+	var wg sync.WaitGroup
+	for w := 0; w < len(bounds)-1; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			segs[w], errs[w] = decodeFibSegment(buf, bounds[w], counts[w])
+		}(w)
+	}
+	wg.Wait()
+	for w := range segs {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		out = append(out, segs[w]...)
+	}
+	return out, nil
+}
+
+// fibBoundaries returns worker-segment start bit positions (len =
+// workers+1 entries, last = end sentinel) and the codeword count of each
+// segment, located exactly via the per-byte terminator dictionary.
+func fibBoundaries(buf []byte, n, workers int) (bounds []int, counts []int, err error) {
+	per := n / workers
+	targets := make([]int, 0, workers-1)
+	for w := 1; w < workers; w++ {
+		targets = append(targets, w*per) // boundary after codeword #target
+	}
+	bounds = make([]int, 0, workers+1)
+	counts = make([]int, 0, workers)
+	bounds = append(bounds, 0)
+	seen := 0
+	carry := uint8(0)
+	ti := 0
+	for byteIdx := 0; byteIdx < len(buf) && ti < len(targets); byteIdx++ {
+		e := fibDict[carry][buf[byteIdx]]
+		if seen+int(e.count) < targets[ti] {
+			seen += int(e.count)
+			carry = e.carry
+			continue
+		}
+		// One or more targets land inside this byte: bit-level scan.
+		prev := carry
+		for bit := 7; bit >= 0; bit-- {
+			b := buf[byteIdx] >> uint(bit) & 1
+			if b == 1 && prev == 1 {
+				seen++
+				prev = 0
+				if ti < len(targets) && seen == targets[ti] {
+					bounds = append(bounds, byteIdx*8+(7-bit)+1)
+					counts = append(counts, per)
+					ti++
+				}
+				continue
+			}
+			prev = b
+		}
+		carry = prev
+	}
+	if ti < len(targets) {
+		return nil, nil, ErrBadFibStream // fewer codewords than claimed
+	}
+	bounds = append(bounds, len(buf)*8)
+	counts = append(counts, n-targets[len(targets)-1])
+	return bounds, counts, nil
+}
+
+func bitAt(buf []byte, pos int) uint8 {
+	return buf[pos>>3] >> (7 - uint(pos&7)) & 1
+}
+
+// decodeFibSegment decodes exactly `count` codewords starting at the
+// codeword boundary startBit.
+func decodeFibSegment(buf []byte, startBit, count int) ([]uint64, error) {
+	totalBits := len(buf) * 8
+	out := make([]uint64, 0, count)
+	pos := startBit
+	for len(out) < count {
+		var (
+			cur   uint64
+			digit int
+			prev  uint8
+		)
+		for {
+			if pos >= totalBits {
+				return nil, ErrBadFibStream
+			}
+			b := bitAt(buf, pos)
+			pos++
+			if b == 1 && prev == 1 {
+				out = append(out, cur)
+				break
+			}
+			if b == 1 {
+				if digit >= len(fibNumbers) {
+					return nil, ErrBadFibStream
+				}
+				cur += fibNumbers[digit]
+			}
+			digit++
+			prev = b
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,720 @@
+package pipeline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"etsqp/internal/encoding"
+	"etsqp/internal/encoding/ts2diff"
+	"etsqp/internal/storage"
+)
+
+// seriesWithWidth builds n values whose TS2DIFF packing width is exactly w.
+func seriesWithWidth(n int, w uint, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int64, n)
+	cur := int64(1000)
+	maxDelta := int64(1)<<w - 1
+	for i := range vals {
+		vals[i] = cur
+		var d int64
+		if w == 0 {
+			d = 7
+		} else {
+			d = rng.Int63n(maxDelta + 1)
+			if i == 1 {
+				d = maxDelta // force the full width at least once
+			}
+		}
+		cur += d
+	}
+	return vals
+}
+
+func TestDecodeBlockMatchesScalarAllWidths(t *testing.T) {
+	for w := uint(0); w <= 32; w++ {
+		vals := seriesWithWidth(1000, w, int64(w)+1)
+		b, err := ts2diff.Encode(vals, ts2diff.Order1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w > 0 && b.Width != w {
+			t.Fatalf("width %d: block width %d", w, b.Width)
+		}
+		want, err := b.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeBlock(b)
+		if err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("width %d: first mismatch at %d: got %d want %d", w, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeBlockOrder2(t *testing.T) {
+	// Near-regular timestamps: order-2 width stays small.
+	ts := make([]int64, 5000)
+	rng := rand.New(rand.NewSource(7))
+	cur := int64(1_700_000_000_000)
+	interval := int64(1000)
+	for i := range ts {
+		ts[i] = cur
+		interval += rng.Int63n(5) - 2
+		cur += interval
+	}
+	b, err := ts2diff.Encode(ts, ts2diff.Order2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := b.Decode()
+	got, err := DecodeBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("order-2 vector decode mismatch")
+	}
+}
+
+func TestDecodeBlockSmallCounts(t *testing.T) {
+	for n := 0; n <= 40; n++ {
+		vals := seriesWithWidth(n, 10, int64(n))
+		b, err := ts2diff.Encode(vals, ts2diff.Order1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeBlock(b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if n == 0 {
+			if len(got) != 0 {
+				t.Fatalf("n=0 got %v", got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, vals) {
+			t.Fatalf("n=%d mismatch", n)
+		}
+	}
+}
+
+func TestDecodeBlockQuick(t *testing.T) {
+	f := func(raw []int64) bool {
+		for i := range raw {
+			raw[i] %= 1 << 40
+		}
+		b, err := ts2diff.Encode(raw, ts2diff.Order1)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeBlock(b)
+		if err != nil {
+			return false
+		}
+		if len(raw) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeBlockIntoValidation(t *testing.T) {
+	b, _ := ts2diff.Encode([]int64{1, 2, 3}, ts2diff.Order1)
+	if err := DecodeBlockInto(make([]int64, 2), b); err == nil {
+		t.Fatal("wrong dst length must fail")
+	}
+	bad := *b
+	bad.Order = 9
+	if err := DecodeBlockInto(make([]int64, 3), &bad); err == nil {
+		t.Fatal("bad order must fail")
+	}
+}
+
+func TestDecodeDeltas(t *testing.T) {
+	for _, w := range []uint{1, 5, 10, 13, 25, 27, 32} {
+		vals := seriesWithWidth(500, w, int64(w))
+		b, _ := ts2diff.Encode(vals, ts2diff.Order1)
+		deltas, err := DecodeDeltas(b.Packed, b.NumPacked(), b.Width, b.MinBase)
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		_, want := encoding.DeltaEncode(vals)
+		if !reflect.DeepEqual(deltas, want) {
+			t.Fatalf("w=%d: delta mismatch", w)
+		}
+	}
+	// width 0
+	got, err := DecodeDeltas(nil, 5, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range got {
+		if d != 42 {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestSumPacked(t *testing.T) {
+	for _, w := range []uint{1, 3, 10, 20, 25, 30} {
+		vals := seriesWithWidth(700, w, int64(w)*3)
+		b, _ := ts2diff.Encode(vals, ts2diff.Order1)
+		got, err := SumPacked(b.Packed, b.NumPacked(), b.Width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		packed, _ := encoding.Unpack(b.Packed, b.NumPacked(), b.Width)
+		var want uint64
+		for _, p := range packed {
+			want += p
+		}
+		if got != want {
+			t.Fatalf("w=%d: sum %d want %d", w, got, want)
+		}
+	}
+	if s, err := SumPacked(nil, 0, 10); err != nil || s != 0 {
+		t.Fatalf("empty sum: %d/%v", s, err)
+	}
+}
+
+func TestChooseNv(t *testing.T) {
+	// Paper example: 10-bit packing, 32-bit lanes → n_v ≈ 4.
+	if got := ChooseNv(10, 32); got != 5 && got != 4 {
+		t.Fatalf("ChooseNv(10,32) = %d, want ~4", got)
+	}
+	// 25-bit example: sqrt(32/25*5.5) ≈ 2.65 → 3.
+	if got := ChooseNv(25, 32); got < 2 || got > 4 {
+		t.Fatalf("ChooseNv(25,32) = %d, want ~3", got)
+	}
+	if ChooseNv(0, 32) != 1 {
+		t.Fatal("width 0 must use a single vector")
+	}
+	// Wider inputs need fewer vectors than narrow ones.
+	if ChooseNv(1, 32) < ChooseNv(25, 32) {
+		t.Fatal("narrow widths should choose more vectors")
+	}
+	// Overflow clamp: width+log2(8*nv) <= 32 for every width on the
+	// narrow path.
+	for w := uint(1); w <= 25; w++ {
+		nv := ChooseNv(w, 32)
+		elems := 8 * nv
+		if uint64(elems)*(uint64(1)<<w-1) >= 1<<32 {
+			t.Fatalf("width %d: nv %d allows 32-bit overflow", w, nv)
+		}
+	}
+}
+
+func TestPlanTables(t *testing.T) {
+	ResetPlanCache()
+	p := PlanFor(10)
+	if p.wide || p.Nv < 1 || p.BlockElems != 8*p.Nv {
+		t.Fatalf("plan: %+v", p)
+	}
+	if p.BlockBytes != p.BlockElems*10/8 {
+		t.Fatalf("BlockBytes = %d", p.BlockBytes)
+	}
+	// Cached instance is reused.
+	if PlanFor(10) != p {
+		t.Fatal("plan not cached")
+	}
+	// Wide plan has no tables.
+	pw := PlanFor(30)
+	if !pw.wide || pw.gatherIdx != nil {
+		t.Fatalf("wide plan: %+v", pw)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width > 32 must panic")
+		}
+	}()
+	PlanFor(33)
+}
+
+func TestUnpackFibonacci(t *testing.T) {
+	f := func(raw []uint16) bool {
+		vals := make([]uint64, len(raw))
+		for i, r := range raw {
+			vals[i] = uint64(r) + 1
+		}
+		buf, err := encoding.FibonacciEncodeAll(vals)
+		if err != nil {
+			return false
+		}
+		got, err := UnpackFibonacci(buf, len(vals))
+		if err != nil {
+			return false
+		}
+		ref, err := UnpackFibonacciScalar(buf, len(vals))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, vals) && reflect.DeepEqual(ref, vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpackFibonacciTruncated(t *testing.T) {
+	buf, _ := encoding.FibonacciEncodeAll([]uint64{5, 9})
+	if _, err := UnpackFibonacci(buf, 3); err == nil {
+		t.Fatal("expected error for missing codewords")
+	}
+	if _, err := UnpackFibonacciScalar(buf, 3); err == nil {
+		t.Fatal("expected error for missing codewords (scalar)")
+	}
+}
+
+func TestCountFibTerminators(t *testing.T) {
+	vals := []uint64{1, 2, 3, 100, 7, 1, 1, 900000}
+	buf, _ := encoding.FibonacciEncodeAll(vals)
+	if got := CountFibTerminators(buf); got != len(vals) {
+		t.Fatalf("got %d want %d", got, len(vals))
+	}
+	if got := CountFibTerminators(nil); got != 0 {
+		t.Fatalf("empty: %d", got)
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	pairs := []encoding.DeltaRun{{Delta: 5, Count: 3}, {Delta: 0, Count: 4}, {Delta: -2, Count: 2}}
+	got := Flatten(10, pairs)
+	want := []int64{10, 15, 20, 25, 25, 25, 25, 25, 23, 21}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestFlattenMatchesEncoding(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for i := range vals {
+			vals[i] %= 1 << 40
+		}
+		first, pairs := encoding.DeltaRLEEncode(vals)
+		return reflect.DeepEqual(Flatten(first, pairs), vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlattenRange(t *testing.T) {
+	vals := []int64{10, 15, 20, 25, 25, 25, 25, 25, 23, 21}
+	first, pairs := encoding.DeltaRLEEncode(vals)
+	for from := 0; from <= len(vals); from++ {
+		for to := from; to <= len(vals); to++ {
+			got := FlattenRange(first, pairs, from, to)
+			want := vals[from:to]
+			if len(want) == 0 {
+				if len(got) != 0 {
+					t.Fatalf("[%d,%d): got %v", from, to, got)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("[%d,%d): got %v want %v", from, to, got, want)
+			}
+		}
+	}
+}
+
+func TestTheoryEstimates(t *testing.T) {
+	// T_avg must be positive and reach a minimum near ChooseNv's pick.
+	best, bestNv := 1e18, 0
+	for nv := 1; nv <= 16; nv++ {
+		v := TAvg(10, 32, 256, nv)
+		if v <= 0 {
+			t.Fatalf("TAvg(nv=%d) = %f", nv, v)
+		}
+		if v < best {
+			best, bestNv = v, nv
+		}
+	}
+	chosen := ChooseNv(10, 32)
+	if d := bestNv - chosen; d < -1 || d > 1 {
+		t.Fatalf("TAvg minimum at nv=%d but ChooseNv=%d", bestNv, chosen)
+	}
+	// Theorem 2's worked example: ~15x with 16 threads on 10-bit data.
+	r := AccelerationRatio(10, 32, 256, 16, 4)
+	if r < 5 || r > 200 {
+		t.Fatalf("acceleration ratio %f out of plausible range", r)
+	}
+	// More cores → more acceleration.
+	if AccelerationRatio(10, 32, 256, 8, 4) >= r {
+		t.Fatal("ratio must grow with cores")
+	}
+	if AccelerationRatio(0, 32, 256, 8, 4) != 1 {
+		t.Fatal("width 0 ratio must be 1")
+	}
+}
+
+func TestSplitPagesWholePagesWhenEnough(t *testing.T) {
+	pairs := makePairs(t, 8, 100)
+	got := SplitPages(pairs, 4)
+	if len(got) != 4 {
+		t.Fatalf("workers = %d", len(got))
+	}
+	total := 0
+	for _, ws := range got {
+		for _, sl := range ws {
+			if sl.Dependent || sl.StartRow != 0 {
+				t.Fatal("whole pages must not be sliced")
+			}
+			total += sl.Rows()
+		}
+	}
+	if total != 800 {
+		t.Fatalf("rows covered = %d", total)
+	}
+}
+
+func TestSplitPagesSlicesWhenScarce(t *testing.T) {
+	pairs := makePairs(t, 2, 1000)
+	got := SplitPages(pairs, 8)
+	nSlices := 0
+	rows := 0
+	for _, ws := range got {
+		for _, sl := range ws {
+			nSlices++
+			rows += sl.Rows()
+			if sl.StartRow%8 != 0 {
+				t.Fatalf("slice start %d not aligned", sl.StartRow)
+			}
+			if (sl.StartRow > 0) != sl.Dependent {
+				t.Fatal("Dependent flag wrong")
+			}
+		}
+	}
+	if rows != 2000 {
+		t.Fatalf("rows covered = %d", rows)
+	}
+	if nSlices < 5 {
+		t.Fatalf("expected each page split into ~4 slices, got %d total", nSlices)
+	}
+}
+
+func TestSplitPagesEdgeCases(t *testing.T) {
+	if got := SplitPages(nil, 4); len(got) != 4 {
+		t.Fatal("empty input must still return worker lists")
+	}
+	pairs := makePairs(t, 1, 5)
+	got := SplitPages(pairs, 0)
+	if len(got) != 1 {
+		t.Fatal("workers < 1 clamps to 1")
+	}
+	// Page smaller than worker count.
+	got = SplitPages(makePairs(t, 1, 3), 16)
+	rows := 0
+	for _, ws := range got {
+		for _, sl := range ws {
+			rows += sl.Rows()
+		}
+	}
+	if rows != 3 {
+		t.Fatalf("rows = %d", rows)
+	}
+}
+
+func makePairs(t *testing.T, nPages, rowsPer int) []storage.PagePair {
+	t.Helper()
+	n := nPages * rowsPer
+	ts := make([]int64, n)
+	vals := make([]int64, n)
+	for i := 0; i < n; i++ {
+		ts[i] = int64(i) * 1000
+		vals[i] = int64(i % 100)
+	}
+	pairs, err := storage.EncodePages(ts, vals, storage.Options{PageSize: rowsPer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairs
+}
+
+func TestDecodeBlock512MatchesScalar(t *testing.T) {
+	for w := uint(0); w <= 32; w++ {
+		vals := seriesWithWidth(1500, w, int64(w)+77)
+		b, err := ts2diff.Encode(vals, ts2diff.Order1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := b.Decode()
+		got, err := DecodeBlock512(b)
+		if err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("width %d: 512-bit decode mismatch", w)
+		}
+	}
+}
+
+func TestChooseNv512(t *testing.T) {
+	if ChooseNv512(0, 32) != 1 {
+		t.Fatal("width 0 must use one vector")
+	}
+	// Overflow clamp at 16 lanes: width + log2(16*nv) <= 32.
+	for w := uint(1); w <= 25; w++ {
+		nv := ChooseNv512(w, 32)
+		if uint64(16*nv)*(uint64(1)<<w-1) >= 1<<32 {
+			t.Fatalf("width %d: nv %d allows overflow", w, nv)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width > 32 must panic")
+		}
+	}()
+	PlanFor512(40)
+}
+
+func TestCompiledDecoderMatches(t *testing.T) {
+	for _, w := range []uint{0, 3, 10, 25, 30} {
+		for _, n := range []int{0, 1, 5, 100, 1000} {
+			vals := seriesWithWidth(n, w, int64(w)*7+int64(n))
+			b, err := ts2diff.Encode(vals, ts2diff.Order1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := Compile(b)
+			if err != nil {
+				t.Fatalf("w=%d n=%d: %v", w, n, err)
+			}
+			if dec.Count != n {
+				t.Fatalf("count = %d", dec.Count)
+			}
+			dst := make([]int64, n)
+			if err := dec.Decode(dst); err != nil {
+				t.Fatal(err)
+			}
+			if n > 0 && !reflect.DeepEqual(dst, vals) {
+				t.Fatalf("w=%d n=%d: compiled decode mismatch", w, n)
+			}
+			// Repeated invocation must stay correct (bound state immutable).
+			if err := dec.Decode(dst); err != nil {
+				t.Fatal(err)
+			}
+			if n > 0 && !reflect.DeepEqual(dst, vals) {
+				t.Fatalf("w=%d n=%d: second decode mismatch", w, n)
+			}
+		}
+	}
+	// Order-2 delegates.
+	ts := make([]int64, 300)
+	for i := range ts {
+		ts[i] = int64(i) * 997
+	}
+	b2, _ := ts2diff.Encode(ts, ts2diff.Order2)
+	dec, err := Compile(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int64, 300)
+	if err := dec.Decode(dst); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dst, ts) {
+		t.Fatal("order-2 compiled decode mismatch")
+	}
+	// Validation.
+	if err := dec.Decode(make([]int64, 2)); err == nil {
+		t.Fatal("wrong dst length must fail")
+	}
+	bad := *b2
+	bad.Order = 7
+	if _, err := Compile(&bad); err == nil {
+		t.Fatal("bad order must fail")
+	}
+}
+
+func BenchmarkCompiledDecoder(b *testing.B) {
+	vals := seriesWithWidthB(65536, 10)
+	blk, _ := ts2diff.Encode(vals, ts2diff.Order1)
+	dec, err := Compile(blk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]int64, blk.Count)
+	b.SetBytes(int64(len(vals) * 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := dec.Decode(dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestUnpackFibonacciParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(5000) + 1
+		vals := make([]uint64, n)
+		for i := range vals {
+			// Bias toward 1s and 2s: "11"-dense payloads stress the
+			// run-of-ones ambiguity the boundary pre-scan must resolve.
+			switch rng.Intn(4) {
+			case 0:
+				vals[i] = 1
+			case 1:
+				vals[i] = 2
+			default:
+				vals[i] = uint64(rng.Intn(100000)) + 1
+			}
+		}
+		buf, err := encoding.FibonacciEncodeAll(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3, 4, 8} {
+			got, err := UnpackFibonacciParallel(buf, n, workers)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			if !reflect.DeepEqual(got, vals) {
+				t.Fatalf("trial %d workers %d: mismatch", trial, workers)
+			}
+		}
+	}
+}
+
+func TestUnpackFibonacciParallelAllOnes(t *testing.T) {
+	// The worst case: every codeword is "11".
+	n := 1000
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = 1
+	}
+	buf, _ := encoding.FibonacciEncodeAll(vals)
+	got, err := UnpackFibonacciParallel(buf, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatal("all-ones payload mismatch")
+	}
+}
+
+func TestUnpackFibonacciParallelTruncated(t *testing.T) {
+	buf, _ := encoding.FibonacciEncodeAll([]uint64{5, 9, 1, 1, 7, 3, 2, 8})
+	if _, err := UnpackFibonacciParallel(buf, 100, 4); err == nil {
+		t.Fatal("claiming more codewords than present must fail")
+	}
+}
+
+func TestRangeScanner(t *testing.T) {
+	for _, w := range []uint{0, 4, 10, 22, 30} {
+		vals := seriesWithWidth(2000, w, int64(w)+3)
+		b, err := ts2diff.Encode(vals, ts2diff.Order1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, start := range []int{0, 1, 7, 8, 513, 1999, 2000} {
+			s, err := NewRangeScanner(b, start)
+			if err != nil {
+				t.Fatalf("w=%d start=%d: %v", w, start, err)
+			}
+			var got []int64
+			buf := make([]int64, 129) // odd chunk size crosses alignments
+			for {
+				k, err := s.Next(buf)
+				if err != nil {
+					t.Fatalf("w=%d start=%d: %v", w, start, err)
+				}
+				if k == 0 {
+					break
+				}
+				got = append(got, buf[:k]...)
+			}
+			want := vals[start:]
+			if len(got) != len(want) {
+				t.Fatalf("w=%d start=%d: rows %d want %d", w, start, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("w=%d start=%d: row %d got %d want %d", w, start, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRangeScannerOrder2(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ts := make([]int64, 1500)
+	cur := int64(5000)
+	interval := int64(100)
+	for i := range ts {
+		ts[i] = cur
+		interval += rng.Int63n(9) - 4
+		cur += interval
+	}
+	b, err := ts2diff.Encode(ts, ts2diff.Order2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, start := range []int{0, 1, 2, 3, 700, 1499, 1500} {
+		s, err := NewRangeScanner(b, start)
+		if err != nil {
+			t.Fatalf("start=%d: %v", start, err)
+		}
+		var got []int64
+		buf := make([]int64, 97)
+		for {
+			k, err := s.Next(buf)
+			if err != nil {
+				t.Fatalf("start=%d: %v", start, err)
+			}
+			if k == 0 {
+				break
+			}
+			got = append(got, buf[:k]...)
+		}
+		want := ts[start:]
+		if len(got) != len(want) {
+			t.Fatalf("start=%d: rows %d want %d", start, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("start=%d: row %d got %d want %d", start, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRangeScannerValidation(t *testing.T) {
+	bad := &ts2diff.Block{Order: 9, Count: 3}
+	if _, err := NewRangeScanner(bad, 0); err == nil {
+		t.Fatal("unknown order must be rejected")
+	}
+	b2, _ := ts2diff.Encode([]int64{1, 2, 3}, ts2diff.Order1)
+	if _, err := NewRangeScanner(b2, -1); err == nil {
+		t.Fatal("negative start must fail")
+	}
+	if _, err := NewRangeScanner(b2, 4); err == nil {
+		t.Fatal("start past end must fail")
+	}
+	s, _ := NewRangeScanner(b2, 3)
+	if k, err := s.Next(make([]int64, 4)); err != nil || k != 0 {
+		t.Fatalf("exhausted scanner: %d/%v", k, err)
+	}
+	if s.Row() != 3 {
+		t.Fatalf("row = %d", s.Row())
+	}
+}

@@ -1,0 +1,164 @@
+// Package pipeline implements the ETSQP decoding pipelines of Section III:
+// vectorized constant-width unpacking with a dynamic layout that makes
+// Delta recovery SIMD-parallel (Algorithm 1), variable-width Fibonacci
+// unpacking, Repeat flattening, and page-to-slice splitting for core-level
+// parallelism.
+//
+// # Layout
+//
+// A plan processes packed deltas in blocks of BlockElems = 8*Nv elements.
+// Element e of a block lands in lane l = e / Nv of unpacked vector
+// j = e % Nv, so the Nv deltas that depend on each other sequentially sit
+// in the *same lane of consecutive vectors* (the FastLanes-Delta-inspired
+// layout of Figure 4(d)). Delta recovery is then Nv-1 vector additions
+// (partial sums, Figure 5(b)/6(b)) plus one log-depth lane prefix sum
+// (the permutevar8x32 pairs of Algorithm 1 Line 13).
+//
+// # JIT tables
+//
+// The paper JIT-compiles each page's decoder once its packing width is
+// known (Section III-B). Here PlanFor(width) lazily builds and caches the
+// equivalent tables — gather indices (the shuffle index vectors of Figure
+// 3(a)), per-lane shift vectors and the field mask — so the hot loop makes
+// no per-vector decisions.
+package pipeline
+
+import (
+	"math"
+	"sync"
+
+	"etsqp/internal/simd"
+)
+
+// Relative instruction costs used by Proposition 1's n_v choice. The
+// ratios follow the paper's worked example (n_v = sqrt(32/10 * 11/2) ≈ 4
+// for 10-bit inputs): t_add = 1, t_unpack = t_shuffle + t_or = 2 and
+// t_prefix - t_add = 11.
+const (
+	costAdd    = 1.0
+	costUnpack = 2.0
+	costPrefix = 12.0
+)
+
+// MaxNarrowWidth is the widest field a 32-bit lane can unpack with a
+// single 4-byte gather (wider fields span 5 bytes and take the wide path).
+const MaxNarrowWidth = 25
+
+// ChooseNv implements Proposition 1: the number of unpacked vectors that
+// minimizes the per-value decoding time
+//
+//	n_v* = round( sqrt( (w'/w) * (t_prefix - t_add) / t_unpack ) )
+//
+// clamped so a block's worst-case partial sums cannot wrap a 32-bit lane
+// (width + log2(8*n_v) <= 32) and to the practical register budget.
+func ChooseNv(width, wPrime uint) int {
+	if width == 0 {
+		return 1
+	}
+	ideal := int(math.Round(math.Sqrt(float64(wPrime) / float64(width) * (costPrefix - costAdd) / costUnpack)))
+	if ideal < 1 {
+		ideal = 1
+	}
+	if ideal > 16 {
+		ideal = 16 // n_v <= 16 on AVX2 machines (Section III-A)
+	}
+	// Overflow clamp: 8*n_v values of `width` bits each must sum below 2^32.
+	for ideal > 1 {
+		if width+uint(math.Ceil(math.Log2(float64(8*ideal)))) <= 32 {
+			break
+		}
+		ideal--
+	}
+	return ideal
+}
+
+// Plan holds the JIT-compiled unpack tables for one packing width.
+type Plan struct {
+	Width      uint
+	Nv         int // unpacked vectors per block
+	BlockElems int // 8 * Nv deltas per block
+	BlockBytes int // BlockElems * Width / 8 (8*Nv*Width bits is always whole bytes)
+	NLoad      int // loaded 256-bit vectors per block (n_ld, for cost models)
+
+	// gatherIdx[j] selects, for each output byte of unpacked vector j,
+	// a byte offset relative to the block start (-1 → zero byte). Lane l's
+	// four bytes load the big-endian 4-byte window of element l*Nv+j in
+	// little-endian lane order, performing the Endian conversion of
+	// Algorithm 1 Line 4 in the same shuffle.
+	gatherIdx []*[32]int32
+	// shift[j] is the per-lane right-shift aligning each field's LSB.
+	shift []simd.U32x8
+	// mask keeps the low Width bits of every lane.
+	mask simd.U32x8
+	// ramp[l] = l*Nv, the per-lane element offset used when adding the
+	// decoded block to its base value.
+	ramp simd.U32x8
+
+	wide bool // widths > MaxNarrowWidth decode via the 8-byte-window path
+}
+
+var (
+	planMu    sync.Mutex
+	planCache [33]*Plan
+)
+
+// PlanFor returns the cached plan for a packing width in [0, 32].
+func PlanFor(width uint) *Plan {
+	if width > 32 {
+		panic("pipeline: width out of range")
+	}
+	planMu.Lock()
+	defer planMu.Unlock()
+	if p := planCache[width]; p != nil {
+		return p
+	}
+	p := buildPlan(width)
+	planCache[width] = p
+	return p
+}
+
+func buildPlan(width uint) *Plan {
+	p := &Plan{Width: width, Nv: ChooseNv(width, 32)}
+	p.BlockElems = 8 * p.Nv
+	p.BlockBytes = p.BlockElems * int(width) / 8
+	p.NLoad = (p.BlockBytes + simd.WidthBytes - 1) / simd.WidthBytes
+	p.wide = width > MaxNarrowWidth
+	if width == 0 || p.wide {
+		return p
+	}
+	var m uint32 = 1<<width - 1
+	p.mask = simd.Broadcast32(m)
+	for l := 0; l < simd.Lanes32; l++ {
+		p.ramp[l] = uint32(l * p.Nv)
+	}
+	p.gatherIdx = make([]*[32]int32, p.Nv)
+	p.shift = make([]simd.U32x8, p.Nv)
+	for j := 0; j < p.Nv; j++ {
+		idx := new([32]int32)
+		var shift simd.U32x8
+		for l := 0; l < simd.Lanes32; l++ {
+			e := l*p.Nv + j
+			startBit := e * int(width)
+			fb := startBit / 8
+			o := uint(startBit - fb*8)
+			// Lane bytes 0..3 (LSB..MSB little-endian) take window bytes
+			// fb+3..fb: the gather doubles as Endian conversion.
+			for b := 0; b < 4; b++ {
+				idx[l*4+b] = int32(fb + 3 - b)
+			}
+			shift[l] = 32 - uint32(o) - uint32(width)
+		}
+		p.gatherIdx[j] = idx
+		p.shift[j] = shift
+	}
+	return p
+}
+
+// ResetPlanCache clears all cached plans (test hook).
+func ResetPlanCache() {
+	planMu.Lock()
+	defer planMu.Unlock()
+	for i := range planCache {
+		planCache[i] = nil
+	}
+}

@@ -1,0 +1,171 @@
+package pipeline
+
+import (
+	"math"
+	"sync"
+
+	"etsqp/internal/bitio"
+	"etsqp/internal/encoding/ts2diff"
+	"etsqp/internal/simd"
+)
+
+// Plan512 is the AVX-512 instantiation of the unpacking plan: the same
+// layout, tables and partial-sum structure as Plan, at sixteen 32-bit
+// lanes per vector. It demonstrates the paper's claim that the design
+// extends to other register quantities (Section II-B); the bench harness
+// compares both widths.
+type Plan512 struct {
+	Width      uint
+	Nv         int
+	BlockElems int // 16 * Nv
+	BlockBytes int
+
+	gatherIdx []*[64]int32
+	shift     []simd.U32x16
+	mask      simd.U32x16
+	wide      bool
+}
+
+var (
+	plan512Mu    sync.Mutex
+	plan512Cache [33]*Plan512
+)
+
+// ChooseNv512 applies Proposition 1 at the 512-bit geometry. The lane
+// count doubles, so the overflow clamp tightens by one bit.
+func ChooseNv512(width, wPrime uint) int {
+	if width == 0 {
+		return 1
+	}
+	ideal := int(math.Round(math.Sqrt(float64(wPrime) / float64(width) * (costPrefix - costAdd) / costUnpack)))
+	if ideal < 1 {
+		ideal = 1
+	}
+	if ideal > 32 {
+		ideal = 32 // n_v <= 32 under AVX-512 (Section III-A)
+	}
+	for ideal > 1 {
+		if width+uint(math.Ceil(math.Log2(float64(16*ideal)))) <= 32 {
+			break
+		}
+		ideal--
+	}
+	return ideal
+}
+
+// PlanFor512 returns the cached 512-bit plan for a width in [0, 32].
+func PlanFor512(width uint) *Plan512 {
+	if width > 32 {
+		panic("pipeline: width out of range")
+	}
+	plan512Mu.Lock()
+	defer plan512Mu.Unlock()
+	if p := plan512Cache[width]; p != nil {
+		return p
+	}
+	p := buildPlan512(width)
+	plan512Cache[width] = p
+	return p
+}
+
+func buildPlan512(width uint) *Plan512 {
+	p := &Plan512{Width: width, Nv: ChooseNv512(width, 32)}
+	p.BlockElems = simd.Lanes32x16 * p.Nv
+	p.BlockBytes = p.BlockElems * int(width) / 8
+	p.wide = width > MaxNarrowWidth
+	if width == 0 || p.wide {
+		return p
+	}
+	p.mask = simd.Broadcast32x16(uint32(1)<<width - 1)
+	p.gatherIdx = make([]*[64]int32, p.Nv)
+	p.shift = make([]simd.U32x16, p.Nv)
+	for j := 0; j < p.Nv; j++ {
+		idx := new([64]int32)
+		var shift simd.U32x16
+		for l := 0; l < simd.Lanes32x16; l++ {
+			e := l*p.Nv + j
+			startBit := e * int(width)
+			fb := startBit / 8
+			o := uint(startBit - fb*8)
+			for b := 0; b < 4; b++ {
+				idx[l*4+b] = int32(fb + 3 - b)
+			}
+			shift[l] = 32 - uint32(o) - uint32(width)
+		}
+		p.gatherIdx[j] = idx
+		p.shift[j] = shift
+	}
+	return p
+}
+
+// UnpackVec512 runs the gather/shift/mask sequence at 512 bits.
+func (p *Plan512) UnpackVec512(window []byte, j int) simd.U32x16 {
+	g := simd.GatherBytes64(window, p.gatherIdx[j])
+	return simd.And32x16(simd.Srlv32x16(simd.ToU32x16(g), p.shift[j]), p.mask)
+}
+
+// DecodeBlock512 decodes a TS2DIFF order-1 block with the 512-bit
+// pipeline; other shapes fall back to the 256-bit path.
+func DecodeBlock512(b *ts2diff.Block) ([]int64, error) {
+	if b.Order != ts2diff.Order1 || b.Count == 0 {
+		return DecodeBlock(b)
+	}
+	out := make([]int64, b.Count)
+	out[0] = b.First
+	m := b.NumPacked()
+	if m == 0 {
+		return out, nil
+	}
+	width := b.Width
+	if width == 0 || width > MaxNarrowWidth {
+		if err := accumulateFrom(out, b.First, b.Packed, m, width, b.MinBase); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	p := PlanFor512(width)
+	minBase := b.MinBase
+	rampBase := make([]int64, simd.Lanes32x16)
+	for l := 0; l < simd.Lanes32x16; l++ {
+		rampBase[l] = minBase * int64(l*p.Nv)
+	}
+	vecs := make([]simd.U32x16, p.Nv)
+	v0 := b.First
+	e := 0
+	for ; e+p.BlockElems <= m; e += p.BlockElems {
+		window := b.Packed[e*int(width)/8:]
+		for j := 0; j < p.Nv; j++ {
+			vecs[j] = p.UnpackVec512(window, j)
+		}
+		for j := 1; j < p.Nv; j++ {
+			vecs[j] = simd.Add32x16(vecs[j-1], vecs[j])
+		}
+		laneTot := vecs[p.Nv-1]
+		prefix := simd.ExclusivePrefixSum32x16(laneTot)
+		for j := 0; j < p.Nv; j++ {
+			s := simd.Add32x16(vecs[j], prefix)
+			base := v0 + minBase*int64(j+1)
+			for l := 0; l < simd.Lanes32x16; l++ {
+				out[1+e+l*p.Nv+j] = base + rampBase[l] + int64(s[l])
+			}
+		}
+		total := int64(prefix[simd.Lanes32x16-1]) + int64(laneTot[simd.Lanes32x16-1])
+		v0 += minBase*int64(p.BlockElems) + total
+	}
+	if e < m {
+		r := bitio.NewReader(b.Packed)
+		if err := r.Seek(e * int(width)); err != nil {
+			return nil, err
+		}
+		cur := v0
+		for ; e < m; e++ {
+			v, err := r.ReadBits(width)
+			if err != nil {
+				return nil, err
+			}
+			cur += minBase + int64(v)
+			out[1+e] = cur
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"etsqp/internal/bitio"
+	"etsqp/internal/encoding/ts2diff"
+)
+
+// RangeScanner decodes a TS2DIFF block incrementally: the prefix to the
+// start row is resolved once, and each Next call continues from the
+// previous position in O(chunk) — the streaming shape the Proposition
+// 4/5 stop rules need, without re-resolving the Figure 8 prefix per
+// chunk. Order-1 blocks vectorize aligned chunks; order-2 blocks (time
+// columns) stream through the two-level scalar recurrence.
+type RangeScanner struct {
+	b     *ts2diff.Block
+	row   int   // next row to emit
+	cur   int64 // value at row-1 (undefined when row == 0)
+	delta int64 // order-2 only: delta between rows row-1 and row
+	r     *bitio.Reader
+}
+
+// NewRangeScanner positions a scanner at startRow of a block.
+func NewRangeScanner(b *ts2diff.Block, startRow int) (*RangeScanner, error) {
+	if b.Order != ts2diff.Order1 && b.Order != ts2diff.Order2 {
+		return nil, fmt.Errorf("pipeline: unknown order %d", b.Order)
+	}
+	if startRow < 0 || startRow > b.Count {
+		return nil, fmt.Errorf("pipeline: start row %d out of [0,%d]", startRow, b.Count)
+	}
+	s := &RangeScanner{b: b, r: bitio.NewReader(b.Packed)}
+	if b.Order == ts2diff.Order2 {
+		s.delta = b.FirstDelta
+		// Order-2 prefixes resolve by replaying the recurrence (time
+		// columns are order-2; slices usually start at row 0).
+		s.cur = b.First
+		if startRow > 0 {
+			s.row = 1
+			tmp := make([]int64, 256)
+			for s.row < startRow {
+				want := startRow - s.row
+				if want > len(tmp) {
+					want = len(tmp)
+				}
+				if _, err := s.next2(tmp[:want]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		s.row = startRow
+		return s, nil
+	}
+	s.row = startRow
+	if startRow > 0 {
+		skip, err := SumPacked(b.Packed, startRow-1, b.Width)
+		if err != nil {
+			return nil, err
+		}
+		s.cur = b.First + b.MinBase*int64(startRow-1) + int64(skip)
+		if err := s.r.Seek((startRow - 1) * int(b.Width)); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Row reports the next row the scanner will emit.
+func (s *RangeScanner) Row() int { return s.row }
+
+// Next decodes up to len(dst) rows, returning how many were produced
+// (0 at the end of the block).
+func (s *RangeScanner) Next(dst []int64) (int, error) {
+	n := len(dst)
+	if rem := s.b.Count - s.row; rem < n {
+		n = rem
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	if s.b.Order == ts2diff.Order2 {
+		return s.next2(dst[:n])
+	}
+	return s.next1(dst[:n])
+}
+
+// next1 advances an order-1 scan; byte-aligned chunk starts run through
+// the vectorized pipeline.
+func (s *RangeScanner) next1(dst []int64) (int, error) {
+	n := len(dst)
+	width := s.b.Width
+	i := 0
+	if s.row == 0 {
+		s.cur = s.b.First
+		dst[0] = s.cur
+		s.row++
+		i++
+	}
+	if i < n && width > 0 && width <= MaxNarrowWidth {
+		startElem := s.row - 1
+		if (startElem*int(width))%8 == 0 {
+			m := n - i // packed elements to consume
+			tmp := make([]int64, m+1)
+			tmp[0] = s.cur
+			window := s.b.Packed[startElem*int(width)/8:]
+			if err := accumulateFrom(tmp, s.cur, window, m, width, s.b.MinBase); err != nil {
+				return 0, err
+			}
+			copy(dst[i:n], tmp[1:])
+			s.cur = tmp[m]
+			s.row += m
+			if err := s.r.Seek((s.row - 1) * int(width)); err != nil {
+				return 0, err
+			}
+			return n, nil
+		}
+	}
+	for ; i < n; i++ {
+		var v uint64
+		if width > 0 {
+			var err error
+			v, err = s.r.ReadBits(width)
+			if err != nil {
+				return 0, err
+			}
+		}
+		s.cur += s.b.MinBase + int64(v)
+		dst[i] = s.cur
+		s.row++
+	}
+	return n, nil
+}
+
+// next2 advances an order-2 scan via the two-level recurrence:
+// delta_r = delta_{r-1} + dd_{r-2}, value_r = value_{r-1} + delta_r.
+func (s *RangeScanner) next2(dst []int64) (int, error) {
+	n := len(dst)
+	width := s.b.Width
+	i := 0
+	if s.row == 0 {
+		s.cur = s.b.First
+		s.delta = s.b.FirstDelta
+		dst[0] = s.cur
+		s.row++
+		i++
+	}
+	for ; i < n; i++ {
+		if s.row >= 2 {
+			var dd uint64
+			if width > 0 {
+				var err error
+				dd, err = s.r.ReadBits(width)
+				if err != nil {
+					return 0, err
+				}
+			}
+			s.delta += s.b.MinBase + int64(dd)
+		}
+		s.cur += s.delta
+		dst[i] = s.cur
+		s.row++
+	}
+	return n, nil
+}

@@ -1,0 +1,57 @@
+package pipeline
+
+import "math"
+
+// Cost model constants for the analytical estimates (relative clocks,
+// consistent with the Proposition 1 constants in plan.go).
+const (
+	costLoad    = 4.0
+	costShuffle = 1.0
+	costAnd     = 1.0
+	costShift   = 1.0
+	costMask    = 1.0
+	costRegSave = 1.0
+)
+
+// TAvg evaluates Proposition 1's average per-value decoding time for a
+// given vector count n_v (relative clock units):
+//
+//	T = ((t_load+t_shuffle)·n_ld + t_unpack·n_v·n_ld + (t_and+t_shift)·n_v
+//	     + (2n_v-1)·t_add + t_prefix) / (n_v · ω_SIMD / ω')
+func TAvg(width, wPrime uint, wSIMD uint, nv int) float64 {
+	if nv < 1 || width == 0 {
+		return 0
+	}
+	w := float64(width)
+	wp := float64(wPrime)
+	ws := float64(wSIMD)
+	lanes := ws / wp // values per unpacked vector
+	// A block holds n_v·lanes values of ω bits: n_ld loads cover them.
+	nld := math.Ceil(float64(nv) * lanes * w / ws)
+	n := float64(nv)
+	num := (costLoad+costShuffle)*nld + costUnpack*n*nld + (costAnd+costShift)*n +
+		(2*n-1)*costAdd + costPrefix
+	den := n * lanes
+	return num / den
+}
+
+// SerialCost estimates the per-value cost of value-wise serial decoding
+// (Theorem 2's T_serial): two memory visits, shift, mask, register save.
+//
+// visMemRatio is t_visMem / t_op, the memory access pattern parameter.
+func SerialCost(visMemRatio float64) float64 {
+	return 2*visMemRatio*costAdd + costShift + costMask + costRegSave
+}
+
+// AccelerationRatio evaluates the Theorem 2 estimate of
+// T_serial / T_parallel for `cores` pipelines of width `width` inputs
+// unpacked to wPrime-bit lanes on wSIMD-bit vectors.
+func AccelerationRatio(width, wPrime, wSIMD uint, cores int, visMemRatio float64) float64 {
+	if width == 0 || cores < 1 {
+		return 1
+	}
+	nv := ChooseNv(width, wPrime)
+	perValueParallel := TAvg(width, wPrime, wSIMD, nv) / float64(cores)
+	perValueSerial := SerialCost(visMemRatio)
+	return perValueSerial / perValueParallel
+}

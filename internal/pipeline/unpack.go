@@ -1,0 +1,309 @@
+package pipeline
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"etsqp/internal/bitio"
+	"etsqp/internal/encoding/ts2diff"
+	"etsqp/internal/simd"
+)
+
+// UnpackVec runs the Figure 3 sequence for unpacked vector j of a block:
+// gather (shuffle + Endian conversion), variable shift, mask.
+// UnpackVec is exported for the fusion package, which reuses the same
+// JIT tables to aggregate without materializing decoded values.
+func (p *Plan) UnpackVec(window []byte, j int) simd.U32x8 {
+	g := simd.GatherBytes(window, p.gatherIdx[j])
+	return simd.And32(simd.Srlv32(g.ToU32(), p.shift[j]), p.mask)
+}
+
+// DecodeBlock decodes a TS2DIFF block with the vectorized pipeline
+// (Algorithm 1). It is the drop-in fast path for ts2diff.Block.Decode.
+func DecodeBlock(b *ts2diff.Block) ([]int64, error) {
+	if b.Count == 0 {
+		return nil, nil
+	}
+	out := make([]int64, b.Count)
+	if err := DecodeBlockInto(out, b); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeBlockInto decodes into a caller-provided slice of length b.Count.
+func DecodeBlockInto(out []int64, b *ts2diff.Block) error {
+	if len(out) != b.Count {
+		return fmt.Errorf("pipeline: dst len %d, want %d", len(out), b.Count)
+	}
+	if b.Count == 0 {
+		return nil
+	}
+	switch b.Order {
+	case ts2diff.Order1:
+		out[0] = b.First
+		return accumulateFrom(out, b.First, b.Packed, b.NumPacked(), b.Width, b.MinBase)
+	case ts2diff.Order2:
+		out[0] = b.First
+		if b.Count == 1 {
+			return nil
+		}
+		// Stage 1: recover the delta sequence (itself delta-encoded).
+		deltas := make([]int64, b.Count-1)
+		deltas[0] = b.FirstDelta
+		if err := accumulateFrom(deltas, b.FirstDelta, b.Packed, b.NumPacked(), b.Width, b.MinBase); err != nil {
+			return err
+		}
+		// Stage 2: accumulate deltas onto the first value.
+		cur := b.First
+		for i, d := range deltas {
+			cur += d
+			out[i+1] = cur
+		}
+		return nil
+	default:
+		return fmt.Errorf("pipeline: unknown order %d", b.Order)
+	}
+}
+
+// accumulateFrom fills out[1:] with first + prefix sums of the m packed
+// deltas: out[i] = first + i*minBase + sum(packed[0:i]). out[0] must
+// already hold first.
+func accumulateFrom(out []int64, first int64, packed []byte, m int, width uint, minBase int64) error {
+	if m == 0 {
+		return nil
+	}
+	if len(out) != m+1 {
+		return fmt.Errorf("pipeline: out len %d, want %d", len(out), m+1)
+	}
+	if width == 0 {
+		// Degenerate packing: every delta equals minBase (closed form).
+		cur := first
+		for i := 1; i <= m; i++ {
+			cur += minBase
+			out[i] = cur
+		}
+		return nil
+	}
+	if width > 32 {
+		// Very wide deltas (rare in IoT data): plain bit-reader path.
+		return accumulateScalar(out, first, packed, m, width, minBase)
+	}
+	p := PlanFor(width)
+	if p.wide {
+		return accumulateWide(out, first, packed, m, width, minBase)
+	}
+	// Per-lane base offsets: lane l of vector j decodes element l*Nv+j,
+	// whose value index is that plus one.
+	rampBase := make([]int64, simd.Lanes32)
+	for l := 0; l < simd.Lanes32; l++ {
+		rampBase[l] = minBase * int64(l*p.Nv)
+	}
+	vecs := make([]simd.U32x8, p.Nv)
+	v0 := first
+	e := 0
+	for ; e+p.BlockElems <= m; e += p.BlockElems {
+		window := packed[e*int(width)/8:]
+		// Lines 6-9: unpack all vectors of the block.
+		for j := 0; j < p.Nv; j++ {
+			vecs[j] = p.UnpackVec(window, j)
+		}
+		// Lines 11-12: partial sums across vectors (same-lane chains).
+		for j := 1; j < p.Nv; j++ {
+			vecs[j] = simd.Add32(vecs[j-1], vecs[j])
+		}
+		// Line 13: lane prefix sum common to all partial-sum vectors.
+		laneTot := vecs[p.Nv-1]
+		prefix := simd.ExclusivePrefixSum32(laneTot)
+		// Line 15 + store: add prefix and bases, widen, materialize.
+		for j := 0; j < p.Nv; j++ {
+			s := simd.Add32(vecs[j], prefix)
+			base := v0 + minBase*int64(j+1)
+			for l := 0; l < simd.Lanes32; l++ {
+				out[1+e+l*p.Nv+j] = base + rampBase[l] + int64(s[l])
+			}
+		}
+		total := int64(prefix[simd.Lanes32-1]) + int64(laneTot[simd.Lanes32-1])
+		v0 += minBase*int64(p.BlockElems) + total
+	}
+	// Tail: fewer than BlockElems deltas remain; scalar path.
+	if e < m {
+		r := bitio.NewReader(packed)
+		if err := r.Seek(e * int(width)); err != nil {
+			return err
+		}
+		cur := v0
+		for ; e < m; e++ {
+			v, err := r.ReadBits(width)
+			if err != nil {
+				return err
+			}
+			cur += minBase + int64(v)
+			out[1+e] = cur
+		}
+	}
+	return nil
+}
+
+// accumulateScalar is the bit-reader fallback for widths above 32 bits.
+func accumulateScalar(out []int64, first int64, packed []byte, m int, width uint, minBase int64) error {
+	r := bitio.NewReader(packed)
+	cur := first
+	for e := 0; e < m; e++ {
+		v, err := r.ReadBits(width)
+		if err != nil {
+			return err
+		}
+		cur += minBase + int64(v)
+		out[1+e] = cur
+	}
+	return nil
+}
+
+// accumulateWide handles widths above MaxNarrowWidth with 8-byte windows
+// and 64-bit accumulation (the two-round shuffle path of wide fields).
+func accumulateWide(out []int64, first int64, packed []byte, m int, width uint, minBase int64) error {
+	mask := uint64(1)<<width - 1
+	cur := first
+	for e := 0; e < m; e++ {
+		startBit := e * int(width)
+		fb := startBit / 8
+		o := uint(startBit - fb*8)
+		w, err := window64(packed, fb)
+		if err != nil {
+			return err
+		}
+		v := (w >> (64 - o - width)) & mask
+		cur += minBase + int64(v)
+		out[1+e] = cur
+	}
+	return nil
+}
+
+// window64 loads 8 bytes big-endian starting at fb, zero-padding past the
+// end of the buffer but failing if the window starts beyond it.
+func window64(buf []byte, fb int) (uint64, error) {
+	if fb >= len(buf) {
+		return 0, bitio.ErrShortBuffer
+	}
+	if fb+8 <= len(buf) {
+		return binary.BigEndian.Uint64(buf[fb:]), nil
+	}
+	var tmp [8]byte
+	copy(tmp[:], buf[fb:])
+	return binary.BigEndian.Uint64(tmp[:]), nil
+}
+
+// DecodeDeltas vector-unpacks m packed fields and adds minBase, returning
+// the delta sequence without accumulation — the input Repeat flattening
+// and the order-2 pipeline consume.
+func DecodeDeltas(packed []byte, m int, width uint, minBase int64) ([]int64, error) {
+	out := make([]int64, m)
+	if m == 0 {
+		return out, nil
+	}
+	if width == 0 {
+		for i := range out {
+			out[i] = minBase
+		}
+		return out, nil
+	}
+	if width > 32 {
+		r := bitio.NewReader(packed)
+		for e := 0; e < m; e++ {
+			v, err := r.ReadBits(width)
+			if err != nil {
+				return nil, err
+			}
+			out[e] = minBase + int64(v)
+		}
+		return out, nil
+	}
+	p := PlanFor(width)
+	if p.wide {
+		mask := uint64(1)<<width - 1
+		for e := 0; e < m; e++ {
+			startBit := e * int(width)
+			fb := startBit / 8
+			o := uint(startBit - fb*8)
+			w, err := window64(packed, fb)
+			if err != nil {
+				return nil, err
+			}
+			out[e] = minBase + int64((w>>(64-o-width))&mask)
+		}
+		return out, nil
+	}
+	e := 0
+	for ; e+p.BlockElems <= m; e += p.BlockElems {
+		window := packed[e*int(width)/8:]
+		for j := 0; j < p.Nv; j++ {
+			v := p.UnpackVec(window, j)
+			for l := 0; l < simd.Lanes32; l++ {
+				out[e+l*p.Nv+j] = minBase + int64(v[l])
+			}
+		}
+	}
+	if e < m {
+		r := bitio.NewReader(packed)
+		if err := r.Seek(e * int(width)); err != nil {
+			return nil, err
+		}
+		for ; e < m; e++ {
+			v, err := r.ReadBits(width)
+			if err != nil {
+				return nil, err
+			}
+			out[e] = minBase + int64(v)
+		}
+	}
+	return out, nil
+}
+
+// SumPacked returns the sum of the first m packed fields (without
+// minBase), using lane-parallel accumulation. Slices use it to resolve
+// their prefix dependency and fusion uses it for SUM without decoding.
+func SumPacked(packed []byte, m int, width uint) (uint64, error) {
+	if m == 0 || width == 0 {
+		return 0, nil
+	}
+	if width > 32 {
+		r := bitio.NewReader(packed)
+		var total uint64
+		for e := 0; e < m; e++ {
+			v, err := r.ReadBits(width)
+			if err != nil {
+				return 0, err
+			}
+			total += v
+		}
+		return total, nil
+	}
+	p := PlanFor(width)
+	var total uint64
+	e := 0
+	if !p.wide {
+		for ; e+p.BlockElems <= m; e += p.BlockElems {
+			window := packed[e*int(width)/8:]
+			acc := simd.U32x8{}
+			for j := 0; j < p.Nv; j++ {
+				acc = simd.Add32(acc, p.UnpackVec(window, j))
+			}
+			total += simd.HSum32(acc)
+		}
+	}
+	if e < m {
+		r := bitio.NewReader(packed)
+		if err := r.Seek(e * int(width)); err != nil {
+			return 0, err
+		}
+		for ; e < m; e++ {
+			v, err := r.ReadBits(width)
+			if err != nil {
+				return 0, err
+			}
+			total += v
+		}
+	}
+	return total, nil
+}

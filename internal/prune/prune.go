@@ -1,0 +1,156 @@
+// Package prune implements Section V: stopping rules that terminate
+// decoding early from encoder statistics alone.
+//
+// A page header stores the packing parameters of its Delta (and Repeat)
+// streams. Those bound every future delta —
+//
+//	D_m >= minBase,   D_M <= minBase + 2^w - 1
+//
+// and every run length (R_M). Given the last decoded element and a range
+// filter, Propositions 4 and 5 decide whether any remaining element can
+// still satisfy the filter; if not, the rest of the page is skipped.
+package prune
+
+import (
+	"etsqp/internal/encoding/ts2diff"
+	"etsqp/internal/storage"
+)
+
+// Bounds carries the per-step bounds derived from encoder statistics.
+type Bounds struct {
+	Dm int64 // lower bound of every delta (minBase)
+	DM int64 // upper bound of every delta (minBase + 2^w - 1)
+	RM int64 // upper bound of run lengths (1 when no Repeat encoder)
+}
+
+// BoundsFromBlock derives delta bounds from a TS2DIFF block header.
+func BoundsFromBlock(b *ts2diff.Block) Bounds {
+	dm, dM := b.DeltaBounds()
+	return Bounds{Dm: dm, DM: dM, RM: 1}
+}
+
+// WithRunLength returns a copy with the Repeat bound set (for
+// Delta-Repeat encoded pages, R_M is estimated from the run-length
+// packing width: R_M <= 2^w_RLE - 1 + minBase_RLE).
+func (b Bounds) WithRunLength(rm int64) Bounds {
+	if rm < 1 {
+		rm = 1
+	}
+	b.RM = rm
+	return b
+}
+
+// StopValueLow implements Proposition 5(1): with a[k] < c1 and n-k-1
+// remaining steps, the remaining values can never reach c1 when even
+// maximal deltas fall short: D_M < (c1 - a[k]) / (n-k-1).
+func (b Bounds) StopValueLow(ak int64, k, n int, c1 int64) bool {
+	steps := int64(n - k - 1)
+	if steps <= 0 {
+		return true // nothing left to decode
+	}
+	if ak >= c1 {
+		return false
+	}
+	// D_M * steps < c1 - a[k]  (integer-safe form of the division test).
+	return b.DM*steps < c1-ak
+}
+
+// StopValueHigh implements Proposition 5(2): with a[k] > c2, the lower
+// bounds a[k] + j*D_m stay above c2 for every remaining j when
+// D_m > (c2 - a[k]) / (n-k-1).
+func (b Bounds) StopValueHigh(ak int64, k, n int, c2 int64) bool {
+	steps := int64(n - k - 1)
+	if steps <= 0 {
+		return true
+	}
+	if ak <= c2 {
+		return false
+	}
+	return b.Dm*steps > c2-ak
+}
+
+// StopValue combines both directions for a range filter c1 < A < c2.
+func (b Bounds) StopValue(ak int64, k, n int, c1, c2 int64) bool {
+	return b.StopValueLow(ak, k, n, c1) || b.StopValueHigh(ak, k, n, c2)
+}
+
+// StopTimeLow implements Proposition 4(1) for a time filter T > t1: with
+// Repeat encoding each of the n-k-1 remaining D-R tuples advances time by
+// at most R_M * D_M, so decoding stops when t[k] < t1 and
+// D_M < (t1 - t[k]) / (R_M (n-k-1)).
+func (b Bounds) StopTimeLow(tk int64, k, n int, t1 int64) bool {
+	steps := int64(n - k - 1)
+	if steps <= 0 {
+		return true
+	}
+	if tk >= t1 {
+		return false
+	}
+	return b.DM*b.RM*steps < t1-tk
+}
+
+// StopTimeHigh implements Proposition 4(2) for T < t2. Timestamps are
+// non-decreasing, so once t[k] > t2 no later tuple can satisfy the filter
+// whenever the minimal advance keeps time above t2.
+func (b Bounds) StopTimeHigh(tk int64, k, n int, t2 int64) bool {
+	steps := int64(n - k - 1)
+	if steps <= 0 {
+		return true
+	}
+	if tk <= t2 {
+		return false
+	}
+	return b.Dm*b.RM*steps > t2-tk
+}
+
+// StopTime combines both directions for t1 < T < t2.
+func (b Bounds) StopTime(tk int64, k, n int, t1, t2 int64) bool {
+	return b.StopTimeLow(tk, k, n, t1) || b.StopTimeHigh(tk, k, n, t2)
+}
+
+// PositionsForConstantInterval handles the special case at the end of
+// Proposition 4: when the time interval D is constant (width-0 packing),
+// the valid positions for t1 <= T <= t2 are computed directly with no
+// decoding at all. It returns the half-open row range [lo, hi).
+func PositionsForConstantInterval(first, interval int64, n int, t1, t2 int64) (lo, hi int) {
+	if n == 0 || t2 < t1 {
+		return 0, 0
+	}
+	if interval <= 0 {
+		// Degenerate: all timestamps equal first.
+		if first >= t1 && first <= t2 {
+			return 0, n
+		}
+		return 0, 0
+	}
+	// Smallest i with first + i*interval >= t1.
+	lo = 0
+	if first < t1 {
+		lo = int((t1 - first + interval - 1) / interval)
+	}
+	// Largest i with first + i*interval <= t2, exclusive bound.
+	if first > t2 {
+		return 0, 0
+	}
+	hi = int((t2-first)/interval) + 1
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// SkipPageByTime reports whether a whole page can be skipped for the time
+// range [t1, t2] using only its header (the cheapest rule: no payload
+// read at all, the "pruned pages" counted by the throughput metric).
+func SkipPageByTime(h storage.PageHeader, t1, t2 int64) bool {
+	return h.EndTime < t1 || h.StartTime > t2
+}
+
+// SkipPageByValue reports whether a whole page can be skipped for the
+// value range [c1, c2] using its min/max statistics.
+func SkipPageByValue(h storage.PageHeader, c1, c2 int64) bool {
+	return h.MaxValue < c1 || h.MinValue > c2
+}

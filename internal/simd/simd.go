@@ -1,0 +1,371 @@
+// Package simd emulates the x86 SIMD instructions used by the ETSQP
+// decoding pipelines (SSE/AVX2 subset: byte shuffles, variable shifts,
+// lane-wise arithmetic, cross-lane permutes).
+//
+// The paper implements decoders with intrinsics such as _mm_shuffle_epi8,
+// _mm256_srlv_epi32 and _mm256_permutevar8x32_epi32. Go (stdlib only)
+// exposes no intrinsics, so this package provides the same operations as
+// lane-wise loops over fixed-size arrays. Semantics mirror x86:
+//
+//   - vectors are little-endian when viewed as 32/64-bit lanes;
+//   - ShuffleEpi8 moves bytes only within each 128-bit half of a 256-bit
+//     vector, with the index high bit zeroing the output byte;
+//   - Permutevar8x32 permutes 32-bit lanes across the full 256-bit vector.
+//
+// Because the loop trip counts are compile-time constants the Go compiler
+// unrolls them; the algorithmic structure (and therefore every relative
+// comparison in the evaluation) matches the intrinsic version.
+package simd
+
+import "encoding/binary"
+
+// Register geometry for the emulated AVX2 target.
+const (
+	WidthBits  = 256 // omega_SIMD in the paper
+	WidthBytes = 32
+	Lanes32    = 8 // 32-bit lanes per vector
+	Lanes64    = 4 // 64-bit lanes per vector
+)
+
+// B32 is a 256-bit vector viewed as bytes.
+type B32 [32]byte
+
+// U32x8 is a 256-bit vector viewed as eight 32-bit lanes (lane 0 = lowest).
+type U32x8 [8]uint32
+
+// I64x4 is a 256-bit vector viewed as four signed 64-bit lanes.
+type I64x4 [4]int64
+
+// ZeroIdx is the shuffle index value that produces a zero byte
+// (x86 uses any index with the high bit set).
+const ZeroIdx = 0x80
+
+// LoadB32 loads 32 bytes from p (panics if len(p) < 32).
+func LoadB32(p []byte) B32 {
+	var v B32
+	copy(v[:], p[:32])
+	return v
+}
+
+// LoadPartialB32 loads up to 32 bytes from p, zero-filling the rest.
+func LoadPartialB32(p []byte) B32 {
+	var v B32
+	copy(v[:], p)
+	return v
+}
+
+// ToU32 reinterprets the byte vector as eight little-endian 32-bit lanes,
+// matching how x86 registers are viewed by epi32 instructions.
+func (v B32) ToU32() U32x8 {
+	var out U32x8
+	for i := 0; i < Lanes32; i++ {
+		out[i] = binary.LittleEndian.Uint32(v[i*4:])
+	}
+	return out
+}
+
+// ToB32 reinterprets eight 32-bit lanes as 32 little-endian bytes.
+func (v U32x8) ToB32() B32 {
+	var out B32
+	for i := 0; i < Lanes32; i++ {
+		binary.LittleEndian.PutUint32(out[i*4:], v[i])
+	}
+	return out
+}
+
+// ShuffleEpi8 emulates _mm256_shuffle_epi8: bytes move within each 128-bit
+// half independently; an index byte with the high bit set yields zero,
+// otherwise the low 4 bits select a source byte within the same half.
+func ShuffleEpi8(in, idx B32) B32 {
+	var out B32
+	for half := 0; half < 2; half++ {
+		base := half * 16
+		for i := 0; i < 16; i++ {
+			ix := idx[base+i]
+			if ix&0x80 != 0 {
+				out[base+i] = 0
+			} else {
+				out[base+i] = in[base+int(ix&0x0F)]
+			}
+		}
+	}
+	return out
+}
+
+// Srlv32 emulates _mm256_srlv_epi32: per-lane logical right shift.
+// Shift counts >= 32 yield zero, as on x86.
+func Srlv32(v, shift U32x8) U32x8 {
+	var out U32x8
+	for i := 0; i < Lanes32; i++ {
+		if shift[i] >= 32 {
+			out[i] = 0
+		} else {
+			out[i] = v[i] >> shift[i]
+		}
+	}
+	return out
+}
+
+// Sllv32 emulates _mm256_sllv_epi32: per-lane logical left shift.
+func Sllv32(v, shift U32x8) U32x8 {
+	var out U32x8
+	for i := 0; i < Lanes32; i++ {
+		if shift[i] >= 32 {
+			out[i] = 0
+		} else {
+			out[i] = v[i] << shift[i]
+		}
+	}
+	return out
+}
+
+// And32 is the lane-wise AND of two vectors.
+func And32(a, b U32x8) U32x8 {
+	var out U32x8
+	for i := 0; i < Lanes32; i++ {
+		out[i] = a[i] & b[i]
+	}
+	return out
+}
+
+// Or32 is the lane-wise OR of two vectors.
+func Or32(a, b U32x8) U32x8 {
+	var out U32x8
+	for i := 0; i < Lanes32; i++ {
+		out[i] = a[i] | b[i]
+	}
+	return out
+}
+
+// Xor32 is the lane-wise XOR of two vectors.
+func Xor32(a, b U32x8) U32x8 {
+	var out U32x8
+	for i := 0; i < Lanes32; i++ {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// Add32 is the lane-wise wrapping addition (paddd).
+func Add32(a, b U32x8) U32x8 {
+	var out U32x8
+	for i := 0; i < Lanes32; i++ {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub32 is the lane-wise wrapping subtraction (psubd).
+func Sub32(a, b U32x8) U32x8 {
+	var out U32x8
+	for i := 0; i < Lanes32; i++ {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Broadcast32 emulates _mm256_set1_epi32.
+func Broadcast32(x uint32) U32x8 {
+	var out U32x8
+	for i := 0; i < Lanes32; i++ {
+		out[i] = x
+	}
+	return out
+}
+
+// Permutevar8x32 emulates _mm256_permutevar8x32_epi32: out[i] = v[idx[i]&7].
+// Unlike ShuffleEpi8 it crosses the 128-bit boundary.
+func Permutevar8x32(v, idx U32x8) U32x8 {
+	var out U32x8
+	for i := 0; i < Lanes32; i++ {
+		out[i] = v[idx[i]&7]
+	}
+	return out
+}
+
+// CmpGt32 compares signed lanes: all-ones where a > b, zero otherwise
+// (pcmpgtd semantics).
+func CmpGt32(a, b U32x8) U32x8 {
+	var out U32x8
+	for i := 0; i < Lanes32; i++ {
+		if int32(a[i]) > int32(b[i]) {
+			out[i] = 0xFFFFFFFF
+		}
+	}
+	return out
+}
+
+// CmpEq32 compares lanes for equality: all-ones where equal.
+func CmpEq32(a, b U32x8) U32x8 {
+	var out U32x8
+	for i := 0; i < Lanes32; i++ {
+		if a[i] == b[i] {
+			out[i] = 0xFFFFFFFF
+		}
+	}
+	return out
+}
+
+// Blend32 selects b where mask lane is all-ones, a elsewhere.
+func Blend32(a, b, mask U32x8) U32x8 {
+	var out U32x8
+	for i := 0; i < Lanes32; i++ {
+		out[i] = a[i]&^mask[i] | b[i]&mask[i]
+	}
+	return out
+}
+
+// Movemask32 packs the sign bit of each 32-bit lane into an 8-bit mask
+// (movmskps semantics).
+func Movemask32(v U32x8) uint8 {
+	var m uint8
+	for i := 0; i < Lanes32; i++ {
+		m |= uint8(v[i]>>31) << i
+	}
+	return m
+}
+
+// HSum32 returns the horizontal sum of the lanes as uint64 (no wrap).
+func HSum32(v U32x8) uint64 {
+	var s uint64
+	for i := 0; i < Lanes32; i++ {
+		s += uint64(v[i])
+	}
+	return s
+}
+
+// PrefixSumIdx holds the permute index vectors for the log-depth in-register
+// inclusive prefix sum across eight 32-bit lanes. The paper solves the
+// prefix vector with ceil(log2(omega_SIMD/omega')) = 3 pairs of
+// permutevar8x32 + addition instructions; these tables drive those pairs.
+//
+// Step k shifts lanes up by 2^k positions (shifted-in lanes contribute zero
+// via ZeroLaneMask).
+var PrefixSumIdx = [3]U32x8{
+	{0, 0, 1, 2, 3, 4, 5, 6}, // shift by 1
+	{0, 1, 0, 1, 2, 3, 4, 5}, // shift by 2
+	{0, 1, 2, 3, 0, 1, 2, 3}, // shift by 4
+}
+
+// PrefixSumMask zeroes the lanes that the corresponding PrefixSumIdx step
+// shifted in from below lane 0.
+var PrefixSumMask = [3]U32x8{
+	{0, ^uint32(0), ^uint32(0), ^uint32(0), ^uint32(0), ^uint32(0), ^uint32(0), ^uint32(0)},
+	{0, 0, ^uint32(0), ^uint32(0), ^uint32(0), ^uint32(0), ^uint32(0), ^uint32(0)},
+	{0, 0, 0, 0, ^uint32(0), ^uint32(0), ^uint32(0), ^uint32(0)},
+}
+
+// InclusivePrefixSum32 computes the in-lane inclusive prefix sum
+// out[i] = v[0] + ... + v[i] using 3 permute+add pairs, exactly the
+// instruction pattern the paper uses to build v'_prefsum.
+func InclusivePrefixSum32(v U32x8) U32x8 {
+	for k := 0; k < 3; k++ {
+		shifted := And32(Permutevar8x32(v, PrefixSumIdx[k]), PrefixSumMask[k])
+		v = Add32(v, shifted)
+	}
+	return v
+}
+
+// ExclusivePrefixSum32 computes out[i] = v[0] + ... + v[i-1], out[0] = 0.
+func ExclusivePrefixSum32(v U32x8) U32x8 {
+	inc := InclusivePrefixSum32(v)
+	// Shift lanes up by one and zero lane 0: one more permute+mask pair.
+	shifted := And32(Permutevar8x32(inc, PrefixSumIdx[0]), PrefixSumMask[0])
+	return shifted
+}
+
+// Add64 adds four 64-bit lanes (paddq).
+func Add64(a, b I64x4) I64x4 {
+	var out I64x4
+	for i := 0; i < Lanes64; i++ {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Broadcast64 emulates _mm256_set1_epi64x.
+func Broadcast64(x int64) I64x4 {
+	var out I64x4
+	for i := 0; i < Lanes64; i++ {
+		out[i] = x
+	}
+	return out
+}
+
+// WidenLo widens the low four 32-bit lanes to signed 64-bit
+// (pmovsxdq on the lower half).
+func WidenLo(v U32x8) I64x4 {
+	var out I64x4
+	for i := 0; i < Lanes64; i++ {
+		out[i] = int64(int32(v[i]))
+	}
+	return out
+}
+
+// WidenHi widens the high four 32-bit lanes to signed 64-bit.
+func WidenHi(v U32x8) I64x4 {
+	var out I64x4
+	for i := 0; i < Lanes64; i++ {
+		out[i] = int64(int32(v[i+4]))
+	}
+	return out
+}
+
+// WidenLoU and WidenHiU widen lanes zero-extended (unsigned deltas).
+func WidenLoU(v U32x8) I64x4 {
+	var out I64x4
+	for i := 0; i < Lanes64; i++ {
+		out[i] = int64(v[i])
+	}
+	return out
+}
+
+// WidenHiU widens the high four lanes zero-extended.
+func WidenHiU(v U32x8) I64x4 {
+	var out I64x4
+	for i := 0; i < Lanes64; i++ {
+		out[i] = int64(v[i+4])
+	}
+	return out
+}
+
+// HSum64 returns the horizontal sum of four 64-bit lanes.
+func HSum64(v I64x4) int64 { return v[0] + v[1] + v[2] + v[3] }
+
+// GatherBytes builds a vector from arbitrary byte offsets of a loaded
+// window. Offset values >= len(window) or negative produce zero bytes.
+//
+// On real hardware this is the compound operation Algorithm 1 Line 8
+// performs: one ShuffleEpi8 per loaded 256-bit vector OR-ed together
+// (out |= shuffle(v[i], idx_i)), or a single vpermb on AVX-512 VBMI.
+// The emulation collapses that inner loop into one indexed gather; the
+// JIT tables that drive it are identical in spirit (one index table per
+// unpacked vector per packing width).
+func GatherBytes(window []byte, idx *[32]int32) B32 {
+	var out B32
+	for i := 0; i < WidthBytes; i++ {
+		off := idx[i]
+		if off >= 0 && int(off) < len(window) {
+			out[i] = window[off]
+		}
+	}
+	return out
+}
+
+// AddCheck32 performs signed lane addition with overflow detection
+// (Section VI-C: "check lane symbols and raise an overflow error when
+// two corresponding lanes of the same symbol are different from the lane
+// in the result vector"). The overflow mask has all-ones lanes where the
+// signed addition wrapped; callers re-aggregate those lanes at a larger
+// quantity.
+func AddCheck32(a, b U32x8) (sum, overflow U32x8) {
+	sum = Add32(a, b)
+	// Overflow iff sign(a) == sign(b) != sign(sum):
+	// (~(a^b)) & (a^sum) has its top bit set exactly then.
+	for i := 0; i < Lanes32; i++ {
+		if (^(a[i] ^ b[i]))&(a[i]^sum[i])&0x80000000 != 0 {
+			overflow[i] = 0xFFFFFFFF
+		}
+	}
+	return sum, overflow
+}

@@ -1,0 +1,126 @@
+package simd
+
+// 512-bit register geometry (AVX-512 target). The paper's design
+// "can extend to other quantities and instruction sets" (Section II-B);
+// these types mirror the 256-bit operations at sixteen 32-bit lanes so
+// the pipeline can be instantiated at either width.
+const (
+	Width512Bits  = 512
+	Width512Bytes = 64
+	Lanes32x16    = 16
+)
+
+// U32x16 is a 512-bit vector viewed as sixteen 32-bit lanes.
+type U32x16 [16]uint32
+
+// GatherBytes64 builds a 64-byte vector from arbitrary offsets of a
+// window (vpermb-class operation on AVX-512 VBMI).
+func GatherBytes64(window []byte, idx *[64]int32) [64]byte {
+	var out [64]byte
+	for i := 0; i < Width512Bytes; i++ {
+		off := idx[i]
+		if off >= 0 && int(off) < len(window) {
+			out[i] = window[off]
+		}
+	}
+	return out
+}
+
+// ToU32x16 reinterprets 64 bytes as sixteen little-endian 32-bit lanes.
+func ToU32x16(b [64]byte) U32x16 {
+	var out U32x16
+	for i := 0; i < Lanes32x16; i++ {
+		out[i] = uint32(b[i*4]) | uint32(b[i*4+1])<<8 | uint32(b[i*4+2])<<16 | uint32(b[i*4+3])<<24
+	}
+	return out
+}
+
+// Srlv32x16 is the per-lane logical right shift.
+func Srlv32x16(v, shift U32x16) U32x16 {
+	var out U32x16
+	for i := 0; i < Lanes32x16; i++ {
+		if shift[i] < 32 {
+			out[i] = v[i] >> shift[i]
+		}
+	}
+	return out
+}
+
+// And32x16 is the lane-wise AND.
+func And32x16(a, b U32x16) U32x16 {
+	var out U32x16
+	for i := 0; i < Lanes32x16; i++ {
+		out[i] = a[i] & b[i]
+	}
+	return out
+}
+
+// Add32x16 is the lane-wise wrapping addition.
+func Add32x16(a, b U32x16) U32x16 {
+	var out U32x16
+	for i := 0; i < Lanes32x16; i++ {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Broadcast32x16 fills every lane with x.
+func Broadcast32x16(x uint32) U32x16 {
+	var out U32x16
+	for i := 0; i < Lanes32x16; i++ {
+		out[i] = x
+	}
+	return out
+}
+
+// Permute32x16 selects lanes across the full 512-bit register
+// (vpermd semantics: out[i] = v[idx[i] & 15]).
+func Permute32x16(v, idx U32x16) U32x16 {
+	var out U32x16
+	for i := 0; i < Lanes32x16; i++ {
+		out[i] = v[idx[i]&15]
+	}
+	return out
+}
+
+// HSum32x16 returns the horizontal sum of the lanes.
+func HSum32x16(v U32x16) uint64 {
+	var s uint64
+	for i := 0; i < Lanes32x16; i++ {
+		s += uint64(v[i])
+	}
+	return s
+}
+
+// prefix512Idx and prefix512Mask drive the four permute+add pairs of the
+// 16-lane prefix sum (ceil(log2(16)) = 4 steps).
+var prefix512Idx = [4]U32x16{
+	{0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14},
+	{0, 1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13},
+	{0, 1, 2, 3, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+	{0, 1, 2, 3, 4, 5, 6, 7, 0, 1, 2, 3, 4, 5, 6, 7},
+}
+
+var prefix512Mask = func() (m [4]U32x16) {
+	for k, shift := range []int{1, 2, 4, 8} {
+		for i := shift; i < Lanes32x16; i++ {
+			m[k][i] = ^uint32(0)
+		}
+	}
+	return m
+}()
+
+// InclusivePrefixSum32x16 computes out[i] = v[0] + ... + v[i] in four
+// permute+add steps.
+func InclusivePrefixSum32x16(v U32x16) U32x16 {
+	for k := 0; k < 4; k++ {
+		v = Add32x16(v, And32x16(Permute32x16(v, prefix512Idx[k]), prefix512Mask[k]))
+	}
+	return v
+}
+
+// ExclusivePrefixSum32x16 computes out[i] = v[0] + ... + v[i-1].
+func ExclusivePrefixSum32x16(v U32x16) U32x16 {
+	inc := InclusivePrefixSum32x16(v)
+	return And32x16(Permute32x16(inc, prefix512Idx[0]), prefix512Mask[0])
+}

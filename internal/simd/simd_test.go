@@ -1,0 +1,349 @@
+package simd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestShuffleEpi8WithinHalves(t *testing.T) {
+	var in B32
+	for i := range in {
+		in[i] = byte(i)
+	}
+	var idx B32
+	// Reverse bytes within each half; shuffle must not cross halves.
+	for i := 0; i < 16; i++ {
+		idx[i] = byte(15 - i)
+		idx[16+i] = byte(15 - i)
+	}
+	out := ShuffleEpi8(in, idx)
+	for i := 0; i < 16; i++ {
+		if out[i] != byte(15-i) {
+			t.Fatalf("low half byte %d: got %d want %d", i, out[i], 15-i)
+		}
+		if out[16+i] != byte(16+15-i) {
+			t.Fatalf("high half byte %d: got %d want %d", i, out[16+i], 16+15-i)
+		}
+	}
+}
+
+func TestShuffleEpi8ZeroIdx(t *testing.T) {
+	var in B32
+	for i := range in {
+		in[i] = 0xFF
+	}
+	var idx B32
+	for i := range idx {
+		idx[i] = ZeroIdx
+	}
+	out := ShuffleEpi8(in, idx)
+	if out != (B32{}) {
+		t.Fatalf("high-bit index should zero the output, got %v", out)
+	}
+}
+
+func TestSrlvSllvSaturateAt32(t *testing.T) {
+	v := Broadcast32(0xFFFFFFFF)
+	shift := U32x8{0, 1, 31, 32, 33, 100, 4, 8}
+	got := Srlv32(v, shift)
+	want := U32x8{0xFFFFFFFF, 0x7FFFFFFF, 1, 0, 0, 0, 0x0FFFFFFF, 0x00FFFFFF}
+	if got != want {
+		t.Fatalf("Srlv32 got %v want %v", got, want)
+	}
+	gotL := Sllv32(Broadcast32(1), shift)
+	wantL := U32x8{1, 2, 1 << 31, 0, 0, 0, 16, 256}
+	if gotL != wantL {
+		t.Fatalf("Sllv32 got %v want %v", gotL, wantL)
+	}
+}
+
+func TestByteLaneRoundTrip(t *testing.T) {
+	f := func(b B32) bool { return b.ToU32().ToB32() == b }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLittleEndianLaneView(t *testing.T) {
+	var b B32
+	b[0], b[1], b[2], b[3] = 0x78, 0x56, 0x34, 0x12
+	if got := b.ToU32()[0]; got != 0x12345678 {
+		t.Fatalf("lane 0 got %#x want 0x12345678", got)
+	}
+}
+
+func TestPermutevar8x32(t *testing.T) {
+	v := U32x8{10, 11, 12, 13, 14, 15, 16, 17}
+	idx := U32x8{7, 6, 5, 4, 3, 2, 1, 0}
+	got := Permutevar8x32(v, idx)
+	want := U32x8{17, 16, 15, 14, 13, 12, 11, 10}
+	if got != want {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// Index is taken mod 8, as on x86.
+	idx2 := U32x8{8, 9, 10, 11, 12, 13, 14, 15}
+	if got := Permutevar8x32(v, idx2); got != v {
+		t.Fatalf("mod-8 indexing got %v want %v", got, v)
+	}
+}
+
+func TestInclusivePrefixSum32(t *testing.T) {
+	v := U32x8{1, 2, 3, 4, 5, 6, 7, 8}
+	got := InclusivePrefixSum32(v)
+	want := U32x8{1, 3, 6, 10, 15, 21, 28, 36}
+	if got != want {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestExclusivePrefixSum32(t *testing.T) {
+	v := U32x8{1, 2, 3, 4, 5, 6, 7, 8}
+	got := ExclusivePrefixSum32(v)
+	want := U32x8{0, 1, 3, 6, 10, 15, 21, 28}
+	if got != want {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestPrefixSumQuick(t *testing.T) {
+	f := func(v U32x8) bool {
+		inc := InclusivePrefixSum32(v)
+		var run uint32
+		for i := 0; i < Lanes32; i++ {
+			run += v[i]
+			if inc[i] != run {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareAndBlend(t *testing.T) {
+	a := U32x8{5, 5, 5, 5, 5, 5, 5, 5}
+	b := U32x8{1, 5, 9, 0xFFFFFFFF /* -1 signed */, 4, 6, 5, 2}
+	gt := CmpGt32(a, b)
+	want := U32x8{^uint32(0), 0, 0, ^uint32(0), ^uint32(0), 0, 0, ^uint32(0)}
+	if gt != want {
+		t.Fatalf("CmpGt32 got %v want %v", gt, want)
+	}
+	eq := CmpEq32(a, b)
+	wantEq := U32x8{0, ^uint32(0), 0, 0, 0, 0, ^uint32(0), 0}
+	if eq != wantEq {
+		t.Fatalf("CmpEq32 got %v want %v", eq, wantEq)
+	}
+	bl := Blend32(Broadcast32(0), Broadcast32(9), gt)
+	wantBl := U32x8{9, 0, 0, 9, 9, 0, 0, 9}
+	if bl != wantBl {
+		t.Fatalf("Blend32 got %v want %v", bl, wantBl)
+	}
+}
+
+func TestMovemask32(t *testing.T) {
+	v := U32x8{1 << 31, 0, 1 << 31, 0, 0, 0, 0, 1 << 31}
+	if got := Movemask32(v); got != 0b10000101 {
+		t.Fatalf("got %08b want 10000101", got)
+	}
+}
+
+func TestWiden(t *testing.T) {
+	v := U32x8{1, 0xFFFFFFFF, 2, 0xFFFFFFFE, 3, 4, 5, 6}
+	lo := WidenLo(v)
+	if lo != (I64x4{1, -1, 2, -2}) {
+		t.Fatalf("WidenLo got %v", lo)
+	}
+	hi := WidenHi(v)
+	if hi != (I64x4{3, 4, 5, 6}) {
+		t.Fatalf("WidenHi got %v", hi)
+	}
+	loU := WidenLoU(v)
+	if loU != (I64x4{1, 0xFFFFFFFF, 2, 0xFFFFFFFE}) {
+		t.Fatalf("WidenLoU got %v", loU)
+	}
+	hiU := WidenHiU(v)
+	if hiU != (I64x4{3, 4, 5, 6}) {
+		t.Fatalf("WidenHiU got %v", hiU)
+	}
+}
+
+func TestHSums(t *testing.T) {
+	if got := HSum32(U32x8{1, 2, 3, 4, 5, 6, 7, 8}); got != 36 {
+		t.Fatalf("HSum32 got %d", got)
+	}
+	if got := HSum64(I64x4{1, -2, 3, -4}); got != -2 {
+		t.Fatalf("HSum64 got %d", got)
+	}
+}
+
+func TestArith(t *testing.T) {
+	a := U32x8{1, 2, 3, 4, 5, 6, 7, 8}
+	b := Broadcast32(10)
+	if got := Add32(a, b); got != (U32x8{11, 12, 13, 14, 15, 16, 17, 18}) {
+		t.Fatalf("Add32 got %v", got)
+	}
+	if got := Sub32(b, a); got != (U32x8{9, 8, 7, 6, 5, 4, 3, 2}) {
+		t.Fatalf("Sub32 got %v", got)
+	}
+	if got := Xor32(a, a); got != (U32x8{}) {
+		t.Fatalf("Xor32 got %v", got)
+	}
+	if got := Or32(a, U32x8{}); got != a {
+		t.Fatalf("Or32 got %v", got)
+	}
+	if got := And32(a, Broadcast32(0xFFFFFFFF)); got != a {
+		t.Fatalf("And32 got %v", got)
+	}
+	// Wrapping addition.
+	if got := Add32(Broadcast32(0xFFFFFFFF), Broadcast32(1)); got != (U32x8{}) {
+		t.Fatalf("Add32 wrap got %v", got)
+	}
+}
+
+func TestLoadPartial(t *testing.T) {
+	v := LoadPartialB32([]byte{1, 2, 3})
+	if v[0] != 1 || v[1] != 2 || v[2] != 3 || v[3] != 0 || v[31] != 0 {
+		t.Fatalf("LoadPartialB32 got %v", v)
+	}
+	full := make([]byte, 40)
+	for i := range full {
+		full[i] = byte(i)
+	}
+	lv := LoadB32(full)
+	if lv[31] != 31 {
+		t.Fatalf("LoadB32 got %v", lv)
+	}
+}
+
+func BenchmarkShuffleEpi8(b *testing.B) {
+	var in, idx B32
+	for i := range idx {
+		idx[i] = byte((i * 7) % 16)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in = ShuffleEpi8(in, idx)
+	}
+	_ = in
+}
+
+func BenchmarkInclusivePrefixSum32(b *testing.B) {
+	v := U32x8{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v = InclusivePrefixSum32(v)
+	}
+	_ = v
+}
+
+func TestGatherBytes(t *testing.T) {
+	window := []byte{10, 11, 12, 13, 14}
+	var idx [32]int32
+	for i := range idx {
+		idx[i] = int32(i % 6)
+	}
+	idx[7] = -1
+	out := GatherBytes(window, &idx)
+	if out[0] != 10 || out[4] != 14 || out[5] != 0 || out[7] != 0 || out[6] != 10 {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestAddCheck32(t *testing.T) {
+	a := U32x8{0x7FFFFFFF, 0x7FFFFFFF, 5, 0x80000000, 0x80000000, 0, 0xFFFFFFFF, 100}
+	b := U32x8{1, 0, 5, 0xFFFFFFFF, 0x80000000, 0, 1, 0xFFFFFF9C} // last: 100 + (-100)
+	sum, ovf := AddCheck32(a, b)
+	if sum != Add32(a, b) {
+		t.Fatal("sum must match Add32")
+	}
+	// Lane 0: max+1 overflows. Lane 1: max+0 fine. Lane 3: min + (-1)
+	// underflows. Lane 4: min+min overflows. Lane 6: -1 + 1 = 0 fine.
+	want := U32x8{^uint32(0), 0, 0, ^uint32(0), ^uint32(0), 0, 0, 0}
+	if ovf != want {
+		t.Fatalf("overflow mask %v want %v", ovf, want)
+	}
+}
+
+func TestAddCheck32Quick(t *testing.T) {
+	f := func(a, b U32x8) bool {
+		_, ovf := AddCheck32(a, b)
+		for i := 0; i < Lanes32; i++ {
+			wide := int64(int32(a[i])) + int64(int32(b[i]))
+			wrapped := wide > math.MaxInt32 || wide < math.MinInt32
+			if (ovf[i] != 0) != wrapped {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixSum32x16(t *testing.T) {
+	f := func(v U32x16) bool {
+		inc := InclusivePrefixSum32x16(v)
+		exc := ExclusivePrefixSum32x16(v)
+		var run uint32
+		for i := 0; i < Lanes32x16; i++ {
+			if exc[i] != run {
+				return false
+			}
+			run += v[i]
+			if inc[i] != run {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherBytes64AndLanes(t *testing.T) {
+	window := make([]byte, 70)
+	for i := range window {
+		window[i] = byte(i)
+	}
+	var idx [64]int32
+	for i := range idx {
+		idx[i] = int32(69 - i)
+	}
+	idx[0] = -1
+	idx[1] = 100
+	out := GatherBytes64(window, &idx)
+	if out[0] != 0 || out[1] != 0 || out[2] != 67 || out[63] != 6 {
+		t.Fatalf("got %v", out)
+	}
+	// Lane view is little-endian.
+	var b [64]byte
+	b[0], b[1], b[2], b[3] = 0x78, 0x56, 0x34, 0x12
+	if got := ToU32x16(b)[0]; got != 0x12345678 {
+		t.Fatalf("lane 0 = %#x", got)
+	}
+}
+
+func TestPermute32x16(t *testing.T) {
+	var v U32x16
+	for i := range v {
+		v[i] = uint32(i + 100)
+	}
+	var idx U32x16
+	for i := range idx {
+		idx[i] = uint32(15 - i + 16) // mod-16 indexing
+	}
+	got := Permute32x16(v, idx)
+	for i := range got {
+		if got[i] != uint32(115-i) {
+			t.Fatalf("lane %d = %d", i, got[i])
+		}
+	}
+	if HSum32x16(v) != uint64(16*100+120) {
+		t.Fatalf("HSum = %d", HSum32x16(v))
+	}
+}

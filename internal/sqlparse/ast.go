@@ -1,0 +1,65 @@
+package sqlparse
+
+import "etsqp/internal/expr"
+
+// AggFunc names an aggregation function.
+type AggFunc string
+
+// Supported aggregation functions.
+const (
+	AggNone  AggFunc = ""
+	AggSum   AggFunc = "SUM"
+	AggAvg   AggFunc = "AVG"
+	AggCount AggFunc = "COUNT"
+	AggMin   AggFunc = "MIN"
+	AggMax   AggFunc = "MAX"
+	AggVar   AggFunc = "VAR"
+	AggFirst AggFunc = "FIRST" // value at the earliest timestamp in range
+	AggLast  AggFunc = "LAST"  // value at the latest timestamp in range
+	AggCorr  AggFunc = "CORR"  // Pearson correlation of two joined columns
+)
+
+// ColumnRef names a column, optionally qualified by a series.
+type ColumnRef struct {
+	Series string // "" = the (single) FROM series
+	Column string // "A", "TIME", or "VALUE" (alias of A)
+}
+
+// IsTime reports whether the reference is the timestamp column.
+func (c ColumnRef) IsTime() bool { return c.Column == "TIME" }
+
+// SelectItem is one projection of the SELECT list.
+type SelectItem struct {
+	Star bool
+	Agg  AggFunc
+	Col  ColumnRef
+	// Col2 is the second argument of two-column aggregates (CORR).
+	Col2 *ColumnRef
+	// Add holds the two operands of a col '+' col projection (Q4).
+	Add *[2]ColumnRef
+}
+
+// Pred is one conjunct of the WHERE clause.
+type Pred struct {
+	Col   ColumnRef
+	Op    expr.CmpOp
+	Value int64
+}
+
+// Window is the SW(Tmin, ΔT) sliding-window clause.
+type Window struct {
+	TMin int64
+	DT   int64
+}
+
+// Query is a parsed statement.
+type Query struct {
+	Items       []SelectItem
+	Series      []string // FROM series (1, or 2 for a natural join)
+	Sub         *Query   // FROM (subquery), exclusive with Series
+	UnionWith   string   // UNION <series>
+	OrderByTime bool
+	Preds       []Pred
+	Window      *Window
+	Limit       int // LIMIT n; 0 = unlimited
+}

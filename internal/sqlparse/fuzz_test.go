@@ -1,0 +1,33 @@
+package sqlparse
+
+import "testing"
+
+// FuzzParse drives arbitrary strings through the SQL parser: malformed
+// input must produce errors, never panics.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT SUM(A) FROM ts SW(0, 1000);",
+		"SELECT AVG(A) FROM root.sg.d1.v WHERE TIME >= 1 AND TIME <= 2",
+		"SELECT * FROM ts1 UNION ts2 ORDER BY TIME",
+		"SELECT ts1.A+ts2.A FROM ts1, ts2;",
+		"SELECT SUM(A) FROM (SELECT * FROM ts WHERE A > -5)",
+		"SELECT FIRST(A), LAST(A) FROM ts",
+		"((((",
+		"SELECT \x00 FROM",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if q == nil {
+			t.Fatal("nil query without error")
+		}
+		if len(q.Items) == 0 {
+			t.Fatal("parsed query with no items")
+		}
+	})
+}

@@ -1,0 +1,329 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"etsqp/internal/expr"
+)
+
+// Parse parses one statement.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sqlparse: trailing input at %q", p.peek().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+// acceptKw consumes an identifier token matching the keyword.
+func (p *parser) acceptKw(kw string) bool {
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return fmt.Errorf("sqlparse: expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+// accept consumes a symbol token with the given text.
+func (p *parser) accept(sym string) bool {
+	if p.peek().kind == tokSymbol && p.peek().text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(sym string) error {
+	if !p.accept(sym) {
+		return fmt.Errorf("sqlparse: expected %q, got %q", sym, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if err := p.parseItems(q); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	if err := p.parseSource(q); err != nil {
+		return nil, err
+	}
+	if p.acceptKw("WHERE") {
+		for {
+			pred, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			q.Preds = append(q.Preds, pred)
+			if !p.acceptKw("AND") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("SW") {
+		w, err := p.parseWindow()
+		if err != nil {
+			return nil, err
+		}
+		q.Window = w
+	}
+	if p.acceptKw("UNION") {
+		name, err := p.parseSeriesName()
+		if err != nil {
+			return nil, err
+		}
+		q.UnionWith = name
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("TIME"); err != nil {
+			return nil, err
+		}
+		q.OrderByTime = true
+	}
+	if p.acceptKw("LIMIT") {
+		if p.peek().kind != tokNumber {
+			return nil, fmt.Errorf("sqlparse: expected number after LIMIT, got %q", p.peek().text)
+		}
+		n, err := strconv.ParseInt(p.next().text, 10, 64)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("sqlparse: bad LIMIT %d", n)
+		}
+		q.Limit = int(n)
+	}
+	return q, nil
+}
+
+func (p *parser) parseItems(q *Query) error {
+	if p.accept("*") {
+		q.Items = []SelectItem{{Star: true}}
+		return nil
+	}
+	for {
+		item, err := p.parseItem()
+		if err != nil {
+			return err
+		}
+		q.Items = append(q.Items, item)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return nil
+}
+
+var aggNames = map[string]AggFunc{
+	"SUM": AggSum, "AVG": AggAvg, "COUNT": AggCount,
+	"MIN": AggMin, "MAX": AggMax, "VAR": AggVar,
+	"FIRST": AggFirst, "LAST": AggLast, "CORR": AggCorr,
+}
+
+func (p *parser) parseItem() (SelectItem, error) {
+	if p.peek().kind != tokIdent {
+		return SelectItem{}, fmt.Errorf("sqlparse: expected select item, got %q", p.peek().text)
+	}
+	if agg, ok := aggNames[strings.ToUpper(p.peek().text)]; ok && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+		p.next() // agg name
+		p.next() // '('
+		col, err := p.parseColumnRef()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item := SelectItem{Agg: agg, Col: col}
+		if p.accept(",") {
+			if agg != AggCorr {
+				return SelectItem{}, fmt.Errorf("sqlparse: %s takes one argument", agg)
+			}
+			col2, err := p.parseColumnRef()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Col2 = &col2
+		} else if agg == AggCorr {
+			return SelectItem{}, fmt.Errorf("sqlparse: CORR takes two arguments")
+		}
+		if err := p.expect(")"); err != nil {
+			return SelectItem{}, err
+		}
+		return item, nil
+	}
+	col, err := p.parseColumnRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	if p.accept("+") {
+		col2, err := p.parseColumnRef()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Add: &[2]ColumnRef{col, col2}}, nil
+	}
+	return SelectItem{Col: col}, nil
+}
+
+func (p *parser) parseSource(q *Query) error {
+	if p.accept("(") {
+		sub, err := p.parseQuery()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		q.Sub = sub
+		return nil
+	}
+	name, err := p.parseSeriesName()
+	if err != nil {
+		return err
+	}
+	q.Series = []string{name}
+	if p.accept(",") {
+		name2, err := p.parseSeriesName()
+		if err != nil {
+			return err
+		}
+		q.Series = append(q.Series, name2)
+	}
+	return nil
+}
+
+// parseSeriesName consumes a dotted identifier.
+func (p *parser) parseSeriesName() (string, error) {
+	if p.peek().kind != tokIdent {
+		return "", fmt.Errorf("sqlparse: expected series name, got %q", p.peek().text)
+	}
+	parts := []string{p.next().text}
+	for p.peek().kind == tokSymbol && p.peek().text == "." {
+		// Lookahead: the dot must be followed by an identifier.
+		if p.toks[p.pos+1].kind != tokIdent {
+			return "", fmt.Errorf("sqlparse: dangling '.' in series name")
+		}
+		p.pos++ // '.'
+		parts = append(parts, p.next().text)
+	}
+	return strings.Join(parts, "."), nil
+}
+
+// columnNames are the recognized column identifiers.
+func isColumnName(s string) bool {
+	switch strings.ToUpper(s) {
+	case "A", "TIME", "VALUE":
+		return true
+	}
+	return false
+}
+
+// parseColumnRef consumes [series '.'] column.
+func (p *parser) parseColumnRef() (ColumnRef, error) {
+	name, err := p.parseSeriesName()
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	parts := strings.Split(name, ".")
+	last := parts[len(parts)-1]
+	if !isColumnName(last) {
+		return ColumnRef{}, fmt.Errorf("sqlparse: %q is not a column (want A, TIME, or VALUE)", name)
+	}
+	col := strings.ToUpper(last)
+	if col == "VALUE" {
+		col = "A"
+	}
+	return ColumnRef{
+		Series: strings.Join(parts[:len(parts)-1], "."),
+		Column: col,
+	}, nil
+}
+
+var cmpOps = map[string]expr.CmpOp{
+	"<": expr.OpLT, "<=": expr.OpLE, ">": expr.OpGT,
+	">=": expr.OpGE, "=": expr.OpEQ, "!=": expr.OpNE,
+}
+
+func (p *parser) parsePred() (Pred, error) {
+	col, err := p.parseColumnRef()
+	if err != nil {
+		return Pred{}, err
+	}
+	if p.peek().kind != tokSymbol {
+		return Pred{}, fmt.Errorf("sqlparse: expected comparison, got %q", p.peek().text)
+	}
+	op, ok := cmpOps[p.peek().text]
+	if !ok {
+		return Pred{}, fmt.Errorf("sqlparse: unknown operator %q", p.peek().text)
+	}
+	p.next()
+	if p.peek().kind != tokNumber {
+		return Pred{}, fmt.Errorf("sqlparse: expected number, got %q", p.peek().text)
+	}
+	v, err := strconv.ParseInt(p.next().text, 10, 64)
+	if err != nil {
+		return Pred{}, fmt.Errorf("sqlparse: bad number: %w", err)
+	}
+	return Pred{Col: col, Op: op, Value: v}, nil
+}
+
+func (p *parser) parseWindow() (*Window, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	readInt := func() (int64, error) {
+		if p.peek().kind != tokNumber {
+			return 0, fmt.Errorf("sqlparse: expected number in SW, got %q", p.peek().text)
+		}
+		return strconv.ParseInt(p.next().text, 10, 64)
+	}
+	tmin, err := readInt()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	dt, err := readInt()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("sqlparse: SW width must be positive")
+	}
+	return &Window{TMin: tmin, DT: dt}, nil
+}

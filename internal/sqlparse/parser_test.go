@@ -1,0 +1,234 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"etsqp/internal/expr"
+)
+
+func TestParseQ1SlidingWindowSum(t *testing.T) {
+	q, err := Parse("SELECT SUM(A) FROM root.sg.d1.velocity SW(0, 1000);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Items) != 1 || q.Items[0].Agg != AggSum || q.Items[0].Col.Column != "A" {
+		t.Fatalf("items = %+v", q.Items)
+	}
+	if len(q.Series) != 1 || q.Series[0] != "root.sg.d1.velocity" {
+		t.Fatalf("series = %v", q.Series)
+	}
+	if q.Window == nil || q.Window.TMin != 0 || q.Window.DT != 1000 {
+		t.Fatalf("window = %+v", q.Window)
+	}
+}
+
+func TestParseQ2Avg(t *testing.T) {
+	q, err := Parse("select avg(a) from ts sw(100, 50)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Items[0].Agg != AggAvg || q.Window.TMin != 100 || q.Window.DT != 50 {
+		t.Fatalf("%+v", q)
+	}
+}
+
+func TestParseQ3Subquery(t *testing.T) {
+	q, err := Parse("SELECT SUM(A) FROM (SELECT * FROM ts WHERE A > 5);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Sub == nil || len(q.Series) != 0 {
+		t.Fatalf("sub = %+v", q.Sub)
+	}
+	if !q.Sub.Items[0].Star {
+		t.Fatal("subquery must select *")
+	}
+	if len(q.Sub.Preds) != 1 || q.Sub.Preds[0].Op != expr.OpGT || q.Sub.Preds[0].Value != 5 {
+		t.Fatalf("preds = %+v", q.Sub.Preds)
+	}
+}
+
+func TestParseQ4JoinAdd(t *testing.T) {
+	q, err := Parse("SELECT ts1.A+ts2.A FROM ts1, ts2;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Items[0].Add == nil {
+		t.Fatal("expected add projection")
+	}
+	add := *q.Items[0].Add
+	if add[0].Series != "ts1" || add[1].Series != "ts2" || add[0].Column != "A" {
+		t.Fatalf("add = %+v", add)
+	}
+	if len(q.Series) != 2 {
+		t.Fatalf("series = %v", q.Series)
+	}
+}
+
+func TestParseQ5Union(t *testing.T) {
+	q, err := Parse("SELECT * FROM ts1 UNION ts2 ORDER BY TIME;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Items[0].Star || q.UnionWith != "ts2" || !q.OrderByTime {
+		t.Fatalf("%+v", q)
+	}
+}
+
+func TestParseQ6NaturalJoin(t *testing.T) {
+	q, err := Parse("SELECT * FROM ts1, ts2;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Series) != 2 || !q.Items[0].Star {
+		t.Fatalf("%+v", q)
+	}
+}
+
+func TestParseTimeRange(t *testing.T) {
+	q, err := Parse("SELECT AVG(A) FROM v WHERE TIME >= 180 AND TIME <= 300;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 2 {
+		t.Fatalf("preds = %+v", q.Preds)
+	}
+	if !q.Preds[0].Col.IsTime() || q.Preds[0].Op != expr.OpGE || q.Preds[0].Value != 180 {
+		t.Fatalf("pred 0 = %+v", q.Preds[0])
+	}
+	if q.Preds[1].Op != expr.OpLE || q.Preds[1].Value != 300 {
+		t.Fatalf("pred 1 = %+v", q.Preds[1])
+	}
+}
+
+func TestParseNegativeLiteral(t *testing.T) {
+	q, err := Parse("SELECT SUM(A) FROM ts WHERE A > -42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0].Value != -42 {
+		t.Fatalf("value = %d", q.Preds[0].Value)
+	}
+}
+
+func TestParseValueAlias(t *testing.T) {
+	q, err := Parse("SELECT MAX(VALUE) FROM ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Items[0].Col.Column != "A" {
+		t.Fatalf("VALUE must alias A: %+v", q.Items[0])
+	}
+}
+
+func TestParseAllAggs(t *testing.T) {
+	for _, agg := range []string{"SUM", "AVG", "COUNT", "MIN", "MAX", "VAR"} {
+		q, err := Parse("SELECT " + agg + "(A) FROM ts")
+		if err != nil {
+			t.Fatalf("%s: %v", agg, err)
+		}
+		if string(q.Items[0].Agg) != agg {
+			t.Fatalf("%s parsed as %s", agg, q.Items[0].Agg)
+		}
+	}
+}
+
+func TestParseMultipleItems(t *testing.T) {
+	q, err := Parse("SELECT MIN(A), MAX(A), COUNT(A) FROM ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Items) != 3 {
+		t.Fatalf("items = %d", len(q.Items))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM ts",
+		"SELECT SUM(A FROM ts",
+		"SELECT SUM(A) ts",
+		"SELECT SUM(A) FROM ts WHERE",
+		"SELECT SUM(A) FROM ts WHERE A >",
+		"SELECT SUM(A) FROM ts WHERE A ! 5",
+		"SELECT SUM(A) FROM ts SW(1)",
+		"SELECT SUM(A) FROM ts SW(1, 0)",
+		"SELECT SUM(A) FROM ts extra",
+		"SELECT SUM(B) FROM ts",             // unknown column
+		"SELECT SUM(A) FROM ts WHERE A > x", // non-numeric literal
+		"SELECT SUM(A) FROM (SELECT * FROM ts",
+		"SELECT * FROM ts ORDER BY A",
+		"SELECT * FROM ts. ",
+		"SELECT @ FROM ts",
+		"SELECT SUM(A) FROM ts WHERE A - 5",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParseQualifiedPredicate(t *testing.T) {
+	q, err := Parse("SELECT * FROM ts1, ts2 WHERE ts1.A > 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0].Col.Series != "ts1" {
+		t.Fatalf("pred = %+v", q.Preds[0])
+	}
+}
+
+func TestParseDottedSeriesWithColumnTail(t *testing.T) {
+	// A trailing .A turns a dotted name into a column reference.
+	q, err := Parse("SELECT SUM(root.sg.d1.velocity.A) FROM root.sg.d1.velocity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Items[0].Col.Series != "root.sg.d1.velocity" {
+		t.Fatalf("col = %+v", q.Items[0].Col)
+	}
+}
+
+func TestParseLimit(t *testing.T) {
+	q, err := Parse("SELECT * FROM ts WHERE A > 5 LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Limit != 10 {
+		t.Fatalf("limit = %d", q.Limit)
+	}
+	q2, err := Parse("SELECT * FROM ts1 UNION ts2 ORDER BY TIME LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Limit != 3 || !q2.OrderByTime {
+		t.Fatalf("%+v", q2)
+	}
+	for _, bad := range []string{"SELECT * FROM ts LIMIT", "SELECT * FROM ts LIMIT 0", "SELECT * FROM ts LIMIT x"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseCorr(t *testing.T) {
+	q, err := Parse("SELECT CORR(ts1.A, ts2.A) FROM ts1, ts2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Items[0].Agg != AggCorr || q.Items[0].Col2 == nil || q.Items[0].Col2.Series != "ts2" {
+		t.Fatalf("%+v", q.Items[0])
+	}
+	for _, bad := range []string{
+		"SELECT CORR(A) FROM ts1, ts2",
+		"SELECT SUM(A, A) FROM ts",
+		"SELECT CORR(A, ) FROM ts1, ts2",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}

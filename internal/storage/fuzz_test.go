@@ -1,0 +1,35 @@
+package storage
+
+import (
+	"os"
+	"testing"
+)
+
+// FuzzReadBytes drives arbitrary bytes through the file-format parser.
+func FuzzReadBytes(f *testing.F) {
+	st := NewStore()
+	ts, vals := genSeries(200)
+	_ = st.Append("s", ts, vals, Options{PageSize: 64})
+	var buf []byte
+	{
+		// Serialize a valid store as the seed.
+		tmp := f.TempDir() + "/seed"
+		if err := st.WriteFile(tmp); err == nil {
+			if raw, err := os.ReadFile(tmp); err == nil {
+				buf = raw
+			}
+		}
+	}
+	f.Add(buf)
+	f.Add([]byte("ETSQP1\x00\x00\x00\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := ReadBytes(data)
+		if err != nil {
+			return
+		}
+		// A parsed store must be traversable without panics.
+		for _, name := range st.Names() {
+			_, _, _ = st.ReadColumns(name)
+		}
+	})
+}

@@ -1,0 +1,270 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Lazy-access container: WriteIndexedFile appends an index footer
+// (series name → byte offset) after the regular file body, so a reader
+// can open the file, list series, and load only the series a query
+// touches — the gradual, memory-bounded page loading of Section VI-C.
+//
+// Footer layout (all big-endian):
+//
+//	repeat: nameLen(2) name offset(8) length(8)
+//	indexLen(4) "IDX1"
+var indexMagic = [4]byte{'I', 'D', 'X', '1'}
+
+// WriteIndexedFile persists the store with a lazy-load index footer.
+// Files written this way remain readable by ReadFile (the footer is
+// trailing data the eager reader never reaches).
+func (s *Store) WriteIndexedFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	// Body: same as WriteFile, but record per-series extents.
+	s.mu.RLock()
+	names := make([]string, 0, len(s.series))
+	for n := range s.series {
+		names = append(names, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+
+	var body []byte
+	body = append(body, fileMagic[:]...)
+	var tmp [8]byte
+	binary.BigEndian.PutUint32(tmp[:4], uint32(len(names)))
+	body = append(body, tmp[:4]...)
+	type extent struct {
+		name        string
+		off, length int
+	}
+	extents := make([]extent, 0, len(names))
+	s.mu.RLock()
+	for _, name := range names {
+		start := len(body)
+		ser := s.series[name]
+		binary.BigEndian.PutUint32(tmp[:4], uint32(len(name)))
+		body = append(body, tmp[:4]...)
+		body = append(body, name...)
+		binary.BigEndian.PutUint32(tmp[:4], uint32(len(ser.Pages)))
+		body = append(body, tmp[:4]...)
+		for _, pp := range ser.Pages {
+			buf := marshalPage(nil, pp.Time)
+			buf = marshalPage(buf, pp.Value)
+			binary.BigEndian.PutUint32(tmp[:4], uint32(len(buf)))
+			body = append(body, tmp[:4]...)
+			body = append(body, buf...)
+		}
+		extents = append(extents, extent{name, start, len(body) - start})
+	}
+	s.mu.RUnlock()
+	if _, err := f.Write(body); err != nil {
+		return err
+	}
+	// Footer.
+	var idx []byte
+	for _, e := range extents {
+		binary.BigEndian.PutUint16(tmp[:2], uint16(len(e.name)))
+		idx = append(idx, tmp[:2]...)
+		idx = append(idx, e.name...)
+		binary.BigEndian.PutUint64(tmp[:], uint64(e.off))
+		idx = append(idx, tmp[:]...)
+		binary.BigEndian.PutUint64(tmp[:], uint64(e.length))
+		idx = append(idx, tmp[:]...)
+	}
+	binary.BigEndian.PutUint32(tmp[:4], uint32(len(idx)))
+	idx = append(idx, tmp[:4]...)
+	idx = append(idx, indexMagic[:]...)
+	_, err = f.Write(idx)
+	return err
+}
+
+// LazyFile reads series on demand from an indexed store file.
+type LazyFile struct {
+	f       *os.File
+	mu      sync.Mutex
+	index   map[string][2]int64 // name -> (offset, length)
+	names   []string
+	cache   map[string]*Series
+	maxHeld int // cached series cap (0 = unbounded)
+}
+
+// OpenLazy opens an indexed store file without loading any series data.
+func OpenLazy(path string) (*LazyFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	lf := &LazyFile{f: f, index: map[string][2]int64{}, cache: map[string]*Series{}}
+	if err := lf.readIndex(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return lf, nil
+}
+
+// SetCacheLimit bounds the number of series kept decoded in memory; the
+// oldest entries are evicted first (0 = unbounded).
+func (lf *LazyFile) SetCacheLimit(n int) {
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	lf.maxHeld = n
+}
+
+// Close releases the file handle.
+func (lf *LazyFile) Close() error { return lf.f.Close() }
+
+// Names lists the indexed series.
+func (lf *LazyFile) Names() []string {
+	return append([]string(nil), lf.names...)
+}
+
+func (lf *LazyFile) readIndex() error {
+	st, err := lf.f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() < 8 {
+		return fmt.Errorf("storage: file too small for index")
+	}
+	var tail [8]byte
+	if _, err := lf.f.ReadAt(tail[:], st.Size()-8); err != nil {
+		return err
+	}
+	if tail[4] != indexMagic[0] || tail[5] != indexMagic[1] ||
+		tail[6] != indexMagic[2] || tail[7] != indexMagic[3] {
+		return fmt.Errorf("storage: missing index footer (use WriteIndexedFile)")
+	}
+	idxLen := int64(binary.BigEndian.Uint32(tail[:4]))
+	if idxLen < 0 || idxLen > st.Size()-8 {
+		return fmt.Errorf("storage: corrupt index length")
+	}
+	idx := make([]byte, idxLen)
+	if _, err := lf.f.ReadAt(idx, st.Size()-8-idxLen); err != nil {
+		return err
+	}
+	for off := 0; off < len(idx); {
+		if off+2 > len(idx) {
+			return fmt.Errorf("storage: corrupt index entry")
+		}
+		nameLen := int(binary.BigEndian.Uint16(idx[off:]))
+		off += 2
+		if off+nameLen+16 > len(idx) {
+			return fmt.Errorf("storage: corrupt index entry")
+		}
+		name := string(idx[off : off+nameLen])
+		off += nameLen
+		dataOff := int64(binary.BigEndian.Uint64(idx[off:]))
+		dataLen := int64(binary.BigEndian.Uint64(idx[off+8:]))
+		off += 16
+		if dataOff < 0 || dataLen < 0 || dataOff+dataLen > st.Size() {
+			return fmt.Errorf("storage: corrupt index extent for %q", name)
+		}
+		lf.index[name] = [2]int64{dataOff, dataLen}
+		lf.names = append(lf.names, name)
+	}
+	return nil
+}
+
+// Series loads (and caches) one series from disk.
+func (lf *LazyFile) Series(name string) (*Series, error) {
+	lf.mu.Lock()
+	if ser, ok := lf.cache[name]; ok {
+		lf.mu.Unlock()
+		return ser, nil
+	}
+	ext, ok := lf.index[name]
+	lf.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown series %q", name)
+	}
+	raw := make([]byte, ext[1])
+	if _, err := lf.f.ReadAt(raw, ext[0]); err != nil {
+		return nil, err
+	}
+	ser, err := parseSeriesRecord(raw)
+	if err != nil {
+		return nil, err
+	}
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	if lf.maxHeld > 0 && len(lf.cache) >= lf.maxHeld {
+		// Evict an arbitrary held series (memory bound, not LRU fidelity).
+		for k := range lf.cache {
+			delete(lf.cache, k)
+			break
+		}
+	}
+	lf.cache[name] = ser
+	return ser, nil
+}
+
+// LoadStore materializes the named series (all when names is empty) into
+// a regular Store for querying.
+func (lf *LazyFile) LoadStore(names ...string) (*Store, error) {
+	if len(names) == 0 {
+		names = lf.Names()
+	}
+	st := NewStore()
+	for _, name := range names {
+		ser, err := lf.Series(name)
+		if err != nil {
+			return nil, err
+		}
+		st.mu.Lock()
+		st.series[name] = ser
+		st.mu.Unlock()
+	}
+	return st, nil
+}
+
+// parseSeriesRecord parses one series record (name, page count, pages).
+func parseSeriesRecord(raw []byte) (*Series, error) {
+	if len(raw) < 8 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	nameLen := int(binary.BigEndian.Uint32(raw))
+	off := 4
+	if len(raw) < off+nameLen+4 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	ser := &Series{Name: string(raw[off : off+nameLen])}
+	off += nameLen
+	nPages := int(binary.BigEndian.Uint32(raw[off:]))
+	off += 4
+	for p := 0; p < nPages; p++ {
+		if len(raw) < off+4 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		pairLen := int(binary.BigEndian.Uint32(raw[off:]))
+		off += 4
+		if len(raw) < off+pairLen {
+			return nil, io.ErrUnexpectedEOF
+		}
+		pairBuf := raw[off : off+pairLen]
+		off += pairLen
+		tp, n, err := unmarshalPage(pairBuf)
+		if err != nil {
+			return nil, err
+		}
+		vp, _, err := unmarshalPage(pairBuf[n:])
+		if err != nil {
+			return nil, err
+		}
+		ser.Pages = append(ser.Pages, PagePair{Time: tp, Value: vp})
+	}
+	return ser, nil
+}

@@ -1,0 +1,297 @@
+package storage
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+
+	"etsqp/internal/encoding"
+)
+
+// Defaults for series ingestion.
+const (
+	// DefaultPageSize mirrors IoTDB's points-per-page order of magnitude;
+	// small enough that short buffered series still flush (Section I's
+	// flexibility requirement).
+	DefaultPageSize = 4096
+	// DefaultTimeCodec encodes timestamps with second-order deltas
+	// (regular intervals pack to zero width).
+	DefaultTimeCodec = "ts2diff2"
+	// DefaultValueCodec encodes sensor values with first-order deltas.
+	DefaultValueCodec = "ts2diff"
+)
+
+// Options configures how Append encodes a series.
+type Options struct {
+	PageSize   int    // points per page; DefaultPageSize if zero
+	TimeCodec  string // codec for the timestamp column
+	ValueCodec string // codec for the value column
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize <= 0 {
+		o.PageSize = DefaultPageSize
+	}
+	if o.TimeCodec == "" {
+		o.TimeCodec = DefaultTimeCodec
+	}
+	if o.ValueCodec == "" {
+		o.ValueCodec = DefaultValueCodec
+	}
+	return o
+}
+
+// Series is one stored time series: pages of (timestamp, value) columns.
+type Series struct {
+	Name  string
+	Pages []PagePair
+}
+
+// NumPoints sums the page counts.
+func (s *Series) NumPoints() int {
+	n := 0
+	for _, pp := range s.Pages {
+		n += pp.Count()
+	}
+	return n
+}
+
+// TimeRange returns the series' covered [start, end] time range.
+func (s *Series) TimeRange() (start, end int64) {
+	if len(s.Pages) == 0 {
+		return 0, 0
+	}
+	return s.Pages[0].StartTime(), s.Pages[len(s.Pages)-1].EndTime()
+}
+
+// EncodedBytes sums the payload sizes of all pages (the I/O volume the
+// throughput benchmarks charge against each encoder).
+func (s *Series) EncodedBytes() int {
+	n := 0
+	for _, pp := range s.Pages {
+		n += len(pp.Time.Data) + len(pp.Value.Data)
+	}
+	return n
+}
+
+// Store is an in-memory collection of series (the receiving-buffer side of
+// an IoT database). It is safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	series map[string]*Series
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{series: make(map[string]*Series)}
+}
+
+// EncodePages encodes aligned (ts, vals) columns into page pairs without
+// touching a store — the building block Append and the benchmarks share.
+func EncodePages(ts, vals []int64, opts Options) ([]PagePair, error) {
+	if len(ts) != len(vals) {
+		return nil, fmt.Errorf("storage: column length mismatch %d vs %d", len(ts), len(vals))
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			return nil, fmt.Errorf("storage: timestamps not strictly increasing at row %d", i)
+		}
+	}
+	opts = opts.withDefaults()
+	timeCodec, err := encoding.Lookup(opts.TimeCodec)
+	if err != nil {
+		return nil, err
+	}
+	valueCodec, err := encoding.Lookup(opts.ValueCodec)
+	if err != nil {
+		return nil, err
+	}
+	var pairs []PagePair
+	for off := 0; off < len(ts); off += opts.PageSize {
+		end := off + opts.PageSize
+		if end > len(ts) {
+			end = len(ts)
+		}
+		tCol, vCol := ts[off:end], vals[off:end]
+		tData, err := timeCodec.Encode(tCol)
+		if err != nil {
+			return nil, err
+		}
+		vData, err := valueCodec.Encode(vCol)
+		if err != nil {
+			return nil, err
+		}
+		minV, maxV := vCol[0], vCol[0]
+		var sumV int64
+		sumOK := true
+		for _, v := range vCol {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+			s := sumV + v
+			if (sumV > 0 && v > 0 && s < 0) || (sumV < 0 && v < 0 && s >= 0) {
+				sumOK = false
+			}
+			sumV = s
+		}
+		pairs = append(pairs, PagePair{
+			Time: &Page{
+				Header: PageHeader{
+					Kind: ColumnTime, Codec: opts.TimeCodec, Count: len(tCol),
+					StartTime: tCol[0], EndTime: tCol[len(tCol)-1],
+					MinValue: tCol[0], MaxValue: tCol[len(tCol)-1],
+					Checksum: crc32.ChecksumIEEE(tData),
+				},
+				Data: tData,
+			},
+			Value: &Page{
+				Header: PageHeader{
+					Kind: ColumnValue, Codec: opts.ValueCodec, Count: len(vCol),
+					StartTime: tCol[0], EndTime: tCol[len(tCol)-1],
+					MinValue: minV, MaxValue: maxV,
+					SumValue: sumV, SumValid: sumOK,
+					Checksum: crc32.ChecksumIEEE(vData),
+				},
+				Data: vData,
+			},
+		})
+	}
+	return pairs, nil
+}
+
+// Append encodes and appends (ts, vals) rows to the named series. The new
+// rows must start after the series' current end time.
+func (s *Store) Append(name string, ts, vals []int64, opts Options) error {
+	pairs, err := EncodePages(ts, vals, opts)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ser, ok := s.series[name]
+	if !ok {
+		ser = &Series{Name: name}
+		s.series[name] = ser
+	}
+	if len(ser.Pages) > 0 && len(pairs) > 0 {
+		if last := ser.Pages[len(ser.Pages)-1].EndTime(); pairs[0].StartTime() <= last {
+			return fmt.Errorf("storage: append to %q out of time order (%d <= %d)",
+				name, pairs[0].StartTime(), last)
+		}
+	}
+	ser.Pages = append(ser.Pages, pairs...)
+	return nil
+}
+
+// Series returns the named series.
+func (s *Store) Series(name string) (*Series, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ser, ok := s.series[name]
+	return ser, ok
+}
+
+// Names lists the stored series in sorted order.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.series))
+	for n := range s.series {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReadColumns decodes an entire series back to flat (ts, vals) columns —
+// the reference path tests compare the pipeline engine against.
+func (s *Store) ReadColumns(name string) (ts, vals []int64, err error) {
+	ser, ok := s.Series(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("storage: unknown series %q", name)
+	}
+	for _, pp := range ser.Pages {
+		t, err := pp.Time.Decode()
+		if err != nil {
+			return nil, nil, err
+		}
+		v, err := pp.Value.Decode()
+		if err != nil {
+			return nil, nil, err
+		}
+		ts = append(ts, t...)
+		vals = append(vals, v...)
+	}
+	return ts, vals, nil
+}
+
+// PagesInRange returns the page pairs whose time range intersects
+// [t1, t2], located by binary search over the (time-ordered) page list —
+// the index lookup a query uses instead of scanning every page header.
+func (s *Series) PagesInRange(t1, t2 int64) []PagePair {
+	if t2 < t1 {
+		return nil
+	}
+	// First page whose end reaches t1.
+	lo := sort.Search(len(s.Pages), func(i int) bool {
+		return s.Pages[i].EndTime() >= t1
+	})
+	// First page that starts after t2.
+	hi := sort.Search(len(s.Pages), func(i int) bool {
+		return s.Pages[i].StartTime() > t2
+	})
+	if lo >= hi {
+		return nil
+	}
+	return s.Pages[lo:hi]
+}
+
+// Compact re-encodes a series into uniform pages of the given options —
+// merging the small blocks that incremental flushing produces (the
+// write-path counterpart of Section VI-C's memory management: many short
+// buffered flushes, later consolidated).
+func (s *Store) Compact(name string, opts Options) error {
+	ts, vals, err := s.ReadColumns(name)
+	if err != nil {
+		return err
+	}
+	pairs, err := EncodePages(ts, vals, opts)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ser, ok := s.series[name]
+	if !ok {
+		return fmt.Errorf("storage: unknown series %q", name)
+	}
+	ser.Pages = pairs
+	return nil
+}
+
+// AppendPages appends already-encoded page pairs to a series — the
+// server-side ingest path for pages that arrive encoded over the
+// network (Section I: data is delivered compressed, never re-encoded).
+func (s *Store) AppendPages(name string, pairs []PagePair) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ser, ok := s.series[name]
+	if !ok {
+		ser = &Series{Name: name}
+		s.series[name] = ser
+	}
+	for _, pp := range pairs {
+		if len(ser.Pages) > 0 {
+			if last := ser.Pages[len(ser.Pages)-1].EndTime(); pp.StartTime() <= last {
+				return fmt.Errorf("storage: page append to %q out of time order (%d <= %d)",
+					name, pp.StartTime(), last)
+			}
+		}
+		ser.Pages = append(ser.Pages, pp)
+	}
+	return nil
+}

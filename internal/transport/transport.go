@@ -1,0 +1,197 @@
+// Package transport implements the delivery path of Section I: IoT
+// devices encode readings incrementally and ship the encoded blocks —
+// not raw values — over the network; the server ingests them straight
+// into the page store. The wire format is length-prefixed frames with a
+// CRC-32 trailer:
+//
+//	magic(2) type(1) seriesLen(2) series frameLen(4) payload crc(4)
+//
+// Frame payloads are storage page pairs (time page + value page), so a
+// device's flush unit and the server's storage unit coincide and the
+// server never decodes in the ingest path (space-efficient delivery,
+// Figure 1's motivation).
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"etsqp/internal/storage"
+)
+
+// Frame types.
+const (
+	framePagePair = 0x01
+	frameClose    = 0x02
+)
+
+var frameMagic = [2]byte{0xE7, 0x5A}
+
+// ErrBadFrame reports a corrupt or unexpected frame.
+var ErrBadFrame = errors.New("transport: bad frame")
+
+// writeFrame emits one frame.
+func writeFrame(w io.Writer, ftype byte, series string, payload []byte) error {
+	if len(series) > 0xFFFF {
+		return fmt.Errorf("transport: series name too long")
+	}
+	head := make([]byte, 0, 9+len(series))
+	head = append(head, frameMagic[:]...)
+	head = append(head, ftype)
+	var tmp [4]byte
+	binary.BigEndian.PutUint16(tmp[:2], uint16(len(series)))
+	head = append(head, tmp[:2]...)
+	head = append(head, series...)
+	binary.BigEndian.PutUint32(tmp[:4], uint32(len(payload)))
+	head = append(head, tmp[:4]...)
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(tmp[:4], crc32.ChecksumIEEE(payload))
+	_, err := w.Write(tmp[:4])
+	return err
+}
+
+// readFrame parses one frame.
+func readFrame(r io.Reader) (ftype byte, series string, payload []byte, err error) {
+	var head [5]byte
+	if _, err = io.ReadFull(r, head[:]); err != nil {
+		return 0, "", nil, err
+	}
+	if head[0] != frameMagic[0] || head[1] != frameMagic[1] {
+		return 0, "", nil, ErrBadFrame
+	}
+	ftype = head[2]
+	nameLen := int(binary.BigEndian.Uint16(head[3:]))
+	name := make([]byte, nameLen)
+	if _, err = io.ReadFull(r, name); err != nil {
+		return 0, "", nil, err
+	}
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, "", nil, err
+	}
+	plen := binary.BigEndian.Uint32(lenBuf[:])
+	if plen > 1<<28 {
+		return 0, "", nil, ErrBadFrame
+	}
+	payload = make([]byte, plen)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, "", nil, err
+	}
+	var crcBuf [4]byte
+	if _, err = io.ReadFull(r, crcBuf[:]); err != nil {
+		return 0, "", nil, err
+	}
+	if binary.BigEndian.Uint32(crcBuf[:]) != crc32.ChecksumIEEE(payload) {
+		return 0, "", nil, fmt.Errorf("transport: frame checksum mismatch: %w", ErrBadFrame)
+	}
+	return ftype, string(name), payload, nil
+}
+
+// Sender is the device side: it buffers points per series and ships
+// encoded page pairs when the buffer fills (the incremental, buffer-
+// bounded flush behaviour IoT encoders exist for).
+type Sender struct {
+	w     io.Writer
+	opts  storage.Options
+	ts    map[string][]int64
+	vals  map[string][]int64
+	Flush int // points per shipped page pair
+}
+
+// NewSender wraps a connection; pages flush every `flush` points.
+func NewSender(w io.Writer, flush int, opts storage.Options) *Sender {
+	if flush <= 0 {
+		flush = storage.DefaultPageSize
+	}
+	return &Sender{
+		w: w, opts: opts, Flush: flush,
+		ts: map[string][]int64{}, vals: map[string][]int64{},
+	}
+}
+
+// Record buffers one data point, shipping a frame when the series
+// buffer reaches the flush size.
+func (s *Sender) Record(series string, t, v int64) error {
+	s.ts[series] = append(s.ts[series], t)
+	s.vals[series] = append(s.vals[series], v)
+	if len(s.ts[series]) >= s.Flush {
+		return s.flushSeries(series)
+	}
+	return nil
+}
+
+// FlushAll ships every partially filled buffer.
+func (s *Sender) FlushAll() error {
+	for series := range s.ts {
+		if len(s.ts[series]) > 0 {
+			if err := s.flushSeries(series); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close flushes and sends the end-of-stream frame.
+func (s *Sender) Close() error {
+	if err := s.FlushAll(); err != nil {
+		return err
+	}
+	return writeFrame(s.w, frameClose, "", nil)
+}
+
+func (s *Sender) flushSeries(series string) error {
+	opts := s.opts
+	opts.PageSize = len(s.ts[series])
+	pairs, err := storage.EncodePages(s.ts[series], s.vals[series], opts)
+	if err != nil {
+		return err
+	}
+	for _, pp := range pairs {
+		payload := storage.MarshalPagePair(pp)
+		if err := writeFrame(s.w, framePagePair, series, payload); err != nil {
+			return err
+		}
+	}
+	s.ts[series] = s.ts[series][:0]
+	s.vals[series] = s.vals[series][:0]
+	return nil
+}
+
+// Receive ingests frames into the store until the close frame or EOF.
+// It returns the number of page pairs ingested.
+func Receive(r io.Reader, st *storage.Store) (int, error) {
+	n := 0
+	for {
+		ftype, series, payload, err := readFrame(r)
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		switch ftype {
+		case frameClose:
+			return n, nil
+		case framePagePair:
+			pp, err := storage.UnmarshalPagePair(payload)
+			if err != nil {
+				return n, err
+			}
+			if err := st.AppendPages(series, []storage.PagePair{pp}); err != nil {
+				return n, err
+			}
+			n++
+		default:
+			return n, ErrBadFrame
+		}
+	}
+}

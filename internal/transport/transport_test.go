@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+
+	"etsqp/internal/engine"
+	"etsqp/internal/storage"
+
+	_ "etsqp/internal/encoding/ts2diff"
+)
+
+func TestDeviceToServerOverPipe(t *testing.T) {
+	// A device streams two sensors over an in-memory connection; the
+	// server ingests encoded pages and answers a query.
+	client, server := net.Pipe()
+	st := storage.NewStore()
+	var wg sync.WaitGroup
+	var recvN int
+	var recvErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		recvN, recvErr = Receive(server, st)
+	}()
+
+	s := NewSender(client, 250, storage.Options{})
+	n := 2000
+	temps := make([]int64, n)
+	for i := 0; i < n; i++ {
+		temps[i] = 200 + int64(i%17)
+		if err := s.Record("temp", int64(i+1)*1000, temps[i]); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := s.Record("hum", int64(i+1)*1000, 500+int64(i%5)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	wg.Wait()
+	if recvErr != nil {
+		t.Fatal(recvErr)
+	}
+	if recvN < 8+4 {
+		t.Fatalf("pairs ingested = %d", recvN)
+	}
+
+	// The ingested store answers queries like a locally built one.
+	gotT, gotV, err := st.ReadColumns("temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotT) != n || !reflect.DeepEqual(gotV, temps) {
+		t.Fatal("delivered series mismatch")
+	}
+	e := engine.New(st, engine.ModeETSQP)
+	res, err := e.ExecuteSQL("SELECT COUNT(A) FROM hum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggregates["COUNT(A)"] != float64(n/2) {
+		t.Fatalf("hum count = %v", res.Aggregates["COUNT(A)"])
+	}
+}
+
+func TestWireIsEncodedNotRaw(t *testing.T) {
+	// The point of shipping encoded pages: the wire volume is far below
+	// 16 bytes per (t, v) point for a compressible series.
+	var buf bytes.Buffer
+	s := NewSender(&buf, 1000, storage.Options{})
+	n := 10_000
+	for i := 0; i < n; i++ {
+		if err := s.Record("s", int64(i)*1000, int64(i%50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > n*16/4 {
+		t.Fatalf("wire bytes %d, want at least 4x below raw %d", buf.Len(), n*16)
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSender(&buf, 100, storage.Options{})
+	for i := 0; i < 100; i++ {
+		if err := s.Record("s", int64(i+1), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)/2] ^= 0xFF
+	st := storage.NewStore()
+	if _, err := Receive(bytes.NewReader(raw), st); err == nil {
+		t.Fatal("corrupted frame not detected")
+	}
+	// Bad magic.
+	if _, err := Receive(bytes.NewReader([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0}), st); err == nil {
+		t.Fatal("bad magic not detected")
+	}
+}
+
+func TestPartialBuffersFlushOnClose(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSender(&buf, 1_000_000, storage.Options{}) // never auto-flushes
+	for i := 0; i < 7; i++ {
+		if err := s.Record("s", int64(i+1), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := storage.NewStore()
+	pairs, err := Receive(bytes.NewReader(buf.Bytes()), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs != 1 {
+		t.Fatalf("pairs = %d", pairs)
+	}
+	ser, _ := st.Series("s")
+	if ser.NumPoints() != 7 {
+		t.Fatalf("points = %d", ser.NumPoints())
+	}
+}
+
+func TestOutOfOrderDeliveryRejected(t *testing.T) {
+	st := storage.NewStore()
+	mk := func(start int64) storage.PagePair {
+		ts := []int64{start, start + 1}
+		pairs, err := storage.EncodePages(ts, []int64{1, 2}, storage.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pairs[0]
+	}
+	if err := st.AppendPages("s", []storage.PagePair{mk(100)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendPages("s", []storage.PagePair{mk(50)}); err == nil {
+		t.Fatal("out-of-order page append must fail")
+	}
+	if err := st.AppendPages("s", []storage.PagePair{mk(200)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSenderSeriesNameTooLong(t *testing.T) {
+	var buf bytes.Buffer
+	long := make([]byte, 70000)
+	for i := range long {
+		long[i] = 'a'
+	}
+	err := writeFrame(&buf, framePagePair, string(long), nil)
+	if err == nil {
+		t.Fatal("over-long series name must fail")
+	}
+	_ = fmt.Sprint(err)
+}

@@ -1,5 +1,7 @@
 // etsqp-bench regenerates the paper's evaluation tables and figures and
-// prints them as aligned text.
+// prints them as aligned text. With -obs, the process-wide observability
+// counters (see docs/OBSERVABILITY.md) are enabled for the run and
+// dumped as "name value" lines on exit.
 //
 // Usage:
 //
@@ -7,6 +9,7 @@
 //	etsqp-bench -fig 10            # figures: 10 11 12 13 14
 //	etsqp-bench -table 1           # tables: 1 2 3
 //	etsqp-bench -fig 10 -rows 200000 -workers 8
+//	etsqp-bench -fig 13 -obs       # append the global metrics dump
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"text/tabwriter"
 
 	"etsqp/internal/bench"
+	"etsqp/internal/obs"
 )
 
 func main() {
@@ -32,9 +36,17 @@ func main() {
 		seed    = flag.Int64("seed", 42, "dataset generator seed")
 		workers = flag.Int("workers", 0, "engine worker pipelines (0 = GOMAXPROCS)")
 		csvOut  = flag.Bool("csv", false, "emit measurements as CSV instead of tables")
+		obsDump = flag.Bool("obs", false, "enable global metrics and dump them on exit")
 	)
 	flag.Parse()
 	csvMode = *csvOut
+	if *obsDump {
+		obs.Enable()
+		defer func() {
+			section("Metrics")
+			obs.Dump(os.Stdout)
+		}()
+	}
 	cfg := bench.Config{Rows: *rows, Seed: *seed, Workers: *workers}.WithDefaults()
 
 	if !*all && *fig == 0 && *table == 0 {

@@ -1,13 +1,17 @@
 // etsqp-cli is a small SQL shell over the ETSQP engine. It loads a store
 // file written by storage.WriteFile, or generates a Table II dataset on
 // the fly, then executes statements from the command line or stdin.
-// EXPLAIN <query> prints the execution plan without running it.
+// EXPLAIN <query> prints the execution plan without running it;
+// EXPLAIN ANALYZE <query> runs it and annotates the plan with the
+// observed counters and per-stage times (see docs/OBSERVABILITY.md).
+// With -obs, the process-wide metric counters dump on exit.
 //
 // Usage:
 //
 //	etsqp-cli -gen Atm -rows 100000 -q "SELECT AVG(A) FROM ts1"
 //	etsqp-cli -load store.etsqp            # interactive: one query per line
 //	etsqp-cli -gen Gas -mode serial -q "EXPLAIN SELECT SUM(A) FROM ts1"
+//	etsqp-cli -gen Atm -mode prune -obs -q "EXPLAIN ANALYZE SELECT SUM(A) FROM ts1 WHERE A >= 3"
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"strings"
 
 	"etsqp/internal/cli"
+	"etsqp/internal/obs"
 
 	_ "etsqp/internal/encoding/chimp"
 	_ "etsqp/internal/encoding/elf"
@@ -39,8 +44,16 @@ func main() {
 		query   = flag.String("q", "", "one-shot query (otherwise read stdin)")
 		workers = flag.Int("workers", 0, "worker pipelines (0 = GOMAXPROCS)")
 		maxRows = flag.Int("maxrows", 20, "row-output limit")
+		obsDump = flag.Bool("obs", false, "enable global metrics and dump them on exit")
 	)
 	flag.Parse()
+	if *obsDump {
+		obs.Enable()
+		defer func() {
+			fmt.Println("-- metrics --")
+			obs.Dump(os.Stdout)
+		}()
+	}
 	cfg := cli.Config{
 		LoadPath: *load, GenLabel: *gen, Rows: *rows, Seed: *seed,
 		Codec: *codec, Mode: *mode, Workers: *workers, MaxRows: *maxRows,

@@ -1,8 +1,20 @@
 // Package etsqp reproduces "Exploring SIMD Vectorization in Aggregation
 // Pipelines for Encoded IoT Data" (Kang, Song, Wang — ICDE 2025): an
 // IoT time-series storage and query engine whose decoding pipelines are
-// vectorized, fused with aggregation operators, and pruned by encoder
-// statistics.
+// vectorized (Section III), fused with aggregation operators so that
+// SUM/AVG/COUNT/VAR/CORR run on encoded form without materializing
+// columns (Section IV, internal/fusion), and pruned early by encoder
+// statistics (Section V, internal/prune). A FastLanes-style transposed
+// layout (internal/fastlanes) and serial/SBoost executors serve as the
+// paper's baselines, and internal/transport implements the Section I
+// delivery path: devices ship CRC-framed encoded pages that the server
+// ingests without decoding.
+//
+// Execution is observable end to end: every query reports engine.Stats,
+// EXPLAIN ANALYZE renders those observed counters next to the plan's
+// estimates, and internal/obs exposes process-global metrics for every
+// layer (see docs/OBSERVABILITY.md; wire and file formats are specified
+// in docs/FORMATS.md).
 //
 // The library lives under internal/ (see DESIGN.md for the module map);
 // runnable entry points are cmd/etsqp-bench (regenerates every table and

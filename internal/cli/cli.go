@@ -1,6 +1,7 @@
 // Package cli implements the etsqp-cli shell logic: store construction
-// from flags, statement dispatch (queries and EXPLAIN), and result
-// rendering. It lives outside cmd/ so the behaviour is unit-testable.
+// from flags, statement dispatch (queries, EXPLAIN, and EXPLAIN
+// ANALYZE), and result rendering. It lives outside cmd/ so the
+// behaviour is unit-testable.
 package cli
 
 import (
@@ -72,9 +73,18 @@ func (c Config) NewEngine(st *storage.Store) (*engine.Engine, error) {
 	return e, nil
 }
 
-// Execute runs one statement (query or EXPLAIN) and renders the result.
+// Execute runs one statement (query, EXPLAIN, or EXPLAIN ANALYZE) and
+// renders the result.
 func Execute(w io.Writer, eng *engine.Engine, sql string, maxRows int) error {
 	trimmed := strings.TrimSpace(sql)
+	if rest, ok := cutPrefixFold(trimmed, "EXPLAIN ANALYZE "); ok {
+		info, err := eng.ExplainAnalyze(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, info)
+		return nil
+	}
 	if rest, ok := cutPrefixFold(trimmed, "EXPLAIN "); ok {
 		info, err := eng.Explain(rest)
 		if err != nil {

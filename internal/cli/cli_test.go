@@ -101,11 +101,24 @@ func TestExecuteRendering(t *testing.T) {
 		t.Fatalf("explain render: %s", buf.String())
 	}
 
+	buf.Reset()
+	if err := Execute(&buf, eng, "explain analyze SELECT SUM(A) FROM ts1", 5); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "aggregate query") || !strings.Contains(out, "analyze:") ||
+		!strings.Contains(out, "elapsed:") {
+		t.Fatalf("explain analyze render: %s", out)
+	}
+
 	if err := Execute(&buf, eng, "not sql", 5); err == nil {
 		t.Fatal("bad SQL must error")
 	}
 	if err := Execute(&buf, eng, "EXPLAIN not sql", 5); err == nil {
 		t.Fatal("bad EXPLAIN must error")
+	}
+	if err := Execute(&buf, eng, "EXPLAIN ANALYZE not sql", 5); err == nil {
+		t.Fatal("bad EXPLAIN ANALYZE must error")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"etsqp/internal/encoding/ts2diff"
 	"etsqp/internal/expr"
 	"etsqp/internal/fusion"
+	"etsqp/internal/obs"
 	"etsqp/internal/pipeline"
 	"etsqp/internal/prune"
 	"etsqp/internal/sqlparse"
@@ -233,7 +234,10 @@ func (e *Engine) executeAgg(q *sqlparse.Query, series string, preds []sqlparse.P
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(jobs))
-	fused := !needsValues(q.Items) && len(vp) == 0 && e.Mode != ModeSerial &&
+	// fusible: the aggregate set can run on encoded form in this mode;
+	// whether a particular slice actually fuses also depends on its page
+	// statistics versus the value predicates (see aggSlice).
+	fusible := !needsValues(q.Items) && e.Mode != ModeSerial &&
 		e.Mode != ModeSBoost && e.Mode != ModeFastLanes
 	for _, slices := range jobs {
 		if len(slices) == 0 {
@@ -245,7 +249,7 @@ func (e *Engine) executeAgg(q *sqlparse.Query, series string, preds []sqlparse.P
 			local := &partialAgg{}
 			localWin := make([]partialAgg, len(windows))
 			for _, sl := range slices {
-				if err := e.aggSlice(sl, t1, t2, vp, c1, c2, fused, needFL, windows, local, localWin, col); err != nil {
+				if err := e.aggSlice(sl, t1, t2, vp, c1, c2, fusible, needFL, windows, local, localWin, col); err != nil {
 					errCh <- err
 					return
 				}
@@ -265,7 +269,7 @@ func (e *Engine) executeAgg(q *sqlparse.Query, series string, preds []sqlparse.P
 	default:
 	}
 
-	res := &Result{Stats: col.snapshot()}
+	res := &Result{Stats: col.finish()}
 	if q.Window != nil {
 		agg := q.Items[0].Agg
 		res.Windows = make([]WindowAgg, len(windows))
@@ -330,9 +334,22 @@ func valueRange(vp []sqlparse.Pred) (c1, c2 int64) {
 // aggSlice processes one pipeline job: find the time-valid row range,
 // then aggregate values over it (fused or decoded).
 func (e *Engine) aggSlice(sl pipeline.Slice, t1, t2 int64, vp []sqlparse.Pred, c1, c2 int64,
-	fused, needFL bool, windows []expr.Window, local *partialAgg, localWin []partialAgg, col *statsCollector) error {
+	fusible, needFL bool, windows []expr.Window, local *partialAgg, localWin []partialAgg, col *statsCollector) error {
 	col.slicesRun.Add(1)
 	col.tuplesLoaded.Add(int64(sl.Rows()))
+
+	fused := fusible && len(vp) == 0
+	if !fused && fusible && rangeOnly(vp) &&
+		prune.AllValuesInRange(sl.Pair.Value.Header, c1, c2) {
+		// The page's min/max statistics prove every row satisfies the
+		// range filter, so the predicate is vacuous here and the fused
+		// no-materialization path stays available despite it (the
+		// Section V statistics reused to keep Section IV fusion on).
+		fused = true
+		if sl.StartRow == 0 {
+			obs.PrunePagesVacuous.Inc()
+		}
+	}
 
 	// Resolve the time-valid row range [lo, hi) within the slice.
 	lo, hi := sl.StartRow, sl.EndRow
@@ -396,6 +413,7 @@ func (e *Engine) aggSlice(sl pipeline.Slice, t1, t2 int64, vp []sqlparse.Pred, c
 				return err
 			}
 			if ok {
+				col.valuesFused.Add(count)
 				local.addSum(sum, count)
 				return nil
 			}
@@ -403,6 +421,7 @@ func (e *Engine) aggSlice(sl pipeline.Slice, t1, t2 int64, vp []sqlparse.Pred, c
 			if err != nil {
 				return err
 			}
+			col.valuesDecoded.Add(int64(len(vals)))
 			for _, v := range vals {
 				local.addValue(v)
 			}
@@ -435,6 +454,8 @@ func (e *Engine) timeBoundsPruned(sl pipeline.Slice, t1, t2 int64,
 	if serr != nil {
 		return 0, 0, false, nil // e.g. order-2 time pages
 	}
+	col.pagesRead.Add(1)
+	col.bytesScanned.Add(int64(len(sl.Pair.Time.Data)))
 	if cerr := sl.Pair.Time.VerifyChecksum(); cerr != nil {
 		return 0, 0, true, cerr
 	}
@@ -461,6 +482,7 @@ func (e *Engine) timeBoundsPruned(sl pipeline.Slice, t1, t2 int64,
 				}
 				if t > t2 {
 					col.rowsPruned.Add(int64(sl.EndRow - (base + i)))
+					obs.PruneStopsTime.Inc()
 					hi = base + i
 					return nil
 				}
@@ -515,6 +537,8 @@ func (e *Engine) aggDecodedRange(sl pipeline.Slice, lo, hi int, vp []sqlparse.Pr
 	usePrune := e.Mode == ModeETSQPPrune && len(vp) > 0
 	if usePrune {
 		if blk, err := pageBlock(sl.Pair.Value); err == nil && blk != nil {
+			col.pagesRead.Add(1)
+			col.bytesScanned.Add(int64(len(sl.Pair.Value.Data)))
 			if done, err := e.aggPrunedScan(sl, blk, lo, hi, vp, c1, c2, local, col); done || err != nil {
 				return err
 			}
@@ -524,6 +548,7 @@ func (e *Engine) aggDecodedRange(sl pipeline.Slice, lo, hi int, vp []sqlparse.Pr
 	if err != nil {
 		return err
 	}
+	col.valuesDecoded.Add(int64(len(vals)))
 	return timed(&col.aggNanos, func() error {
 		foldValues(vals, vp, c1, c2, local)
 		return nil
@@ -563,6 +588,7 @@ func (e *Engine) aggPrunedScan(sl pipeline.Slice, blk *ts2diff.Block, lo, hi int
 			break
 		}
 		vals := buf[:k]
+		col.valuesDecoded.Add(int64(k))
 		err = timed(&col.aggNanos, func() error {
 			foldValues(vals, vp, c1, c2, local)
 			return nil
@@ -678,11 +704,13 @@ func (e *Engine) aggWindows(sl pipeline.Slice, lo, hi int, ts []int64,
 					if err != nil {
 						return err
 					}
+					col.valuesDecoded.Add(int64(len(vals)))
 					for _, v := range vals {
 						localWin[wi].addValue(v)
 					}
 					return nil
 				}
+				col.valuesFused.Add(count)
 				localWin[wi].addSum(sum, count)
 				return nil
 			})
@@ -695,6 +723,7 @@ func (e *Engine) aggWindows(sl pipeline.Slice, lo, hi int, ts []int64,
 		if err != nil {
 			return err
 		}
+		col.valuesDecoded.Add(int64(len(vals)))
 		err = timed(&col.aggNanos, func() error {
 			foldValues(vals, vp, c1, c2, &localWin[wi])
 			return nil

@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"etsqp/internal/sqlparse"
+)
+
+// AnalyzeInfo pairs a pre-execution plan with the counters an actual run
+// observed — the EXPLAIN ANALYZE result. Plan holds the estimates the
+// planner produced before running; Result.Stats holds what the pipelines
+// actually did, so the two can be compared line by line.
+type AnalyzeInfo struct {
+	Plan    *PlanInfo
+	Result  *Result
+	Elapsed time.Duration
+}
+
+// String renders the plan tree with an "analyze:" block of observed
+// counters and per-stage wall time appended under the estimates.
+func (a *AnalyzeInfo) String() string {
+	var b strings.Builder
+	b.WriteString(a.Plan.String())
+	st := a.Result.Stats
+	write := func(format string, args ...any) {
+		b.WriteString("  ")
+		b.WriteString(fmt.Sprintf(format, args...))
+		b.WriteByte('\n')
+	}
+	write("analyze:")
+	write("  pages: relevant=%d read=%d pruned=%d stat-answered=%d",
+		st.PagesTotal, st.PagesRead, st.PagesPruned, st.StatAnswered)
+	write("  slices: %d  tuples loaded: %d  rows pruned: %d  rows out: %d",
+		st.SlicesRun, st.TuplesLoaded, st.RowsPruned, a.Result.rowsOut())
+	write("  values: fused=%d decoded=%d", st.ValuesFused, st.ValuesDecoded)
+	if st.MergeRanges > 0 {
+		write("  merge ranges: %d", st.MergeRanges)
+	}
+	write("  bytes scanned: %d", st.BytesScanned)
+	write("  elapsed: %v", a.Elapsed)
+	write("  stages: io=%v decode=%v filter=%v agg=%v merge=%v",
+		time.Duration(st.IONanos), time.Duration(st.DecodeNanos),
+		time.Duration(st.FilterNanos), time.Duration(st.AggNanos),
+		time.Duration(st.MergeNanos))
+	return b.String()
+}
+
+// ExplainAnalyze plans a statement, runs it, and returns the plan
+// annotated with the observed execution statistics and wall time.
+func (e *Engine) ExplainAnalyze(sql string) (*AnalyzeInfo, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := e.explainQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := e.Execute(q)
+	if err != nil {
+		return nil, err
+	}
+	return &AnalyzeInfo{Plan: plan, Result: res, Elapsed: time.Since(start)}, nil
+}

@@ -28,6 +28,8 @@ func loadPage(p *storage.Page, col *statsCollector) (data []byte, release func()
 	buf := (*bufp)[:len(p.Data)]
 	copy(buf, p.Data)
 	if col != nil {
+		col.pagesRead.Add(1)
+		col.bytesScanned.Add(int64(len(p.Data)))
 		col.ioNanos.Add(int64(time.Since(start)))
 	}
 	return buf, func() { pageBufPool.Put(bufp) }

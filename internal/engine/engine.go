@@ -22,7 +22,9 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"time"
 
+	"etsqp/internal/obs"
 	"etsqp/internal/sqlparse"
 	"etsqp/internal/storage"
 )
@@ -161,8 +163,26 @@ func valuePreds(preds []sqlparse.Pred) []sqlparse.Pred {
 	return out
 }
 
+// rowsOut counts the result's output cardinality: tuples for row-shaped
+// queries, window rows for SW queries, aggregate cells otherwise.
+func (r *Result) rowsOut() int64 {
+	return int64(len(r.Rows) + len(r.Windows) + len(r.Aggregates))
+}
+
 // Execute runs a parsed query.
 func (e *Engine) Execute(q *sqlparse.Query) (*Result, error) {
+	start := time.Now()
+	res, err := e.execute(q)
+	if err != nil {
+		return nil, err
+	}
+	obs.EngineQueries.Inc()
+	obs.EngineRowsOut.Add(res.rowsOut())
+	obs.EngineTimeQuery.Since(start)
+	return res, nil
+}
+
+func (e *Engine) execute(q *sqlparse.Query) (*Result, error) {
 	switch {
 	case q.Sub != nil:
 		return e.executeSubqueryAgg(q)

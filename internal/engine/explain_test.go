@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"etsqp/internal/obs"
+	"etsqp/internal/storage"
+)
+
+// planStore builds a deterministic 3-page store: regular timestamps
+// (start 1000, step 1) and three value pages with distinct statistics —
+// page 0 all zeros, page 1 all fives, page 2 cycling 0..10.
+func planStore(t *testing.T) *storage.Store {
+	t.Helper()
+	const pageSize = 1024
+	n := 3 * pageSize
+	ts := make([]int64, n)
+	vals := make([]int64, n)
+	for i := 0; i < n; i++ {
+		ts[i] = 1000 + int64(i)
+		switch i / pageSize {
+		case 0:
+			vals[i] = 0
+		case 1:
+			vals[i] = 5
+		default:
+			vals[i] = int64(i % 11)
+		}
+	}
+	st := storage.NewStore()
+	if err := st.Append("ts", ts, vals, storage.Options{PageSize: pageSize}); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// twoSeriesStore builds two aligned series for merge/join plans.
+func twoSeriesStore(t *testing.T) *storage.Store {
+	t.Helper()
+	const n = 2048
+	ts := make([]int64, n)
+	vals := make([]int64, n)
+	for i := 0; i < n; i++ {
+		ts[i] = 1000 + int64(i)
+		vals[i] = int64(i % 7)
+	}
+	st := storage.NewStore()
+	for _, name := range []string{"ts1", "ts2"} {
+		if err := st.Append(name, ts, vals, storage.Options{PageSize: 1024}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// TestPlanInfoGolden pins the EXPLAIN rendering for every plan shape.
+func TestPlanInfoGolden(t *testing.T) {
+	single := planStore(t)
+	double := twoSeriesStore(t)
+	cases := []struct {
+		name  string
+		store *storage.Store
+		mode  Mode
+		sql   string
+		want  string
+	}{
+		{
+			name: "aggregate", store: single, mode: ModeETSQP,
+			sql: "SELECT SUM(A) FROM ts",
+			want: "aggregate query [ETSQP]\n" +
+				"  series: ts\n" +
+				"  pages: 3  workers: 2  jobs: 3  sliced: false\n" +
+				"  fused decoders: true  pruning: false\n",
+		},
+		{
+			name: "window", store: single, mode: ModeETSQP,
+			sql: "SELECT SUM(A) FROM ts SW(1000, 1024)",
+			want: "window query [ETSQP]\n" +
+				"  series: ts\n" +
+				"  pages: 3  workers: 2  jobs: 3  sliced: false\n" +
+				"  fused decoders: true  pruning: false\n" +
+				"  window instances: 3\n",
+		},
+		{
+			name: "scan", store: single, mode: ModeETSQPPrune,
+			sql: "SELECT * FROM ts WHERE A >= 3",
+			want: "scan query [ETSQP-prune]\n" +
+				"  series: ts\n" +
+				"  pages: 3  workers: 2  jobs: 3  sliced: false\n",
+		},
+		{
+			name: "merge", store: double, mode: ModeETSQP,
+			sql: "SELECT * FROM ts1 UNION ts2 ORDER BY TIME",
+			want: "merge query [ETSQP]\n" +
+				"  series: ts1, ts2\n" +
+				"  pages: 2  workers: 2  jobs: 2  sliced: false\n" +
+				"  merge ranges: 2\n",
+		},
+		{
+			name: "join", store: double, mode: ModeETSQP,
+			sql: "SELECT * FROM ts1, ts2",
+			want: "join query [ETSQP]\n" +
+				"  series: ts1, ts2\n" +
+				"  pages: 2  workers: 2  jobs: 2  sliced: false\n" +
+				"  merge ranges: 2\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := New(tc.store, tc.mode)
+			e.Workers = 2
+			info, err := e.Explain(tc.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := info.String(); got != tc.want {
+				t.Errorf("plan mismatch\ngot:\n%s\nwant:\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// normalizeAnalyze blanks the timing-dependent lines of an EXPLAIN
+// ANALYZE rendering so the rest can be compared as a golden string.
+func normalizeAnalyze(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, ln := range lines {
+		trimmed := strings.TrimSpace(ln)
+		switch {
+		case strings.HasPrefix(trimmed, "elapsed:"):
+			lines[i] = "    elapsed: <t>"
+		case strings.HasPrefix(trimmed, "stages:"):
+			lines[i] = "    stages: <t>"
+		case strings.HasPrefix(trimmed, "bytes scanned:"):
+			lines[i] = "    bytes scanned: <n>"
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestExplainAnalyzeGolden pins the analyze-annotated rendering for a
+// fused aggregate (counters deterministic; times normalized).
+func TestExplainAnalyzeGolden(t *testing.T) {
+	e := New(planStore(t), ModeETSQP)
+	e.Workers = 2
+	info, err := e.ExplainAnalyze("SELECT SUM(A), COUNT(A) FROM ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "aggregate query [ETSQP]\n" +
+		"  series: ts\n" +
+		"  pages: 3  workers: 2  jobs: 3  sliced: false\n" +
+		"  fused decoders: true  pruning: false\n" +
+		"  analyze:\n" +
+		"    pages: relevant=3 read=3 pruned=0 stat-answered=0\n" +
+		"    slices: 3  tuples loaded: 3072  rows pruned: 0  rows out: 2\n" +
+		"    values: fused=3072 decoded=0\n" +
+		"    bytes scanned: <n>\n" +
+		"    elapsed: <t>\n" +
+		"    stages: <t>\n"
+	if got := normalizeAnalyze(info.String()); got != want {
+		t.Errorf("analyze mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExplainAnalyzeMergeShape checks the merge-specific annotations.
+func TestExplainAnalyzeMergeShape(t *testing.T) {
+	e := New(twoSeriesStore(t), ModeETSQP)
+	e.Workers = 2
+	info, err := e.ExplainAnalyze("SELECT * FROM ts1 UNION ts2 ORDER BY TIME")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := info.String()
+	if !strings.Contains(out, "merge ranges: 2") {
+		t.Errorf("analyze output missing merge ranges:\n%s", out)
+	}
+	if info.Result.Stats.MergeRanges != 2 {
+		t.Errorf("MergeRanges = %d, want 2", info.Result.Stats.MergeRanges)
+	}
+}
+
+// TestAnalyzePrunedAndFusedAggregate is the acceptance scenario: one
+// pruning-eligible aggregate where the observed counters show pages
+// pruned by statistics AND values aggregated on the fused path (the
+// vacuous-filter optimization), all consistent with the result.
+func TestAnalyzePrunedAndFusedAggregate(t *testing.T) {
+	st := planStore(t)
+	const sql = "SELECT SUM(A), COUNT(A) FROM ts WHERE A >= 3 AND A <= 7"
+
+	// Reference result from the serial engine.
+	ref := New(planStore(t), ModeSerial)
+	ref.Workers = 1
+	refRes, err := ref.ExecuteSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(st, ModeETSQPPrune)
+	e.Workers = 2
+	info, err := e.ExplainAnalyze(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := info.Result.Stats
+
+	// Page 0 (all zeros, max < 3) is pruned from its header alone.
+	if stats.PagesPruned != 1 {
+		t.Errorf("PagesPruned = %d, want 1", stats.PagesPruned)
+	}
+	// Page 1 (all fives) proves the filter vacuous from min/max, so its
+	// 1024 values aggregate fused, without materialization.
+	if stats.ValuesFused != 1024 {
+		t.Errorf("ValuesFused = %d, want 1024", stats.ValuesFused)
+	}
+	// Page 2 (mixed 0..10) must actually decode and filter.
+	if stats.ValuesDecoded == 0 {
+		t.Error("ValuesDecoded = 0, want > 0")
+	}
+	if stats.PagesTotal != 3 {
+		t.Errorf("PagesTotal = %d, want 3", stats.PagesTotal)
+	}
+
+	// The counters must be consistent with the query result.
+	wantSum := refRes.Aggregates["SUM(A)"]
+	wantCount := refRes.Aggregates["COUNT(A)"]
+	if got := info.Result.Aggregates["SUM(A)"]; got != wantSum {
+		t.Errorf("SUM = %v, want %v", got, wantSum)
+	}
+	if got := info.Result.Aggregates["COUNT(A)"]; got != wantCount {
+		t.Errorf("COUNT = %v, want %v", got, wantCount)
+	}
+	// Hand-computed: page 1 contributes 1024 fives; page 2 contributes
+	// its values in [3, 7].
+	sum, count := int64(1024*5), int64(1024)
+	for i := 2048; i < 3072; i++ {
+		if v := int64(i % 11); v >= 3 && v <= 7 {
+			sum += v
+			count++
+		}
+	}
+	if wantSum != float64(sum) || wantCount != float64(count) {
+		t.Errorf("reference disagrees with hand computation: got (%v, %v), want (%d, %d)",
+			wantSum, wantCount, sum, count)
+	}
+
+	// The rendering surfaces the same numbers.
+	out := info.String()
+	if !strings.Contains(out, "pruned=1") || !strings.Contains(out, "fused=1024") {
+		t.Errorf("analyze rendering missing pruned/fused counters:\n%s", out)
+	}
+}
+
+// TestObsCountersTrackQuery checks the process-global counters observe
+// the same pruning and fusion the per-query stats report.
+func TestObsCountersTrackQuery(t *testing.T) {
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	before := obs.Capture()
+
+	e := New(planStore(t), ModeETSQPPrune)
+	e.Workers = 2
+	res, err := e.ExecuteSQL("SELECT SUM(A), COUNT(A) FROM ts WHERE A >= 3 AND A <= 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := obs.Capture().Delta(before)
+
+	if got := delta[obs.EngineQueries.Name()]; got != 1 {
+		t.Errorf("engine.queries delta = %d, want 1", got)
+	}
+	if got := delta[obs.PrunePagesValue.Name()]; got != res.Stats.PagesPruned {
+		t.Errorf("prune.pages_skipped_value delta = %d, want %d", got, res.Stats.PagesPruned)
+	}
+	if got := delta[obs.EngineValuesFused.Name()]; got != res.Stats.ValuesFused {
+		t.Errorf("engine.values_fused delta = %d, want %d", got, res.Stats.ValuesFused)
+	}
+	if got := delta[obs.EngineValuesDecoded.Name()]; got != res.Stats.ValuesDecoded {
+		t.Errorf("engine.values_decoded delta = %d, want %d", got, res.Stats.ValuesDecoded)
+	}
+	if got := delta[obs.PrunePagesVacuous.Name()]; got != 1 {
+		t.Errorf("prune.pages_filter_vacuous delta = %d, want 1", got)
+	}
+	if got := delta[obs.EngineRowsOut.Name()]; got != 2 {
+		t.Errorf("engine.rows_out delta = %d, want 2", got)
+	}
+}

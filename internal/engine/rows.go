@@ -54,6 +54,7 @@ func (e *Engine) readSeriesColumns(name string, t1, t2 int64, col *statsCollecto
 					errCh <- err
 					return
 				}
+				col.valuesDecoded.Add(int64(len(vcol)))
 				copy(ts[base+sl.StartRow:], tcol)
 				copy(vals[base+sl.StartRow:], vcol)
 			}
@@ -80,7 +81,7 @@ func (e *Engine) executeScan(q *sqlparse.Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Stats: col.snapshot()}
+	res := &Result{}
 	err = timed(&col.filterNanos, func() error {
 		for i := range ts {
 			if predsMatch(vp, vals[i]) {
@@ -95,7 +96,7 @@ func (e *Engine) executeScan(q *sqlparse.Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.Stats = col.snapshot()
+	res.Stats = col.finish()
 	return res, nil
 }
 
@@ -115,6 +116,7 @@ func (e *Engine) executeMerge(q *sqlparse.Query) (*Result, error) {
 		return nil, fmt.Errorf("engine: unknown series %q", q.Series[0])
 	}
 	ranges := timeCuts(serL, t1, t2, e.workers())
+	col.mergeRanges.Add(int64(len(ranges)))
 	rows, err := e.runRanged(ranges, func(a, b int64) ([]Row, error) {
 		lts, lvs, err := e.readSeriesColumns(q.Series[0], a, b, col)
 		if err != nil {
@@ -139,7 +141,7 @@ func (e *Engine) executeMerge(q *sqlparse.Query) (*Result, error) {
 	if q.Limit > 0 && len(rows) > q.Limit {
 		rows = rows[:q.Limit]
 	}
-	return &Result{Rows: rows, Stats: col.snapshot()}, nil
+	return &Result{Rows: rows, Stats: col.finish()}, nil
 }
 
 // executeJoin handles Q4 (projection over join) and Q6 (natural join):
@@ -160,6 +162,7 @@ func (e *Engine) executeJoin(q *sqlparse.Query) (*Result, error) {
 		return nil, fmt.Errorf("engine: unsupported join projection")
 	}
 	ranges := timeCuts(serL, t1, t2, e.workers())
+	col.mergeRanges.Add(int64(len(ranges)))
 	rows, err := e.runRanged(ranges, func(a, b int64) ([]Row, error) {
 		lts, lvs, err := e.readSeriesColumns(q.Series[0], a, b, col)
 		if err != nil {
@@ -193,7 +196,7 @@ func (e *Engine) executeJoin(q *sqlparse.Query) (*Result, error) {
 	if q.Limit > 0 && len(rows) > q.Limit {
 		rows = rows[:q.Limit]
 	}
-	return &Result{Rows: rows, Stats: col.snapshot()}, nil
+	return &Result{Rows: rows, Stats: col.finish()}, nil
 }
 
 // joinPredsMatch applies qualified value predicates to a joined row.
@@ -257,6 +260,6 @@ func (e *Engine) executeJoinCorr(q *sqlparse.Query) (*Result, error) {
 	r := cov / math.Sqrt(va*vb)
 	return &Result{
 		Aggregates: map[string]float64{"CORR(A,B)": r},
-		Stats:      col.snapshot(),
+		Stats:      col.finish(),
 	}, nil
 }

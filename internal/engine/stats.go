@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"etsqp/internal/expr"
+	"etsqp/internal/obs"
 )
 
 // Aliases keep predicate handling terse.
@@ -20,7 +21,9 @@ const (
 // Stats counts the work a query performed. The throughput metric of the
 // evaluation is TuplesLoaded per second, where TuplesLoaded counts the
 // tuples of loaded pages *including* pruned pages and slices (Section
-// VII-B).
+// VII-B). EXPLAIN ANALYZE renders these observed numbers next to the
+// pre-execution estimates; docs/OBSERVABILITY.md documents the exact
+// semantics of each field.
 type Stats struct {
 	PagesTotal   int64 // pages relevant to the query
 	PagesPruned  int64 // pages skipped by header statistics
@@ -28,6 +31,12 @@ type Stats struct {
 	TuplesLoaded int64 // tuples covered by loaded (or pruned) pages
 	RowsPruned   int64 // rows skipped by in-page stop rules
 	StatAnswered int64 // pages answered from header statistics alone
+
+	PagesRead     int64 // page payload loads (a failed fused attempt re-reads)
+	BytesScanned  int64 // encoded payload bytes moved into worker buffers
+	ValuesFused   int64 // values aggregated on encoded form (Section IV)
+	ValuesDecoded int64 // values materialized for filtering/aggregation
+	MergeRanges   int64 // time-range merge nodes executed (Figure 9)
 
 	// Stage timings for the Figure 14(b) breakdown (nanoseconds).
 	IONanos     int64
@@ -45,11 +54,18 @@ type statsCollector struct {
 	tuplesLoaded atomic.Int64
 	rowsPruned   atomic.Int64
 	statAnswered atomic.Int64
-	ioNanos      atomic.Int64
-	decodeNanos  atomic.Int64
-	filterNanos  atomic.Int64
-	aggNanos     atomic.Int64
-	mergeNanos   atomic.Int64
+
+	pagesRead     atomic.Int64
+	bytesScanned  atomic.Int64
+	valuesFused   atomic.Int64
+	valuesDecoded atomic.Int64
+	mergeRanges   atomic.Int64
+
+	ioNanos     atomic.Int64
+	decodeNanos atomic.Int64
+	filterNanos atomic.Int64
+	aggNanos    atomic.Int64
+	mergeNanos  atomic.Int64
 }
 
 func (c *statsCollector) snapshot() Stats {
@@ -60,12 +76,43 @@ func (c *statsCollector) snapshot() Stats {
 		TuplesLoaded: c.tuplesLoaded.Load(),
 		RowsPruned:   c.rowsPruned.Load(),
 		StatAnswered: c.statAnswered.Load(),
-		IONanos:      c.ioNanos.Load(),
-		DecodeNanos:  c.decodeNanos.Load(),
-		FilterNanos:  c.filterNanos.Load(),
-		AggNanos:     c.aggNanos.Load(),
-		MergeNanos:   c.mergeNanos.Load(),
+
+		PagesRead:     c.pagesRead.Load(),
+		BytesScanned:  c.bytesScanned.Load(),
+		ValuesFused:   c.valuesFused.Load(),
+		ValuesDecoded: c.valuesDecoded.Load(),
+		MergeRanges:   c.mergeRanges.Load(),
+
+		IONanos:     c.ioNanos.Load(),
+		DecodeNanos: c.decodeNanos.Load(),
+		FilterNanos: c.filterNanos.Load(),
+		AggNanos:    c.aggNanos.Load(),
+		MergeNanos:  c.mergeNanos.Load(),
 	}
+}
+
+// finish snapshots the collector and publishes the per-query totals to
+// the global obs counters in one batch — the hot path only ever touches
+// the collector's atomics; the obs layer is charged once per query.
+func (c *statsCollector) finish() Stats {
+	st := c.snapshot()
+	if obs.Enabled() {
+		obs.EngineTuplesLoaded.Add(st.TuplesLoaded)
+		obs.EngineSlicesRun.Add(st.SlicesRun)
+		obs.EngineValuesFused.Add(st.ValuesFused)
+		obs.EngineValuesDecoded.Add(st.ValuesDecoded)
+		obs.EnginePagesStatAnswered.Add(st.StatAnswered)
+		obs.EngineMergeRanges.Add(st.MergeRanges)
+		obs.PruneRowsSkipped.Add(st.RowsPruned)
+		obs.StoragePagesRead.Add(st.PagesRead)
+		obs.StorageBytesScanned.Add(st.BytesScanned)
+		obs.EngineTimeIO.AddNanos(st.IONanos)
+		obs.EngineTimeDecode.AddNanos(st.DecodeNanos)
+		obs.EngineTimeFilter.AddNanos(st.FilterNanos)
+		obs.EngineTimeAgg.AddNanos(st.AggNanos)
+		obs.EngineTimeMerge.AddNanos(st.MergeNanos)
+	}
+	return st
 }
 
 // timed runs f and adds its wall time to the counter.

@@ -1,0 +1,102 @@
+package obs
+
+// The complete metric registry. Names are dotted <package>.<metric>;
+// semantics, units and overhead notes for every entry are documented in
+// docs/OBSERVABILITY.md. All metrics are declared here (rather than in
+// the packages that increment them) so the surface is reviewable in one
+// place and the import graph stays acyclic: obs depends only on the
+// standard library.
+
+// Engine: query-level totals, published once per query from the
+// per-query stats collector (engine.Stats remains the per-query view).
+var (
+	EngineQueries = newCounter("engine.queries",
+		"queries executed successfully")
+	EngineRowsOut = newCounter("engine.rows_out",
+		"result rows, window rows and aggregate cells returned")
+	EngineTuplesLoaded = newCounter("engine.tuples_loaded",
+		"tuples covered by loaded or pruned pages (Section VII-B throughput unit)")
+	EngineSlicesRun = newCounter("engine.slices_run",
+		"pipeline jobs (pages or slices) executed by workers")
+	EngineValuesFused = newCounter("engine.values_fused",
+		"values aggregated on encoded form, never materialized (Section IV)")
+	EngineValuesDecoded = newCounter("engine.values_decoded",
+		"values materialized for filtering or aggregation")
+	EnginePagesStatAnswered = newCounter("engine.pages_stat_answered",
+		"pages answered from header statistics alone, payload untouched")
+	EngineMergeRanges = newCounter("engine.merge_ranges",
+		"time-range merge nodes executed for merge/join queries (Figure 9)")
+)
+
+// Engine stage timers: per-stage wall time summed across workers, so a
+// parallel query can accumulate more stage time than wall time.
+var (
+	EngineTimeIO = newTimer("engine.time.io_ns",
+		"wall time loading page payloads into worker buffers")
+	EngineTimeDecode = newTimer("engine.time.decode_ns",
+		"wall time in decoding pipelines")
+	EngineTimeFilter = newTimer("engine.time.filter_ns",
+		"wall time applying value predicates to materialized rows")
+	EngineTimeAgg = newTimer("engine.time.agg_ns",
+		"wall time folding values into aggregate states")
+	EngineTimeMerge = newTimer("engine.time.merge_ns",
+		"wall time merging and joining per-range results")
+	EngineTimeQuery = newTimer("engine.time.query_ns",
+		"end-to-end wall time of executed queries")
+)
+
+// Pipeline: vectorized unpack work (Section III).
+var (
+	PipelineValuesUnpacked = newCounter("pipeline.values_unpacked",
+		"values produced by the decode pipelines (DecodeBlock/DecodeRange/RangeScanner)")
+	PipelineVectorOps = newCounter("pipeline.vector_ops",
+		"unpack vectors processed by the SIMD block loops (gather+shift+mask per vector)")
+	PipelineSlices = newCounter("pipeline.slices",
+		"slices created by the page-to-slice scheduler (Figure 8)")
+	PipelinePrefixFixups = newCounter("pipeline.prefix_fixups",
+		"cross-slice prefix dependencies resolved (SumPacked or order-2 replay)")
+)
+
+// Prune: Section V stop rules and page-statistics decisions.
+var (
+	PrunePagesTime = newCounter("prune.pages_skipped_time",
+		"whole pages skipped by the header time-range rule")
+	PrunePagesValue = newCounter("prune.pages_skipped_value",
+		"whole pages skipped by the header min/max value rule")
+	PruneStopsValue = newCounter("prune.stops_value",
+		"in-page scans stopped early by the Proposition 5 value rule")
+	PruneStopsTime = newCounter("prune.stops_time",
+		"in-page scans stopped early by the Proposition 4 time rule")
+	PruneRowsSkipped = newCounter("prune.rows_skipped",
+		"rows never decoded thanks to in-page stop rules")
+	PrunePagesVacuous = newCounter("prune.pages_filter_vacuous",
+		"pages whose header stats prove every row passes the value filter (fused path stays on)")
+)
+
+// Storage: page payload traffic.
+var (
+	StoragePagesRead = newCounter("storage.pages_read",
+		"page payload loads (a page re-read after a failed fused attempt counts twice)")
+	StorageBytesScanned = newCounter("storage.bytes_scanned",
+		"encoded payload bytes moved into working buffers")
+	StoragePagesEncoded = newCounter("storage.pages_encoded",
+		"pages encoded by ingestion (Append, transport senders, compaction)")
+	StorageLazySeriesLoaded = newCounter("storage.lazy_series_loaded",
+		"series materialized on demand from an indexed file")
+	StorageLazyPagesLoaded = newCounter("storage.lazy_pages_loaded",
+		"pages materialized by lazy series loads")
+)
+
+// Transport: the Section I encoded-delivery path.
+var (
+	TransportFramesOut = newCounter("transport.frames_out",
+		"frames written by senders")
+	TransportFramesIn = newCounter("transport.frames_in",
+		"frames parsed successfully by receivers")
+	TransportBytesOut = newCounter("transport.bytes_out",
+		"wire bytes written (headers, payloads and CRC trailers)")
+	TransportBytesIn = newCounter("transport.bytes_in",
+		"wire bytes read from successfully parsed frames")
+	TransportCRCFailures = newCounter("transport.crc_failures",
+		"frames rejected for a CRC-32 payload mismatch")
+)

@@ -1,0 +1,50 @@
+package obs_test
+
+import (
+	"fmt"
+
+	"etsqp/internal/engine"
+	"etsqp/internal/obs"
+	"etsqp/internal/storage"
+)
+
+// Example shows the snapshot → query → delta → reset cycle: enable the
+// layer, capture a baseline, run a query, and read the counter movement
+// it caused.
+func Example() {
+	// A small store: 24 regular points in three 8-row pages.
+	ts := make([]int64, 24)
+	vals := make([]int64, 24)
+	for i := range ts {
+		ts[i] = int64(i)
+		vals[i] = int64(i % 5)
+	}
+	st := storage.NewStore()
+	if err := st.Append("sensor", ts, vals, storage.Options{PageSize: 8}); err != nil {
+		panic(err)
+	}
+
+	obs.Enable()
+	defer obs.Disable()
+	obs.Reset()
+	before := obs.Capture()
+
+	eng := engine.New(st, engine.ModeETSQP)
+	eng.Workers = 2
+	if _, err := eng.ExecuteSQL("SELECT SUM(A) FROM sensor"); err != nil {
+		panic(err)
+	}
+
+	delta := obs.Capture().Delta(before)
+	fmt.Println("queries:", delta["engine.queries"])
+	fmt.Println("values fused:", delta["engine.values_fused"])
+	fmt.Println("values decoded:", delta["engine.values_decoded"])
+
+	obs.Reset()
+	fmt.Println("after reset:", obs.Capture()["engine.queries"])
+	// Output:
+	// queries: 1
+	// values fused: 24
+	// values decoded: 0
+	// after reset: 0
+}

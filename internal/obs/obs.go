@@ -1,0 +1,188 @@
+// Package obs is the engine's observability layer: a fixed registry of
+// process-global counters and stage timers that the execution stack
+// (engine, pipeline, prune, storage, transport) increments while queries
+// run. The Lemire/Boytsov line of work shows that per-stage accounting is
+// what makes decoding pipelines tunable; this package is the equivalent
+// instrument panel for ETSQP.
+//
+// # Design
+//
+// Every metric is an atomic int64 behind a package-wide enable gate.
+// When disabled (the default) an update is one atomic load and a
+// predicted branch — no stores, no allocation, no locks — so
+// instrumented hot paths cost effectively nothing in production builds
+// that leave the layer off. When enabled, an update is a single atomic
+// add. Neither path allocates (verified by testing.AllocsPerRun in the
+// package tests).
+//
+// The full metric set is declared in counters.go and documented in
+// docs/OBSERVABILITY.md. Per-query numbers (the ones EXPLAIN ANALYZE
+// prints) come from engine.Stats, which is always collected; this
+// package holds the process-wide totals.
+//
+// # Usage
+//
+//	obs.Enable()
+//	before := obs.Capture()
+//	// ... run queries ...
+//	delta := obs.Capture().Delta(before)
+//	obs.Dump(os.Stdout) // expvar-style "name value" lines
+//	obs.Reset()
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates every metric update. Off by default.
+var enabled atomic.Bool
+
+// Enable turns metric collection on.
+func Enable() { enabled.Store(true) }
+
+// Disable turns metric collection off. Counter values are retained.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether metric collection is on. Callers batching
+// several updates can check it once and skip the whole batch.
+func Enabled() bool { return enabled.Load() }
+
+// Counter is a monotonically increasing metric. The zero value is not
+// usable; counters are created at init time by counters.go so the
+// registry is fixed before any concurrent access.
+type Counter struct {
+	v    atomic.Int64
+	name string
+	help string
+}
+
+// Add increments the counter by n when collection is enabled. It never
+// allocates; when disabled it is a single atomic load and branch.
+func (c *Counter) Add(n int64) {
+	if enabled.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Name returns the registered dotted metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Help returns the one-line metric description.
+func (c *Counter) Help() string { return c.help }
+
+// Timer accumulates wall time in nanoseconds. It shares Counter's
+// storage and gate, so the same overhead guarantees apply.
+type Timer struct {
+	c Counter
+}
+
+// Add folds a measured duration into the timer.
+func (t *Timer) Add(d time.Duration) { t.c.Add(int64(d)) }
+
+// AddNanos folds already-measured nanoseconds into the timer — the
+// engine uses it to publish its per-query stage nanos in one shot.
+func (t *Timer) AddNanos(ns int64) { t.c.Add(ns) }
+
+// Since folds the wall time elapsed from start into the timer. The
+// time.Since call is skipped entirely when collection is disabled.
+func (t *Timer) Since(start time.Time) {
+	if enabled.Load() {
+		t.c.v.Add(int64(time.Since(start)))
+	}
+}
+
+// Load returns the accumulated duration.
+func (t *Timer) Load() time.Duration { return time.Duration(t.c.Load()) }
+
+// Name returns the registered dotted metric name.
+func (t *Timer) Name() string { return t.c.name }
+
+// registry holds every metric in declaration order. It is append-only
+// and fully built by package init, so reads need no lock.
+var registry []*Counter
+
+func newCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	registry = append(registry, c)
+	return c
+}
+
+func newTimer(name, help string) *Timer {
+	t := &Timer{}
+	t.c.name, t.c.help = name, help
+	registry = append(registry, &t.c)
+	return t
+}
+
+// Snapshot is a point-in-time copy of every registered metric, keyed by
+// metric name. Timer values are nanoseconds.
+type Snapshot map[string]int64
+
+// Capture copies the current value of every registered metric.
+func Capture() Snapshot {
+	s := make(Snapshot, len(registry))
+	for _, c := range registry {
+		s[c.name] = c.v.Load()
+	}
+	return s
+}
+
+// Delta returns this snapshot minus prev, metric by metric — the counter
+// movement between two Capture calls.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := make(Snapshot, len(s))
+	for name, v := range s {
+		d[name] = v - prev[name]
+	}
+	return d
+}
+
+// Reset zeroes every registered metric. Concurrent updates during the
+// reset land in the post-reset totals of the counters already visited.
+func Reset() {
+	for _, c := range registry {
+		c.v.Store(0)
+	}
+}
+
+// Dump writes the current value of every metric as sorted
+// "name value" lines — the expvar-style text surface etsqp-bench and
+// etsqp-cli expose behind their -obs flags.
+func Dump(w io.Writer) error {
+	return Capture().Dump(w)
+}
+
+// Dump writes the snapshot as sorted "name value" lines.
+func (s Snapshot) Dump(w io.Writer) error {
+	names := make([]string, 0, len(s))
+	for name := range s {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Metrics lists every registered metric (name and help) in declaration
+// order, for documentation and debugging surfaces.
+func Metrics() []struct{ Name, Help string } {
+	out := make([]struct{ Name, Help string }, len(registry))
+	for i, c := range registry {
+		out[i] = struct{ Name, Help string }{c.name, c.help}
+	}
+	return out
+}

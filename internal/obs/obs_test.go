@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// withClean runs f from a disabled, zeroed registry and restores that
+// state afterwards, so tests do not leak counter values into each other.
+func withClean(t *testing.T, f func()) {
+	t.Helper()
+	Disable()
+	Reset()
+	t.Cleanup(func() {
+		Disable()
+		Reset()
+	})
+	f()
+}
+
+func TestDisabledUpdatesAreDropped(t *testing.T) {
+	withClean(t, func() {
+		EngineQueries.Add(5)
+		EngineTimeIO.Add(time.Second)
+		EngineTimeIO.Since(time.Now().Add(-time.Hour))
+		if v := EngineQueries.Load(); v != 0 {
+			t.Fatalf("disabled counter moved: %d", v)
+		}
+		if v := EngineTimeIO.Load(); v != 0 {
+			t.Fatalf("disabled timer moved: %v", v)
+		}
+	})
+}
+
+func TestEnabledUpdatesAccumulate(t *testing.T) {
+	withClean(t, func() {
+		Enable()
+		EngineQueries.Add(2)
+		EngineQueries.Inc()
+		if v := EngineQueries.Load(); v != 3 {
+			t.Fatalf("counter = %d, want 3", v)
+		}
+		EngineTimeAgg.Add(3 * time.Millisecond)
+		EngineTimeAgg.AddNanos(int64(time.Millisecond))
+		if v := EngineTimeAgg.Load(); v != 4*time.Millisecond {
+			t.Fatalf("timer = %v, want 4ms", v)
+		}
+	})
+}
+
+func TestSnapshotDeltaReset(t *testing.T) {
+	withClean(t, func() {
+		Enable()
+		PipelineValuesUnpacked.Add(100)
+		before := Capture()
+		if before["pipeline.values_unpacked"] != 100 {
+			t.Fatalf("snapshot = %v", before["pipeline.values_unpacked"])
+		}
+		PipelineValuesUnpacked.Add(42)
+		PrunePagesValue.Inc()
+		d := Capture().Delta(before)
+		if d["pipeline.values_unpacked"] != 42 {
+			t.Fatalf("delta = %d, want 42", d["pipeline.values_unpacked"])
+		}
+		if d["prune.pages_skipped_value"] != 1 {
+			t.Fatalf("delta = %d, want 1", d["prune.pages_skipped_value"])
+		}
+		if d["engine.queries"] != 0 {
+			t.Fatalf("untouched counter delta = %d", d["engine.queries"])
+		}
+		Reset()
+		if v := Capture()["pipeline.values_unpacked"]; v != 0 {
+			t.Fatalf("post-reset = %d", v)
+		}
+	})
+}
+
+func TestDumpSortedAndComplete(t *testing.T) {
+	withClean(t, func() {
+		Enable()
+		TransportCRCFailures.Add(7)
+		var b strings.Builder
+		if err := Dump(&b); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+		if len(lines) != len(registry) {
+			t.Fatalf("dump has %d lines, registry has %d", len(lines), len(registry))
+		}
+		for i := 1; i < len(lines); i++ {
+			if lines[i-1] >= lines[i] {
+				t.Fatalf("dump not sorted: %q before %q", lines[i-1], lines[i])
+			}
+		}
+		if !strings.Contains(b.String(), "transport.crc_failures 7") {
+			t.Fatalf("dump missing value:\n%s", b.String())
+		}
+	})
+}
+
+func TestMetricsNamesUniqueAndHelpful(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range Metrics() {
+		if seen[m.Name] {
+			t.Fatalf("duplicate metric name %q", m.Name)
+		}
+		seen[m.Name] = true
+		if m.Help == "" {
+			t.Fatalf("metric %q has no help text", m.Name)
+		}
+	}
+}
+
+// TestHotPathAllocs is the acceptance check that counter and timer
+// updates allocate nothing, enabled or not.
+func TestHotPathAllocs(t *testing.T) {
+	withClean(t, func() {
+		for _, on := range []bool{false, true} {
+			if on {
+				Enable()
+			} else {
+				Disable()
+			}
+			if n := testing.AllocsPerRun(1000, func() {
+				PipelineValuesUnpacked.Add(1024)
+				StorageBytesScanned.Add(4096)
+				EngineTimeDecode.AddNanos(500)
+			}); n != 0 {
+				t.Fatalf("enabled=%v: counter hot path allocates %.1f/op", on, n)
+			}
+		}
+	})
+}
+
+// The overhead benchmarks back docs/OBSERVABILITY.md's numbers: run with
+//
+//	go test -bench=Counter -benchmem ./internal/obs
+func BenchmarkCounterDisabled(b *testing.B) {
+	Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PipelineValuesUnpacked.Add(1)
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	Enable()
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PipelineValuesUnpacked.Add(1)
+	}
+}
+
+func BenchmarkTimerSinceDisabled(b *testing.B) {
+	Disable()
+	start := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EngineTimeQuery.Since(start)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"etsqp/internal/bitio"
 	"etsqp/internal/encoding/ts2diff"
+	"etsqp/internal/obs"
 )
 
 // DecodeRange decodes rows [from, to) of a TS2DIFF block. For order-1
@@ -38,11 +39,13 @@ func DecodeRange(b *ts2diff.Block, from, to int) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
+	obs.PipelinePrefixFixups.Inc()
 	vFrom := b.First + b.MinBase*int64(from) + int64(skip)
 	out := make([]int64, to-from)
 	out[0] = vFrom
 	m := to - 1 - from // packed elements consumed by rows from+1..to-1
 	if m == 0 {
+		obs.PipelineValuesUnpacked.Add(int64(len(out)))
 		return out, nil
 	}
 	startBit := from * int(b.Width)
@@ -54,6 +57,7 @@ func DecodeRange(b *ts2diff.Block, from, to int) ([]int64, error) {
 		if err := accumulateFrom(out, vFrom, window, m, b.Width, b.MinBase); err != nil {
 			return nil, err
 		}
+		obs.PipelineValuesUnpacked.Add(int64(len(out)))
 		return out, nil
 	}
 	// Unaligned start: scalar from the exact bit offset.
@@ -70,6 +74,7 @@ func DecodeRange(b *ts2diff.Block, from, to int) ([]int64, error) {
 		cur += b.MinBase + int64(v)
 		out[i] = cur
 	}
+	obs.PipelineValuesUnpacked.Add(int64(len(out)))
 	return out, nil
 }
 

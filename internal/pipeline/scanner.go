@@ -5,6 +5,7 @@ import (
 
 	"etsqp/internal/bitio"
 	"etsqp/internal/encoding/ts2diff"
+	"etsqp/internal/obs"
 )
 
 // RangeScanner decodes a TS2DIFF block incrementally: the prefix to the
@@ -30,6 +31,9 @@ func NewRangeScanner(b *ts2diff.Block, startRow int) (*RangeScanner, error) {
 		return nil, fmt.Errorf("pipeline: start row %d out of [0,%d]", startRow, b.Count)
 	}
 	s := &RangeScanner{b: b, r: bitio.NewReader(b.Packed)}
+	if startRow > 0 {
+		obs.PipelinePrefixFixups.Inc()
+	}
 	if b.Order == ts2diff.Order2 {
 		s.delta = b.FirstDelta
 		// Order-2 prefixes resolve by replaying the recurrence (time
@@ -78,10 +82,16 @@ func (s *RangeScanner) Next(dst []int64) (int, error) {
 	if n <= 0 {
 		return 0, nil
 	}
+	var err error
 	if s.b.Order == ts2diff.Order2 {
-		return s.next2(dst[:n])
+		n, err = s.next2(dst[:n])
+	} else {
+		n, err = s.next1(dst[:n])
 	}
-	return s.next1(dst[:n])
+	if err == nil && n > 0 {
+		obs.PipelineValuesUnpacked.Add(int64(n))
+	}
+	return n, err
 }
 
 // next1 advances an order-1 scan; byte-aligned chunk starts run through

@@ -1,6 +1,9 @@
 package pipeline
 
-import "etsqp/internal/storage"
+import (
+	"etsqp/internal/obs"
+	"etsqp/internal/storage"
+)
 
 // Slice is one unit of core-level work: either a whole page pair or a
 // row range of one (Section III-C / Figure 8).
@@ -40,6 +43,7 @@ func SplitPages(pairs []storage.PagePair, workers int) [][]Slice {
 			w := i % workers
 			out[w] = append(out[w], Slice{Pair: pp, StartRow: 0, EndRow: pp.Count()})
 		}
+		obs.PipelineSlices.Add(int64(len(pairs)))
 		return out
 	}
 	// Fewer pages than workers: split each page into at most
@@ -65,6 +69,7 @@ func SplitPage(pp storage.PagePair, n int) []Slice {
 		n = rows
 	}
 	if n <= 1 || rows == 0 {
+		obs.PipelineSlices.Inc()
 		return []Slice{{Pair: pp, StartRow: 0, EndRow: rows}}
 	}
 	var out []Slice
@@ -84,5 +89,6 @@ func SplitPage(pp storage.PagePair, n int) []Slice {
 	if start < rows {
 		out = append(out, Slice{Pair: pp, StartRow: start, EndRow: rows, Dependent: start > 0})
 	}
+	obs.PipelineSlices.Add(int64(len(out)))
 	return out
 }

@@ -6,6 +6,7 @@ import (
 
 	"etsqp/internal/bitio"
 	"etsqp/internal/encoding/ts2diff"
+	"etsqp/internal/obs"
 	"etsqp/internal/simd"
 )
 
@@ -33,6 +34,14 @@ func DecodeBlock(b *ts2diff.Block) ([]int64, error) {
 
 // DecodeBlockInto decodes into a caller-provided slice of length b.Count.
 func DecodeBlockInto(out []int64, b *ts2diff.Block) error {
+	if err := decodeBlockInto(out, b); err != nil {
+		return err
+	}
+	obs.PipelineValuesUnpacked.Add(int64(b.Count))
+	return nil
+}
+
+func decodeBlockInto(out []int64, b *ts2diff.Block) error {
 	if len(out) != b.Count {
 		return fmt.Errorf("pipeline: dst len %d, want %d", len(out), b.Count)
 	}
@@ -125,6 +134,9 @@ func accumulateFrom(out []int64, first int64, packed []byte, m int, width uint, 
 		}
 		total := int64(prefix[simd.Lanes32-1]) + int64(laneTot[simd.Lanes32-1])
 		v0 += minBase*int64(p.BlockElems) + total
+	}
+	if e > 0 {
+		obs.PipelineVectorOps.Add(int64(e / p.BlockElems * p.Nv))
 	}
 	// Tail: fewer than BlockElems deltas remain; scalar path.
 	if e < m {
@@ -244,6 +256,9 @@ func DecodeDeltas(packed []byte, m int, width uint, minBase int64) ([]int64, err
 			}
 		}
 	}
+	if e > 0 {
+		obs.PipelineVectorOps.Add(int64(e / p.BlockElems * p.Nv))
+	}
 	if e < m {
 		r := bitio.NewReader(packed)
 		if err := r.Seek(e * int(width)); err != nil {
@@ -290,6 +305,9 @@ func SumPacked(packed []byte, m int, width uint) (uint64, error) {
 				acc = simd.Add32(acc, p.UnpackVec(window, j))
 			}
 			total += simd.HSum32(acc)
+		}
+		if e > 0 {
+			obs.PipelineVectorOps.Add(int64(e / p.BlockElems * p.Nv))
 		}
 	}
 	if e < m {

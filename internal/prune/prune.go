@@ -13,6 +13,7 @@ package prune
 
 import (
 	"etsqp/internal/encoding/ts2diff"
+	"etsqp/internal/obs"
 	"etsqp/internal/storage"
 )
 
@@ -71,7 +72,11 @@ func (b Bounds) StopValueHigh(ak int64, k, n int, c2 int64) bool {
 
 // StopValue combines both directions for a range filter c1 < A < c2.
 func (b Bounds) StopValue(ak int64, k, n int, c1, c2 int64) bool {
-	return b.StopValueLow(ak, k, n, c1) || b.StopValueHigh(ak, k, n, c2)
+	if b.StopValueLow(ak, k, n, c1) || b.StopValueHigh(ak, k, n, c2) {
+		obs.PruneStopsValue.Inc()
+		return true
+	}
+	return false
 }
 
 // StopTimeLow implements Proposition 4(1) for a time filter T > t1: with
@@ -105,7 +110,11 @@ func (b Bounds) StopTimeHigh(tk int64, k, n int, t2 int64) bool {
 
 // StopTime combines both directions for t1 < T < t2.
 func (b Bounds) StopTime(tk int64, k, n int, t1, t2 int64) bool {
-	return b.StopTimeLow(tk, k, n, t1) || b.StopTimeHigh(tk, k, n, t2)
+	if b.StopTimeLow(tk, k, n, t1) || b.StopTimeHigh(tk, k, n, t2) {
+		obs.PruneStopsTime.Inc()
+		return true
+	}
+	return false
 }
 
 // PositionsForConstantInterval handles the special case at the end of
@@ -146,11 +155,28 @@ func PositionsForConstantInterval(first, interval int64, n int, t1, t2 int64) (l
 // range [t1, t2] using only its header (the cheapest rule: no payload
 // read at all, the "pruned pages" counted by the throughput metric).
 func SkipPageByTime(h storage.PageHeader, t1, t2 int64) bool {
-	return h.EndTime < t1 || h.StartTime > t2
+	if h.EndTime < t1 || h.StartTime > t2 {
+		obs.PrunePagesTime.Inc()
+		return true
+	}
+	return false
 }
 
 // SkipPageByValue reports whether a whole page can be skipped for the
 // value range [c1, c2] using its min/max statistics.
 func SkipPageByValue(h storage.PageHeader, c1, c2 int64) bool {
-	return h.MaxValue < c1 || h.MinValue > c2
+	if h.MaxValue < c1 || h.MinValue > c2 {
+		obs.PrunePagesValue.Inc()
+		return true
+	}
+	return false
+}
+
+// AllValuesInRange is the dual of SkipPageByValue: the header statistics
+// prove every value of the page satisfies c1 <= v <= c2, so a range
+// filter is vacuous over it. The engine uses this to keep the fused
+// no-materialization aggregation path on for pages a value predicate
+// cannot actually reject.
+func AllValuesInRange(h storage.PageHeader, c1, c2 int64) bool {
+	return h.MinValue >= c1 && h.MaxValue <= c2
 }

@@ -7,6 +7,8 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"etsqp/internal/obs"
 )
 
 // Lazy-access container: WriteIndexedFile appends an index footer
@@ -199,6 +201,8 @@ func (lf *LazyFile) Series(name string) (*Series, error) {
 	if err != nil {
 		return nil, err
 	}
+	obs.StorageLazySeriesLoaded.Inc()
+	obs.StorageLazyPagesLoaded.Add(int64(len(ser.Pages)))
 	lf.mu.Lock()
 	defer lf.mu.Unlock()
 	if lf.maxHeld > 0 && len(lf.cache) >= lf.maxHeld {

@@ -12,6 +12,7 @@ import (
 	"hash/crc32"
 
 	"etsqp/internal/encoding"
+	"etsqp/internal/obs"
 )
 
 // ColumnKind distinguishes the timestamp column from value columns.
@@ -69,6 +70,8 @@ func (p *Page) Decode() ([]int64, error) {
 	if err := p.VerifyChecksum(); err != nil {
 		return nil, err
 	}
+	obs.StoragePagesRead.Inc()
+	obs.StorageBytesScanned.Add(int64(len(p.Data)))
 	c, err := encoding.Lookup(p.Header.Codec)
 	if err != nil {
 		return nil, err

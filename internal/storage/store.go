@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"etsqp/internal/encoding"
+	"etsqp/internal/obs"
 )
 
 // Defaults for series ingestion.
@@ -160,6 +161,7 @@ func EncodePages(ts, vals []int64, opts Options) ([]PagePair, error) {
 			},
 		})
 	}
+	obs.StoragePagesEncoded.Add(int64(len(pairs)))
 	return pairs, nil
 }
 

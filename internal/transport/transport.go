@@ -19,6 +19,7 @@ import (
 	"hash/crc32"
 	"io"
 
+	"etsqp/internal/obs"
 	"etsqp/internal/storage"
 )
 
@@ -54,8 +55,12 @@ func writeFrame(w io.Writer, ftype byte, series string, payload []byte) error {
 		return err
 	}
 	binary.BigEndian.PutUint32(tmp[:4], crc32.ChecksumIEEE(payload))
-	_, err := w.Write(tmp[:4])
-	return err
+	if _, err := w.Write(tmp[:4]); err != nil {
+		return err
+	}
+	obs.TransportFramesOut.Inc()
+	obs.TransportBytesOut.Add(int64(len(head) + len(payload) + 4))
+	return nil
 }
 
 // readFrame parses one frame.
@@ -90,8 +95,11 @@ func readFrame(r io.Reader) (ftype byte, series string, payload []byte, err erro
 		return 0, "", nil, err
 	}
 	if binary.BigEndian.Uint32(crcBuf[:]) != crc32.ChecksumIEEE(payload) {
+		obs.TransportCRCFailures.Inc()
 		return 0, "", nil, fmt.Errorf("transport: frame checksum mismatch: %w", ErrBadFrame)
 	}
+	obs.TransportFramesIn.Inc()
+	obs.TransportBytesIn.Add(int64(5 + nameLen + 4 + len(payload) + 4))
 	return ftype, string(name), payload, nil
 }
 

@@ -1,0 +1,194 @@
+// Command etsqp-gencorpus regenerates the checked-in fuzz seed corpora
+// under each fuzz target's testdata/fuzz directory:
+//
+//	go run ./cmd/etsqp-gencorpus [-C moduleRoot]
+//
+// The corpora are deterministic — valid blocks produced by the real
+// encoders plus truncated and bit-flipped variants — so the scheduled
+// fuzz CI job starts from inputs that already reach deep decode paths
+// instead of spending its budget rediscovering the headers. Ordinary
+// `go test` runs also execute every checked-in entry as a regression
+// case.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"etsqp/internal/encoding"
+	_ "etsqp/internal/encoding/gorilla" // register the gorilla codecs
+	"etsqp/internal/encoding/rlbe"
+	"etsqp/internal/encoding/ts2diff"
+	"etsqp/internal/storage"
+)
+
+func main() {
+	root := flag.String("C", ".", "module root to write testdata under")
+	flag.Parse()
+	if err := run(*root); err != nil {
+		fmt.Fprintln(os.Stderr, "etsqp-gencorpus:", err)
+		os.Exit(1)
+	}
+}
+
+func run(root string) error {
+	series := make([]int64, 300)
+	cur := int64(1_700_000_000)
+	for i := range series {
+		series[i] = cur
+		cur += int64(i%7)*13 + 1
+	}
+	runs := make([]int64, 200)
+	for i := range runs {
+		runs[i] = int64(i / 25 * 40) // long constant runs for RLE paths
+	}
+
+	if err := sqlCorpus(root); err != nil {
+		return err
+	}
+	if err := storageCorpus(root, series); err != nil {
+		return err
+	}
+	if err := ts2diffCorpus(root, series, runs); err != nil {
+		return err
+	}
+	if err := gorillaCorpus(root, series); err != nil {
+		return err
+	}
+	return rlbeCorpus(root, series, runs)
+}
+
+func sqlCorpus(root string) error {
+	seeds := []string{
+		"SELECT SUM(A) FROM ts SW(0, 1000);",
+		"SELECT MIN(A), MAX(A), VAR(A) FROM ts WHERE TIME >= 10 AND A != 3",
+		"SELECT SUM(A) FROM (SELECT * FROM ts WHERE A > 100)",
+		"SELECT ts1.A*ts2.A FROM ts1, ts2 ORDER BY TIME",
+		"SELECT FIRST(A), LAST(A) FROM root.sg.d1.v WHERE TIME <= 99",
+		"SELECT COUNT(A) FROM ts WHERE",
+	}
+	dir := filepath.Join(root, "internal/sqlparse/testdata/fuzz/FuzzParse")
+	for i, s := range seeds {
+		if err := writeEntry(dir, i, "string("+strconv.Quote(s)+")"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func storageCorpus(root string, series []int64) error {
+	st := storage.NewStore()
+	ts := make([]int64, len(series))
+	for i := range ts {
+		ts[i] = int64(i) * 60
+	}
+	if err := st.Append("s", ts, series, storage.Options{PageSize: 64}); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp("", "etsqp-corpus-*")
+	if err != nil {
+		return err
+	}
+	tmp.Close()
+	defer os.Remove(tmp.Name())
+	if err := st.WriteFile(tmp.Name()); err != nil {
+		return err
+	}
+	valid, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		return err
+	}
+	dir := filepath.Join(root, "internal/storage/testdata/fuzz/FuzzReadBytes")
+	return writeByteEntries(dir, valid, truncated(valid), flipped(valid, 0))
+}
+
+func ts2diffCorpus(root string, series, runs []int64) error {
+	b1, err := ts2diff.Encode(series, ts2diff.Order1)
+	if err != nil {
+		return err
+	}
+	b2, err := ts2diff.Encode(series, ts2diff.Order2)
+	if err != nil {
+		return err
+	}
+	br, err := ts2diff.Encode(runs, ts2diff.Order1)
+	if err != nil {
+		return err
+	}
+	m1 := b1.Marshal()
+	dir := filepath.Join(root, "internal/encoding/ts2diff/testdata/fuzz/FuzzUnmarshal")
+	return writeByteEntries(dir, m1, b2.Marshal(), br.Marshal(), truncated(m1), flipped(m1, len(m1)/2))
+}
+
+func gorillaCorpus(root string, series []int64) error {
+	dir := filepath.Join(root, "internal/encoding/gorilla/testdata/fuzz/FuzzRoundTrip")
+	var entries [][]byte
+	// Raw value bytes: the round-trip half of the target decodes these
+	// into a series; 8 bytes per value, big-endian.
+	raw := make([]byte, 0, len(series)*8)
+	for _, v := range series[:64] {
+		for s := 56; s >= 0; s -= 8 {
+			raw = append(raw, byte(uint64(v)>>uint(s)))
+		}
+	}
+	entries = append(entries, raw)
+	// Valid blocks from both registered variants feed the adversarial
+	// half with inputs that parse.
+	for _, name := range []string{"gorilla", "gorilla-time"} {
+		c, err := encoding.Lookup(name)
+		if err != nil {
+			return err
+		}
+		blk, err := c.Encode(series)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, blk, truncated(blk), flipped(blk, len(blk)/2))
+	}
+	return writeByteEntries(dir, entries...)
+}
+
+func rlbeCorpus(root string, series, runs []int64) error {
+	b, err := rlbe.Encode(series)
+	if err != nil {
+		return err
+	}
+	br, err := rlbe.Encode(runs)
+	if err != nil {
+		return err
+	}
+	m := b.Marshal()
+	dir := filepath.Join(root, "internal/encoding/rlbe/testdata/fuzz/FuzzUnmarshal")
+	return writeByteEntries(dir, m, br.Marshal(), truncated(m), flipped(m, len(m)-1))
+}
+
+func truncated(b []byte) []byte { return b[:len(b)/2] }
+
+func flipped(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	if len(out) > 0 {
+		out[i%len(out)] ^= 0x40
+	}
+	return out
+}
+
+func writeByteEntries(dir string, entries ...[]byte) error {
+	for i, e := range entries {
+		if err := writeEntry(dir, i, "[]byte("+strconv.Quote(string(e))+")"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeEntry writes one seed in the Go fuzz corpus file format.
+func writeEntry(dir string, i int, literal string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := filepath.Join(dir, fmt.Sprintf("seed-%03d", i))
+	return os.WriteFile(name, []byte("go test fuzz v1\n"+literal+"\n"), 0o644)
+}

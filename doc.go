@@ -16,6 +16,11 @@
 // layer (see docs/OBSERVABILITY.md; wire and file formats are specified
 // in docs/FORMATS.md).
 //
+// The invariants behind the performance claims — allocation-free unpack
+// kernels, panic-free decode paths, gated observability, consistent plan
+// tables — are enforced by the cmd/etsqp-lint analyzer suite
+// (docs/STATIC_ANALYSIS.md).
+//
 // The library lives under internal/ (see DESIGN.md for the module map);
 // runnable entry points are cmd/etsqp-bench (regenerates every table and
 // figure of the paper's evaluation), cmd/etsqp-cli (a SQL shell), and the

@@ -14,6 +14,11 @@ import (
 // ErrShortBuffer is returned when a Reader runs out of bits.
 var ErrShortBuffer = errors.New("bitio: short buffer")
 
+// ErrBitCount is returned when a read is asked for more than 64 bits at
+// once. Bit counts on the decode path come from untrusted page headers,
+// so this is an error, not a panic (nopanic-enforced).
+var ErrBitCount = errors.New("bitio: bit count out of range")
+
 // Writer accumulates bits most-significant-bit first into a byte slice.
 // The zero value is ready to use.
 type Writer struct {
@@ -38,7 +43,10 @@ func (w *Writer) WriteBit(bit uint) {
 }
 
 // WriteBits appends the low n bits of v, most significant first.
-// n must be in [0, 64].
+// n must be in [0, 64]; wider counts are a programmer error (encoders
+// choose n from value ranges they computed, never from wire data).
+//
+//etsqp:trusted
 func (w *Writer) WriteBits(v uint64, n uint) {
 	if n > 64 {
 		panic(fmt.Sprintf("bitio: WriteBits n=%d out of range", n))
@@ -62,7 +70,10 @@ func (w *Writer) WriteBits(v uint64, n uint) {
 }
 
 // WriteBytes appends whole bytes. It is only valid when the writer is
-// byte-aligned; use Align first if necessary.
+// byte-aligned; use Align first if necessary. Misuse is a programmer
+// error on the encode path, hence the panic guard.
+//
+//etsqp:trusted
 func (w *Writer) WriteBytes(p []byte) {
 	if w.nCur != 0 {
 		panic("bitio: WriteBytes on unaligned writer")
@@ -105,6 +116,8 @@ type Reader struct {
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 
 // ReadBit reads a single bit.
+//
+//etsqp:hotpath
 func (r *Reader) ReadBit() (uint, error) {
 	if r.pos >= len(r.buf)*8 {
 		return 0, ErrShortBuffer
@@ -116,9 +129,13 @@ func (r *Reader) ReadBit() (uint, error) {
 }
 
 // ReadBits reads n bits (n in [0,64]) and returns them right-aligned.
+// Counts above 64 return ErrBitCount: they can be induced by corrupt
+// page headers, so the decode path must not crash on them.
+//
+//etsqp:hotpath
 func (r *Reader) ReadBits(n uint) (uint64, error) {
 	if n > 64 {
-		panic(fmt.Sprintf("bitio: ReadBits n=%d out of range", n))
+		return 0, ErrBitCount
 	}
 	if r.pos+int(n) > len(r.buf)*8 {
 		return 0, ErrShortBuffer

@@ -29,7 +29,10 @@ var (
 )
 
 // Register makes a codec available by name. It panics on duplicates,
-// following the convention of image.RegisterFormat.
+// following the convention of image.RegisterFormat: a duplicate name is
+// an init-time programmer error, not a data-dependent condition.
+//
+//etsqp:trusted
 func Register(c Codec) {
 	codecMu.Lock()
 	defer codecMu.Unlock()

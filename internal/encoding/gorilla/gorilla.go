@@ -68,7 +68,7 @@ func DecodeTimestamps(r *bitio.Reader, n int) ([]int64, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	out := make([]int64, 0, n)
+	out := make([]int64, 0, clampPrealloc(n))
 	first, err := r.ReadBits(64)
 	if err != nil {
 		return nil, err
@@ -176,12 +176,24 @@ func EncodeValues(w *bitio.Writer, words []uint64) {
 	}
 }
 
+// clampPrealloc bounds decode-side pre-allocation: n comes from an
+// untrusted block header, so a corrupt count must not reserve gigabytes
+// before the bit reader has proven there is any data behind it. Growth
+// past the clamp is paid only when the payload actually delivers values.
+func clampPrealloc(n int) int {
+	const maxPrealloc = 1 << 16
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return n
+}
+
 // DecodeValues reads n 64-bit words written by EncodeValues.
 func DecodeValues(r *bitio.Reader, n int) ([]uint64, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	out := make([]uint64, 0, n)
+	out := make([]uint64, 0, clampPrealloc(n))
 	first, err := r.ReadBits(64)
 	if err != nil {
 		return nil, err

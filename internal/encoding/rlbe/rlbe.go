@@ -52,9 +52,19 @@ func Encode(vals []int64) (*Block, error) {
 // Pairs decodes the payload back to Delta-Repeat pairs without flattening —
 // the representation Section IV's fused aggregations consume directly.
 func (b *Block) Pairs() ([]encoding.DeltaRun, error) {
+	if b.NumRuns < 0 {
+		return nil, ErrCorrupt
+	}
 	r := bitio.NewReader(b.Payload)
-	pairs := make([]encoding.DeltaRun, b.NumRuns)
-	for i := range pairs {
+	// NumRuns comes from an untrusted header: cap the pre-allocation and
+	// let append grow it as codewords actually arrive (each run costs at
+	// least four payload bits, so a short buffer fails fast).
+	capRuns := b.NumRuns
+	if capRuns > 1<<16 {
+		capRuns = 1 << 16
+	}
+	pairs := make([]encoding.DeltaRun, 0, capRuns)
+	for i := 0; i < b.NumRuns; i++ {
 		zz, err := encoding.FibonacciDecode(r)
 		if err != nil {
 			return nil, err
@@ -63,7 +73,7 @@ func (b *Block) Pairs() ([]encoding.DeltaRun, error) {
 		if err != nil {
 			return nil, err
 		}
-		pairs[i] = encoding.DeltaRun{Delta: encoding.UnZigZag(zz - 1), Count: int(run)}
+		pairs = append(pairs, encoding.DeltaRun{Delta: encoding.UnZigZag(zz - 1), Count: int(run)})
 	}
 	return pairs, nil
 }
@@ -76,6 +86,18 @@ func (b *Block) Decode() ([]int64, error) {
 	pairs, err := b.Pairs()
 	if err != nil {
 		return nil, err
+	}
+	// Validate run totals before flattening: corrupt codewords can claim
+	// runs far past Count, and DeltaRLEDecode would materialize them all.
+	total := 1
+	for _, p := range pairs {
+		if p.Count < 0 || total > b.Count-p.Count {
+			return nil, ErrCorrupt
+		}
+		total += p.Count
+	}
+	if total != b.Count {
+		return nil, ErrCorrupt
 	}
 	vals := encoding.DeltaRLEDecode(b.First, pairs)
 	if len(vals) != b.Count {

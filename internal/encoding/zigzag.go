@@ -4,11 +4,15 @@ package encoding
 // (positive or negative) become small codes: 0→0, -1→1, 1→2, -2→3, …
 // Sprintz uses ZigZag before bit-packing so negative deltas do not force
 // full-width codes.
+//
+//etsqp:hotpath
 func ZigZag(v int64) uint64 {
 	return uint64(v<<1) ^ uint64(v>>63)
 }
 
 // UnZigZag inverts ZigZag.
+//
+//etsqp:hotpath
 func UnZigZag(u uint64) int64 {
 	return int64(u>>1) ^ -int64(u&1)
 }

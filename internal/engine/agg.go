@@ -36,6 +36,8 @@ type partialAgg struct {
 }
 
 // addBoundary folds a slice's boundary rows into the FIRST/LAST state.
+//
+//etsqp:hotpath
 func (p *partialAgg) addBoundary(firstT, firstV, lastT, lastV int64) {
 	if !p.hasFL || firstT < p.firstT {
 		p.firstT, p.firstV = firstT, firstV
@@ -46,6 +48,10 @@ func (p *partialAgg) addBoundary(firstT, firstV, lastT, lastV int64) {
 	p.hasFL = true
 }
 
+// addValue folds one decoded value into the running aggregate state —
+// the per-row accumulator of every non-fused scan.
+//
+//etsqp:hotpath
 func (p *partialAgg) addValue(v int64) {
 	s := p.sum + v
 	if (p.sum > 0 && v > 0 && s < 0) || (p.sum < 0 && v < 0 && s >= 0) {
@@ -63,6 +69,9 @@ func (p *partialAgg) addValue(v int64) {
 	p.seen = true
 }
 
+// addSum folds a fused per-block (sum, count) pair.
+//
+//etsqp:hotpath
 func (p *partialAgg) addSum(sum int64, count int64) {
 	s := p.sum + sum
 	if (p.sum > 0 && sum > 0 && s < 0) || (p.sum < 0 && sum < 0 && s >= 0) {
@@ -73,6 +82,9 @@ func (p *partialAgg) addSum(sum int64, count int64) {
 	p.seen = p.seen || count > 0
 }
 
+// merge combines a worker's partial into the receiver.
+//
+//etsqp:hotpath
 func (p *partialAgg) merge(o *partialAgg) {
 	p.overflow = p.overflow || o.overflow
 	s := p.sum + o.sum
@@ -631,6 +643,9 @@ func rangeOnly(vp []sqlparse.Pred) bool {
 	return len(vp) > 0
 }
 
+// predsMatch evaluates the predicate conjunction against one value.
+//
+//etsqp:hotpath
 func predsMatch(vp []sqlparse.Pred, v int64) bool {
 	for _, p := range vp {
 		if !p.Op.Eval(v, p.Value) {

@@ -27,6 +27,8 @@ func fitsI32(v int64) bool { return v >= -(1<<31) && v < 1<<31 }
 // rangeMaskVec attempts the vector path; it reports false (leaving m
 // empty) if a value outside int32 range appears, in which case the
 // caller reruns the scalar path.
+//
+//etsqp:hotpath
 func rangeMaskVec(col []int64, c1, c2 int64, m *Mask) bool {
 	lo := simd.Broadcast32(uint32(int32(c1) - 1)) // v > c1-1  ≡  v >= c1
 	hi := simd.Broadcast32(uint32(int32(c2) + 1)) // v < c2+1  ≡  v <= c2
@@ -67,6 +69,8 @@ func rangeMaskVec(col []int64, c1, c2 int64, m *Mask) bool {
 // MaskedFold folds valid values into caller-provided accumulators via
 // one callback per valid run, letting aggregation avoid per-row branch
 // checks on dense masks.
+//
+//etsqp:hotpath
 func MaskedFold(col []int64, m *Mask, f func(v int64)) {
 	for i := m.NextSet(0); i >= 0; i = m.NextSet(i + 1) {
 		f(col[i])

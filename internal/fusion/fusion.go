@@ -25,6 +25,8 @@ import (
 var ErrOverflow = errors.New("fusion: aggregate overflow")
 
 // addChecked adds two int64 detecting overflow.
+//
+//etsqp:hotpath
 func addChecked(a, b int64) (int64, bool) {
 	s := a + b
 	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
@@ -34,6 +36,8 @@ func addChecked(a, b int64) (int64, bool) {
 }
 
 // mulChecked multiplies two int64 detecting overflow.
+//
+//etsqp:hotpath
 func mulChecked(a, b int64) (int64, bool) {
 	if a == 0 || b == 0 {
 		return 0, true
@@ -46,13 +50,19 @@ func mulChecked(a, b int64) (int64, bool) {
 }
 
 // sumArith is Σ_{i=1..n} i = n(n+1)/2.
+//
+//etsqp:hotpath
 func sumArith(n int64) int64 { return n * (n + 1) / 2 }
 
 // sumSquaresArith is Σ_{i=1..n} i² = n(n+1)(2n+1)/6.
+//
+//etsqp:hotpath
 func sumSquaresArith(n int64) int64 { return n * (n + 1) * (2*n + 1) / 6 }
 
 // Sum aggregates Σ values over a Delta-Repeat series (first value plus
 // pairs) without flattening. Cost: O(#pairs).
+//
+//etsqp:hotpath
 func Sum(first int64, pairs []encoding.DeltaRun) (int64, error) {
 	total := first
 	cur := first
@@ -75,6 +85,8 @@ func Sum(first int64, pairs []encoding.DeltaRun) (int64, error) {
 // SumRange aggregates Σ values over rows [from, to) of the flattened
 // series, skipping whole runs in O(1) — the building block for
 // sliding-window aggregation over Delta-Repeat data.
+//
+//etsqp:hotpath
 func SumRange(first int64, pairs []encoding.DeltaRun, from, to int) (int64, error) {
 	if to <= from {
 		return 0, nil
@@ -128,6 +140,8 @@ func SumRange(first int64, pairs []encoding.DeltaRun, from, to int) (int64, erro
 }
 
 // Count returns the number of values represented.
+//
+//etsqp:hotpath
 func Count(pairs []encoding.DeltaRun) int {
 	n := 1
 	for _, p := range pairs {
@@ -147,6 +161,8 @@ func Avg(first int64, pairs []encoding.DeltaRun) (float64, error) {
 
 // MinMax scans run endpoints only: within a run values are monotone, so
 // extremes occur at run boundaries.
+//
+//etsqp:hotpath
 func MinMax(first int64, pairs []encoding.DeltaRun) (minV, maxV int64) {
 	minV, maxV = first, first
 	cur := first
@@ -164,6 +180,8 @@ func MinMax(first int64, pairs []encoding.DeltaRun) (minV, maxV int64) {
 
 // SumSquares aggregates Σ v² without decoding:
 // Σ_{i=1..n}(a+iΔ)² = n·a² + 2aΔ·Σi + Δ²·Σi².
+//
+//etsqp:hotpath
 func SumSquares(first int64, pairs []encoding.DeltaRun) (int64, error) {
 	total, ok := mulChecked(first, first)
 	if !ok {
@@ -211,6 +229,8 @@ func Variance(first int64, pairs []encoding.DeltaRun) (float64, error) {
 // Section IV describes:
 //
 //	Σ_{i=1..v}(a+iΔA)(b+iΔB) = v·ab + aΔB·Σi + bΔA·Σi + ΔAΔB·Σi²
+//
+//etsqp:hotpath
 func DotProduct(aFirst int64, aPairs []encoding.DeltaRun, bFirst int64, bPairs []encoding.DeltaRun) (int64, error) {
 	if Count(aPairs) != Count(bPairs) {
 		return 0, errors.New("fusion: series length mismatch")

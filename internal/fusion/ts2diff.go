@@ -16,6 +16,8 @@ import (
 //
 // The Σ P term is accumulated block-wise with the same partial-sum
 // vectors the decoder would build — but nothing is materialized.
+//
+//etsqp:hotpath
 func SumBlock(b *ts2diff.Block) (int64, error) {
 	if b.Order != ts2diff.Order1 {
 		return SumBlockOrder2(b)
@@ -47,6 +49,8 @@ func SumBlock(b *ts2diff.Block) (int64, error) {
 
 // sumPrefixes returns Σ_{i=1..m} P_i with P_i the inclusive prefix sums of
 // the packed fields, vectorized over whole plan blocks.
+//
+//etsqp:hotpath
 func sumPrefixes(packed []byte, m int, width uint) (int64, error) {
 	if m == 0 {
 		return 0, nil
@@ -57,8 +61,12 @@ func sumPrefixes(packed []byte, m int, width uint) (int64, error) {
 	var sumP, prefixBefore int64
 	e := 0
 	if width <= pipeline.MaxNarrowWidth {
-		p := pipeline.PlanFor(width)
-		vecs := make([]simd.U32x8, p.Nv)
+		p, err := pipeline.PlanFor(width)
+		if err != nil {
+			return 0, err
+		}
+		var vecsArr [pipeline.MaxNv]simd.U32x8
+		vecs := vecsArr[:p.Nv]
 		for ; e+p.BlockElems <= m; e += p.BlockElems {
 			window := packed[e*int(width)/8:]
 			for j := 0; j < p.Nv; j++ {
@@ -173,6 +181,8 @@ func SumBlockRange(b *ts2diff.Block, from, to int) (int64, error) {
 //
 // where w_j = Σ_{i>j+1} (i-1-j) = (n-2-j)(n-1-j)/2; a single pass over
 // the packed fields evaluates the weighted sum.
+//
+//etsqp:hotpath
 func SumBlockOrder2(b *ts2diff.Block) (int64, error) {
 	if b.Order != ts2diff.Order2 {
 		return 0, ErrOverflow // misuse guard; callers dispatch by order
@@ -198,18 +208,41 @@ func SumBlockOrder2(b *ts2diff.Block) (int64, error) {
 		return total, nil
 	}
 	// Weighted sum of dd_j with weight (n-2-j)(n-1-j)/2 (includes the
-	// minBase shift: packed_j = dd_j - minBase).
-	dd, err := pipeline.DecodeDeltas(b.Packed, m, b.Width, b.MinBase)
-	if err != nil {
-		return 0, err
+	// minBase shift: packed_j = dd_j - minBase). The deltas stream
+	// through a fixed-size stack chunk instead of being materialized:
+	// chunk boundaries are kept multiples of the plan's BlockElems (and
+	// hence of 8), so every chunk starts byte-aligned in the packed
+	// stream.
+	var chunk [8 * pipeline.MaxNv]int64
+	chunkE := len(chunk)
+	if b.Width > 0 && b.Width <= pipeline.MaxNarrowWidth {
+		p, err := pipeline.PlanFor(b.Width)
+		if err != nil {
+			return 0, err
+		}
+		chunkE = len(chunk) / p.BlockElems * p.BlockElems
 	}
-	for j, d := range dd {
-		w := (n - 2 - int64(j)) * (n - 1 - int64(j)) / 2
-		term, ok1 := mulChecked(d, w)
-		var ok2 bool
-		total, ok2 = addChecked(total, term)
-		if !ok1 || !ok2 {
-			return 0, ErrOverflow
+	for e := 0; e < m; e += chunkE {
+		cnt := m - e
+		if cnt > chunkE {
+			cnt = chunkE
+		}
+		off := e * int(b.Width) / 8
+		if off > len(b.Packed) {
+			return 0, bitio.ErrShortBuffer
+		}
+		if err := pipeline.DecodeDeltasInto(chunk[:cnt], b.Packed[off:], cnt, b.Width, b.MinBase); err != nil {
+			return 0, err
+		}
+		for i, d := range chunk[:cnt] {
+			j := int64(e + i)
+			w := (n - 2 - j) * (n - 1 - j) / 2
+			term, ok1 := mulChecked(d, w)
+			var ok2 bool
+			total, ok2 = addChecked(total, term)
+			if !ok1 || !ok2 {
+				return 0, ErrOverflow
+			}
 		}
 	}
 	return total, nil

@@ -1,0 +1,24 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"etsqp/internal/lint/analyzers"
+	"etsqp/internal/lint/linttest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, "testdata/hotpathalloc", analyzers.HotPathAlloc)
+}
+
+func TestNoPanic(t *testing.T) {
+	linttest.Run(t, "testdata/nopanic", analyzers.NoPanic)
+}
+
+func TestObsGuard(t *testing.T) {
+	linttest.Run(t, "testdata/obsguard", analyzers.ObsGuard)
+}
+
+func TestPlanTable(t *testing.T) {
+	linttest.Run(t, "testdata/plantable", analyzers.PlanTable)
+}

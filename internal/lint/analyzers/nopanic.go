@@ -1,0 +1,109 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"etsqp/internal/lint"
+)
+
+// decodePkgSuffixes are the package path suffixes whose Decode/Read entry
+// points face bytes from untrusted pages (a corrupt file or frame must
+// surface as an error, never a crash).
+var decodePkgSuffixes = []string{
+	"internal/bitio",
+	"internal/storage",
+	"internal/transport",
+	"internal/encoding",
+	"internal/pipeline",
+	"internal/engine",
+}
+
+// decodeEntryPrefixes mark the exported functions considered entry points
+// for untrusted input.
+var decodeEntryPrefixes = []string{"Decode", "Read", "Unmarshal"}
+
+// NoPanic enforces that no explicit panic is statically reachable from a
+// decode entry point: an exported function named Decode*/Read*/Unmarshal*
+// in the storage, transport, encoding, bitio, pipeline or engine trees.
+// Programmer-error guards (e.g. the codec registry's duplicate check) are
+// suppressed by annotating the containing function //etsqp:trusted.
+var NoPanic = &lint.Analyzer{
+	Name: "nopanic",
+	Doc:  "flag panics reachable from Decode/Read/Unmarshal entry points",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *lint.Pass) error {
+	m := pass.Module
+	var roots []string
+	for key, fi := range m.Funcs {
+		if !isDecodeEntry(fi) {
+			continue
+		}
+		roots = append(roots, key)
+	}
+	reach := m.Closure(roots)
+	for _, fi := range reach {
+		if fi.Annotated("trusted") || fi.Decl.Body == nil {
+			continue
+		}
+		name := fi.Obj.Name()
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, ok := fi.Pkg.Info.Uses[id].(*types.Builtin); !ok {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic in %s is reachable from a decode entry point; return an error (or annotate //etsqp:trusted)", name)
+			return true
+		})
+	}
+	return nil
+}
+
+// isDecodeEntry reports whether a function is an untrusted-input entry
+// point: exported, decode-prefixed, in one of the decode packages. For
+// methods, the receiver type must be exported too.
+func isDecodeEntry(fi *lint.FuncInfo) bool {
+	if !fi.Obj.Exported() {
+		return false
+	}
+	inDecodePkg := false
+	for _, s := range decodePkgSuffixes {
+		if lint.PathHasSuffix(fi.Pkg.Path, s) || strings.Contains(fi.Pkg.Path, "/"+s+"/") {
+			inDecodePkg = true
+			break
+		}
+	}
+	if !inDecodePkg {
+		return false
+	}
+	hasPrefix := false
+	for _, p := range decodeEntryPrefixes {
+		if strings.HasPrefix(fi.Obj.Name(), p) {
+			hasPrefix = true
+			break
+		}
+	}
+	if !hasPrefix {
+		return false
+	}
+	if recv := fi.Obj.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && !named.Obj().Exported() {
+			return false
+		}
+	}
+	return true
+}

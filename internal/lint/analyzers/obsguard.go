@@ -1,0 +1,186 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"etsqp/internal/lint"
+)
+
+// ObsGuard enforces the observability layer's overhead contract:
+//
+//  1. Inside the obs package, the counter storage field (Counter.v) may
+//     only be touched by the atomic helper methods (Counter/Timer
+//     receivers) and the registry-wide Capture/Reset — never by ad-hoc
+//     code that could race or bypass the enable gate.
+//  2. In //etsqp:hotpath functions (and their module callees), every
+//     counter/timer mutation must sit behind an obs.Enabled() check so a
+//     disabled build pays one predicted branch, not argument computation
+//     plus an atomic load per metric.
+var ObsGuard = &lint.Analyzer{
+	Name: "obsguard",
+	Doc:  "obs counters: atomic helpers only, and Enabled()-gated in hot paths",
+	Run:  runObsGuard,
+}
+
+// obsMutators are the Counter/Timer methods that write a metric.
+var obsMutators = map[string]bool{"Add": true, "Inc": true, "AddNanos": true, "Since": true}
+
+func runObsGuard(pass *lint.Pass) error {
+	m := pass.Module
+	// Rule 1: direct storage-field access inside the obs package.
+	for _, pkg := range m.Pkgs {
+		if lint.PathHasSuffix(pkg.Path, "internal/obs") {
+			checkObsFieldAccess(pass, pkg)
+		}
+	}
+	// Rule 2: Enabled() gating in the hot-path closure.
+	var roots []string
+	for key, fi := range m.Funcs {
+		if fi.Annotated("hotpath") {
+			roots = append(roots, key)
+		}
+	}
+	for _, fi := range m.Closure(roots, "coldpath") {
+		if lint.PathHasSuffix(fi.Pkg.Path, "internal/obs") {
+			continue // the helpers themselves carry the gate
+		}
+		checkObsGated(pass, fi)
+	}
+	return nil
+}
+
+// checkObsFieldAccess flags selections of the unexported counter storage
+// outside the helper methods.
+func checkObsFieldAccess(pass *lint.Pass, pkg *lint.Package) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obsHelperFunc(pkg, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s, ok := pkg.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				field := s.Obj()
+				if field.Name() != "v" || !isObsCounterType(s.Recv()) {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "direct access to counter storage outside the atomic helpers; use Add/Inc/Load")
+				return true
+			})
+		}
+	}
+}
+
+// obsHelperFunc reports whether fd is allowed to touch counter storage:
+// a method on Counter or Timer, or the registry-wide Capture/Reset.
+func obsHelperFunc(pkg *lint.Package, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil {
+		return fd.Name.Name == "Capture" || fd.Name.Name == "Reset"
+	}
+	obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Counter" || named.Obj().Name() == "Timer"
+}
+
+// isObsCounterType reports whether t (possibly a pointer) is the obs
+// Counter or Timer type.
+func isObsCounterType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if !lint.PathHasSuffix(named.Obj().Pkg().Path(), "internal/obs") {
+		return false
+	}
+	return named.Obj().Name() == "Counter" || named.Obj().Name() == "Timer"
+}
+
+// checkObsGated flags counter mutations in a hot function that are not
+// enclosed in an if whose condition calls obs.Enabled().
+func checkObsGated(pass *lint.Pass, fi *lint.FuncInfo) {
+	if fi.Decl.Body == nil {
+		return
+	}
+	info := fi.Pkg.Info
+	lint.WalkStack(fi.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lint.CalleeFunc(info, call)
+		if fn == nil || !obsMutators[fn.Name()] {
+			return true
+		}
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv == nil || !isObsCounterType(recv.Type()) {
+			return true
+		}
+		if !enclosedInEnabledCheck(info, stack) {
+			pass.Reportf(call.Pos(), "obs counter update in hot path %s is not behind obs.Enabled()", fi.Obj.Name())
+		}
+		return true
+	})
+}
+
+// enclosedInEnabledCheck reports whether any enclosing if statement's
+// condition contains a call to obs.Enabled.
+func enclosedInEnabledCheck(info *types.Info, stack []ast.Node) bool {
+	for _, n := range stack {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		found := false
+		ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := CalleeEnabledFunc(info, call)
+			if fn {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// CalleeEnabledFunc reports whether a call invokes obs.Enabled.
+func CalleeEnabledFunc(info *types.Info, call *ast.CallExpr) bool {
+	fn := lint.CalleeFunc(info, call)
+	return fn != nil && fn.Name() == "Enabled" && fn.Pkg() != nil &&
+		lint.PathHasSuffix(fn.Pkg().Path(), "internal/obs")
+}

@@ -1,0 +1,3 @@
+module fixture.test/hotpathalloc
+
+go 1.22

@@ -1,0 +1,74 @@
+// Package hot exercises the hotpathalloc analyzer: allocating constructs
+// in //etsqp:hotpath functions and their module callees are flagged;
+// //etsqp:coldpath stops the traversal.
+package hot
+
+import "fmt"
+
+type anyT = interface{}
+
+//etsqp:hotpath
+func Kernel(out []int64, n int) []int64 {
+	buf := make([]int64, n) // want `hot path Kernel calls make \(allocates\)`
+	_ = buf
+	out = append(out, 1) // want `hot path Kernel calls append \(growth allocates\)`
+	f := func() {}       // want `hot path Kernel contains a closure \(allocates\)`
+	f()
+	fmt.Println(n) // want `hot path Kernel calls fmt\.Println \(allocates\)`
+	_ = anyT(n)    // want `hot path Kernel converts concrete value to interface \(allocates\)`
+	takeAny(n)     // want `hot path Kernel passes concrete value as interface argument \(allocates\)`
+	return out
+}
+
+func takeAny(v interface{}) {}
+
+// helper is unannotated but reachable from Outer's hot closure.
+func helper(n int) {
+	_ = make([]byte, n) // want `hot path helper calls make \(allocates\)`
+}
+
+//etsqp:hotpath
+func Outer(n int) {
+	helper(n)
+}
+
+// setup allocates, but coldpath stops the traversal: cached, amortized
+// construction is allowed to allocate.
+//
+//etsqp:coldpath
+func setup() []int64 {
+	return make([]int64, 8)
+}
+
+//etsqp:hotpath
+func UsesSetup() int64 {
+	p := setup()
+	if len(p) == 0 {
+		return 0
+	}
+	return p[0]
+}
+
+//etsqp:hotpath
+func CleanKernel(vals []int64) int64 {
+	var arr [8]int64
+	window := arr[:4] // slicing a stack array does not allocate
+	var s int64
+	for i, v := range vals {
+		s += v
+		window[i&3] = v
+	}
+	return s + window[0]
+}
+
+func variadic(vs ...interface{}) {}
+
+//etsqp:hotpath
+func Forward(vs []interface{}) {
+	variadic(vs...) // forwarding an existing slice: no boxing
+}
+
+// NotHot allocates freely: it is not in any hot closure.
+func NotHot(n int) []int64 {
+	return make([]int64, n)
+}

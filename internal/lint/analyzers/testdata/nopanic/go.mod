@@ -1,0 +1,3 @@
+module fixture.test/nopanic
+
+go 1.22

@@ -1,0 +1,54 @@
+// Package storage exercises the nopanic analyzer: panics statically
+// reachable from exported Decode*/Read*/Unmarshal* functions in the
+// decode package trees are flagged unless //etsqp:trusted.
+package storage
+
+import "errors"
+
+var errEmpty = errors.New("empty page")
+
+// DecodePage is an untrusted-input entry point.
+func DecodePage(b []byte) error {
+	if len(b) == 0 {
+		panic("storage: empty page") // want `panic in DecodePage is reachable from a decode entry point`
+	}
+	return check(b)
+}
+
+// check is reachable from DecodePage, so its panic is flagged too.
+func check(b []byte) error {
+	if len(b) > 1<<20 {
+		panic("storage: page too large") // want `panic in check is reachable from a decode entry point`
+	}
+	return nil
+}
+
+// ReadHeader returns errors properly: nothing to flag.
+func ReadHeader(b []byte) (byte, error) {
+	if len(b) == 0 {
+		return 0, errEmpty
+	}
+	return b[0], nil
+}
+
+// UnmarshalTrusted keeps its programmer-error guard via the escape hatch.
+//
+//etsqp:trusted
+func UnmarshalTrusted(b []byte) {
+	if b == nil {
+		panic("storage: nil input") // trusted: not flagged
+	}
+}
+
+// orphan panics but is not reachable from any entry point.
+func orphan() {
+	panic("storage: unreachable")
+}
+
+type page struct{ n int }
+
+// DecodeBody looks like an entry, but its receiver type is unexported
+// and nothing reachable calls it.
+func (p *page) DecodeBody() {
+	panic("storage: not an entry")
+}

@@ -1,0 +1,11 @@
+// Package util is outside the decode package trees: its Decode-named
+// function may panic without being flagged.
+package util
+
+// DecodeThing is not in a decode package; the analyzer ignores it.
+func DecodeThing(b []byte) byte {
+	if len(b) == 0 {
+		panic("util: empty")
+	}
+	return b[0]
+}

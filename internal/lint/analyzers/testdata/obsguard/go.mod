@@ -1,0 +1,3 @@
+module fixture.test/obsguard
+
+go 1.22

@@ -1,0 +1,47 @@
+// Package obs mirrors the real observability layer's shape so the
+// obsguard fixture can exercise both rules: storage-field access outside
+// the atomic helpers, and ungated mutations in hot paths.
+package obs
+
+import "sync/atomic"
+
+var enabled atomic.Bool
+
+// Enabled reports whether counters are collected.
+func Enabled() bool { return enabled.Load() }
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter when collection is enabled.
+func (c *Counter) Add(n int64) {
+	if !Enabled() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Timer accumulates nanoseconds.
+type Timer struct{ c Counter }
+
+// AddNanos folds an elapsed duration into the timer.
+func (t *Timer) AddNanos(n int64) { t.c.Add(n) }
+
+// Ops is the package's example counter.
+var Ops Counter
+
+// Capture may read counter storage directly: it is a sanctioned helper.
+func Capture() int64 {
+	return Ops.v.Load()
+}
+
+// Zero bypasses the helpers; rule 1 flags the storage access.
+func Zero() {
+	Ops.v.Store(0) // want `direct access to counter storage outside the atomic helpers; use Add/Inc/Load`
+}

@@ -1,0 +1,3 @@
+module fixture.test/plantable
+
+go 1.22

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FuncInfo is the per-function record of the module index: declaration,
+// package, //etsqp: annotations and the statically resolved
+// module-internal callees.
+type FuncInfo struct {
+	Key         string // types.Func.FullName
+	Decl        *ast.FuncDecl
+	Pkg         *Package
+	Obj         *types.Func
+	Annotations map[string]bool // "hotpath", "coldpath", "trusted", ...
+	Callees     []string        // keys of module functions statically called
+}
+
+// Annotated reports whether the function carries //etsqp:<name>.
+func (f *FuncInfo) Annotated(name string) bool { return f.Annotations[name] }
+
+// buildIndex populates Module.Funcs from the analysis units.
+func (m *Module) buildIndex() {
+	m.Funcs = map[string]*FuncInfo{}
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{
+					Key:         obj.FullName(),
+					Decl:        fd,
+					Pkg:         pkg,
+					Obj:         obj,
+					Annotations: parseAnnotations(fd.Doc),
+				}
+				if fd.Body != nil {
+					fi.Callees = m.calleesOf(pkg, fd.Body)
+				}
+				m.Funcs[fi.Key] = fi
+			}
+		}
+	}
+}
+
+// calleesOf resolves the module-internal functions statically called
+// anywhere in body (including inside function literals).
+func (m *Module) calleesOf(pkg *Package, body *ast.BlockStmt) []string {
+	seen := map[string]bool{}
+	var out []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := CalleeFunc(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		if path != m.Path && !strings.HasPrefix(path, m.Path+"/") {
+			return true
+		}
+		key := fn.FullName()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+		return true
+	})
+	return out
+}
+
+// CalleeFunc resolves the *types.Func a call expression statically
+// invokes, or nil for builtins, conversions and dynamic calls through
+// function values.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// parseAnnotations extracts //etsqp:<word> directives from a doc comment.
+func parseAnnotations(doc *ast.CommentGroup) map[string]bool {
+	out := map[string]bool{}
+	if doc == nil {
+		return out
+	}
+	for _, c := range doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, "//etsqp:"); ok {
+			if i := strings.IndexAny(rest, " \t"); i >= 0 {
+				rest = rest[:i]
+			}
+			if rest != "" {
+				out[rest] = true
+			}
+		}
+	}
+	return out
+}
+
+// Closure returns the transitive closure of the given root function keys
+// through module-internal calls. Functions annotated with any of the
+// stopAt annotations are excluded and not traversed.
+func (m *Module) Closure(roots []string, stopAt ...string) map[string]*FuncInfo {
+	out := map[string]*FuncInfo{}
+	var visit func(key string)
+	visit = func(key string) {
+		if _, done := out[key]; done {
+			return
+		}
+		fi, ok := m.Funcs[key]
+		if !ok {
+			return
+		}
+		for _, s := range stopAt {
+			if fi.Annotated(s) {
+				return
+			}
+		}
+		out[key] = fi
+		for _, c := range fi.Callees {
+			visit(c)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"etsqp/internal/encoding/ts2diff"
+	"etsqp/internal/obs"
+)
+
+// TestUnpackLoopAllocs is the runtime cross-check of the hotpathalloc
+// analyzer: once the plan cache is warm, decoding into caller-provided
+// memory must not allocate — across the narrow (gather), wide
+// (8-byte-window) and degenerate (width 0) paths, with observability
+// both off and on.
+func TestUnpackLoopAllocs(t *testing.T) {
+	defer obs.Disable()
+	for _, w := range []uint{0, 4, 10, 16, MaxNarrowWidth, 30} {
+		vals := seriesWithWidthB(4096, w)
+		blk, err := ts2diff.Encode(vals, ts2diff.Order1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int64, blk.Count)
+		if err := DecodeBlockInto(out, blk); err != nil { // warm plan cache
+			t.Fatal(err)
+		}
+		for _, on := range []bool{false, true} {
+			if on {
+				obs.Enable()
+			} else {
+				obs.Disable()
+			}
+			t.Run(fmt.Sprintf("width=%d/obs=%v", w, on), func(t *testing.T) {
+				if n := testing.AllocsPerRun(100, func() {
+					if err := DecodeBlockInto(out, blk); err != nil {
+						t.Fatal(err)
+					}
+				}); n != 0 {
+					t.Fatalf("DecodeBlockInto allocates %.1f/op", n)
+				}
+			})
+		}
+	}
+}
+
+// TestDecodeDeltasIntoAllocs checks the delta kernel and the packed-sum
+// kernel stay allocation-free with a warm plan cache.
+func TestDecodeDeltasIntoAllocs(t *testing.T) {
+	for _, w := range []uint{4, 10, MaxNarrowWidth, 30} {
+		vals := seriesWithWidthB(4096, w)
+		blk, err := ts2diff.Encode(vals, ts2diff.Order1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := blk.NumPacked()
+		out := make([]int64, m)
+		if err := DecodeDeltasInto(out, blk.Packed, m, blk.Width, blk.MinBase); err != nil {
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(100, func() {
+			if err := DecodeDeltasInto(out, blk.Packed, m, blk.Width, blk.MinBase); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Fatalf("width=%d: DecodeDeltasInto allocates %.1f/op", w, n)
+		}
+		if n := testing.AllocsPerRun(100, func() {
+			if _, err := SumPacked(blk.Packed, m, blk.Width); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Fatalf("width=%d: SumPacked allocates %.1f/op", w, n)
+		}
+	}
+}

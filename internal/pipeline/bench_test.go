@@ -201,7 +201,9 @@ func BenchmarkJITCache(b *testing.B) {
 	blk, _ := ts2diff.Encode(vals, ts2diff.Order1)
 	out := make([]int64, blk.Count)
 	b.Run("cached", func(b *testing.B) {
-		PlanFor(10) // warm
+		if _, err := PlanFor(10); err != nil { // warm
+			b.Fatal(err)
+		}
 		b.SetBytes(int64(len(vals) * 8))
 		for i := 0; i < b.N; i++ {
 			if err := DecodeBlockInto(out, blk); err != nil {

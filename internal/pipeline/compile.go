@@ -47,9 +47,12 @@ func Compile(b *ts2diff.Block) (*Decoder, error) {
 		d.run = func(dst []int64) error { return DecodeBlockInto(dst, &blk) }
 		return d, nil
 	}
-	p := PlanFor(width)
+	p, err := PlanFor(width)
+	if err != nil {
+		return nil, err
+	}
 	first, minBase, packed := b.First, b.MinBase, b.Packed
-	rampBase := make([]int64, simd.Lanes32)
+	var rampBase [simd.Lanes32]int64
 	for l := 0; l < simd.Lanes32; l++ {
 		rampBase[l] = minBase * int64(l*p.Nv)
 	}
@@ -59,7 +62,8 @@ func Compile(b *ts2diff.Block) (*Decoder, error) {
 	blk := *b
 	d.run = func(dst []int64) error {
 		dst[0] = first
-		vecs := make([]simd.U32x8, p.Nv)
+		var vecsArr [MaxNv]simd.U32x8
+		vecs := vecsArr[:p.Nv]
 		v0 := first
 		for blkIdx := 0; blkIdx < fullBlocks; blkIdx++ {
 			e := blkIdx * p.BlockElems

@@ -220,7 +220,10 @@ func TestChooseNv(t *testing.T) {
 
 func TestPlanTables(t *testing.T) {
 	ResetPlanCache()
-	p := PlanFor(10)
+	p, err := PlanFor(10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p.wide || p.Nv < 1 || p.BlockElems != 8*p.Nv {
 		t.Fatalf("plan: %+v", p)
 	}
@@ -228,20 +231,21 @@ func TestPlanTables(t *testing.T) {
 		t.Fatalf("BlockBytes = %d", p.BlockBytes)
 	}
 	// Cached instance is reused.
-	if PlanFor(10) != p {
-		t.Fatal("plan not cached")
+	if p2, err := PlanFor(10); err != nil || p2 != p {
+		t.Fatalf("plan not cached (err %v)", err)
 	}
 	// Wide plan has no tables.
-	pw := PlanFor(30)
+	pw, err := PlanFor(30)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !pw.wide || pw.gatherIdx != nil {
 		t.Fatalf("wide plan: %+v", pw)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("width > 32 must panic")
-		}
-	}()
-	PlanFor(33)
+	// A corrupt header width surfaces as an error, never a panic.
+	if _, err := PlanFor(33); err == nil {
+		t.Fatal("width > 32 must return ErrWidthRange")
+	}
 }
 
 func TestUnpackFibonacci(t *testing.T) {
@@ -477,12 +481,9 @@ func TestChooseNv512(t *testing.T) {
 			t.Fatalf("width %d: nv %d allows overflow", w, nv)
 		}
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("width > 32 must panic")
-		}
-	}()
-	PlanFor512(40)
+	if _, err := PlanFor512(40); err == nil {
+		t.Fatal("width > 32 must return ErrWidthRange")
+	}
 }
 
 func TestCompiledDecoderMatches(t *testing.T) {

@@ -24,11 +24,18 @@
 package pipeline
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"sync"
 
 	"etsqp/internal/simd"
 )
+
+// ErrWidthRange reports a packing width outside the plan table range
+// [0, 32]. Widths come from page headers, so an out-of-range value means
+// a corrupt page — callers surface the error instead of crashing.
+var ErrWidthRange = errors.New("pipeline: width out of range")
 
 // Relative instruction costs used by Proposition 1's n_v choice. The
 // ratios follow the paper's worked example (n_v = sqrt(32/10 * 11/2) ≈ 4
@@ -43,6 +50,10 @@ const (
 // MaxNarrowWidth is the widest field a 32-bit lane can unpack with a
 // single 4-byte gather (wider fields span 5 bytes and take the wide path).
 const MaxNarrowWidth = 25
+
+// MaxNv is the register-budget clamp of ChooseNv: hot loops size their
+// scratch vectors with it so block state lives on the stack.
+const MaxNv = 16
 
 // ChooseNv implements Proposition 1: the number of unpacked vectors that
 // minimizes the per-value decoding time
@@ -59,8 +70,8 @@ func ChooseNv(width, wPrime uint) int {
 	if ideal < 1 {
 		ideal = 1
 	}
-	if ideal > 16 {
-		ideal = 16 // n_v <= 16 on AVX2 machines (Section III-A)
+	if ideal > MaxNv {
+		ideal = MaxNv // n_v <= 16 on AVX2 machines (Section III-A)
 	}
 	// Overflow clamp: 8*n_v values of `width` bits each must sum below 2^32.
 	for ideal > 1 {
@@ -102,19 +113,22 @@ var (
 	planCache [33]*Plan
 )
 
-// PlanFor returns the cached plan for a packing width in [0, 32].
-func PlanFor(width uint) *Plan {
+// PlanFor returns the cached plan for a packing width in [0, 32], or
+// ErrWidthRange for wider (corrupt) widths.
+//
+//etsqp:coldpath
+func PlanFor(width uint) (*Plan, error) {
 	if width > 32 {
-		panic("pipeline: width out of range")
+		return nil, ErrWidthRange
 	}
 	planMu.Lock()
 	defer planMu.Unlock()
 	if p := planCache[width]; p != nil {
-		return p
+		return p, nil
 	}
 	p := buildPlan(width)
 	planCache[width] = p
-	return p
+	return p, nil
 }
 
 func buildPlan(width uint) *Plan {
@@ -152,6 +166,59 @@ func buildPlan(width uint) *Plan {
 		p.shift[j] = shift
 	}
 	return p
+}
+
+// Check verifies the internal consistency of a built plan: block geometry
+// is whole bytes, every gather index stays inside the byte window a block
+// can legally touch, shifts keep fields inside a 32-bit lane and the mask
+// matches the width. TestPlanTableInvariants runs it for every width the
+// constructor accepts (the generator-side half of the plantable analyzer).
+func (p *Plan) Check() error {
+	if p.Nv < 1 || p.Nv > MaxNv {
+		return fmt.Errorf("plan width %d: Nv %d outside [1, %d]", p.Width, p.Nv, MaxNv)
+	}
+	if p.BlockElems != 8*p.Nv {
+		return fmt.Errorf("plan width %d: BlockElems %d != 8*Nv", p.Width, p.BlockElems)
+	}
+	if p.BlockBytes*8 != p.BlockElems*int(p.Width) {
+		return fmt.Errorf("plan width %d: BlockBytes %d is not BlockElems*Width/8", p.Width, p.BlockBytes)
+	}
+	if p.Width == 0 || p.wide {
+		if p.gatherIdx != nil || p.shift != nil {
+			return fmt.Errorf("plan width %d: table built for degenerate/wide plan", p.Width)
+		}
+		return nil
+	}
+	if len(p.gatherIdx) != p.Nv || len(p.shift) != p.Nv {
+		return fmt.Errorf("plan width %d: %d gather / %d shift tables for Nv %d", p.Width, len(p.gatherIdx), len(p.shift), p.Nv)
+	}
+	if p.mask != simd.Broadcast32(1<<p.Width-1) {
+		return fmt.Errorf("plan width %d: bad field mask", p.Width)
+	}
+	// A narrow block's last field ends within BlockBytes, and each gather
+	// window extends at most 3 bytes past a field's first byte.
+	maxByte := p.BlockBytes + 2 // last field starts before BlockBytes-1, window spans +3
+	for j, idx := range p.gatherIdx {
+		if idx == nil {
+			return fmt.Errorf("plan width %d: nil gather table %d", p.Width, j)
+		}
+		for b, off := range idx {
+			if off < 0 || int(off) > maxByte {
+				return fmt.Errorf("plan width %d: gather[%d][%d] = %d outside window [0, %d]", p.Width, j, b, off, maxByte)
+			}
+		}
+		for l := 0; l < simd.Lanes32; l++ {
+			if s := p.shift[j][l]; s >= 32 {
+				return fmt.Errorf("plan width %d: shift[%d][%d] = %d leaves no field bits", p.Width, j, l, s)
+			}
+		}
+	}
+	for l := 0; l < simd.Lanes32; l++ {
+		if p.ramp[l] != uint32(l*p.Nv) {
+			return fmt.Errorf("plan width %d: ramp[%d] = %d, want %d", p.Width, l, p.ramp[l], l*p.Nv)
+		}
+	}
+	return nil
 }
 
 // ResetPlanCache clears all cached plans (test hook).

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"fmt"
 	"math"
 	"sync"
 
@@ -8,6 +9,10 @@ import (
 	"etsqp/internal/encoding/ts2diff"
 	"etsqp/internal/simd"
 )
+
+// MaxNv512 is ChooseNv512's register-budget clamp, used to size
+// stack-resident scratch vectors in the 512-bit hot loop.
+const MaxNv512 = 32
 
 // Plan512 is the AVX-512 instantiation of the unpacking plan: the same
 // layout, tables and partial-sum structure as Plan, at sixteen 32-bit
@@ -41,8 +46,8 @@ func ChooseNv512(width, wPrime uint) int {
 	if ideal < 1 {
 		ideal = 1
 	}
-	if ideal > 32 {
-		ideal = 32 // n_v <= 32 under AVX-512 (Section III-A)
+	if ideal > MaxNv512 {
+		ideal = MaxNv512 // n_v <= 32 under AVX-512 (Section III-A)
 	}
 	for ideal > 1 {
 		if width+uint(math.Ceil(math.Log2(float64(16*ideal)))) <= 32 {
@@ -53,19 +58,22 @@ func ChooseNv512(width, wPrime uint) int {
 	return ideal
 }
 
-// PlanFor512 returns the cached 512-bit plan for a width in [0, 32].
-func PlanFor512(width uint) *Plan512 {
+// PlanFor512 returns the cached 512-bit plan for a width in [0, 32], or
+// ErrWidthRange for wider (corrupt) widths.
+//
+//etsqp:coldpath
+func PlanFor512(width uint) (*Plan512, error) {
 	if width > 32 {
-		panic("pipeline: width out of range")
+		return nil, ErrWidthRange
 	}
 	plan512Mu.Lock()
 	defer plan512Mu.Unlock()
 	if p := plan512Cache[width]; p != nil {
-		return p
+		return p, nil
 	}
 	p := buildPlan512(width)
 	plan512Cache[width] = p
-	return p
+	return p, nil
 }
 
 func buildPlan512(width uint) *Plan512 {
@@ -98,7 +106,52 @@ func buildPlan512(width uint) *Plan512 {
 	return p
 }
 
+// Check verifies the 512-bit plan tables the same way (*Plan).Check does
+// at 256 bits; TestPlanTableInvariants runs it for every accepted width.
+func (p *Plan512) Check() error {
+	if p.Nv < 1 || p.Nv > MaxNv512 {
+		return fmt.Errorf("plan512 width %d: Nv %d outside [1, %d]", p.Width, p.Nv, MaxNv512)
+	}
+	if p.BlockElems != simd.Lanes32x16*p.Nv {
+		return fmt.Errorf("plan512 width %d: BlockElems %d != 16*Nv", p.Width, p.BlockElems)
+	}
+	if p.BlockBytes*8 != p.BlockElems*int(p.Width) {
+		return fmt.Errorf("plan512 width %d: BlockBytes %d is not BlockElems*Width/8", p.Width, p.BlockBytes)
+	}
+	if p.Width == 0 || p.wide {
+		if p.gatherIdx != nil || p.shift != nil {
+			return fmt.Errorf("plan512 width %d: table built for degenerate/wide plan", p.Width)
+		}
+		return nil
+	}
+	if len(p.gatherIdx) != p.Nv || len(p.shift) != p.Nv {
+		return fmt.Errorf("plan512 width %d: %d gather / %d shift tables for Nv %d", p.Width, len(p.gatherIdx), len(p.shift), p.Nv)
+	}
+	if p.mask != simd.Broadcast32x16(1<<p.Width-1) {
+		return fmt.Errorf("plan512 width %d: bad field mask", p.Width)
+	}
+	maxByte := p.BlockBytes + 2
+	for j, idx := range p.gatherIdx {
+		if idx == nil {
+			return fmt.Errorf("plan512 width %d: nil gather table %d", p.Width, j)
+		}
+		for b, off := range idx {
+			if off < 0 || int(off) > maxByte {
+				return fmt.Errorf("plan512 width %d: gather[%d][%d] = %d outside window [0, %d]", p.Width, j, b, off, maxByte)
+			}
+		}
+		for l := 0; l < simd.Lanes32x16; l++ {
+			if s := p.shift[j][l]; s >= 32 {
+				return fmt.Errorf("plan512 width %d: shift[%d][%d] = %d leaves no field bits", p.Width, j, l, s)
+			}
+		}
+	}
+	return nil
+}
+
 // UnpackVec512 runs the gather/shift/mask sequence at 512 bits.
+//
+//etsqp:hotpath
 func (p *Plan512) UnpackVec512(window []byte, j int) simd.U32x16 {
 	g := simd.GatherBytes64(window, p.gatherIdx[j])
 	return simd.And32x16(simd.Srlv32x16(simd.ToU32x16(g), p.shift[j]), p.mask)
@@ -123,13 +176,17 @@ func DecodeBlock512(b *ts2diff.Block) ([]int64, error) {
 		}
 		return out, nil
 	}
-	p := PlanFor512(width)
+	p, err := PlanFor512(width)
+	if err != nil {
+		return nil, err
+	}
 	minBase := b.MinBase
-	rampBase := make([]int64, simd.Lanes32x16)
+	var rampBase [simd.Lanes32x16]int64
 	for l := 0; l < simd.Lanes32x16; l++ {
 		rampBase[l] = minBase * int64(l*p.Nv)
 	}
-	vecs := make([]simd.U32x16, p.Nv)
+	var vecsArr [MaxNv512]simd.U32x16
+	vecs := vecsArr[:p.Nv]
 	v0 := b.First
 	e := 0
 	for ; e+p.BlockElems <= m; e += p.BlockElems {

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"etsqp/internal/bitio"
@@ -10,10 +11,17 @@ import (
 	"etsqp/internal/simd"
 )
 
+// errOutLen is a static error so hot-path length guards stay
+// allocation-free (hotpathalloc-enforced). The public entry points
+// report the offending lengths before the kernels run.
+var errOutLen = errors.New("pipeline: output length mismatch")
+
 // UnpackVec runs the Figure 3 sequence for unpacked vector j of a block:
 // gather (shuffle + Endian conversion), variable shift, mask.
 // UnpackVec is exported for the fusion package, which reuses the same
 // JIT tables to aggregate without materializing decoded values.
+//
+//etsqp:hotpath
 func (p *Plan) UnpackVec(window []byte, j int) simd.U32x8 {
 	g := simd.GatherBytes(window, p.gatherIdx[j])
 	return simd.And32(simd.Srlv32(g.ToU32(), p.shift[j]), p.mask)
@@ -78,12 +86,14 @@ func decodeBlockInto(out []int64, b *ts2diff.Block) error {
 // accumulateFrom fills out[1:] with first + prefix sums of the m packed
 // deltas: out[i] = first + i*minBase + sum(packed[0:i]). out[0] must
 // already hold first.
+//
+//etsqp:hotpath
 func accumulateFrom(out []int64, first int64, packed []byte, m int, width uint, minBase int64) error {
 	if m == 0 {
 		return nil
 	}
 	if len(out) != m+1 {
-		return fmt.Errorf("pipeline: out len %d, want %d", len(out), m+1)
+		return errOutLen
 	}
 	if width == 0 {
 		// Degenerate packing: every delta equals minBase (closed form).
@@ -98,17 +108,22 @@ func accumulateFrom(out []int64, first int64, packed []byte, m int, width uint, 
 		// Very wide deltas (rare in IoT data): plain bit-reader path.
 		return accumulateScalar(out, first, packed, m, width, minBase)
 	}
-	p := PlanFor(width)
+	p, err := PlanFor(width)
+	if err != nil {
+		return err
+	}
 	if p.wide {
 		return accumulateWide(out, first, packed, m, width, minBase)
 	}
 	// Per-lane base offsets: lane l of vector j decodes element l*Nv+j,
-	// whose value index is that plus one.
-	rampBase := make([]int64, simd.Lanes32)
+	// whose value index is that plus one. Fixed-size locals keep the
+	// whole block state on the stack (hotpathalloc-enforced).
+	var rampBase [simd.Lanes32]int64
 	for l := 0; l < simd.Lanes32; l++ {
 		rampBase[l] = minBase * int64(l*p.Nv)
 	}
-	vecs := make([]simd.U32x8, p.Nv)
+	var vecsArr [MaxNv]simd.U32x8
+	vecs := vecsArr[:p.Nv]
 	v0 := first
 	e := 0
 	for ; e+p.BlockElems <= m; e += p.BlockElems {
@@ -135,7 +150,7 @@ func accumulateFrom(out []int64, first int64, packed []byte, m int, width uint, 
 		total := int64(prefix[simd.Lanes32-1]) + int64(laneTot[simd.Lanes32-1])
 		v0 += minBase*int64(p.BlockElems) + total
 	}
-	if e > 0 {
+	if e > 0 && obs.Enabled() {
 		obs.PipelineVectorOps.Add(int64(e / p.BlockElems * p.Nv))
 	}
 	// Tail: fewer than BlockElems deltas remain; scalar path.
@@ -158,6 +173,8 @@ func accumulateFrom(out []int64, first int64, packed []byte, m int, width uint, 
 }
 
 // accumulateScalar is the bit-reader fallback for widths above 32 bits.
+//
+//etsqp:hotpath
 func accumulateScalar(out []int64, first int64, packed []byte, m int, width uint, minBase int64) error {
 	r := bitio.NewReader(packed)
 	cur := first
@@ -174,6 +191,8 @@ func accumulateScalar(out []int64, first int64, packed []byte, m int, width uint
 
 // accumulateWide handles widths above MaxNarrowWidth with 8-byte windows
 // and 64-bit accumulation (the two-round shuffle path of wide fields).
+//
+//etsqp:hotpath
 func accumulateWide(out []int64, first int64, packed []byte, m int, width uint, minBase int64) error {
 	mask := uint64(1)<<width - 1
 	cur := first
@@ -194,6 +213,8 @@ func accumulateWide(out []int64, first int64, packed []byte, m int, width uint, 
 
 // window64 loads 8 bytes big-endian starting at fb, zero-padding past the
 // end of the buffer but failing if the window starts beyond it.
+//
+//etsqp:hotpath
 func window64(buf []byte, fb int) (uint64, error) {
 	if fb >= len(buf) {
 		return 0, bitio.ErrShortBuffer
@@ -211,27 +232,44 @@ func window64(buf []byte, fb int) (uint64, error) {
 // and the order-2 pipeline consume.
 func DecodeDeltas(packed []byte, m int, width uint, minBase int64) ([]int64, error) {
 	out := make([]int64, m)
+	if err := DecodeDeltasInto(out, packed, m, width, minBase); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeDeltasInto is the allocation-free kernel behind DecodeDeltas:
+// out must have length m.
+//
+//etsqp:hotpath
+func DecodeDeltasInto(out []int64, packed []byte, m int, width uint, minBase int64) error {
+	if len(out) != m {
+		return bitio.ErrShortBuffer
+	}
 	if m == 0 {
-		return out, nil
+		return nil
 	}
 	if width == 0 {
 		for i := range out {
 			out[i] = minBase
 		}
-		return out, nil
+		return nil
 	}
 	if width > 32 {
 		r := bitio.NewReader(packed)
 		for e := 0; e < m; e++ {
 			v, err := r.ReadBits(width)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			out[e] = minBase + int64(v)
 		}
-		return out, nil
+		return nil
 	}
-	p := PlanFor(width)
+	p, err := PlanFor(width)
+	if err != nil {
+		return err
+	}
 	if p.wide {
 		mask := uint64(1)<<width - 1
 		for e := 0; e < m; e++ {
@@ -240,11 +278,11 @@ func DecodeDeltas(packed []byte, m int, width uint, minBase int64) ([]int64, err
 			o := uint(startBit - fb*8)
 			w, err := window64(packed, fb)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			out[e] = minBase + int64((w>>(64-o-width))&mask)
 		}
-		return out, nil
+		return nil
 	}
 	e := 0
 	for ; e+p.BlockElems <= m; e += p.BlockElems {
@@ -256,28 +294,30 @@ func DecodeDeltas(packed []byte, m int, width uint, minBase int64) ([]int64, err
 			}
 		}
 	}
-	if e > 0 {
+	if e > 0 && obs.Enabled() {
 		obs.PipelineVectorOps.Add(int64(e / p.BlockElems * p.Nv))
 	}
 	if e < m {
 		r := bitio.NewReader(packed)
 		if err := r.Seek(e * int(width)); err != nil {
-			return nil, err
+			return err
 		}
 		for ; e < m; e++ {
 			v, err := r.ReadBits(width)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			out[e] = minBase + int64(v)
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // SumPacked returns the sum of the first m packed fields (without
 // minBase), using lane-parallel accumulation. Slices use it to resolve
 // their prefix dependency and fusion uses it for SUM without decoding.
+//
+//etsqp:hotpath
 func SumPacked(packed []byte, m int, width uint) (uint64, error) {
 	if m == 0 || width == 0 {
 		return 0, nil
@@ -294,7 +334,10 @@ func SumPacked(packed []byte, m int, width uint) (uint64, error) {
 		}
 		return total, nil
 	}
-	p := PlanFor(width)
+	p, err := PlanFor(width)
+	if err != nil {
+		return 0, err
+	}
 	var total uint64
 	e := 0
 	if !p.wide {
@@ -306,7 +349,7 @@ func SumPacked(packed []byte, m int, width uint) (uint64, error) {
 			}
 			total += simd.HSum32(acc)
 		}
-		if e > 0 {
+		if e > 0 && obs.Enabled() {
 			obs.PipelineVectorOps.Add(int64(e / p.BlockElems * p.Nv))
 		}
 	}

@@ -58,7 +58,31 @@ func run(root string) error {
 	if err := gorillaCorpus(root, series); err != nil {
 		return err
 	}
+	if err := flattenCorpus(root); err != nil {
+		return err
+	}
 	return rlbeCorpus(root, series, runs)
+}
+
+// flattenCorpus seeds FuzzFlatten's 4-byte-first + 3-byte-runs input
+// shape (see internal/pipeline/fuzz_test.go) with pages that reach each
+// flatten branch: pure repeats, ramps, alternating signs, and the
+// truncation cap.
+func flattenCorpus(root string) error {
+	ramp := []byte{0x2A, 0, 0, 0} // first = 42
+	for i := 0; i < 12; i++ {
+		ramp = append(ramp, byte(i-6), byte(i%3), byte(i*20))
+	}
+	repeats := []byte{0xFF, 0xFF, 0xFF, 0xFF} // first = -1
+	for i := 0; i < 8; i++ {
+		repeats = append(repeats, 0, 0, 0xFF) // delta 0, count 256
+	}
+	huge := []byte{1, 0, 0, 0}
+	for i := 0; i < 300; i++ { // overruns both the pair and total caps
+		huge = append(huge, 0x7F, 7, 0xFF)
+	}
+	dir := filepath.Join(root, "internal/pipeline/testdata/fuzz/FuzzFlatten")
+	return writeByteEntries(dir, nil, ramp, repeats, huge, truncated(ramp), flipped(ramp, 5))
 }
 
 func sqlCorpus(root string) error {

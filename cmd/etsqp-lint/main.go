@@ -11,9 +11,11 @@
 //
 //	go run ./cmd/etsqp-lint ./...
 //	go run ./cmd/etsqp-lint -run nopanic,plantable ./...
+//	go run ./cmd/etsqp-lint -json ./...
 //
-// Diagnostics print as file:line:col: analyzer: message, and the exit
-// status is non-zero when any finding is reported. The annotations and
+// Diagnostics print as file:line:col: analyzer: message (or as a JSON
+// array with -json) in a deterministic order, and the exit status is
+// non-zero when any finding is reported. The annotations and
 // suppression story are documented in docs/STATIC_ANALYSIS.md.
 package main
 
@@ -31,6 +33,7 @@ func main() {
 	dir := flag.String("C", ".", "module root to analyze (directory containing go.mod)")
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Parse()
 
 	if *list {
@@ -71,8 +74,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "etsqp-lint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "etsqp-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "etsqp-lint: %d finding(s)\n", len(diags))

@@ -1,0 +1,93 @@
+// Command etsqp-vet verifies compiler-level contracts that the AST
+// analyzers in cmd/etsqp-lint cannot see. It rebuilds the module with
+//
+//	-gcflags='-m=2 -d=ssa/check_bce/debug=1'
+//
+// parses the escape-analysis, inlining and bounds-check diagnostics into
+// per-function facts, and enforces three doc-comment contracts on the
+// annotated kernels:
+//
+//	nobce     //etsqp:nobce     zero retained bounds checks in the body
+//	noescape  //etsqp:noescape  no parameter/local escapes to the heap
+//	inline    //etsqp:inline    the function must be inlinable
+//
+// Usage:
+//
+//	go run ./cmd/etsqp-vet ./...
+//	go run ./cmd/etsqp-vet -run nobce,inline ./...
+//	go run ./cmd/etsqp-vet -json ./...
+//
+// Diagnostics print as file:line:col: contract: message (or as a JSON
+// array with -json), and the exit status is non-zero when any finding is
+// reported. The contracts and the escape/BCE budget they enforce are
+// documented in docs/STATIC_ANALYSIS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"etsqp/internal/lint"
+	"etsqp/internal/lint/vet"
+)
+
+var contractDocs = map[string]string{
+	vet.ContractNoBCE:    "annotated functions compile with zero retained bounds checks",
+	vet.ContractNoEscape: "no parameter or local in annotated functions escapes to the heap",
+	vet.ContractInline:   "annotated functions are within the compiler's inlining budget",
+}
+
+func main() {
+	dir := flag.String("C", ".", "module root to vet (directory containing go.mod)")
+	run := flag.String("run", "", "comma-separated contract names to check (default: all)")
+	list := flag.Bool("list", false, "list available contracts and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	flag.Parse()
+
+	if *list {
+		for _, c := range vet.AllContracts {
+			fmt.Printf("%-14s %s\n", c, contractDocs[c])
+		}
+		return
+	}
+
+	var contracts []string
+	if *run != "" {
+		known := map[string]bool{}
+		for _, c := range vet.AllContracts {
+			known[c] = true
+		}
+		for _, name := range strings.Split(*run, ",") {
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "etsqp-vet: unknown contract %q\n", name)
+				os.Exit(2)
+			}
+			contracts = append(contracts, name)
+		}
+	}
+
+	// Package patterns (./...) are accepted for familiarity; the pass
+	// always rebuilds and vets the whole module.
+	diags, err := vet.Check(*dir, contracts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etsqp-vet: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "etsqp-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "etsqp-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

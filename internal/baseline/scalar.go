@@ -1,0 +1,37 @@
+package baseline
+
+import "etsqp/internal/encoding"
+
+// ScalarAggregates holds the decode-then-aggregate results for one
+// Delta-Repeat page: the integer sums, and the float aggregates computed
+// with exactly the operation order fusion's algebraic forms use, so the
+// two routes must agree bit-for-bit.
+type ScalarAggregates struct {
+	Sum        int64
+	SumSquares int64
+	Count      int
+	Avg        float64
+	Variance   float64
+}
+
+// ScalarAggregateDeltaRuns is the differential oracle for the
+// Proposition 3 closed forms in internal/fusion: it flattens the page
+// naively (one value at a time, the unvectorized IoTDB route) and folds
+// SUM, Σv², AVG and population variance value by value.
+func ScalarAggregateDeltaRuns(first int64, pairs []encoding.DeltaRun) ScalarAggregates {
+	agg := ScalarAggregates{Sum: first, SumSquares: first * first, Count: 1}
+	cur := first
+	for _, p := range pairs {
+		for k := 0; k < p.Count; k++ {
+			cur += p.Delta
+			agg.Sum += cur
+			agg.SumSquares += cur * cur
+			agg.Count++
+		}
+	}
+	n := float64(agg.Count)
+	mean := float64(agg.Sum) / n
+	agg.Avg = mean
+	agg.Variance = float64(agg.SumSquares)/n - mean*mean
+	return agg
+}

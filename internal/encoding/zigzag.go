@@ -6,6 +6,9 @@ package encoding
 // full-width codes.
 //
 //etsqp:hotpath
+//etsqp:nobce
+//etsqp:noescape
+//etsqp:inline
 func ZigZag(v int64) uint64 {
 	return uint64(v<<1) ^ uint64(v>>63)
 }
@@ -13,6 +16,9 @@ func ZigZag(v int64) uint64 {
 // UnZigZag inverts ZigZag.
 //
 //etsqp:hotpath
+//etsqp:nobce
+//etsqp:noescape
+//etsqp:inline
 func UnZigZag(u uint64) int64 {
 	return int64(u>>1) ^ -int64(u&1)
 }

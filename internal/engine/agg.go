@@ -52,6 +52,8 @@ func (p *partialAgg) addBoundary(firstT, firstV, lastT, lastV int64) {
 // the per-row accumulator of every non-fused scan.
 //
 //etsqp:hotpath
+//etsqp:nobce
+//etsqp:noescape
 func (p *partialAgg) addValue(v int64) {
 	s := p.sum + v
 	if (p.sum > 0 && v > 0 && s < 0) || (p.sum < 0 && v < 0 && s >= 0) {
@@ -72,6 +74,8 @@ func (p *partialAgg) addValue(v int64) {
 // addSum folds a fused per-block (sum, count) pair.
 //
 //etsqp:hotpath
+//etsqp:nobce
+//etsqp:noescape
 func (p *partialAgg) addSum(sum int64, count int64) {
 	s := p.sum + sum
 	if (p.sum > 0 && sum > 0 && s < 0) || (p.sum < 0 && sum < 0 && s >= 0) {
@@ -85,6 +89,7 @@ func (p *partialAgg) addSum(sum int64, count int64) {
 // merge combines a worker's partial into the receiver.
 //
 //etsqp:hotpath
+//etsqp:nobce
 func (p *partialAgg) merge(o *partialAgg) {
 	p.overflow = p.overflow || o.overflow
 	s := p.sum + o.sum

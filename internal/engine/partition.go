@@ -1,6 +1,10 @@
 package engine
 
-import "etsqp/internal/storage"
+import (
+	"sync"
+
+	"etsqp/internal/storage"
+)
 
 // timeCuts splits [t1, t2] into up to n disjoint contiguous ranges cut
 // at page boundaries of the series, so each range can be joined/merged
@@ -45,18 +49,18 @@ func (e *Engine) runRanged(ranges [][2]int64, fn func(t1, t2 int64) ([]Row, erro
 	}
 	results := make([]out, len(ranges))
 	sem := make(chan struct{}, e.workers())
-	done := make(chan int, len(ranges))
+	var wg sync.WaitGroup
 	for i, rg := range ranges {
+		wg.Add(1)
 		go func(i int, rg [2]int64) {
+			defer wg.Done()
 			sem <- struct{}{}
-			defer func() { <-sem; done <- i }()
+			defer func() { <-sem }()
 			rows, err := fn(rg[0], rg[1])
 			results[i] = out{rows, err}
 		}(i, rg)
 	}
-	for range ranges {
-		<-done
-	}
+	wg.Wait()
 	var all []Row
 	for _, r := range results {
 		if r.err != nil {

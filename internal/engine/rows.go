@@ -11,6 +11,14 @@ import (
 	"etsqp/internal/storage"
 )
 
+// sliceJob pairs a pipeline slice with the pre-carved destination
+// windows of the shared output columns, so each worker goroutine owns
+// exactly the rows it decodes.
+type sliceJob struct {
+	sl         pipeline.Slice
+	tdst, vdst []int64
+}
+
 // readSeriesColumns decodes the [t1, t2] portion of a series into flat
 // columns, running one pipeline per worker over pages/slices and writing
 // each slice's rows into its disjoint output range (no merge copying).
@@ -37,28 +45,40 @@ func (e *Engine) readSeriesColumns(name string, t1, t2 int64, col *statsCollecto
 		if len(slices) == 0 {
 			continue
 		}
+		// Carve each slice's disjoint output window here, before the
+		// worker starts: the goroutine then writes only through its own
+		// sliceJob destinations, never through the shared columns
+		// (sharedwrite-enforced).
+		sjobs := make([]sliceJob, len(slices))
+		for k, sl := range slices {
+			base := offsets[sl.Pair.Time]
+			sjobs[k] = sliceJob{
+				sl:   sl,
+				tdst: ts[base+sl.StartRow : base+sl.EndRow],
+				vdst: vals[base+sl.StartRow : base+sl.EndRow],
+			}
+		}
 		wg.Add(1)
-		go func(slices []pipeline.Slice) {
+		go func(sjobs []sliceJob) {
 			defer wg.Done()
-			for _, sl := range slices {
+			for _, j := range sjobs {
 				col.slicesRun.Add(1)
-				col.tuplesLoaded.Add(int64(sl.Rows()))
-				base := offsets[sl.Pair.Time]
-				tcol, err := e.decodeColumnRange(sl.Pair.Time, sl.StartRow, sl.EndRow, col)
+				col.tuplesLoaded.Add(int64(j.sl.Rows()))
+				tcol, err := e.decodeColumnRange(j.sl.Pair.Time, j.sl.StartRow, j.sl.EndRow, col)
 				if err != nil {
 					errCh <- err
 					return
 				}
-				vcol, err := e.decodeColumnRange(sl.Pair.Value, sl.StartRow, sl.EndRow, col)
+				vcol, err := e.decodeColumnRange(j.sl.Pair.Value, j.sl.StartRow, j.sl.EndRow, col)
 				if err != nil {
 					errCh <- err
 					return
 				}
 				col.valuesDecoded.Add(int64(len(vcol)))
-				copy(ts[base+sl.StartRow:], tcol)
-				copy(vals[base+sl.StartRow:], vcol)
+				copy(j.tdst, tcol)
+				copy(j.vdst, vcol)
 			}
-		}(slices)
+		}(sjobs)
 	}
 	wg.Wait()
 	select {

@@ -27,6 +27,9 @@ var ErrOverflow = errors.New("fusion: aggregate overflow")
 // addChecked adds two int64 detecting overflow.
 //
 //etsqp:hotpath
+//etsqp:nobce
+//etsqp:noescape
+//etsqp:inline
 func addChecked(a, b int64) (int64, bool) {
 	s := a + b
 	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
@@ -38,6 +41,9 @@ func addChecked(a, b int64) (int64, bool) {
 // mulChecked multiplies two int64 detecting overflow.
 //
 //etsqp:hotpath
+//etsqp:nobce
+//etsqp:noescape
+//etsqp:inline
 func mulChecked(a, b int64) (int64, bool) {
 	if a == 0 || b == 0 {
 		return 0, true
@@ -52,17 +58,25 @@ func mulChecked(a, b int64) (int64, bool) {
 // sumArith is Σ_{i=1..n} i = n(n+1)/2.
 //
 //etsqp:hotpath
+//etsqp:nobce
+//etsqp:noescape
+//etsqp:inline
 func sumArith(n int64) int64 { return n * (n + 1) / 2 }
 
 // sumSquaresArith is Σ_{i=1..n} i² = n(n+1)(2n+1)/6.
 //
 //etsqp:hotpath
+//etsqp:nobce
+//etsqp:noescape
+//etsqp:inline
 func sumSquaresArith(n int64) int64 { return n * (n + 1) * (2*n + 1) / 6 }
 
 // Sum aggregates Σ values over a Delta-Repeat series (first value plus
 // pairs) without flattening. Cost: O(#pairs).
 //
 //etsqp:hotpath
+//etsqp:nobce
+//etsqp:noescape
 func Sum(first int64, pairs []encoding.DeltaRun) (int64, error) {
 	total := first
 	cur := first

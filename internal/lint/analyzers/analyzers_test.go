@@ -22,3 +22,7 @@ func TestObsGuard(t *testing.T) {
 func TestPlanTable(t *testing.T) {
 	linttest.Run(t, "testdata/plantable", analyzers.PlanTable)
 }
+
+func TestSharedWrite(t *testing.T) {
+	linttest.Run(t, "testdata/sharedwrite", analyzers.SharedWrite)
+}

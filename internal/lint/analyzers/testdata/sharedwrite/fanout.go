@@ -1,0 +1,156 @@
+// Package fanout exercises sharedwrite: goroutines spawned in loops must
+// write only disjoint per-worker slots, and slot-written results must be
+// read after wg.Wait().
+package fanout
+
+import "sync"
+
+func work(i int) int { return i * i }
+
+// GoodSlots is the blessed fan-out: slot indexed by the loop variable via
+// a parameter, results read only after Wait.
+func GoodSlots(n int) []int {
+	res := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res[i] = work(i)
+		}(i)
+	}
+	wg.Wait()
+	return res
+}
+
+// GoodLoopVarCapture indexes by the captured loop variable directly —
+// disjoint since go 1.22 gives each iteration its own variable.
+func GoodLoopVarCapture(n int) []int {
+	res := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res[i] = work(i)
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+// GoodChannel communicates over a channel instead of shared memory.
+func GoodChannel(n int) int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) { ch <- work(i) }(i)
+	}
+	total := 0
+	for j := 0; j < n; j++ {
+		total += <-ch
+	}
+	return total
+}
+
+// BadCounter increments a plain shared variable from every worker.
+func BadCounter(n int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			total += work(i) // want `goroutine in BadCounter writes shared variable total`
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+// BadFixedSlot parameterizes the slot but feeds it a constant, so every
+// worker writes slot zero.
+func BadFixedSlot(n int) []int {
+	res := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			res[slot] = work(slot) // want `goroutine in BadFixedSlot writes res through an index that is not the spawn loop variable`
+		}(0)
+	}
+	wg.Wait()
+	return res
+}
+
+// BadFreeIndex indexes by a variable captured from outside the loop,
+// which all workers share.
+func BadFreeIndex(n int) []int {
+	res := make([]int, n)
+	k := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res[k] = work(k) // want `goroutine in BadFreeIndex writes res through an index that is not the spawn loop variable`
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+// BadCopy bulk-copies into a shared slice with no per-worker slot.
+func BadCopy(n int, dst, src []int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			copy(dst, src) // want `goroutine in BadCopy copies into shared variable dst`
+		}(i)
+	}
+	wg.Wait()
+}
+
+// BadSliceWindow copies into a window of the shared slice whose bound is
+// computed, not the loop variable itself.
+func BadSliceWindow(n int, dst, src []int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			copy(dst[i*2:], src) // want `goroutine in BadSliceWindow copies into dst through an index that is not the spawn loop variable`
+		}(i)
+	}
+	wg.Wait()
+}
+
+// BadEarlyRead reads the slot-written results before Wait.
+func BadEarlyRead(n int) []int {
+	res := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res[i] = work(i)
+		}(i)
+	}
+	first := res[0] // want `res in BadEarlyRead is read before wg.Wait\(\)`
+	wg.Wait()
+	res[0] = first
+	return res
+}
+
+// BadNoWait merges slot results with no WaitGroup at all.
+func BadNoWait(n int) []int {
+	res := make([]int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			res[i] = work(i)
+		}(i)
+	}
+	return res // want `per-worker slots of res in BadNoWait are read without a wg.Wait\(\)`
+}

@@ -1,0 +1,3 @@
+module fixture.test/sharedwrite
+
+go 1.22

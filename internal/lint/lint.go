@@ -20,9 +20,11 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
+	"io"
 	"sort"
 	"strings"
 )
@@ -72,8 +74,16 @@ func Run(m *Module, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		out = append(out, pass.diags...)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	Sort(out)
+	return out, nil
+}
+
+// Sort orders diagnostics deterministically: by file, line, column,
+// analyzer, then message. Both etsqp-lint and etsqp-vet emit in this
+// order so repeated runs (and CI annotation diffs) are stable.
+func Sort(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -83,9 +93,39 @@ func Run(m *Module, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return out, nil
+}
+
+// jsonDiagnostic is the stable machine-readable finding shape shared by
+// the -json modes of cmd/etsqp-lint and cmd/etsqp-vet.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON writes diagnostics as an indented JSON array (never null:
+// zero findings encode as []), in the order given.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // WalkStack walks the AST rooted at n, calling fn with each node and the

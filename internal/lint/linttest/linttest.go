@@ -42,6 +42,13 @@ func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
 	if err != nil {
 		t.Fatalf("running analyzers on %s: %v", dir, err)
 	}
+	CheckExpectations(t, m, diags)
+}
+
+// CheckExpectations compares diagnostics (however produced — analyzers
+// here, compiler facts in vettest) against the module's want comments.
+func CheckExpectations(t *testing.T, m *lint.Module, diags []lint.Diagnostic) {
+	t.Helper()
 	wants := collectWants(t, m)
 	for _, d := range diags {
 		key := posKey{d.Pos.Filename, d.Pos.Line}

@@ -1,0 +1,3 @@
+module fixture.test/contracts
+
+go 1.22

@@ -1,0 +1,258 @@
+// Package vet is the compiler-diagnostics half of the ETSQP static
+// verification story. internal/lint's analyzers enforce invariants
+// visible in the AST and type graph; this package enforces contracts
+// only the Go compiler itself can certify: that a kernel compiles with
+// zero retained bounds checks, that nothing in it escapes to the heap,
+// and that a helper stays under the inlining budget.
+//
+// It runs
+//
+//	go build -gcflags=-m=2 -d=ssa/check_bce/debug=1 ./...
+//
+// over the module, parses the escape/inline/BCE diagnostics into
+// per-function facts (the go command replays cached compiler output, so
+// warm runs are cheap), and checks three doc-comment contracts:
+//
+//	//etsqp:nobce     zero retained bounds checks in the function body
+//	//etsqp:noescape  no parameter or local escapes to the heap
+//	//etsqp:inline    the function must be inlinable
+//
+// The contracts and the escape/BCE budget they enforce are documented in
+// docs/STATIC_ANALYSIS.md.
+package vet
+
+import (
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"etsqp/internal/lint"
+)
+
+// Contract names, in the order Checks runs them.
+const (
+	ContractNoBCE    = "nobce"
+	ContractNoEscape = "noescape"
+	ContractInline   = "inline"
+)
+
+// AllContracts lists the directive names this pass understands.
+var AllContracts = []string{ContractNoBCE, ContractNoEscape, ContractInline}
+
+// A fact is one attributed compiler diagnostic.
+type fact struct {
+	pos token.Position
+	msg string
+}
+
+// facts holds the parsed compiler diagnostics for one module build.
+type facts struct {
+	bounds  []fact          // "Found IsInBounds" / "Found IsSliceInBounds"
+	escapes []fact          // "... escapes to heap", "moved to heap: x", leaking params
+	inline  map[string]fact // file:line:col of func name -> can/cannot inline
+}
+
+// Check loads the module at dir, collects compiler facts and verifies
+// every annotated contract, returning diagnostics in deterministic order.
+// contracts selects a subset of AllContracts (nil means all).
+func Check(dir string, contracts []string) ([]lint.Diagnostic, error) {
+	m, err := lint.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	f, err := collectFacts(m.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(contracts) == 0 {
+		contracts = AllContracts
+	}
+	var diags []lint.Diagnostic
+	for _, c := range contracts {
+		switch c {
+		case ContractNoBCE:
+			diags = append(diags, checkNoBCE(m, f)...)
+		case ContractNoEscape:
+			diags = append(diags, checkNoEscape(m, f)...)
+		case ContractInline:
+			diags = append(diags, checkInline(m, f)...)
+		default:
+			return nil, fmt.Errorf("vet: unknown contract %q", c)
+		}
+	}
+	lint.Sort(diags)
+	return diags, nil
+}
+
+// buildGcflags are the compiler flags whose diagnostics the pass parses:
+// -m=2 for escape analysis and inlining decisions, check_bce for the
+// bounds checks the SSA prove pass could not eliminate.
+const buildGcflags = "-gcflags=-m=2 -d=ssa/check_bce/debug=1"
+
+// collectFacts compiles the module with diagnostic flags and parses the
+// output. The gcflags apply to the packages named by ./... (the module's
+// own), so the standard library builds quietly.
+func collectFacts(root string) (*facts, error) {
+	cmd := exec.Command("go", "build", buildGcflags, "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("vet: go build failed: %v\n%s", err, out)
+	}
+	f := &facts{inline: map[string]fact{}}
+	// -m=2 prints some escape facts twice (once bare, once with a trailing
+	// colon introducing the flow explanation); dedupe on normalized
+	// position+message so each fact is recorded once.
+	seen := map[string]bool{}
+	for _, line := range strings.Split(string(out), "\n") {
+		pos, msg, ok := splitDiag(line, root)
+		if !ok {
+			continue
+		}
+		key := posKey(pos) + "|" + msg
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		switch {
+		case msg == "Found IsInBounds" || msg == "Found IsSliceInBounds":
+			f.bounds = append(f.bounds, fact{pos, msg})
+		case strings.HasPrefix(msg, "moved to heap: "),
+			strings.HasSuffix(msg, " escapes to heap"),
+			strings.HasPrefix(msg, "leaking param") && !strings.Contains(msg, "to result"):
+			f.escapes = append(f.escapes, fact{pos, msg})
+		case strings.HasPrefix(msg, "can inline "), strings.HasPrefix(msg, "cannot inline "):
+			f.inline[posKey(pos)] = fact{pos, msg}
+		}
+	}
+	return f, nil
+}
+
+// splitDiag parses one `path:line:col: message` compiler line. Package
+// headers (`# etsqp/...`), blank lines and the indented flow-explanation
+// continuations of -m=2 are rejected. Paths are printed relative to the
+// module root; they come back absolute so positions match the loader's.
+func splitDiag(line, root string) (token.Position, string, bool) {
+	var pos token.Position
+	if line == "" || strings.HasPrefix(line, "#") {
+		return pos, "", false
+	}
+	rest := line
+	var parts [3]string
+	for i := 0; i < 3; i++ {
+		j := strings.Index(rest, ":")
+		if j < 0 {
+			return pos, "", false
+		}
+		parts[i] = rest[:j]
+		rest = rest[j+1:]
+	}
+	msg, ok := strings.CutPrefix(rest, " ")
+	if !ok || msg == "" || msg[0] == ' ' { // continuation detail line
+		return pos, "", false
+	}
+	lineNo, err1 := strconv.Atoi(parts[1])
+	colNo, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || !strings.HasSuffix(parts[0], ".go") {
+		return pos, "", false
+	}
+	file := parts[0]
+	if !filepath.IsAbs(file) {
+		file = filepath.Join(root, file)
+	}
+	pos = token.Position{Filename: file, Line: lineNo, Column: colNo}
+	return pos, strings.TrimSuffix(msg, ":"), true
+}
+
+func posKey(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}
+
+// annotated returns the indexed functions carrying //etsqp:<name>, with
+// bodies, skipping test files (go build does not compile _test.go, so no
+// facts exist for them).
+func annotated(m *lint.Module, name string) []*lint.FuncInfo {
+	var out []*lint.FuncInfo
+	for _, fi := range m.Funcs {
+		if !fi.Annotated(name) || fi.Decl.Body == nil {
+			continue
+		}
+		if strings.HasSuffix(m.Fset.Position(fi.Decl.Pos()).Filename, "_test.go") {
+			continue
+		}
+		out = append(out, fi)
+	}
+	return out
+}
+
+// inRange reports whether pos falls inside the function declaration.
+func inRange(m *lint.Module, fi *lint.FuncInfo, pos token.Position) bool {
+	start := m.Fset.Position(fi.Decl.Pos())
+	end := m.Fset.Position(fi.Decl.End())
+	if pos.Filename != start.Filename {
+		return false
+	}
+	afterStart := pos.Line > start.Line || (pos.Line == start.Line && pos.Column >= start.Column)
+	beforeEnd := pos.Line < end.Line || (pos.Line == end.Line && pos.Column <= end.Column)
+	return afterStart && beforeEnd
+}
+
+func report(diags []lint.Diagnostic, contract string, pos token.Position, format string, args ...any) []lint.Diagnostic {
+	return append(diags, lint.Diagnostic{
+		Pos:      pos,
+		Analyzer: contract,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// checkNoBCE flags every bounds check the compiler retained inside an
+// //etsqp:nobce function.
+func checkNoBCE(m *lint.Module, f *facts) []lint.Diagnostic {
+	var diags []lint.Diagnostic
+	for _, fi := range annotated(m, ContractNoBCE) {
+		for _, b := range f.bounds {
+			if inRange(m, fi, b.pos) {
+				diags = report(diags, ContractNoBCE, b.pos,
+					"nobce function %s retains a bounds check (%s); hoist a re-slice or add a length guard",
+					fi.Obj.Name(), b.msg)
+			}
+		}
+	}
+	return diags
+}
+
+// checkNoEscape flags heap escapes inside //etsqp:noescape functions.
+func checkNoEscape(m *lint.Module, f *facts) []lint.Diagnostic {
+	var diags []lint.Diagnostic
+	for _, fi := range annotated(m, ContractNoEscape) {
+		for _, e := range f.escapes {
+			if inRange(m, fi, e.pos) {
+				diags = report(diags, ContractNoEscape, e.pos,
+					"noescape function %s: %s", fi.Obj.Name(), e.msg)
+			}
+		}
+	}
+	return diags
+}
+
+// checkInline requires a "can inline" fact at every //etsqp:inline
+// function's declaration.
+func checkInline(m *lint.Module, f *facts) []lint.Diagnostic {
+	var diags []lint.Diagnostic
+	for _, fi := range annotated(m, ContractInline) {
+		namePos := m.Fset.Position(fi.Decl.Name.Pos())
+		fc, ok := f.inline[posKey(namePos)]
+		switch {
+		case !ok:
+			diags = report(diags, ContractInline, namePos,
+				"inline function %s: compiler recorded no inlining fact", fi.Obj.Name())
+		case strings.HasPrefix(fc.msg, "cannot inline "):
+			diags = report(diags, ContractInline, namePos,
+				"inline function %s: %s", fi.Obj.Name(), fc.msg)
+		}
+	}
+	return diags
+}

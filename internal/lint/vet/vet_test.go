@@ -1,0 +1,19 @@
+package vet_test
+
+import (
+	"testing"
+
+	"etsqp/internal/lint/vet"
+	"etsqp/internal/lint/vet/vettest"
+)
+
+func TestContracts(t *testing.T) {
+	vettest.Run(t, "testdata/contracts")
+}
+
+func TestUnknownContract(t *testing.T) {
+	_, err := vet.Check("testdata/contracts", []string{"nosuch"})
+	if err == nil {
+		t.Fatal("Check with unknown contract: want error, got nil")
+	}
+}

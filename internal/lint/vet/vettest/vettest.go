@@ -1,0 +1,32 @@
+// Package vettest runs the compiler-contract pass over fixture modules
+// and checks its diagnostics against `// want` expectations in the
+// fixture source, exactly like linttest does for the AST analyzers.
+// Because vet shells out to go build, fixtures must be complete modules
+// that compile on their own.
+package vettest
+
+import (
+	"testing"
+
+	"etsqp/internal/lint"
+	"etsqp/internal/lint/linttest"
+	"etsqp/internal/lint/vet"
+)
+
+// Run checks the given contracts (all of them when none are named) on the
+// fixture module rooted at dir.
+func Run(t *testing.T, dir string, contracts ...string) {
+	t.Helper()
+	if len(contracts) == 0 {
+		contracts = vet.AllContracts
+	}
+	diags, err := vet.Check(dir, contracts)
+	if err != nil {
+		t.Fatalf("vetting fixture %s: %v", dir, err)
+	}
+	m, err := lint.Load(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	linttest.CheckExpectations(t, m, diags)
+}

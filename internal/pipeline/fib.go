@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"encoding/binary"
 	"errors"
 
 	"etsqp/internal/bitio"
@@ -25,6 +26,10 @@ var fibNumbers = func() []uint64 {
 // unpack of Section III-A.2).
 func UnpackFibonacci(buf []byte, n int) ([]uint64, error) {
 	out := make([]uint64, 0, n)
+	// Local copy: prove cannot carry len() facts across loads of a
+	// package-level slice, so indexing fibNumbers directly keeps a bounds
+	// check per digit.
+	fibs := fibNumbers
 	var (
 		cur     uint64 // value being accumulated
 		digit   int    // next Zeckendorf digit index
@@ -44,10 +49,10 @@ func UnpackFibonacci(buf []byte, n int) ([]uint64, error) {
 				continue
 			}
 			if bit == 1 {
-				if digit >= len(fibNumbers) {
+				if digit >= len(fibs) {
 					return nil, ErrBadFibStream
 				}
-				cur += fibNumbers[digit]
+				cur += fibs[digit]
 			}
 			digit++
 			prevBit = bit
@@ -62,13 +67,20 @@ func UnpackFibonacci(buf []byte, n int) ([]uint64, error) {
 
 // loadWordMSB loads up to 64 bits starting at absolute bit position pos,
 // left-aligned (first bit in the MSB). It returns the word and how many
-// valid bits it holds.
+// valid bits it holds; a position outside the buffer yields (0, 0). The
+// byteOff guard plus constant windows into the fixed staging array keep
+// the load bounds-check-free.
+//
+//etsqp:nobce
 func loadWordMSB(buf []byte, pos int) (uint64, int) {
 	byteOff := pos / 8
 	bitOff := uint(pos % 8)
+	if byteOff < 0 || byteOff >= len(buf) {
+		return 0, 0
+	}
 	var tmp [9]byte
 	copy(tmp[:], buf[byteOff:])
-	w := binaryBE64(tmp[:8])
+	w := binary.BigEndian.Uint64(tmp[0:8])
 	if bitOff > 0 {
 		w = w<<bitOff | uint64(tmp[8])>>(8-bitOff)
 	}
@@ -77,11 +89,6 @@ func loadWordMSB(buf []byte, pos int) (uint64, int) {
 		valid = 64
 	}
 	return w, valid
-}
-
-func binaryBE64(b []byte) uint64 {
-	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
-		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
 }
 
 // fibDict is the per-byte terminator dictionary of Figure 7: indexed by
@@ -112,12 +119,17 @@ var fibDict = func() (d [2][256]struct{ count, carry uint8 }) {
 // the separator count the core-level splitter uses to find codeword
 // boundaries in a page slice without decoding values (Section III-C).
 // It consumes one dictionary lookup per byte, the vectorizable analogue
-// of the shuffle-index dictionary in Figure 7.
+// of the shuffle-index dictionary in Figure 7. Masking the carry to one
+// bit proves both dictionary indexes in range, so the loop is a pure
+// load/add chain.
+//
+//etsqp:hotpath
+//etsqp:nobce
 func CountFibTerminators(buf []byte) int {
 	count := 0
 	carry := uint8(0)
 	for _, b := range buf {
-		e := fibDict[carry][b]
+		e := fibDict[carry&1][b]
 		count += int(e.count)
 		carry = e.carry
 	}
@@ -129,6 +141,7 @@ func CountFibTerminators(buf []byte) int {
 func UnpackFibonacciScalar(buf []byte, n int) ([]uint64, error) {
 	r := bitio.NewReader(buf)
 	out := make([]uint64, 0, n)
+	fibs := fibNumbers
 	var cur uint64
 	digit := 0
 	prev := uint(0)
@@ -143,10 +156,10 @@ func UnpackFibonacciScalar(buf []byte, n int) ([]uint64, error) {
 			continue
 		}
 		if b == 1 {
-			if digit >= len(fibNumbers) {
+			if digit >= len(fibs) {
 				return nil, ErrBadFibStream
 			}
-			cur += fibNumbers[digit]
+			cur += fibs[digit]
 		}
 		digit++
 		prev = b

@@ -1,0 +1,103 @@
+// FuzzFlatten drives the Repeat flatten path with arbitrary Delta-Repeat
+// pages and cross-checks every route that materializes or aggregates
+// them: Flatten vs FlattenInto vs FlattenRange windows, and the fusion
+// closed forms against scalar sums of the flattened values. External
+// test package: fusion imports pipeline, so the cross-check cannot live
+// in-package.
+package pipeline_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"etsqp/internal/encoding"
+	"etsqp/internal/fusion"
+	"etsqp/internal/pipeline"
+)
+
+// parseFlattenInput maps fuzz bytes onto a Delta-Repeat page: 4 bytes of
+// signed seed value, then one run per 3-byte group (signed delta byte
+// scaled by a shift, count byte + 1). Totals are capped so a hostile
+// input cannot allocate unbounded output.
+func parseFlattenInput(data []byte) (int64, []encoding.DeltaRun) {
+	var first int64
+	if len(data) >= 4 {
+		first = int64(int32(binary.LittleEndian.Uint32(data[:4])))
+		data = data[4:]
+	}
+	var pairs []encoding.DeltaRun
+	total := 1
+	for len(data) >= 3 && len(pairs) < 256 {
+		delta := int64(int8(data[0])) << (uint(data[1]) & 7)
+		count := int(data[2]) + 1
+		if total+count > 1<<16 {
+			break
+		}
+		total += count
+		pairs = append(pairs, encoding.DeltaRun{Delta: delta, Count: count})
+		data = data[3:]
+	}
+	return first, pairs
+}
+
+func scalarSum(vals []int64) int64 {
+	var s int64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+func FuzzFlatten(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 0, 0, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		first, pairs := parseFlattenInput(data)
+		n := 1
+		for _, p := range pairs {
+			n += p.Count
+		}
+		out := pipeline.Flatten(first, pairs)
+		if len(out) != n {
+			t.Fatalf("Flatten returned %d values, want %d", len(out), n)
+		}
+		if out[0] != first {
+			t.Fatalf("Flatten[0] = %d, want first %d", out[0], first)
+		}
+		dst := make([]int64, n)
+		if w := pipeline.FlattenInto(dst, first, pairs); w != n {
+			t.Fatalf("FlattenInto wrote %d values, want %d", w, n)
+		}
+		for i := range out {
+			if dst[i] != out[i] {
+				t.Fatalf("FlattenInto[%d] = %d, Flatten = %d", i, dst[i], out[i])
+			}
+		}
+		windows := [][2]int{{0, n}, {n / 3, 2*n/3 + 1}, {n - 1, n}, {n / 2, n / 2}}
+		for _, w := range windows {
+			from, to := w[0], w[1]
+			if to > n {
+				to = n
+			}
+			rng := pipeline.FlattenRange(first, pairs, from, to)
+			want := out[from:to]
+			if to <= from {
+				want = nil
+			}
+			if len(rng) != len(want) {
+				t.Fatalf("FlattenRange(%d,%d) returned %d values, want %d", from, to, len(rng), len(want))
+			}
+			for i := range rng {
+				if rng[i] != want[i] {
+					t.Fatalf("FlattenRange(%d,%d)[%d] = %d, want %d", from, to, i, rng[i], want[i])
+				}
+			}
+			if s, err := fusion.SumRange(first, pairs, from, to); err == nil && s != scalarSum(want) {
+				t.Fatalf("fusion.SumRange(%d,%d) = %d, scalar %d", from, to, s, scalarSum(want))
+			}
+		}
+		if s, err := fusion.Sum(first, pairs); err == nil && s != scalarSum(out) {
+			t.Fatalf("fusion.Sum = %d, scalar %d", s, scalarSum(out))
+		}
+	})
+}

@@ -212,19 +212,26 @@ func accumulateWide(out []int64, first int64, packed []byte, m int, width uint, 
 }
 
 // window64 loads 8 bytes big-endian starting at fb, zero-padding past the
-// end of the buffer but failing if the window starts beyond it.
+// end of the buffer but failing if the window starts outside it. The fb
+// guard plus the hoisted tail slice prove every access in range (testing
+// fb+8 directly would not: prove must assume the addition can overflow),
+// and the whole function stays under the inlining budget so callers pay
+// no call overhead.
 //
 //etsqp:hotpath
+//etsqp:nobce
+//etsqp:inline
 func window64(buf []byte, fb int) (uint64, error) {
-	if fb >= len(buf) {
+	if fb < 0 || fb >= len(buf) {
 		return 0, bitio.ErrShortBuffer
 	}
-	if fb+8 <= len(buf) {
-		return binary.BigEndian.Uint64(buf[fb:]), nil
+	w := buf[fb:]
+	if len(w) >= 8 {
+		return binary.BigEndian.Uint64(w[:8]), nil
 	}
 	var tmp [8]byte
-	copy(tmp[:], buf[fb:])
-	return binary.BigEndian.Uint64(tmp[:]), nil
+	copy(tmp[:], w)
+	return binary.BigEndian.Uint64(tmp[:8]), nil
 }
 
 // DecodeDeltas vector-unpacks m packed fields and adds minBase, returning

@@ -226,6 +226,10 @@ func Movemask32(v U32x8) uint8 {
 }
 
 // HSum32 returns the horizontal sum of the lanes as uint64 (no wrap).
+//
+//etsqp:nobce
+//etsqp:noescape
+//etsqp:inline
 func HSum32(v U32x8) uint64 {
 	var s uint64
 	for i := 0; i < Lanes32; i++ {
@@ -257,7 +261,11 @@ var PrefixSumMask = [3]U32x8{
 
 // InclusivePrefixSum32 computes the in-lane inclusive prefix sum
 // out[i] = v[0] + ... + v[i] using 3 permute+add pairs, exactly the
-// instruction pattern the paper uses to build v'_prefsum.
+// instruction pattern the paper uses to build v'_prefsum. The constant
+// trip counts keep every lane access bounds-check-free.
+//
+//etsqp:nobce
+//etsqp:noescape
 func InclusivePrefixSum32(v U32x8) U32x8 {
 	for k := 0; k < 3; k++ {
 		shifted := And32(Permutevar8x32(v, PrefixSumIdx[k]), PrefixSumMask[k])
@@ -330,6 +338,10 @@ func WidenHiU(v U32x8) I64x4 {
 }
 
 // HSum64 returns the horizontal sum of four 64-bit lanes.
+//
+//etsqp:nobce
+//etsqp:noescape
+//etsqp:inline
 func HSum64(v I64x4) int64 { return v[0] + v[1] + v[2] + v[3] }
 
 // GatherBytes builds a vector from arbitrary byte offsets of a loaded
@@ -340,7 +352,11 @@ func HSum64(v I64x4) int64 { return v[0] + v[1] + v[2] + v[3] }
 // (out |= shuffle(v[i], idx_i)), or a single vpermb on AVX-512 VBMI.
 // The emulation collapses that inner loop into one indexed gather; the
 // JIT tables that drive it are identical in spirit (one index table per
-// unpacked vector per packing width).
+// unpacked vector per packing width). The offset guard doubles as the
+// bounds proof, so the gather loop carries no checks.
+//
+//etsqp:nobce
+//etsqp:noescape
 func GatherBytes(window []byte, idx *[32]int32) B32 {
 	var out B32
 	for i := 0; i < WidthBytes; i++ {

@@ -3,8 +3,14 @@
 // the fly, then executes statements from the command line or stdin.
 // EXPLAIN <query> prints the execution plan without running it;
 // EXPLAIN ANALYZE <query> runs it and annotates the plan with the
-// observed counters and per-stage times (see docs/OBSERVABILITY.md).
-// With -obs, the process-wide metric counters dump on exit.
+// observed counters, per-stage times, and the per-query span tree (see
+// docs/OBSERVABILITY.md). With -obs, the process-wide metric counters
+// dump on exit.
+//
+// The serve subcommand runs the live observability surface instead of
+// the shell: an HTTP server with /metrics (Prometheus), /debug/vars,
+// /debug/pprof, and /query endpoints, an optional transport ingest
+// listener, and a slow-query log of span-tree JSON lines.
 //
 // Usage:
 //
@@ -12,17 +18,23 @@
 //	etsqp-cli -load store.etsqp            # interactive: one query per line
 //	etsqp-cli -gen Gas -mode serial -q "EXPLAIN SELECT SUM(A) FROM ts1"
 //	etsqp-cli -gen Atm -mode prune -obs -q "EXPLAIN ANALYZE SELECT SUM(A) FROM ts1 WHERE A >= 3"
+//	etsqp-cli serve -gen Atm -http :8080 -ingest :9090 -slow 100ms
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"etsqp/internal/cli"
 	"etsqp/internal/obs"
+	"etsqp/internal/serve"
+	"etsqp/internal/storage"
 
 	_ "etsqp/internal/encoding/chimp"
 	_ "etsqp/internal/encoding/elf"
@@ -34,6 +46,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	var (
 		load    = flag.String("load", "", "store file to load")
 		gen     = flag.String("gen", "", "Table II dataset label to generate (Atm Clim Gas Time Sine TPCH)")
@@ -74,4 +90,60 @@ func main() {
 		return
 	}
 	cli.Repl(os.Stdin, os.Stdout, os.Stderr, eng, *maxRows)
+}
+
+// runServe starts the observability serving surface: HTTP metrics,
+// profiling and query endpoints over a loaded or generated store, plus
+// an optional transport ingest listener.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		load     = fs.String("load", "", "store file to load")
+		gen      = fs.String("gen", "", "Table II dataset label to generate (Atm Clim Gas Time Sine TPCH)")
+		rows     = fs.Int("rows", 100_000, "rows to generate")
+		seed     = fs.Int64("seed", 42, "generator seed")
+		codec    = fs.String("codec", "ts2diff", "value codec for generated data")
+		mode     = fs.String("mode", "etsqp", "execution mode: etsqp prune serial sboost fastlanes")
+		workers  = fs.Int("workers", 0, "worker pipelines (0 = GOMAXPROCS)")
+		maxRows  = fs.Int("maxrows", 20, "row-output limit on /query")
+		httpAddr = fs.String("http", ":8080", "HTTP listen address")
+		ingest   = fs.String("ingest", "", "transport ingest listen address (empty = off)")
+		slow     = fs.Duration("slow", 100*time.Millisecond, "slow-query log threshold (0 logs everything)")
+	)
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+	cfg := cli.Config{
+		LoadPath: *load, GenLabel: *gen, Rows: *rows, Seed: *seed,
+		Codec: *codec, Mode: *mode, Workers: *workers, MaxRows: *maxRows,
+	}
+	// A pure ingest server starts with an empty store and fills from the
+	// transport listener.
+	store := storage.NewStore()
+	if *load != "" || *gen != "" {
+		var err error
+		store, err = cfg.BuildStore()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	eng, err := cfg.NewEngine(store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs.Enable() // the serving surface exists to be scraped
+	srv := &serve.Server{
+		Engine: eng, Store: store,
+		SlowThreshold: *slow, SlowLog: os.Stderr, MaxRows: *maxRows,
+	}
+	if *ingest != "" {
+		l, err := net.Listen("tcp", *ingest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ingest: %s\n", l.Addr())
+		go func() { log.Fatal(srv.ServeIngest(l)) }()
+	}
+	fmt.Printf("http: %s (endpoints: /metrics /debug/vars /debug/pprof /query /healthz)\n", *httpAddr)
+	log.Fatal(http.ListenAndServe(*httpAddr, srv.Handler()))
 }

@@ -157,10 +157,10 @@ func (w *workload) queryFor(qid string) (string, error) {
 	}
 }
 
-// reps is the best-of repetition count run applies (set from Config by
-// the figure drivers via runReps; plain run uses 3).
-func run(e *engine.Engine, sql string) (Measurement, error) {
-	return runReps(e, sql, 3)
+// run measures the SQL best-of-Config.Reps. Raising -reps suppresses
+// scheduler noise when the run feeds a regression check.
+func run(cfg Config, e *engine.Engine, sql string) (Measurement, error) {
+	return runReps(e, sql, cfg.Reps)
 }
 
 // runReps executes the SQL once for warm-up, then `reps` timed times,

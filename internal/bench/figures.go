@@ -36,7 +36,7 @@ func Fig10(cfg Config) ([]Measurement, error) {
 				if err != nil {
 					return nil, err
 				}
-				m, err := run(engineFor(cfg, w, mode), sql)
+				m, err := run(cfg, engineFor(cfg, w, mode), sql)
 				if err != nil {
 					return nil, fmt.Errorf("fig10 %s/%s/%s: %w", label, mode, qid, err)
 				}
@@ -66,7 +66,7 @@ func Fig11(cfg Config, threads []int) ([]Measurement, error) {
 			for _, th := range threads {
 				c := cfg
 				c.Workers = th
-				m, err := run(engineFor(c, w, mode), sql)
+				m, err := run(c, engineFor(c, w, mode), sql)
 				if err != nil {
 					return nil, err
 				}
@@ -97,7 +97,7 @@ func Fig12DeltaThreads(cfg Config, threads []int) ([]Measurement, error) {
 			for _, th := range threads {
 				c := cfg
 				c.Workers = th
-				m, err := run(engineFor(c, w, mode), sql)
+				m, err := run(c, engineFor(c, w, mode), sql)
 				if err != nil {
 					return nil, err
 				}
@@ -148,7 +148,7 @@ func Fig12RunLength(cfg Config, runLens []int) ([]Measurement, error) {
 			e := engine.New(st, mode)
 			e.Workers = cfg.Workers
 			sql := fmt.Sprintf("SELECT SUM(A) FROM ts1 WHERE TIME >= 0 AND TIME <= %d", ts[len(ts)/2])
-			m, err := run(e, sql)
+			m, err := run(cfg, e, sql)
 			if err != nil {
 				return nil, err
 			}
@@ -203,7 +203,7 @@ func Fig12PackWidth(cfg Config, widths []uint) ([]Measurement, error) {
 			e := engine.New(st, mode)
 			e.Workers = cfg.Workers
 			sql := fmt.Sprintf("SELECT SUM(A) FROM (SELECT * FROM ts1 WHERE A > %d)", thresh)
-			m, err := run(e, sql)
+			m, err := run(cfg, e, sql)
 			if err != nil {
 				return nil, err
 			}
@@ -356,7 +356,7 @@ func Fig14Stages(cfg Config) ([]Measurement, error) {
 		// aggregate stage); Q3 exercises the full decode pipeline.
 		for _, qid := range []string{"Q1", "Q3"} {
 			sql, _ := w.queryFor(qid)
-			m, err := run(engineFor(cfg, w, engine.ModeETSQP), sql)
+			m, err := run(cfg, engineFor(cfg, w, engine.ModeETSQP), sql)
 			if err != nil {
 				return nil, err
 			}
@@ -386,7 +386,7 @@ func Fig14Slices(cfg Config, sliceCounts []int) ([]Measurement, error) {
 		e := engine.New(st, engine.ModeETSQP)
 		e.Workers = cfg.Workers
 		e.ForceSlices = s
-		m, err := run(e, sql)
+		m, err := run(cfg, e, sql)
 		if err != nil {
 			return nil, err
 		}

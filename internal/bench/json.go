@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Record is one benchmark measurement in a BENCH_*.json perf-trajectory
+// file. Field order is part of the file format — append, never reorder.
+type Record struct {
+	Figure        string  `json:"figure"`
+	Series        string  `json:"series"`
+	X             string  `json:"x"`
+	ThroughputMTS float64 `json:"throughput_mts"`
+	ElapsedNs     int64   `json:"elapsed_ns"`
+}
+
+// Key identifies a record across runs: two reports compare record by
+// record on this key.
+func (r Record) Key() string {
+	return r.Figure + "|" + r.Series + "|" + r.X
+}
+
+// Report is one etsqp-bench run: the scaling knobs that shaped it plus
+// every measurement, sorted by key so the serialized file is stable.
+type Report struct {
+	Rows    int      `json:"rows"`
+	Workers int      `json:"workers"`
+	Seed    int64    `json:"seed"`
+	Records []Record `json:"records"`
+}
+
+// NewReport converts measurements into a sorted report.
+func NewReport(cfg Config, ms []Measurement) Report {
+	rep := Report{Rows: cfg.Rows, Workers: cfg.Workers, Seed: cfg.Seed}
+	for _, m := range ms {
+		rep.Records = append(rep.Records, Record{
+			Figure: m.Figure, Series: m.Series, X: m.X,
+			ThroughputMTS: m.Throughput, ElapsedNs: int64(m.Elapsed),
+		})
+	}
+	sort.Slice(rep.Records, func(i, j int) bool {
+		return rep.Records[i].Key() < rep.Records[j].Key()
+	})
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON with a trailing newline.
+func (r Report) WriteJSON(w io.Writer) error {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(out); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "\n")
+	return err
+}
+
+// ReadReport parses a report written by WriteJSON.
+func ReadReport(r io.Reader) (Report, error) {
+	var rep Report
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("bench: bad report: %w", err)
+	}
+	return rep, nil
+}
+
+// MergeBest merges two measurement sets record by record, keeping the
+// higher throughput for records present in both. The -check confirm
+// passes use it: a regression must survive a fresh measurement, so a
+// transient scheduler stall during either pass cannot fail the gate.
+func MergeBest(a, b []Measurement) []Measurement {
+	best := make(map[string]int, len(a))
+	out := append([]Measurement(nil), a...)
+	for i, m := range out {
+		best[m.Figure+"|"+m.Series+"|"+m.X] = i
+	}
+	for _, m := range b {
+		key := m.Figure + "|" + m.Series + "|" + m.X
+		if i, ok := best[key]; ok {
+			if m.Throughput > out[i].Throughput {
+				out[i] = m
+			}
+			continue
+		}
+		best[key] = len(out)
+		out = append(out, m)
+	}
+	return out
+}
+
+// Regression is one tracked measurement that fell below the baseline by
+// more than the tolerated fraction.
+type Regression struct {
+	Key      string
+	Baseline float64 // baseline throughput, Mtuples/s
+	Current  float64 // current throughput, Mtuples/s
+	Drop     float64 // fractional drop, e.g. 0.35 = 35% slower
+}
+
+func (g Regression) String() string {
+	return fmt.Sprintf("%s: %.2f -> %.2f Mtuples/s (-%.0f%%)",
+		g.Key, g.Baseline, g.Current, g.Drop*100)
+}
+
+// Compare checks cur against base: every record present in both whose
+// current throughput is more than tolerance below the baseline is a
+// regression. Records only one side knows are skipped (workloads come
+// and go); zero-throughput baselines are skipped (nothing to regress
+// against).
+func Compare(cur, base Report, tolerance float64) []Regression {
+	curByKey := make(map[string]Record, len(cur.Records))
+	for _, r := range cur.Records {
+		curByKey[r.Key()] = r
+	}
+	var out []Regression
+	for _, b := range base.Records {
+		c, ok := curByKey[b.Key()]
+		if !ok || b.ThroughputMTS <= 0 {
+			continue
+		}
+		drop := 1 - c.ThroughputMTS/b.ThroughputMTS
+		if drop > tolerance {
+			out = append(out, Regression{
+				Key: b.Key(), Baseline: b.ThroughputMTS,
+				Current: c.ThroughputMTS, Drop: drop,
+			})
+		}
+	}
+	return out
+}

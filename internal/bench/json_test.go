@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleMeasurements() []Measurement {
+	return []Measurement{
+		{Figure: "fig10", Series: "ETSQP", X: "Q3", Throughput: 250.5, Elapsed: 400 * time.Microsecond},
+		{Figure: "fig10", Series: "ETSQP", X: "Q1", Throughput: 120.25, Elapsed: 833 * time.Microsecond},
+		{Figure: "fig10", Series: "Serial", X: "Q1", Throughput: 30, Elapsed: 3333 * time.Microsecond},
+	}
+}
+
+// TestReportJSONGolden pins the BENCH_*.json format: sorted records,
+// stable field order, indented layout.
+func TestReportJSONGolden(t *testing.T) {
+	cfg := Config{Rows: 20000, Workers: 4, Seed: 42}
+	var b strings.Builder
+	if err := NewReport(cfg, sampleMeasurements()).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "rows": 20000,
+  "workers": 4,
+  "seed": 42,
+  "records": [
+    {
+      "figure": "fig10",
+      "series": "ETSQP",
+      "x": "Q1",
+      "throughput_mts": 120.25,
+      "elapsed_ns": 833000
+    },
+    {
+      "figure": "fig10",
+      "series": "ETSQP",
+      "x": "Q3",
+      "throughput_mts": 250.5,
+      "elapsed_ns": 400000
+    },
+    {
+      "figure": "fig10",
+      "series": "Serial",
+      "x": "Q1",
+      "throughput_mts": 30,
+      "elapsed_ns": 3333000
+    }
+  ]
+}
+`
+	if got := b.String(); got != want {
+		t.Errorf("report JSON mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestReportRoundTrip checks WriteJSON/ReadReport are inverses.
+func TestReportRoundTrip(t *testing.T) {
+	rep := NewReport(Config{Rows: 1000, Workers: 2, Seed: 7}, sampleMeasurements())
+	var b strings.Builder
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != 1000 || back.Workers != 2 || back.Seed != 7 {
+		t.Errorf("config fields lost: %+v", back)
+	}
+	if len(back.Records) != 3 || back.Records[0].Key() != "fig10|ETSQP|Q1" {
+		t.Errorf("records lost or reordered: %+v", back.Records)
+	}
+}
+
+// TestMergeBest checks the confirm-pass merge: matched records keep the
+// faster pass, unmatched records from either side survive.
+func TestMergeBest(t *testing.T) {
+	a := []Measurement{
+		{Figure: "f", Series: "A", X: "1", Throughput: 100, Elapsed: time.Millisecond},
+		{Figure: "f", Series: "A", X: "2", Throughput: 50},
+		{Figure: "f", Series: "onlyA", X: "1", Throughput: 7},
+	}
+	b := []Measurement{
+		{Figure: "f", Series: "A", X: "1", Throughput: 90},
+		{Figure: "f", Series: "A", X: "2", Throughput: 80, Elapsed: time.Microsecond},
+		{Figure: "f", Series: "onlyB", X: "1", Throughput: 9},
+	}
+	got := MergeBest(a, b)
+	if len(got) != 4 {
+		t.Fatalf("got %d records, want 4: %+v", len(got), got)
+	}
+	byKey := map[string]Measurement{}
+	for _, m := range got {
+		byKey[m.Figure+"|"+m.Series+"|"+m.X] = m
+	}
+	if m := byKey["f|A|1"]; m.Throughput != 100 || m.Elapsed != time.Millisecond {
+		t.Errorf("f|A|1 = %+v, want first pass kept", m)
+	}
+	if m := byKey["f|A|2"]; m.Throughput != 80 || m.Elapsed != time.Microsecond {
+		t.Errorf("f|A|2 = %+v, want second pass kept", m)
+	}
+	if byKey["f|onlyA|1"].Throughput != 7 || byKey["f|onlyB|1"].Throughput != 9 {
+		t.Errorf("unmatched records lost: %+v", got)
+	}
+}
+
+// TestCompare checks the regression rules: only drops beyond tolerance
+// count, improvements and unmatched records never do.
+func TestCompare(t *testing.T) {
+	base := Report{Records: []Record{
+		{Figure: "f", Series: "A", X: "1", ThroughputMTS: 100},
+		{Figure: "f", Series: "A", X: "2", ThroughputMTS: 100},
+		{Figure: "f", Series: "A", X: "3", ThroughputMTS: 100},
+		{Figure: "f", Series: "gone", X: "1", ThroughputMTS: 100},
+		{Figure: "f", Series: "zero", X: "1", ThroughputMTS: 0},
+	}}
+	cur := Report{Records: []Record{
+		{Figure: "f", Series: "A", X: "1", ThroughputMTS: 85},  // -15%: tolerated
+		{Figure: "f", Series: "A", X: "2", ThroughputMTS: 70},  // -30%: regression
+		{Figure: "f", Series: "A", X: "3", ThroughputMTS: 140}, // improvement
+		{Figure: "f", Series: "new", X: "1", ThroughputMTS: 1}, // no baseline
+		{Figure: "f", Series: "zero", X: "1", ThroughputMTS: 1},
+	}}
+	regs := Compare(cur, base, 0.20)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	if regs[0].Key != "f|A|2" {
+		t.Errorf("regression key = %s, want f|A|2", regs[0].Key)
+	}
+	if regs[0].Drop < 0.29 || regs[0].Drop > 0.31 {
+		t.Errorf("drop = %v, want ~0.30", regs[0].Drop)
+	}
+	if !strings.Contains(regs[0].String(), "-30%") {
+		t.Errorf("rendering = %q, want -30%%", regs[0].String())
+	}
+	// Exactly at tolerance is not a regression (strict >).
+	if regs := Compare(Report{Records: []Record{{Figure: "f", Series: "A", X: "1", ThroughputMTS: 80}}},
+		Report{Records: []Record{{Figure: "f", Series: "A", X: "1", ThroughputMTS: 100}}}, 0.20); len(regs) != 0 {
+		t.Errorf("20%% drop at 20%% tolerance flagged: %v", regs)
+	}
+}

@@ -97,6 +97,15 @@ func Execute(w io.Writer, eng *engine.Engine, sql string, maxRows int) error {
 	if err != nil {
 		return err
 	}
+	RenderResult(w, res, maxRows)
+	return nil
+}
+
+// RenderResult writes a query result as the shell renders it: window
+// rows, sorted aggregates, or tuples (capped at maxRows), followed by a
+// one-line stats summary. The serve package reuses it for the /query
+// endpoint so both surfaces render identically.
+func RenderResult(w io.Writer, res *engine.Result, maxRows int) {
 	switch {
 	case len(res.Windows) > 0:
 		for _, win := range res.Windows {
@@ -123,7 +132,6 @@ func Execute(w io.Writer, eng *engine.Engine, sql string, maxRows int) error {
 	}
 	fmt.Fprintf(w, "  (%d pages, %d pruned, %d jobs, %d tuples)\n",
 		res.Stats.PagesTotal, res.Stats.PagesPruned, res.Stats.SlicesRun, res.Stats.TuplesLoaded)
-	return nil
 }
 
 // Repl reads statements line by line, executing each.

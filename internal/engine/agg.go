@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"etsqp/internal/encoding/ts2diff"
 	"etsqp/internal/expr"
@@ -193,7 +194,7 @@ func needsBoundaries(items []sqlparse.SelectItem) bool {
 }
 
 // executeAgg runs aggregation items over one series (Q1-Q3 shapes).
-func (e *Engine) executeAgg(q *sqlparse.Query, series string, preds []sqlparse.Pred) (*Result, error) {
+func (e *Engine) executeAgg(q *sqlparse.Query, series string, preds []sqlparse.Pred, tr *Trace) (*Result, error) {
 	for _, it := range q.Items {
 		if it.Agg == sqlparse.AggNone {
 			return nil, fmt.Errorf("engine: non-aggregate item in aggregation query")
@@ -216,11 +217,12 @@ func (e *Engine) executeAgg(q *sqlparse.Query, series string, preds []sqlparse.P
 	t1, t2 := timeRange(preds)
 	vp := valuePreds(preds)
 	c1, c2 := valueRange(vp)
-	col := &statsCollector{}
+	col := newCollector(tr)
 
 	// Page relevance by time (binary-searched index, all modes) and value
-	// statistics (ETSQP-prune only).
+	// statistics (ETSQP-prune only). Timed as the trace's prune stage.
 	var loaded []storage.PagePair
+	pruneStart := time.Now()
 	for _, pp := range ser.PagesInRange(t1, t2) {
 		col.pagesTotal.Add(1)
 		if e.Mode == ModeETSQPPrune && len(vp) > 0 &&
@@ -231,6 +233,7 @@ func (e *Engine) executeAgg(q *sqlparse.Query, series string, preds []sqlparse.P
 		}
 		loaded = append(loaded, pp)
 	}
+	col.pruneNanos.Add(int64(time.Since(pruneStart)))
 
 	var windows []expr.Window
 	if q.Window != nil {
@@ -354,6 +357,7 @@ func (e *Engine) aggSlice(sl pipeline.Slice, t1, t2 int64, vp []sqlparse.Pred, c
 	fusible, needFL bool, windows []expr.Window, local *partialAgg, localWin []partialAgg, col *statsCollector) error {
 	col.slicesRun.Add(1)
 	col.tuplesLoaded.Add(int64(sl.Rows()))
+	obs.EngineHistSliceRows.Observe(int64(sl.Rows()))
 
 	fused := fusible && len(vp) == 0
 	if !fused && fusible && rangeOnly(vp) &&
@@ -366,6 +370,22 @@ func (e *Engine) aggSlice(sl pipeline.Slice, t1, t2 int64, vp []sqlparse.Pred, c
 		if sl.StartRow == 0 {
 			obs.PrunePagesVacuous.Inc()
 		}
+	}
+
+	// Per-slice trace event: row window, fusion decision, and the
+	// Proposition 1 n_v the decode plan picks for this page's packing
+	// width. Tracing off is a single nil check.
+	if col.trace != nil {
+		ev := SliceEvent{StartRow: sl.StartRow, EndRow: sl.EndRow, Rows: sl.Rows(), Fused: fused}
+		if blk, berr := pageBlock(sl.Pair.Value); berr == nil && blk != nil {
+			ev.Width = blk.Width
+			ev.Nv = pipeline.ChooseNv(blk.Width, 32)
+		}
+		sliceStart := time.Now()
+		defer func() {
+			ev.DurNs = int64(time.Since(sliceStart))
+			col.trace.addSlice(ev)
+		}()
 	}
 
 	// Resolve the time-valid row range [lo, hi) within the slice.
@@ -585,6 +605,12 @@ func (e *Engine) aggPrunedScan(sl pipeline.Slice, blk *ts2diff.Block, lo, hi int
 	if err := sl.Pair.Value.VerifyChecksum(); err != nil {
 		return true, err
 	}
+	start := time.Now()
+	defer func() {
+		if obs.Enabled() {
+			obs.EngineHistPageDecode.Observe(int64(time.Since(start)))
+		}
+	}()
 	n := sl.Pair.Count()
 	buf := make([]int64, pruneChunk)
 	for scanner.Row() < hi {

@@ -16,6 +16,10 @@ type AnalyzeInfo struct {
 	Plan    *PlanInfo
 	Result  *Result
 	Elapsed time.Duration
+	// Trace holds the per-query span tree. ExplainAnalyze always collects
+	// it (the query is being inspected anyway); rendered under the
+	// counters block and available for JSON dumping via Trace.WriteJSON.
+	Trace *Trace
 }
 
 // String renders the plan tree with an "analyze:" block of observed
@@ -40,28 +44,37 @@ func (a *AnalyzeInfo) String() string {
 	}
 	write("  bytes scanned: %d", st.BytesScanned)
 	write("  elapsed: %v", a.Elapsed)
-	write("  stages: io=%v decode=%v filter=%v agg=%v merge=%v",
+	write("  stages: prune=%v io=%v decode=%v filter=%v agg=%v merge=%v",
+		time.Duration(st.PruneNanos),
 		time.Duration(st.IONanos), time.Duration(st.DecodeNanos),
 		time.Duration(st.FilterNanos), time.Duration(st.AggNanos),
 		time.Duration(st.MergeNanos))
+	if a.Trace != nil {
+		b.WriteString(a.Trace.String())
+	}
 	return b.String()
 }
 
 // ExplainAnalyze plans a statement, runs it, and returns the plan
 // annotated with the observed execution statistics and wall time.
 func (e *Engine) ExplainAnalyze(sql string) (*AnalyzeInfo, error) {
+	tr := NewTrace(sql, e.Mode.String(), e.workers())
+	parseStart := time.Now()
 	q, err := sqlparse.Parse(sql)
+	tr.parseNs = int64(time.Since(parseStart))
 	if err != nil {
 		return nil, err
 	}
+	planStart := time.Now()
 	plan, err := e.explainQuery(q)
+	tr.planNs = int64(time.Since(planStart))
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	res, err := e.Execute(q)
+	res, err := e.ExecuteTraced(q, tr)
 	if err != nil {
 		return nil, err
 	}
-	return &AnalyzeInfo{Plan: plan, Result: res, Elapsed: time.Since(start)}, nil
+	return &AnalyzeInfo{Plan: plan, Result: res, Elapsed: time.Since(start), Trace: tr}, nil
 }

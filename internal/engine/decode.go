@@ -8,6 +8,7 @@ import (
 	"etsqp/internal/encoding/rlbe"
 	"etsqp/internal/encoding/ts2diff"
 	"etsqp/internal/fastlanes"
+	"etsqp/internal/obs"
 	"etsqp/internal/pipeline"
 	"etsqp/internal/storage"
 )
@@ -67,9 +68,14 @@ func (e *Engine) decodeColumnRange(p *storage.Page, from, to int, col *statsColl
 	}
 	start := time.Now()
 	defer func() {
-		if col != nil {
-			col.decodeNanos.Add(int64(time.Since(start)))
+		if col == nil && !obs.Enabled() {
+			return
 		}
+		elapsed := int64(time.Since(start))
+		if col != nil {
+			col.decodeNanos.Add(elapsed)
+		}
+		obs.EngineHistPageDecode.Observe(elapsed)
 	}()
 	full := from == 0 && to == p.Header.Count
 	switch e.Mode {

@@ -171,33 +171,54 @@ func (r *Result) rowsOut() int64 {
 
 // Execute runs a parsed query.
 func (e *Engine) Execute(q *sqlparse.Query) (*Result, error) {
+	return e.executeTimed(q, nil)
+}
+
+// ExecuteTraced runs a parsed query with span collection feeding tr.
+// The trace must be fresh (NewTrace); on success its span tree is
+// assembled from the observed stage times. A nil trace is exactly
+// Execute.
+func (e *Engine) ExecuteTraced(q *sqlparse.Query, tr *Trace) (*Result, error) {
+	return e.executeTimed(q, tr)
+}
+
+func (e *Engine) executeTimed(q *sqlparse.Query, tr *Trace) (*Result, error) {
 	start := time.Now()
-	res, err := e.execute(q)
+	res, err := e.execute(q, tr)
 	if err != nil {
 		return nil, err
 	}
 	obs.EngineQueries.Inc()
 	obs.EngineRowsOut.Add(res.rowsOut())
-	obs.EngineTimeQuery.Since(start)
+	if obs.Enabled() || tr != nil {
+		elapsed := time.Since(start)
+		if obs.Enabled() {
+			obs.EngineTimeQuery.AddNanos(int64(elapsed))
+			obs.EngineHistQuery.Observe(int64(elapsed))
+		}
+		if tr != nil {
+			tr.finish(res.Stats, elapsed)
+		}
+	}
 	return res, nil
 }
 
-func (e *Engine) execute(q *sqlparse.Query) (*Result, error) {
+func (e *Engine) execute(q *sqlparse.Query, tr *Trace) (*Result, error) {
 	switch {
 	case q.Sub != nil:
-		return e.executeSubqueryAgg(q)
+		return e.executeSubqueryAgg(q, tr)
 	case q.UnionWith != "":
-		return e.executeMerge(q)
+		return e.executeMerge(q, tr)
 	case len(q.Series) == 2:
 		if q.Items[0].Agg == sqlparse.AggCorr {
-			return e.executeJoinCorr(q)
+			return e.executeJoinCorr(q, tr)
 		}
-		return e.executeJoin(q)
+		return e.executeJoin(q, tr)
 	case len(q.Series) == 1:
 		if q.Items[0].Star {
-			return e.executeScan(q)
+			return e.executeScan(q, tr)
 		}
-		return e.executeAgg(q, q.Series[0], q.Preds)
+		return e.executeAgg(q, q.Series[0], q.Preds, tr)
 	default:
 		return nil, fmt.Errorf("engine: unsupported query shape")
 	}
@@ -212,10 +233,34 @@ func (e *Engine) ExecuteSQL(sql string) (*Result, error) {
 	return e.Execute(q)
 }
 
+// TraceSQL parses, plans and runs a statement with tracing on, returning
+// the result together with the assembled span tree. The parse and plan
+// phases are timed into their own spans; planning reuses the EXPLAIN
+// machinery, so a traced query also validates its plan shape.
+func (e *Engine) TraceSQL(sql string) (*Result, *Trace, error) {
+	tr := NewTrace(sql, e.Mode.String(), e.workers())
+	parseStart := time.Now()
+	q, err := sqlparse.Parse(sql)
+	tr.parseNs = int64(time.Since(parseStart))
+	if err != nil {
+		return nil, nil, err
+	}
+	planStart := time.Now()
+	if _, err := e.explainQuery(q); err != nil {
+		return nil, nil, err
+	}
+	tr.planNs = int64(time.Since(planStart))
+	res, err := e.ExecuteTraced(q, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr, nil
+}
+
 // executeSubqueryAgg handles Q3: SELECT agg(A) FROM (SELECT * FROM ts
 // WHERE ...). The filter pushes down into the aggregation pipeline
 // (Equation 1's single-column predicate separation).
-func (e *Engine) executeSubqueryAgg(q *sqlparse.Query) (*Result, error) {
+func (e *Engine) executeSubqueryAgg(q *sqlparse.Query, tr *Trace) (*Result, error) {
 	sub := q.Sub
 	if sub.Sub != nil || len(sub.Series) != 1 || !sub.Items[0].Star {
 		return nil, fmt.Errorf("engine: only single-series star subqueries are supported")
@@ -228,5 +273,5 @@ func (e *Engine) executeSubqueryAgg(q *sqlparse.Query) (*Result, error) {
 		outer.Window = sub.Window
 	}
 	preds := append(append([]sqlparse.Pred(nil), sub.Preds...), q.Preds...)
-	return e.executeAgg(&outer, sub.Series[0], preds)
+	return e.executeAgg(&outer, sub.Series[0], preds, tr)
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -124,6 +125,11 @@ func TestPlanInfoGolden(t *testing.T) {
 // normalizeAnalyze blanks the timing-dependent lines of an EXPLAIN
 // ANALYZE rendering so the rest can be compared as a golden string.
 func normalizeAnalyze(s string) string {
+	spanNames := map[string]bool{
+		"query": true, "parse": true, "plan": true, "prune": true,
+		"io": true, "decode": true, "filter": true, "agg": true,
+		"merge": true, "other": true,
+	}
 	lines := strings.Split(s, "\n")
 	for i, ln := range lines {
 		trimmed := strings.TrimSpace(ln)
@@ -134,6 +140,25 @@ func normalizeAnalyze(s string) string {
 			lines[i] = "    stages: <t>"
 		case strings.HasPrefix(trimmed, "bytes scanned:"):
 			lines[i] = "    bytes scanned: <n>"
+		case strings.HasPrefix(trimmed, "slice ["):
+			if j := strings.LastIndex(ln, " dur="); j >= 0 {
+				lines[i] = ln[:j] + " dur=<t>"
+			}
+			// Workers record slice events concurrently, so their order is
+			// nondeterministic: sort each contiguous block of slice lines.
+			if i+1 == len(lines) || !strings.HasPrefix(strings.TrimSpace(lines[i+1]), "slice [") {
+				j := i
+				for j > 0 && strings.HasPrefix(strings.TrimSpace(lines[j-1]), "slice [") {
+					j--
+				}
+				sort.Strings(lines[j : i+1])
+			}
+		default:
+			// Span lines render as "name <duration>".
+			if name, _, ok := strings.Cut(trimmed, " "); ok && spanNames[name] {
+				indent := ln[:len(ln)-len(strings.TrimLeft(ln, " "))]
+				lines[i] = indent + name + " <t>"
+			}
 		}
 	}
 	return strings.Join(lines, "\n")
@@ -158,7 +183,22 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 		"    values: fused=3072 decoded=0\n" +
 		"    bytes scanned: <n>\n" +
 		"    elapsed: <t>\n" +
-		"    stages: <t>\n"
+		"    stages: <t>\n" +
+		"  trace:\n" +
+		"    query <t>\n" +
+		"      parse <t>\n" +
+		"      plan <t>\n" +
+		"      prune <t>\n" +
+		"      io <t>\n" +
+		"      decode <t>\n" +
+		"      filter <t>\n" +
+		"      agg <t>\n" +
+		"      merge <t>\n" +
+		"      other <t>\n" +
+		"    slices: 3 run, 3 recorded\n" +
+		"      slice [0, 1024) rows=1024 fused=true width=0 nv=1 dur=<t>\n" +
+		"      slice [0, 1024) rows=1024 fused=true width=0 nv=1 dur=<t>\n" +
+		"      slice [0, 1024) rows=1024 fused=true width=4 nv=7 dur=<t>\n"
 	if got := normalizeAnalyze(info.String()); got != want {
 		t.Errorf("analyze mismatch\ngot:\n%s\nwant:\n%s", got, want)
 	}

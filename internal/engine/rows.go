@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"etsqp/internal/expr"
+	"etsqp/internal/obs"
 	"etsqp/internal/pipeline"
 	"etsqp/internal/sqlparse"
 	"etsqp/internal/storage"
@@ -64,6 +66,11 @@ func (e *Engine) readSeriesColumns(name string, t1, t2 int64, col *statsCollecto
 			for _, j := range sjobs {
 				col.slicesRun.Add(1)
 				col.tuplesLoaded.Add(int64(j.sl.Rows()))
+				obs.EngineHistSliceRows.Observe(int64(j.sl.Rows()))
+				var sliceStart time.Time
+				if col.trace != nil {
+					sliceStart = time.Now()
+				}
 				tcol, err := e.decodeColumnRange(j.sl.Pair.Time, j.sl.StartRow, j.sl.EndRow, col)
 				if err != nil {
 					errCh <- err
@@ -77,6 +84,12 @@ func (e *Engine) readSeriesColumns(name string, t1, t2 int64, col *statsCollecto
 				col.valuesDecoded.Add(int64(len(vcol)))
 				copy(j.tdst, tcol)
 				copy(j.vdst, vcol)
+				if col.trace != nil {
+					col.trace.addSlice(SliceEvent{
+						StartRow: j.sl.StartRow, EndRow: j.sl.EndRow, Rows: j.sl.Rows(),
+						DurNs: int64(time.Since(sliceStart)),
+					})
+				}
 			}
 		}(sjobs)
 	}
@@ -93,10 +106,10 @@ func (e *Engine) readSeriesColumns(name string, t1, t2 int64, col *statsCollecto
 
 // executeScan handles SELECT * FROM series [WHERE ...]: decoded rows with
 // predicates applied.
-func (e *Engine) executeScan(q *sqlparse.Query) (*Result, error) {
+func (e *Engine) executeScan(q *sqlparse.Query, tr *Trace) (*Result, error) {
 	t1, t2 := timeRange(q.Preds)
 	vp := valuePreds(q.Preds)
-	col := &statsCollector{}
+	col := newCollector(tr)
 	ts, vals, err := e.readSeriesColumns(q.Series[0], t1, t2, col)
 	if err != nil {
 		return nil, err
@@ -125,12 +138,12 @@ func (e *Engine) executeScan(q *sqlparse.Query) (*Result, error) {
 // covered interval is cut at page boundaries, each range is decoded and
 // merged by an independent worker, and the per-range results concatenate
 // in time order.
-func (e *Engine) executeMerge(q *sqlparse.Query) (*Result, error) {
+func (e *Engine) executeMerge(q *sqlparse.Query, tr *Trace) (*Result, error) {
 	if len(q.Series) != 1 {
 		return nil, fmt.Errorf("engine: UNION requires a single left series")
 	}
 	t1, t2 := timeRange(q.Preds)
-	col := &statsCollector{}
+	col := newCollector(tr)
 	serL, ok := e.Store.Series(q.Series[0])
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown series %q", q.Series[0])
@@ -169,9 +182,9 @@ func (e *Engine) executeMerge(q *sqlparse.Query) (*Result, error) {
 // decodes both series for its range and produces join masks within it
 // (Figure 9(b): mask vectors are generated within the shared time range),
 // and the merge node concatenates results in order (Equation 6).
-func (e *Engine) executeJoin(q *sqlparse.Query) (*Result, error) {
+func (e *Engine) executeJoin(q *sqlparse.Query, tr *Trace) (*Result, error) {
 	t1, t2 := timeRange(q.Preds)
-	col := &statsCollector{}
+	col := newCollector(tr)
 	serL, ok := e.Store.Series(q.Series[0])
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown series %q", q.Series[0])
@@ -237,9 +250,9 @@ func joinPredsMatch(vp []sqlparse.Pred, series []string, lv, rv int64) bool {
 // Σ aᵢ·bᵢ application of Section IV. Both series decode and join on
 // timestamps; the Pearson correlation is computed from the fused sums
 // (Σa, Σb, Σa², Σb², Σab) of the joined rows.
-func (e *Engine) executeJoinCorr(q *sqlparse.Query) (*Result, error) {
+func (e *Engine) executeJoinCorr(q *sqlparse.Query, tr *Trace) (*Result, error) {
 	t1, t2 := timeRange(q.Preds)
-	col := &statsCollector{}
+	col := newCollector(tr)
 	lts, lvs, err := e.readSeriesColumns(q.Series[0], t1, t2, col)
 	if err != nil {
 		return nil, err

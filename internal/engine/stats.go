@@ -44,6 +44,7 @@ type Stats struct {
 	FilterNanos int64
 	AggNanos    int64
 	MergeNanos  int64
+	PruneNanos  int64 // page selection + header-statistics pruning
 }
 
 // statsCollector accumulates Stats from concurrent workers.
@@ -66,6 +67,17 @@ type statsCollector struct {
 	filterNanos atomic.Int64
 	aggNanos    atomic.Int64
 	mergeNanos  atomic.Int64
+	pruneNanos  atomic.Int64
+
+	// trace, when non-nil, receives per-slice events. Hot paths only ever
+	// perform a nil check on it, so tracing off adds no work and no
+	// allocation.
+	trace *Trace
+}
+
+// newCollector builds a collector feeding the given trace (nil = off).
+func newCollector(tr *Trace) *statsCollector {
+	return &statsCollector{trace: tr}
 }
 
 func (c *statsCollector) snapshot() Stats {
@@ -88,6 +100,7 @@ func (c *statsCollector) snapshot() Stats {
 		FilterNanos: c.filterNanos.Load(),
 		AggNanos:    c.aggNanos.Load(),
 		MergeNanos:  c.mergeNanos.Load(),
+		PruneNanos:  c.pruneNanos.Load(),
 	}
 }
 
@@ -111,6 +124,14 @@ func (c *statsCollector) finish() Stats {
 		obs.EngineTimeFilter.AddNanos(st.FilterNanos)
 		obs.EngineTimeAgg.AddNanos(st.AggNanos)
 		obs.EngineTimeMerge.AddNanos(st.MergeNanos)
+		obs.EngineTimePrune.AddNanos(st.PruneNanos)
+		// The stage histograms observe one value per query — the query's
+		// summed stage time — so they hold cross-query distributions.
+		obs.EngineHistIO.Observe(st.IONanos)
+		obs.EngineHistDecode.Observe(st.DecodeNanos)
+		obs.EngineHistFilter.Observe(st.FilterNanos)
+		obs.EngineHistAgg.Observe(st.AggNanos)
+		obs.EngineHistMerge.Observe(st.MergeNanos)
 	}
 	return st
 }

@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxTraceSlices bounds the per-slice events a trace retains, so tracing
+// a query over a huge store cannot grow memory without bound. The count
+// of executed slices is always exact (Stats.SlicesRun); only the
+// per-slice detail is capped.
+const maxTraceSlices = 256
+
+// Span is one node of a query's span tree. Durations are nanoseconds;
+// stage spans are summed across workers, so on parallel queries a stage
+// span can exceed its parent's wall time (the same convention as the
+// engine.time.* metrics). Field order is part of the JSON schema pinned
+// by TestTraceJSONGolden — append, never reorder.
+type Span struct {
+	Name     string `json:"name"`
+	DurNs    int64  `json:"dur_ns"`
+	Children []Span `json:"children,omitempty"`
+}
+
+// SliceEvent records one executed pipeline job: its row window, whether
+// it aggregated on encoded form, and — for TS2DIFF pages — the packing
+// width and the Proposition 1 vector count n_v the decode plan chose.
+type SliceEvent struct {
+	StartRow int   `json:"start_row"`
+	EndRow   int   `json:"end_row"`
+	Rows     int   `json:"rows"`
+	Fused    bool  `json:"fused"`
+	Width    uint  `json:"width,omitempty"`
+	Nv       int   `json:"nv,omitempty"`
+	DurNs    int64 `json:"dur_ns"`
+}
+
+// Trace is the per-query span tree the engine assembles when tracing is
+// requested: parse → plan → prune → io → decode → filter → agg → merge
+// stage spans under a query root, plus per-slice events. A nil *Trace
+// disables tracing entirely; the execution hot paths only ever perform a
+// nil check, so tracing off costs nothing and allocates nothing
+// (TestParallelExecutorAllocs budgets are unchanged).
+type Trace struct {
+	Query     string       `json:"query"`
+	Mode      string       `json:"mode"`
+	Workers   int          `json:"workers"`
+	ElapsedNs int64        `json:"elapsed_ns"`
+	Root      Span         `json:"span"`
+	Slices    []SliceEvent `json:"slices,omitempty"`
+	// SlicesTotal counts every executed job, including those beyond the
+	// retained-event cap.
+	SlicesTotal int64 `json:"slices_total"`
+
+	parseNs int64
+	planNs  int64
+	mu      sync.Mutex
+}
+
+// NewTrace starts a trace for one query.
+func NewTrace(query string, mode string, workers int) *Trace {
+	return &Trace{Query: query, Mode: mode, Workers: workers}
+}
+
+// addSlice records a per-slice event, dropping detail beyond the cap.
+func (t *Trace) addSlice(ev SliceEvent) {
+	t.mu.Lock()
+	if len(t.Slices) < maxTraceSlices {
+		t.Slices = append(t.Slices, ev)
+	}
+	t.mu.Unlock()
+}
+
+// finish assembles the span tree from the observed stage times. The
+// "other" span absorbs the wall time no stage accounts for (scheduling,
+// result assembly), so with a single worker the children of the query
+// root sum to exactly the traced wall time.
+func (t *Trace) finish(st Stats, elapsed time.Duration) {
+	t.ElapsedNs = int64(elapsed)
+	t.SlicesTotal = st.SlicesRun
+	stages := []Span{
+		{Name: "parse", DurNs: t.parseNs},
+		{Name: "plan", DurNs: t.planNs},
+		{Name: "prune", DurNs: st.PruneNanos},
+		{Name: "io", DurNs: st.IONanos},
+		{Name: "decode", DurNs: st.DecodeNanos},
+		{Name: "filter", DurNs: st.FilterNanos},
+		{Name: "agg", DurNs: st.AggNanos},
+		{Name: "merge", DurNs: st.MergeNanos},
+	}
+	var accounted int64
+	for _, s := range stages[2:] { // parse/plan happened before the clock
+		accounted += s.DurNs
+	}
+	other := t.ElapsedNs - accounted
+	if other < 0 {
+		other = 0 // parallel stage sums can exceed wall time
+	}
+	stages = append(stages, Span{Name: "other", DurNs: other})
+	t.Root = Span{Name: "query", DurNs: t.ElapsedNs, Children: stages}
+}
+
+// StageSum returns the total duration of the query root's children —
+// the quantity that must stay within 10% of the traced wall time on
+// single-worker runs (parse and plan ran before the traced window, so
+// they are excluded).
+func (t *Trace) StageSum() int64 {
+	var sum int64
+	for _, s := range t.Root.Children {
+		if s.Name == "parse" || s.Name == "plan" {
+			continue
+		}
+		sum += s.DurNs
+	}
+	return sum
+}
+
+// WriteJSON writes the trace as one JSON document. Field order follows
+// the struct declarations, so the output is byte-stable for a given
+// trace (the schema golden relies on this).
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// String renders the span tree as indented text — the representation
+// EXPLAIN ANALYZE appends under its counters block.
+func (t *Trace) String() string {
+	var b strings.Builder
+	b.WriteString("  trace:\n")
+	writeSpan(&b, &t.Root, 2)
+	if t.SlicesTotal > 0 {
+		fmt.Fprintf(&b, "    slices: %d run, %d recorded\n", t.SlicesTotal, len(t.Slices))
+	}
+	for _, ev := range t.Slices {
+		fmt.Fprintf(&b, "      slice [%d, %d) rows=%d fused=%v", ev.StartRow, ev.EndRow, ev.Rows, ev.Fused)
+		if ev.Nv > 0 {
+			fmt.Fprintf(&b, " width=%d nv=%d", ev.Width, ev.Nv)
+		}
+		fmt.Fprintf(&b, " dur=%v\n", time.Duration(ev.DurNs))
+	}
+	return b.String()
+}
+
+func writeSpan(b *strings.Builder, s *Span, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(b, "%s %v\n", s.Name, time.Duration(s.DurNs))
+	for i := range s.Children {
+		writeSpan(b, &s.Children[i], depth+1)
+	}
+}

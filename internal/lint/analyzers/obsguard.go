@@ -3,28 +3,40 @@ package analyzers
 import (
 	"go/ast"
 	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 
 	"etsqp/internal/lint"
 )
 
 // ObsGuard enforces the observability layer's overhead contract:
 //
-//  1. Inside the obs package, the counter storage field (Counter.v) may
-//     only be touched by the atomic helper methods (Counter/Timer
-//     receivers) and the registry-wide Capture/Reset — never by ad-hoc
+//  1. Inside the obs package, the metric storage fields (Counter.v and
+//     Histogram's buckets/sum/count) may only be touched by the atomic
+//     helper methods (Counter/Timer/Histogram receivers) and the
+//     registry-wide Capture/CaptureHistograms/Reset — never by ad-hoc
 //     code that could race or bypass the enable gate.
 //  2. In //etsqp:hotpath functions (and their module callees), every
-//     counter/timer mutation must sit behind an obs.Enabled() check so a
-//     disabled build pays one predicted branch, not argument computation
-//     plus an atomic load per metric.
+//     counter/timer/histogram mutation must sit behind an obs.Enabled()
+//     check so a disabled build pays one predicted branch, not argument
+//     computation plus an atomic load per metric.
+//  3. Every metric registered in the obs package (newCounter / newTimer /
+//     newHistogram) must appear in a docs/OBSERVABILITY.md table row, and
+//     every table row must name a registered metric — the doc is the
+//     reviewed metrics surface and may not drift from the registry.
 var ObsGuard = &lint.Analyzer{
 	Name: "obsguard",
-	Doc:  "obs counters: atomic helpers only, and Enabled()-gated in hot paths",
+	Doc:  "obs counters: atomic helpers only, Enabled()-gated in hot paths, docs in sync",
 	Run:  runObsGuard,
 }
 
-// obsMutators are the Counter/Timer methods that write a metric.
-var obsMutators = map[string]bool{"Add": true, "Inc": true, "AddNanos": true, "Since": true}
+// obsMutators are the Counter/Timer/Histogram methods that write a metric.
+var obsMutators = map[string]bool{
+	"Add": true, "Inc": true, "AddNanos": true, "Since": true, "Observe": true,
+}
 
 func runObsGuard(pass *lint.Pass) error {
 	m := pass.Module
@@ -32,6 +44,7 @@ func runObsGuard(pass *lint.Pass) error {
 	for _, pkg := range m.Pkgs {
 		if lint.PathHasSuffix(pkg.Path, "internal/obs") {
 			checkObsFieldAccess(pass, pkg)
+			checkObsDocSync(pass, pkg)
 		}
 	}
 	// Rule 2: Enabled() gating in the hot-path closure.
@@ -72,21 +85,31 @@ func checkObsFieldAccess(pass *lint.Pass, pkg *lint.Package) {
 					return true
 				}
 				field := s.Obj()
-				if field.Name() != "v" || !isObsCounterType(s.Recv()) {
+				if !isObsCounterType(s.Recv()) {
 					return true
 				}
-				pass.Reportf(sel.Pos(), "direct access to counter storage outside the atomic helpers; use Add/Inc/Load")
+				switch field.Name() {
+				case "v":
+					pass.Reportf(sel.Pos(), "direct access to counter storage outside the atomic helpers; use Add/Inc/Load")
+				case "buckets", "sum", "count":
+					pass.Reportf(sel.Pos(), "direct access to histogram storage outside the atomic helpers; use Observe/Snapshot")
+				}
 				return true
 			})
 		}
 	}
 }
 
-// obsHelperFunc reports whether fd is allowed to touch counter storage:
-// a method on Counter or Timer, or the registry-wide Capture/Reset.
+// obsHelperFunc reports whether fd is allowed to touch metric storage:
+// a method on Counter, Timer or Histogram, or the registry-wide
+// Capture/CaptureHistograms/Reset.
 func obsHelperFunc(pkg *lint.Package, fd *ast.FuncDecl) bool {
 	if fd.Recv == nil {
-		return fd.Name.Name == "Capture" || fd.Name.Name == "Reset"
+		switch fd.Name.Name {
+		case "Capture", "CaptureHistograms", "Reset":
+			return true
+		}
+		return false
 	}
 	obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
 	if !ok {
@@ -104,11 +127,14 @@ func obsHelperFunc(pkg *lint.Package, fd *ast.FuncDecl) bool {
 	if !ok {
 		return false
 	}
-	return named.Obj().Name() == "Counter" || named.Obj().Name() == "Timer"
+	return obsMetricTypes[named.Obj().Name()]
 }
 
+// obsMetricTypes are the obs package's metric holder types.
+var obsMetricTypes = map[string]bool{"Counter": true, "Timer": true, "Histogram": true}
+
 // isObsCounterType reports whether t (possibly a pointer) is the obs
-// Counter or Timer type.
+// Counter, Timer or Histogram type.
 func isObsCounterType(t types.Type) bool {
 	if p, ok := t.(*types.Pointer); ok {
 		t = p.Elem()
@@ -120,7 +146,7 @@ func isObsCounterType(t types.Type) bool {
 	if !lint.PathHasSuffix(named.Obj().Pkg().Path(), "internal/obs") {
 		return false
 	}
-	return named.Obj().Name() == "Counter" || named.Obj().Name() == "Timer"
+	return obsMetricTypes[named.Obj().Name()]
 }
 
 // checkObsGated flags counter mutations in a hot function that are not
@@ -183,4 +209,102 @@ func CalleeEnabledFunc(info *types.Info, call *ast.CallExpr) bool {
 	fn := lint.CalleeFunc(info, call)
 	return fn != nil && fn.Name() == "Enabled" && fn.Pkg() != nil &&
 		lint.PathHasSuffix(fn.Pkg().Path(), "internal/obs")
+}
+
+// obsRegistrars are the obs package constructors that register a metric
+// under a dotted name.
+var obsRegistrars = map[string]bool{"newCounter": true, "newTimer": true, "newHistogram": true}
+
+// obsRegistration is one newCounter/newTimer/newHistogram call site.
+type obsRegistration struct {
+	name string
+	pos  ast.Node
+}
+
+// checkObsDocSync cross-checks the metric registry against the
+// docs/OBSERVABILITY.md tables: every registered name must appear in a
+// table row (`| `name` | meaning |`) and every table row must name a
+// registered metric. Packages with no registration calls are skipped —
+// they keep their metrics outside the documented registry on purpose.
+func checkObsDocSync(pass *lint.Pass, pkg *lint.Package) {
+	var regs []obsRegistration
+	var firstRegFile *ast.File
+	for _, file := range pkg.Files {
+		file := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || !obsRegistrars[id.Name] {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			regs = append(regs, obsRegistration{name: name, pos: call.Args[0]})
+			if firstRegFile == nil {
+				firstRegFile = file
+			}
+			return true
+		})
+	}
+	if len(regs) == 0 {
+		return
+	}
+	docPath := filepath.Join(pass.Module.Dir, "docs", "OBSERVABILITY.md")
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		pass.Reportf(firstRegFile.Name.Pos(), "metric registry has no docs/OBSERVABILITY.md to sync against: %v", err)
+		return
+	}
+	documented := docMetricNames(string(data))
+	declared := make(map[string]bool, len(regs))
+	for _, r := range regs {
+		declared[r.name] = true
+		if !documented[r.name] {
+			pass.Reportf(r.pos.Pos(), "metric %s is not documented in docs/OBSERVABILITY.md", r.name)
+		}
+	}
+	var ghosts []string
+	for name := range documented {
+		if !declared[name] {
+			ghosts = append(ghosts, name)
+		}
+	}
+	sort.Strings(ghosts)
+	for _, name := range ghosts {
+		pass.Reportf(firstRegFile.Name.Pos(), "docs/OBSERVABILITY.md documents %s but no such metric is registered", name)
+	}
+}
+
+// docMetricNames extracts metric names from OBSERVABILITY.md table rows.
+// Only rows of the form `| `name` | ... |` whose name is dotted and
+// space-free count (the registry's naming convention): prose and other
+// tables may mention metrics freely without registering a doc claim.
+func docMetricNames(doc string) map[string]bool {
+	out := map[string]bool{}
+	for _, line := range strings.Split(doc, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "| `") {
+			continue
+		}
+		rest := line[len("| `"):]
+		end := strings.IndexByte(rest, '`')
+		if end <= 0 {
+			continue
+		}
+		name := rest[:end]
+		if !strings.Contains(name, ".") || strings.ContainsAny(name, " \t") {
+			continue
+		}
+		out[name] = true
+	}
+	return out
 }

@@ -33,6 +33,37 @@ type Timer struct{ c Counter }
 // AddNanos folds an elapsed duration into the timer.
 func (t *Timer) AddNanos(n int64) { t.c.Add(n) }
 
+// Histogram mirrors the real power-of-two-bucket distribution metric.
+type Histogram struct {
+	buckets [4]atomic.Int64
+	sum     atomic.Int64
+	count   atomic.Int64
+	name    string
+}
+
+// Observe records one value when collection is enabled.
+func (h *Histogram) Observe(v int64) {
+	if !Enabled() {
+		return
+	}
+	h.buckets[0].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// registry mirrors the real package's declaration-order metric list.
+var registry []string
+
+func newCounter(name, help string) *Counter {
+	registry = append(registry, name)
+	return new(Counter)
+}
+
+func newHistogram(name, help string) *Histogram {
+	registry = append(registry, name)
+	return &Histogram{name: name}
+}
+
 // Ops is the package's example counter.
 var Ops Counter
 
@@ -41,7 +72,17 @@ func Capture() int64 {
 	return Ops.v.Load()
 }
 
+// CaptureHistograms is likewise sanctioned for histogram storage.
+func CaptureHistograms() int64 {
+	return Latency.count.Load()
+}
+
 // Zero bypasses the helpers; rule 1 flags the storage access.
 func Zero() {
 	Ops.v.Store(0) // want `direct access to counter storage outside the atomic helpers; use Add/Inc/Load`
+}
+
+// Drain bypasses the helpers; rule 1 flags histogram storage too.
+func Drain(h *Histogram) int64 {
+	return h.sum.Load() // want `direct access to histogram storage outside the atomic helpers; use Observe/Snapshot`
 }

@@ -26,8 +26,31 @@ func SumGated(vals []int64) int64 {
 	return s
 }
 
+//etsqp:hotpath
+func Hist(vals []int64) int64 {
+	var s int64
+	for _, v := range vals {
+		s += v
+	}
+	obs.Latency.Observe(s) // want `obs counter update in hot path Hist is not behind obs\.Enabled\(\)`
+	return s
+}
+
+//etsqp:hotpath
+func HistGated(vals []int64) int64 {
+	var s int64
+	for _, v := range vals {
+		s += v
+	}
+	if obs.Enabled() {
+		obs.Latency.Observe(s) // gated: not flagged
+	}
+	return s
+}
+
 // Cold is not a hot path; ungated updates are fine (the helper itself
 // carries the enable gate).
 func Cold(vals []int64) {
 	obs.Ops.Add(int64(len(vals)))
+	obs.Latency.Observe(int64(len(vals)))
 }

@@ -43,6 +43,8 @@ var (
 		"wall time merging and joining per-range results")
 	EngineTimeQuery = newTimer("engine.time.query_ns",
 		"end-to-end wall time of executed queries")
+	EngineTimePrune = newTimer("engine.time.prune_ns",
+		"wall time selecting and pruning pages by header statistics")
 )
 
 // Pipeline: vectorized unpack work (Section III).
@@ -85,6 +87,33 @@ var (
 		"series materialized on demand from an indexed file")
 	StorageLazyPagesLoaded = newCounter("storage.lazy_pages_loaded",
 		"pages materialized by lazy series loads")
+)
+
+// Distributions: power-of-two-bucket histograms (histogram.go). The
+// engine.hist.* stage histograms receive one observation per query (the
+// query's summed stage nanoseconds), so they answer "how do stage costs
+// distribute across queries" — the Sections III/VII questions the sum
+// timers above cannot. The page/slice histograms observe once per decode
+// call / pipeline job.
+var (
+	EngineHistQuery = newHistogram("engine.hist.query_ns",
+		"distribution of end-to-end query wall time")
+	EngineHistIO = newHistogram("engine.hist.io_ns",
+		"per-query distribution of summed IO stage time")
+	EngineHistDecode = newHistogram("engine.hist.decode_ns",
+		"per-query distribution of summed decode stage time")
+	EngineHistFilter = newHistogram("engine.hist.filter_ns",
+		"per-query distribution of summed filter stage time")
+	EngineHistAgg = newHistogram("engine.hist.agg_ns",
+		"per-query distribution of summed aggregation stage time")
+	EngineHistMerge = newHistogram("engine.hist.merge_ns",
+		"per-query distribution of summed merge stage time")
+	EngineHistPageDecode = newHistogram("engine.hist.page_decode_ns",
+		"per-call distribution of page load+decode wall time (Section VII per-page decode cost)")
+	EngineHistSliceRows = newHistogram("engine.hist.slice_rows",
+		"distribution of rows per executed pipeline job (Figure 8 slice sizing)")
+	TransportHistFrameBytes = newHistogram("transport.hist.frame_bytes",
+		"wire-size distribution of frames written and parsed")
 )
 
 // Transport: the Section I encoded-delivery path.

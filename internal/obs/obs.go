@@ -147,19 +147,32 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	return d
 }
 
-// Reset zeroes every registered metric. Concurrent updates during the
-// reset land in the post-reset totals of the counters already visited.
+// Reset zeroes every registered metric and histogram. Concurrent updates
+// during the reset land in the post-reset totals of the counters already
+// visited.
 func Reset() {
 	for _, c := range registry {
 		c.v.Store(0)
+	}
+	for _, h := range histRegistry {
+		h.reset()
 	}
 }
 
 // Dump writes the current value of every metric as sorted
 // "name value" lines — the expvar-style text surface etsqp-bench and
-// etsqp-cli expose behind their -obs flags.
+// etsqp-cli expose behind their -obs flags. Histograms contribute five
+// derived lines each: .count, .sum, .p50, .p90 and .p99.
 func Dump(w io.Writer) error {
-	return Capture().Dump(w)
+	s := Capture()
+	for _, hs := range CaptureHistograms() {
+		s[hs.Name+".count"] = hs.Count
+		s[hs.Name+".sum"] = hs.Sum
+		s[hs.Name+".p50"] = int64(hs.Quantile(0.50))
+		s[hs.Name+".p90"] = int64(hs.Quantile(0.90))
+		s[hs.Name+".p99"] = int64(hs.Quantile(0.99))
+	}
+	return s.Dump(w)
 }
 
 // Dump writes the snapshot as sorted "name value" lines.

@@ -85,8 +85,10 @@ func TestDumpSortedAndComplete(t *testing.T) {
 			t.Fatal(err)
 		}
 		lines := strings.Split(strings.TrimSpace(b.String()), "\n")
-		if len(lines) != len(registry) {
-			t.Fatalf("dump has %d lines, registry has %d", len(lines), len(registry))
+		want := len(registry) + 5*len(histRegistry)
+		if len(lines) != want {
+			t.Fatalf("dump has %d lines, want %d (%d counters + 5x%d histograms)",
+				len(lines), want, len(registry), len(histRegistry))
 		}
 		for i := 1; i < len(lines); i++ {
 			if lines[i-1] >= lines[i] {

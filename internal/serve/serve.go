@@ -1,0 +1,222 @@
+// Package serve is the live observability surface of the engine: an
+// HTTP server exposing the obs registry as Prometheus text exposition
+// (/metrics), as a /debug/vars-style JSON document, the stdlib pprof
+// profiling handlers, and a /query endpoint that executes SQL with
+// tracing on and emits a span-tree JSON line to the slow-query log for
+// any query over the configured threshold. An optional TCP listener
+// ingests transport frames into the served store, so a running server
+// is a complete device-to-dashboard loop: devices ship encoded pages
+// in, operators read quantiles and profiles out.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"etsqp/internal/cli"
+	"etsqp/internal/engine"
+	"etsqp/internal/obs"
+	"etsqp/internal/storage"
+	"etsqp/internal/transport"
+)
+
+// Server wires an engine and its store to the HTTP surface.
+type Server struct {
+	Engine *engine.Engine
+	Store  *storage.Store
+
+	// SlowThreshold gates the slow-query log: a /query execution whose
+	// wall time meets or exceeds it emits one trace-JSON line to SlowLog.
+	// Zero logs every query; negative disables the log.
+	SlowThreshold time.Duration
+	// SlowLog receives slow-query trace lines (nil disables).
+	SlowLog io.Writer
+	// MaxRows caps row output on /query (0 = unlimited).
+	MaxRows int
+
+	logMu sync.Mutex
+}
+
+// Handler builds the HTTP mux:
+//
+//	/metrics          Prometheus text exposition of every obs metric
+//	/debug/vars       JSON registry dump (counters + histogram summaries)
+//	/debug/pprof/...  stdlib profiling endpoints
+//	/query?q=SQL      execute a statement with tracing on
+//	/healthz          liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteMetrics(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = WriteVars(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// handleQuery executes ?q= (or the POST body) with tracing on, renders
+// the result as the shell would, and feeds the slow-query log.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sql := r.URL.Query().Get("q")
+	if sql == "" && r.Body != nil {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err == nil {
+			sql = strings.TrimSpace(string(body))
+		}
+	}
+	if sql == "" {
+		http.Error(w, "missing query: pass ?q=SQL or a request body", http.StatusBadRequest)
+		return
+	}
+	res, tr, err := s.Engine.TraceSQL(sql)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.logSlow(tr)
+	if r.URL.Query().Get("trace") != "" {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = tr.WriteJSON(w)
+		return
+	}
+	cli.RenderResult(w, res, s.MaxRows)
+}
+
+// logSlow emits the trace as one JSON line when the query was slow
+// enough. Lines are written whole under a lock, so concurrent slow
+// queries never interleave mid-line.
+func (s *Server) logSlow(tr *engine.Trace) {
+	if s.SlowLog == nil || s.SlowThreshold < 0 {
+		return
+	}
+	if time.Duration(tr.ElapsedNs) < s.SlowThreshold {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	_ = tr.WriteJSON(s.SlowLog)
+}
+
+// ServeIngest accepts transport connections on l, ingesting frames into
+// the server's store until the listener closes. Each connection is one
+// device session; a corrupt frame terminates its session only.
+func (s *Server) ServeIngest(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_, _ = transport.Receive(conn, s.Store)
+		}()
+	}
+}
+
+// promName converts a dotted obs metric name to a Prometheus series
+// name: etsqp_ prefix, dots to underscores.
+func promName(name string) string {
+	return "etsqp_" + strings.ReplaceAll(name, ".", "_")
+}
+
+// promFloat formats a bucket bound the way Prometheus text exposition
+// expects floats.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteMetrics writes every obs counter, timer, and histogram in the
+// Prometheus text exposition format. Counters and timers expose as
+// counter series; histograms expose cumulative _bucket{le=...} series
+// over their non-empty power-of-two buckets plus the mandatory
+// le="+Inf" bucket, and _sum/_count series.
+func WriteMetrics(w io.Writer) error {
+	snap := obs.Capture()
+	for _, m := range obs.Metrics() {
+		n := promName(m.Name)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			n, m.Help, n, n, snap[m.Name]); err != nil {
+			return err
+		}
+	}
+	helps := obs.Histograms()
+	for i, hs := range obs.CaptureHistograms() {
+		n := promName(hs.Name)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
+			n, helps[i].Help, n); err != nil {
+			return err
+		}
+		var cum int64
+		for b := 0; b < obs.HistBuckets; b++ {
+			if hs.Buckets[b] == 0 {
+				continue
+			}
+			cum += hs.Buckets[b]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+				n, promFloat(obs.BucketUpperBound(b)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			n, hs.Count, n, hs.Sum, n, hs.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histVar is the JSON summary of one histogram in the /debug/vars dump.
+type histVar struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// WriteVars writes the whole obs registry as one JSON object — the
+// /debug/vars-style surface. Counter names map to their values;
+// histogram names map to {count, sum, p50, p90, p99} objects. Keys are
+// the dotted metric names, sorted (encoding/json sorts map keys), so
+// the document layout is stable.
+func WriteVars(w io.Writer) error {
+	vars := make(map[string]any)
+	for name, v := range obs.Capture() {
+		vars[name] = v
+	}
+	for _, hs := range obs.CaptureHistograms() {
+		vars[hs.Name] = histVar{
+			Count: hs.Count, Sum: hs.Sum,
+			P50: hs.Quantile(0.50), P90: hs.Quantile(0.90), P99: hs.Quantile(0.99),
+		}
+	}
+	out, err := json.MarshalIndent(vars, "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(out); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "\n")
+	return err
+}

@@ -1,0 +1,155 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"etsqp/internal/obs"
+	"etsqp/internal/storage"
+)
+
+// validStream builds a wire stream carrying `frames` page-pair frames
+// (no close frame), returning the raw bytes.
+func validStream(t *testing.T, frames int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	s := NewSender(&buf, 100, storage.Options{})
+	for f := 0; f < frames; f++ {
+		for i := 0; i < 100; i++ {
+			if err := s.Record("s", int64(f*100+i+1), int64(i%9)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// storePoints counts ingested points for series s (0 when absent).
+func storePoints(st *storage.Store) int {
+	ser, ok := st.Series("s")
+	if !ok {
+		return 0
+	}
+	return ser.NumPoints()
+}
+
+// TestTruncatedFrameIsBadFrame checks every possible truncation point of
+// a frame stream either ends cleanly at a frame boundary (EOF → nil
+// error from Receive) or reports ErrBadFrame — never a panic, and never
+// a partially ingested page.
+func TestTruncatedFrameIsBadFrame(t *testing.T) {
+	raw := validStream(t, 2)
+	frameLen := len(raw) / 2 // two identical-shape frames
+	for cut := 0; cut < len(raw); cut++ {
+		st := storage.NewStore()
+		n, err := Receive(bytes.NewReader(raw[:cut]), st)
+		atBoundary := cut == 0 || cut == frameLen
+		if atBoundary {
+			if err != nil {
+				t.Fatalf("cut %d at frame boundary: err = %v, want clean EOF", cut, err)
+			}
+		} else if !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("cut %d mid-frame: err = %v, want ErrBadFrame", cut, err)
+		}
+		// Whatever was ingested must be whole frames only.
+		if want := n * 100; storePoints(st) != want {
+			t.Fatalf("cut %d: store holds %d points for %d ingested pairs", cut, storePoints(st), n)
+		}
+	}
+}
+
+// TestFlippedCRCBytesAreBadFrame flips each of the four trailing CRC
+// bytes in turn and checks the frame is rejected with ErrBadFrame and
+// nothing reaches the store.
+func TestFlippedCRCBytesAreBadFrame(t *testing.T) {
+	raw := validStream(t, 1)
+	for i := len(raw) - 4; i < len(raw); i++ {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x01
+		st := storage.NewStore()
+		n, err := Receive(bytes.NewReader(mut), st)
+		if !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("flipped CRC byte %d: err = %v, want ErrBadFrame", i, err)
+		}
+		if n != 0 || storePoints(st) != 0 {
+			t.Fatalf("flipped CRC byte %d: %d pairs / %d points leaked into store", i, n, storePoints(st))
+		}
+	}
+}
+
+// TestOversizedFrameLenIsBadFrame checks a frame advertising a payload
+// beyond the 1<<28 cap is rejected before any allocation of that size.
+func TestOversizedFrameLenIsBadFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(frameMagic[:])
+	buf.WriteByte(framePagePair)
+	var tmp [4]byte
+	binary.BigEndian.PutUint16(tmp[:2], 1)
+	buf.Write(tmp[:2])
+	buf.WriteByte('s')
+	binary.BigEndian.PutUint32(tmp[:4], 1<<28+1)
+	buf.Write(tmp[:4])
+	st := storage.NewStore()
+	n, err := Receive(bytes.NewReader(buf.Bytes()), st)
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized frameLen: err = %v, want ErrBadFrame", err)
+	}
+	if n != 0 || storePoints(st) != 0 {
+		t.Fatal("oversized frame leaked into store")
+	}
+}
+
+// TestCleanEOFBetweenFramesIsNotAnError pins the boundary contract:
+// readFrame at a clean end of stream reports io.EOF (not ErrBadFrame),
+// which Receive treats as a normal end.
+func TestCleanEOFBetweenFramesIsNotAnError(t *testing.T) {
+	if _, _, _, err := readFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+	raw := validStream(t, 1)
+	st := storage.NewStore()
+	n, err := Receive(bytes.NewReader(raw), st)
+	if err != nil || n != 1 {
+		t.Fatalf("whole stream without close frame: n=%d err=%v", n, err)
+	}
+}
+
+// TestFrameBytesHistogramObserves checks the transport frame-size
+// histogram sees one observation per frame on each side of the wire.
+func TestFrameBytesHistogramObserves(t *testing.T) {
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	before := obs.CaptureHistograms()
+	raw := validStream(t, 2) // writeFrame observes twice
+	st := storage.NewStore()
+	if _, err := Receive(bytes.NewReader(raw), st); err != nil {
+		t.Fatal(err)
+	}
+	var prev, cur obs.HistogramSnapshot
+	for _, h := range before {
+		if h.Name == obs.TransportHistFrameBytes.Name() {
+			prev = h
+		}
+	}
+	for _, h := range obs.CaptureHistograms() {
+		if h.Name == obs.TransportHistFrameBytes.Name() {
+			cur = h
+		}
+	}
+	d := cur.Delta(prev)
+	if d.Count != 4 { // 2 frames written + 2 frames read
+		t.Fatalf("frame_bytes histogram count delta = %d, want 4", d.Count)
+	}
+	if d.Sum != 2*int64(len(raw)) {
+		t.Fatalf("frame_bytes histogram sum delta = %d, want %d", d.Sum, 2*len(raw))
+	}
+}

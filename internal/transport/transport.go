@@ -60,14 +60,31 @@ func writeFrame(w io.Writer, ftype byte, series string, payload []byte) error {
 	}
 	obs.TransportFramesOut.Inc()
 	obs.TransportBytesOut.Add(int64(len(head) + len(payload) + 4))
+	obs.TransportHistFrameBytes.Observe(int64(len(head) + len(payload) + 4))
 	return nil
+}
+
+// truncated maps an io.ReadFull error inside a frame to ErrBadFrame: a
+// stream ending mid-frame is corruption, not a clean end of stream.
+// (io.ReadFull reports EOF when zero bytes were read and
+// io.ErrUnexpectedEOF on a short read — mid-frame, both mean the peer
+// cut off inside a frame.)
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("transport: truncated frame: %w", ErrBadFrame)
+	}
+	return err
 }
 
 // readFrame parses one frame.
 func readFrame(r io.Reader) (ftype byte, series string, payload []byte, err error) {
 	var head [5]byte
 	if _, err = io.ReadFull(r, head[:]); err != nil {
-		return 0, "", nil, err
+		if errors.Is(err, io.EOF) {
+			// A clean end of stream between frames is EOF, not corruption.
+			return 0, "", nil, io.EOF
+		}
+		return 0, "", nil, truncated(err)
 	}
 	if head[0] != frameMagic[0] || head[1] != frameMagic[1] {
 		return 0, "", nil, ErrBadFrame
@@ -76,23 +93,23 @@ func readFrame(r io.Reader) (ftype byte, series string, payload []byte, err erro
 	nameLen := int(binary.BigEndian.Uint16(head[3:]))
 	name := make([]byte, nameLen)
 	if _, err = io.ReadFull(r, name); err != nil {
-		return 0, "", nil, err
+		return 0, "", nil, truncated(err)
 	}
 	var lenBuf [4]byte
 	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
-		return 0, "", nil, err
+		return 0, "", nil, truncated(err)
 	}
 	plen := binary.BigEndian.Uint32(lenBuf[:])
 	if plen > 1<<28 {
-		return 0, "", nil, ErrBadFrame
+		return 0, "", nil, fmt.Errorf("transport: frame length %d exceeds limit: %w", plen, ErrBadFrame)
 	}
 	payload = make([]byte, plen)
 	if _, err = io.ReadFull(r, payload); err != nil {
-		return 0, "", nil, err
+		return 0, "", nil, truncated(err)
 	}
 	var crcBuf [4]byte
 	if _, err = io.ReadFull(r, crcBuf[:]); err != nil {
-		return 0, "", nil, err
+		return 0, "", nil, truncated(err)
 	}
 	if binary.BigEndian.Uint32(crcBuf[:]) != crc32.ChecksumIEEE(payload) {
 		obs.TransportCRCFailures.Inc()
@@ -100,6 +117,7 @@ func readFrame(r io.Reader) (ftype byte, series string, payload []byte, err erro
 	}
 	obs.TransportFramesIn.Inc()
 	obs.TransportBytesIn.Add(int64(5 + nameLen + 4 + len(payload) + 4))
+	obs.TransportHistFrameBytes.Observe(int64(5 + nameLen + 4 + len(payload) + 4))
 	return ftype, string(name), payload, nil
 }
 

@@ -113,7 +113,9 @@ func BucketUpperBound(i int) float64 {
 }
 
 // Quantile estimates the q-quantile (0 <= q <= 1) from the bucket
-// counts, interpolating linearly within the winning bucket. An empty
+// counts, interpolating linearly within the winning bucket. The estimate
+// always lies within the winning bucket's [lo, hi) range — p100 of
+// all-value-3 observations reports a value in [2, 4), never 4. An empty
 // histogram reports 0.
 func (s *HistogramSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 {
@@ -144,8 +146,15 @@ func (s *HistogramSnapshot) Quantile(q float64) float64 {
 		if math.IsInf(hi, 1) {
 			return lo // top bucket: report its lower bound
 		}
-		frac := (rank - seen) / fc
-		return lo + (hi-lo)*frac
+		// Clamp the in-bucket rank to fc-0.5 so frac < 1 and the estimate
+		// stays inside [lo, hi): when the rank lands exactly on a bucket
+		// boundary, interpolating to frac = 1 would report the exclusive
+		// upper bound — a value no observation in the bucket can have.
+		r := rank - seen
+		if r > fc-0.5 {
+			r = fc - 0.5
+		}
+		return lo + (hi-lo)*(r/fc)
 	}
 	return 0
 }

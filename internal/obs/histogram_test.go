@@ -73,6 +73,38 @@ func TestHistogramObserveAndQuantiles(t *testing.T) {
 	})
 }
 
+// TestHistogramQuantileStaysInBucket pins the boundary behavior: when
+// the rank lands exactly on a bucket boundary the estimate must stay
+// inside the winning bucket's [lo, hi) range, not report the exclusive
+// upper bound.
+func TestHistogramQuantileStaysInBucket(t *testing.T) {
+	withClean(t, func() {
+		Enable()
+		// All observations are 3: every quantile lives in bucket [2, 4).
+		for i := 0; i < 10; i++ {
+			EngineHistQuery.Observe(3)
+		}
+		s := EngineHistQuery.Snapshot()
+		for _, q := range []float64{0, 0.5, 0.9, 1} {
+			if v := s.Quantile(q); v < 2 || v >= 4 {
+				t.Errorf("Quantile(%v) = %v, want within [2, 4)", q, v)
+			}
+		}
+		// A boundary rank between two occupied buckets must not overshoot
+		// the lower bucket either: 5 obs in [2,4), 5 in [4,8) puts the
+		// p50 rank exactly on the bucket edge.
+		Reset()
+		for i := 0; i < 5; i++ {
+			EngineHistQuery.Observe(3)
+			EngineHistQuery.Observe(5)
+		}
+		s = EngineHistQuery.Snapshot()
+		if v := s.Quantile(0.5); v < 2 || v >= 4 {
+			t.Errorf("boundary p50 = %v, want within the lower bucket [2, 4)", v)
+		}
+	})
+}
+
 func TestHistogramDelta(t *testing.T) {
 	withClean(t, func() {
 		Enable()

@@ -167,7 +167,10 @@ func WriteMetrics(w io.Writer) error {
 			return err
 		}
 		var cum int64
-		for b := 0; b < obs.HistBuckets; b++ {
+		// The top bucket's bound is +Inf, already covered by the
+		// mandatory trailing le="+Inf" line — emitting it here too would
+		// duplicate the sample.
+		for b := 0; b < obs.HistBuckets-1; b++ {
 			if hs.Buckets[b] == 0 {
 				continue
 			}

@@ -94,6 +94,36 @@ func TestMetricsHistogramGolden(t *testing.T) {
 	}
 }
 
+// TestMetricsTopBucketNoDuplicateInf checks a populated top bucket
+// (values >= 2^62, whose bound is +Inf) does not emit a second
+// le="+Inf" sample alongside the mandatory trailing one.
+func TestMetricsTopBucketNoDuplicateInf(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	obs.TransportHistFrameBytes.Observe(3)
+	obs.TransportHistFrameBytes.Observe(1 << 62) // top bucket
+	var b strings.Builder
+	if err := WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	infLines := 0
+	for _, ln := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(ln, `etsqp_transport_hist_frame_bytes_bucket{le="+Inf"} `) {
+			infLines++
+			if ln != `etsqp_transport_hist_frame_bytes_bucket{le="+Inf"} 2` {
+				t.Errorf("+Inf bucket must carry the full count: %q", ln)
+			}
+		}
+	}
+	if infLines != 1 {
+		t.Errorf("got %d le=\"+Inf\" samples, want exactly 1", infLines)
+	}
+}
+
 // TestMetricsExpositionValid checks every line of /metrics is
 // well-formed Prometheus text exposition and every registered metric
 // appears: counters as single samples, histograms with bucket, sum and

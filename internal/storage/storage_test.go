@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -417,5 +418,106 @@ func TestChecksumDetectsCorruption(t *testing.T) {
 	page.Header.Checksum = 0
 	if err := page.VerifyChecksum(); err != nil {
 		t.Fatal("zero checksum must be accepted")
+	}
+}
+
+// TestStoreConcurrentIngestAndQuery pins the serve-loop contract under
+// the race detector: ingest goroutines append pages through
+// Store.Append/AppendPages while query goroutines hold a *Series — the
+// way the engine holds one after Store.Series returns — and read it
+// through the accessor methods for the whole duration of the ingest.
+func TestStoreConcurrentIngestAndQuery(t *testing.T) {
+	st := NewStore()
+	const (
+		batches   = 50
+		batchRows = 64
+		readers   = 4
+	)
+	allTs, allVals := genSeries(batches * batchRows)
+
+	// Publish both series with their first batch so readers can grab and
+	// hold a *Series before the ingest traffic starts.
+	for _, name := range []string{"ingest", "flushed"} {
+		if err := st.Append(name, allTs[:batchRows], allVals[:batchRows], Options{PageSize: 16}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg, writers, readersUp sync.WaitGroup
+	writersDone := make(chan struct{})
+	readersUp.Add(readers)
+	writers.Add(2)
+	wg.Add(1)
+	go func() { // the transport.Receive path: pre-encoded pages in
+		defer wg.Done()
+		defer writers.Done()
+		readersUp.Wait()
+		for b := 1; b < batches; b++ {
+			off := b * batchRows
+			pairs, err := EncodePages(allTs[off:off+batchRows], allVals[off:off+batchRows], Options{PageSize: 16})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := st.AppendPages("ingest", pairs); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // the buffered-flush path on a second series
+		defer wg.Done()
+		defer writers.Done()
+		readersUp.Wait()
+		for b := 1; b < batches; b++ {
+			off := b * batchRows
+			if err := st.Append("flushed", allTs[off:off+batchRows], allVals[off:off+batchRows], Options{PageSize: 16}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		writers.Wait()
+		close(writersDone)
+	}()
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() { // the engine path: hold the series, read until ingest ends
+			defer wg.Done()
+			serA, _ := st.Series("ingest")
+			serB, _ := st.Series("flushed")
+			readersUp.Done()
+			for {
+				for _, ser := range []*Series{serA, serB} {
+					start, end := ser.TimeRange()
+					for _, pp := range ser.PagesInRange(start, end) {
+						if pp.Count() <= 0 {
+							t.Error("empty page in range")
+							return
+						}
+					}
+					_ = ser.NumPoints()
+					_ = ser.EncodedBytes()
+				}
+				select {
+				case <-writersDone:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, name := range []string{"ingest", "flushed"} {
+		ser, ok := st.Series(name)
+		if !ok || ser.NumPoints() != batches*batchRows {
+			t.Fatalf("%s: points = %d, want %d", name, ser.NumPoints(), batches*batchRows)
+		}
+		if _, _, err := st.ReadColumns(name); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

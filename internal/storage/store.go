@@ -44,15 +44,34 @@ func (o Options) withDefaults() Options {
 }
 
 // Series is one stored time series: pages of (timestamp, value) columns.
+//
+// mu guards Pages: a *Series handed out by Store.Series may be queried
+// (PagesInRange, TimeRange, NumPoints, ...) while ingest goroutines
+// append through Store.Append/AppendPages, so the accessor methods take
+// mu and the store's mutators hold it while changing Pages. Direct field
+// access is only safe before the series is published to a store or when
+// no concurrent writer exists (loaders, tests, examples).
 type Series struct {
 	Name  string
 	Pages []PagePair
+
+	mu sync.RWMutex
+}
+
+// pagesSnapshot returns a stable view of the page list. Mutators only
+// append past the snapshot's length or swap in a freshly built slice
+// (Compact); existing elements are never written in place, so the
+// returned header can be read without holding the lock.
+func (s *Series) pagesSnapshot() []PagePair {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.Pages
 }
 
 // NumPoints sums the page counts.
 func (s *Series) NumPoints() int {
 	n := 0
-	for _, pp := range s.Pages {
+	for _, pp := range s.pagesSnapshot() {
 		n += pp.Count()
 	}
 	return n
@@ -60,17 +79,18 @@ func (s *Series) NumPoints() int {
 
 // TimeRange returns the series' covered [start, end] time range.
 func (s *Series) TimeRange() (start, end int64) {
-	if len(s.Pages) == 0 {
+	pages := s.pagesSnapshot()
+	if len(pages) == 0 {
 		return 0, 0
 	}
-	return s.Pages[0].StartTime(), s.Pages[len(s.Pages)-1].EndTime()
+	return pages[0].StartTime(), pages[len(pages)-1].EndTime()
 }
 
 // EncodedBytes sums the payload sizes of all pages (the I/O volume the
 // throughput benchmarks charge against each encoder).
 func (s *Series) EncodedBytes() int {
 	n := 0
-	for _, pp := range s.Pages {
+	for _, pp := range s.pagesSnapshot() {
 		n += len(pp.Time.Data) + len(pp.Value.Data)
 	}
 	return n
@@ -179,6 +199,8 @@ func (s *Store) Append(name string, ts, vals []int64, opts Options) error {
 		ser = &Series{Name: name}
 		s.series[name] = ser
 	}
+	ser.mu.Lock()
+	defer ser.mu.Unlock()
 	if len(ser.Pages) > 0 && len(pairs) > 0 {
 		if last := ser.Pages[len(ser.Pages)-1].EndTime(); pairs[0].StartTime() <= last {
 			return fmt.Errorf("storage: append to %q out of time order (%d <= %d)",
@@ -216,7 +238,7 @@ func (s *Store) ReadColumns(name string) (ts, vals []int64, err error) {
 	if !ok {
 		return nil, nil, fmt.Errorf("storage: unknown series %q", name)
 	}
-	for _, pp := range ser.Pages {
+	for _, pp := range ser.pagesSnapshot() {
 		t, err := pp.Time.Decode()
 		if err != nil {
 			return nil, nil, err
@@ -238,18 +260,19 @@ func (s *Series) PagesInRange(t1, t2 int64) []PagePair {
 	if t2 < t1 {
 		return nil
 	}
+	pages := s.pagesSnapshot()
 	// First page whose end reaches t1.
-	lo := sort.Search(len(s.Pages), func(i int) bool {
-		return s.Pages[i].EndTime() >= t1
+	lo := sort.Search(len(pages), func(i int) bool {
+		return pages[i].EndTime() >= t1
 	})
 	// First page that starts after t2.
-	hi := sort.Search(len(s.Pages), func(i int) bool {
-		return s.Pages[i].StartTime() > t2
+	hi := sort.Search(len(pages), func(i int) bool {
+		return pages[i].StartTime() > t2
 	})
 	if lo >= hi {
 		return nil
 	}
-	return s.Pages[lo:hi]
+	return pages[lo:hi]
 }
 
 // Compact re-encodes a series into uniform pages of the given options —
@@ -271,7 +294,9 @@ func (s *Store) Compact(name string, opts Options) error {
 	if !ok {
 		return fmt.Errorf("storage: unknown series %q", name)
 	}
+	ser.mu.Lock()
 	ser.Pages = pairs
+	ser.mu.Unlock()
 	return nil
 }
 
@@ -286,6 +311,8 @@ func (s *Store) AppendPages(name string, pairs []PagePair) error {
 		ser = &Series{Name: name}
 		s.series[name] = ser
 	}
+	ser.mu.Lock()
+	defer ser.mu.Unlock()
 	for _, pp := range pairs {
 		if len(ser.Pages) > 0 {
 			if last := ser.Pages[len(ser.Pages)-1].EndTime(); pp.StartTime() <= last {

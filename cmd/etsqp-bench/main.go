@@ -36,6 +36,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "dataset generator seed")
 		workers = flag.Int("workers", 0, "engine worker pipelines (0 = GOMAXPROCS)")
 		reps    = flag.Int("reps", 0, "timed repetitions per point, best-of (0 = default 3)")
+		conc    = flag.Bool("conc", false, "run the concurrent-clients shared-execution figure")
 		csvOut  = flag.Bool("csv", false, "emit measurements as CSV instead of tables")
 		obsDump = flag.Bool("obs", false, "enable global metrics and dump them on exit")
 		jsonOut = flag.String("jsonout", "", "write every measurement of the run to this BENCH_*.json file")
@@ -53,7 +54,7 @@ func main() {
 	}
 	cfg := bench.Config{Rows: *rows, Seed: *seed, Workers: *workers, Reps: *reps}.WithDefaults()
 
-	if !*all && *fig == 0 && *table == 0 {
+	if !*all && *fig == 0 && *table == 0 && !*conc {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -86,6 +87,10 @@ func main() {
 		if *all || *fig == 13 {
 			section("Figure 13: deployment comparison (time & value range queries)")
 			printMeasurements(must(bench.Fig13(cfg)))
+		}
+		if *all || *conc {
+			section("Concurrent clients: shared pool vs pool+cache, skewed page widths (aggregate Mtuples/s)")
+			printMeasurements(must(bench.FigConcurrent(cfg, nil)))
 		}
 		if *all || *fig == 14 {
 			section("Figure 14(a): decoder fusion ablation")

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"etsqp/internal/cli"
+	"etsqp/internal/exec"
 	"etsqp/internal/obs"
 	"etsqp/internal/serve"
 	"etsqp/internal/storage"
@@ -109,6 +110,8 @@ func runServe(args []string) {
 		httpAddr = fs.String("http", ":8080", "HTTP listen address")
 		ingest   = fs.String("ingest", "", "transport ingest listen address (empty = off)")
 		slow     = fs.Duration("slow", 100*time.Millisecond, "slow-query log threshold (0 logs everything)")
+		execWork = fs.Int("exec-workers", 0, "shared execution pool size (0 = GOMAXPROCS)")
+		cacheMB  = fs.Int("cache-mb", 64, "decoded-page cache budget in MiB (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		log.Fatal(err)
@@ -130,6 +133,14 @@ func runServe(args []string) {
 	eng, err := cfg.NewEngine(store)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// The shared execution layer (docs/EXECUTION.md): one pool for every
+	// concurrent query, and a decoded-page cache invalidated on ingest.
+	eng.Pool = exec.NewPool(*execWork)
+	if *cacheMB > 0 {
+		cache := exec.NewPageCache(int64(*cacheMB) << 20)
+		store.OnMutate(func(series string) { cache.InvalidateSeries(series) })
+		eng.Cache = cache
 	}
 	obs.Enable() // the serving surface exists to be scraped
 	srv := &serve.Server{

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"etsqp/internal/baseline"
@@ -9,6 +11,7 @@ import (
 	"etsqp/internal/encoding"
 	"etsqp/internal/encoding/rlbe"
 	"etsqp/internal/engine"
+	"etsqp/internal/exec"
 	"etsqp/internal/fusion"
 	"etsqp/internal/storage"
 )
@@ -395,6 +398,117 @@ func Fig14Slices(cfg Config, sliceCounts []int) ([]Measurement, error) {
 		m.Extra["prefix_rows"] = float64(cfg.Rows) * float64(s-1) / 2
 		m.Figure, m.Series, m.X = "fig14cd", "ETSQP", fmt.Sprintf("slices=%d", s)
 		out = append(out, m)
+	}
+	return out, nil
+}
+
+// FigConcurrent measures the shared execution layer end to end: N
+// parallel clients issue a value-filter aggregation (the decode path, so
+// the decoded-page cache applies) over a skewed page-width dataset, all
+// sharing one worker pool — once uncached ("pool") and once with a
+// decoded-page cache ("pool+cache"). Throughput is aggregate: tuples
+// loaded across every client divided by the wall time of the round.
+func FigConcurrent(cfg Config, clients []int) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	if len(clients) == 0 {
+		clients = []int{2, 4, 8}
+	}
+	d, err := dataset.Generate("Sine", cfg.Rows, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Skewed page widths: ingest in chunks under cycling page sizes, so
+	// morsels differ widely in cost — the static-split worst case the
+	// work-stealing scheduler exists for.
+	widths := []int{cfg.PageSize / 16, cfg.PageSize, cfg.PageSize / 4}
+	for i, w := range widths {
+		if w < 1 {
+			widths[i] = 1
+		}
+	}
+	st := storage.NewStore()
+	chunk := cfg.PageSize
+	for off, c := 0, 0; off < cfg.Rows; off, c = off+chunk, c+1 {
+		end := off + chunk
+		if end > cfg.Rows {
+			end = cfg.Rows
+		}
+		opts := storage.Options{PageSize: widths[c%len(widths)]}
+		if err := st.Append("ts1", d.Time[off:end], d.Attrs[0][off:end], opts); err != nil {
+			return nil, err
+		}
+	}
+	sorted := append([]int64(nil), d.Attrs[0]...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sql := fmt.Sprintf("SELECT SUM(A) FROM (SELECT * FROM ts1 WHERE A > %d)", sorted[len(sorted)/2])
+
+	pool := exec.NewPool(cfg.Workers)
+	defer pool.Close()
+	var out []Measurement
+	for _, cached := range []bool{false, true} {
+		series := "pool"
+		var cache *exec.PageCache
+		if cached {
+			series = "pool+cache"
+			// Budget comfortably above the decoded dataset (two int64
+			// columns) so steady state is all hits.
+			cache = exec.NewPageCache(int64(cfg.Rows) * 64)
+		}
+		for _, nc := range clients {
+			engines := make([]*engine.Engine, nc)
+			for i := range engines {
+				e := engine.New(st, engine.ModeETSQP)
+				e.Workers = cfg.Workers
+				e.Pool = pool
+				e.Cache = cache
+				engines[i] = e
+			}
+			// Warm-up round: fills the cache and yields the per-query
+			// tuple count for the throughput denominator.
+			warm, err := engines[0].ExecuteSQL(sql)
+			if err != nil {
+				return nil, fmt.Errorf("figconc %s: %w", series, err)
+			}
+			tuples := warm.Stats.TuplesLoaded
+			round := func() (time.Duration, error) {
+				errs := make([]error, nc)
+				var wg sync.WaitGroup
+				start := time.Now()
+				for i := 0; i < nc; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						_, errs[i] = engines[i].ExecuteSQL(sql)
+					}(i)
+				}
+				wg.Wait()
+				wall := time.Since(start)
+				for _, e := range errs {
+					if e != nil {
+						return 0, e
+					}
+				}
+				return wall, nil
+			}
+			var best time.Duration
+			for r := 0; r < cfg.Reps; r++ {
+				wall, err := round()
+				if err != nil {
+					return nil, fmt.Errorf("figconc %s clients=%d: %w", series, nc, err)
+				}
+				if best == 0 || wall < best {
+					best = wall
+				}
+			}
+			out = append(out, Measurement{
+				Figure: "figconc", Series: series, X: fmt.Sprintf("clients=%d", nc),
+				Elapsed:    best,
+				Throughput: float64(int64(nc)*tuples) / best.Seconds() / 1e6,
+				Extra: map[string]float64{
+					"tuples_per_query": float64(tuples),
+				},
+			})
+		}
 	}
 	return out, nil
 }

@@ -3,10 +3,10 @@ package engine
 import (
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"etsqp/internal/encoding/ts2diff"
+	"etsqp/internal/exec"
 	"etsqp/internal/expr"
 	"etsqp/internal/fusion"
 	"etsqp/internal/obs"
@@ -249,44 +249,42 @@ func (e *Engine) executeAgg(q *sqlparse.Query, series string, preds []sqlparse.P
 	}
 
 	jobs := e.jobsFor(loaded)
-	global := &partialAgg{}
-	winAgg := make([]partialAgg, len(windows))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(jobs))
+	slices := make([]pipeline.Slice, 0, len(loaded))
+	for _, js := range jobs {
+		slices = append(slices, js...)
+	}
 	// fusible: the aggregate set can run on encoded form in this mode;
 	// whether a particular slice actually fuses also depends on its page
 	// statistics versus the value predicates (see aggSlice).
 	fusible := !needsValues(q.Items) && e.Mode != ModeSerial &&
 		e.Mode != ModeSBoost && e.Mode != ModeFastLanes
-	for _, slices := range jobs {
-		if len(slices) == 0 {
-			continue
+	// Per-slot partials: Worker.Slot is assigned exactly once per batch,
+	// so each participant folds into its own cell with no mutex; the
+	// merge node runs sequentially after the batch completes (Run's
+	// return establishes the happens-before for the slot-local writes).
+	par := e.workers()
+	locals := make([]partialAgg, par)
+	winLocal := make([]partialAgg, par*len(windows))
+	nw := len(windows)
+	err := e.pool().Run(len(slices), par, func(w *exec.Worker, i int) error {
+		var lw []partialAgg
+		if nw > 0 {
+			lw = winLocal[w.Slot*nw : (w.Slot+1)*nw]
 		}
-		wg.Add(1)
-		go func(slices []pipeline.Slice) {
-			defer wg.Done()
-			local := &partialAgg{}
-			localWin := make([]partialAgg, len(windows))
-			for _, sl := range slices {
-				if err := e.aggSlice(sl, t1, t2, vp, c1, c2, fusible, needFL, windows, local, localWin, col); err != nil {
-					errCh <- err
-					return
-				}
-			}
-			mu.Lock()
-			global.merge(local)
-			for i := range localWin {
-				winAgg[i].merge(&localWin[i])
-			}
-			mu.Unlock()
-		}(slices)
-	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
+		return e.aggSlice(series, slices[i], t1, t2, vp, c1, c2, fusible, needFL, windows, &locals[w.Slot], lw, col, w.Arena)
+	})
+	if err != nil {
 		return nil, err
-	default:
+	}
+	global := &partialAgg{}
+	winAgg := make([]partialAgg, len(windows))
+	for s := range locals {
+		global.merge(&locals[s])
+	}
+	for s := 0; s < par; s++ {
+		for wi := 0; wi < nw; wi++ {
+			winAgg[wi].merge(&winLocal[s*nw+wi])
+		}
 	}
 
 	res := &Result{Stats: col.finish()}
@@ -352,9 +350,11 @@ func valueRange(vp []sqlparse.Pred) (c1, c2 int64) {
 }
 
 // aggSlice processes one pipeline job: find the time-valid row range,
-// then aggregate values over it (fused or decoded).
-func (e *Engine) aggSlice(sl pipeline.Slice, t1, t2 int64, vp []sqlparse.Pred, c1, c2 int64,
-	fusible, needFL bool, windows []expr.Window, local *partialAgg, localWin []partialAgg, col *statsCollector) error {
+// then aggregate values over it (fused or decoded). arena is the
+// executing participant's scratch space (nil falls back to allocating).
+func (e *Engine) aggSlice(ser string, sl pipeline.Slice, t1, t2 int64, vp []sqlparse.Pred, c1, c2 int64,
+	fusible, needFL bool, windows []expr.Window, local *partialAgg, localWin []partialAgg,
+	col *statsCollector, arena *exec.Arena) error {
 	col.slicesRun.Add(1)
 	col.tuplesLoaded.Add(int64(sl.Rows()))
 	obs.EngineHistSliceRows.Observe(int64(sl.Rows()))
@@ -402,7 +402,7 @@ func (e *Engine) aggSlice(sl pipeline.Slice, t1, t2 int64, vp []sqlparse.Pred, c
 		if phi < hi {
 			hi = phi
 		}
-	} else if rlo, rhi, ok, err := e.timeBoundsPruned(sl, t1, t2, windows, col); ok || err != nil {
+	} else if rlo, rhi, ok, err := e.timeBoundsPruned(sl, t1, t2, windows, col, arena); ok || err != nil {
 		// Proposition 4: the time column scan stopped as soon as the
 		// sorted timestamps passed t2 — the tail was never decoded.
 		if err != nil {
@@ -411,7 +411,7 @@ func (e *Engine) aggSlice(sl pipeline.Slice, t1, t2 int64, vp []sqlparse.Pred, c
 		lo, hi = rlo, rhi
 	} else {
 		var err error
-		ts, err = e.decodeColumnRange(sl.Pair.Time, sl.StartRow, sl.EndRow, col)
+		ts, err = e.decodeColumnRange(ser, sl.Pair.Time, sl.StartRow, sl.EndRow, col)
 		if err != nil {
 			return err
 		}
@@ -423,11 +423,11 @@ func (e *Engine) aggSlice(sl pipeline.Slice, t1, t2 int64, vp []sqlparse.Pred, c
 	}
 
 	if len(windows) > 0 {
-		return e.aggWindows(sl, lo, hi, ts, vp, c1, c2, fused, needFL, windows, localWin, col)
+		return e.aggWindows(ser, sl, lo, hi, ts, vp, c1, c2, fused, needFL, windows, localWin, col)
 	}
 
 	if needFL {
-		if err := e.addBoundaries(sl, lo, hi, ts, local, col); err != nil {
+		if err := e.addBoundaries(ser, sl, lo, hi, ts, local, col); err != nil {
 			return err
 		}
 	}
@@ -454,7 +454,7 @@ func (e *Engine) aggSlice(sl pipeline.Slice, t1, t2 int64, vp []sqlparse.Pred, c
 				local.addSum(sum, count)
 				return nil
 			}
-			vals, err := e.decodeColumnRange(sl.Pair.Value, lo, hi, col)
+			vals, err := e.decodeColumnRange(ser, sl.Pair.Value, lo, hi, col)
 			if err != nil {
 				return err
 			}
@@ -467,7 +467,16 @@ func (e *Engine) aggSlice(sl pipeline.Slice, t1, t2 int64, vp []sqlparse.Pred, c
 	}
 
 	// General path: decode values (chunked when pruning), filter, fold.
-	return e.aggDecodedRange(sl, lo, hi, vp, c1, c2, local, col)
+	return e.aggDecodedRange(ser, sl, lo, hi, vp, c1, c2, local, col, arena)
+}
+
+// arenaInt64 borrows scratch from the participant's arena, falling back
+// to an allocation on the arena-less paths (serial callers, tests).
+func arenaInt64(a *exec.Arena, class, n int) []int64 {
+	if a != nil {
+		return a.Int64(class, n)
+	}
+	return make([]int64, n)
 }
 
 // timeBoundsPruned resolves the time-valid row range of a slice with a
@@ -476,7 +485,7 @@ func (e *Engine) aggSlice(sl pipeline.Slice, t1, t2 int64, vp []sqlparse.Pred, c
 // applies in prune mode over order-1-scannable time pages without
 // windows (windows need the full timestamp column for boundaries).
 func (e *Engine) timeBoundsPruned(sl pipeline.Slice, t1, t2 int64,
-	windows []expr.Window, col *statsCollector) (lo, hi int, ok bool, err error) {
+	windows []expr.Window, col *statsCollector, arena *exec.Arena) (lo, hi int, ok bool, err error) {
 	if e.Mode != ModeETSQPPrune || len(windows) > 0 {
 		return 0, 0, false, nil
 	}
@@ -497,7 +506,7 @@ func (e *Engine) timeBoundsPruned(sl pipeline.Slice, t1, t2 int64,
 		return 0, 0, true, cerr
 	}
 	lo, hi = -1, sl.StartRow
-	buf := make([]int64, pruneChunk)
+	buf := arenaInt64(arena, exec.ClassPrune, pruneChunk)
 	err = timed(&col.decodeNanos, func() error {
 		for scanner.Row() < sl.EndRow {
 			want := sl.EndRow - scanner.Row()
@@ -569,19 +578,19 @@ func (e *Engine) fusedSumRange(p *storage.Page, lo, hi int, col *statsCollector)
 // folds into the partial aggregate. In prune mode the decode streams in
 // chunks through a RangeScanner with Proposition 5 stop checks between
 // them; otherwise a single range decode covers the rows.
-func (e *Engine) aggDecodedRange(sl pipeline.Slice, lo, hi int, vp []sqlparse.Pred,
-	c1, c2 int64, local *partialAgg, col *statsCollector) error {
+func (e *Engine) aggDecodedRange(ser string, sl pipeline.Slice, lo, hi int, vp []sqlparse.Pred,
+	c1, c2 int64, local *partialAgg, col *statsCollector, arena *exec.Arena) error {
 	usePrune := e.Mode == ModeETSQPPrune && len(vp) > 0
 	if usePrune {
 		if blk, err := pageBlock(sl.Pair.Value); err == nil && blk != nil {
 			col.pagesRead.Add(1)
 			col.bytesScanned.Add(int64(len(sl.Pair.Value.Data)))
-			if done, err := e.aggPrunedScan(sl, blk, lo, hi, vp, c1, c2, local, col); done || err != nil {
+			if done, err := e.aggPrunedScan(sl, blk, lo, hi, vp, c1, c2, local, col, arena); done || err != nil {
 				return err
 			}
 		}
 	}
-	vals, err := e.decodeColumnRange(sl.Pair.Value, lo, hi, col)
+	vals, err := e.decodeColumnRange(ser, sl.Pair.Value, lo, hi, col)
 	if err != nil {
 		return err
 	}
@@ -596,7 +605,7 @@ func (e *Engine) aggDecodedRange(sl pipeline.Slice, lo, hi int, vp []sqlparse.Pr
 // stopping as soon as the Proposition 5 bounds show nothing ahead can
 // satisfy the filter. done reports whether the rows were fully handled.
 func (e *Engine) aggPrunedScan(sl pipeline.Slice, blk *ts2diff.Block, lo, hi int,
-	vp []sqlparse.Pred, c1, c2 int64, local *partialAgg, col *statsCollector) (bool, error) {
+	vp []sqlparse.Pred, c1, c2 int64, local *partialAgg, col *statsCollector, arena *exec.Arena) (bool, error) {
 	bounds := prune.BoundsFromBlock(blk)
 	scanner, err := pipeline.NewRangeScanner(blk, lo)
 	if err != nil {
@@ -612,7 +621,7 @@ func (e *Engine) aggPrunedScan(sl pipeline.Slice, blk *ts2diff.Block, lo, hi int
 		}
 	}()
 	n := sl.Pair.Count()
-	buf := make([]int64, pruneChunk)
+	buf := arenaInt64(arena, exec.ClassPrune, pruneChunk)
 	for scanner.Row() < hi {
 		want := hi - scanner.Row()
 		if want > pruneChunk {
@@ -689,14 +698,14 @@ func predsMatch(vp []sqlparse.Pred, v int64) bool {
 // addBoundaries decodes only the first and last valid rows of a slice
 // and folds them into the FIRST/LAST state — the fused-compatible path
 // for boundary aggregates.
-func (e *Engine) addBoundaries(sl pipeline.Slice, lo, hi int, ts []int64,
+func (e *Engine) addBoundaries(ser string, sl pipeline.Slice, lo, hi int, ts []int64,
 	p *partialAgg, col *statsCollector) error {
 	rowTime := e.rowTimeFunc(sl, ts)
-	fv, err := e.decodeColumnRange(sl.Pair.Value, lo, lo+1, col)
+	fv, err := e.decodeColumnRange(ser, sl.Pair.Value, lo, lo+1, col)
 	if err != nil {
 		return err
 	}
-	lv, err := e.decodeColumnRange(sl.Pair.Value, hi-1, hi, col)
+	lv, err := e.decodeColumnRange(ser, sl.Pair.Value, hi-1, hi, col)
 	if err != nil {
 		return err
 	}
@@ -719,7 +728,7 @@ func (e *Engine) rowTimeFunc(sl pipeline.Slice, ts []int64) func(i int) int64 {
 // aggWindows folds rows [lo, hi) into per-window partials. Window
 // boundaries within the slice come from the decoded timestamps, or from
 // binary search over the constant-interval arithmetic.
-func (e *Engine) aggWindows(sl pipeline.Slice, lo, hi int, ts []int64,
+func (e *Engine) aggWindows(ser string, sl pipeline.Slice, lo, hi int, ts []int64,
 	vp []sqlparse.Pred, c1, c2 int64,
 	fused, needFL bool, windows []expr.Window, localWin []partialAgg, col *statsCollector) error {
 	rowTime := e.rowTimeFunc(sl, ts)
@@ -735,7 +744,7 @@ func (e *Engine) aggWindows(sl pipeline.Slice, lo, hi int, ts []int64,
 			continue
 		}
 		if needFL {
-			if err := e.addBoundaries(sl, rlo, rhi, ts, &localWin[wi], col); err != nil {
+			if err := e.addBoundaries(ser, sl, rlo, rhi, ts, &localWin[wi], col); err != nil {
 				return err
 			}
 		}
@@ -746,7 +755,7 @@ func (e *Engine) aggWindows(sl pipeline.Slice, lo, hi int, ts []int64,
 					return err
 				}
 				if !ok {
-					vals, err := e.decodeColumnRange(sl.Pair.Value, rlo, rhi, col)
+					vals, err := e.decodeColumnRange(ser, sl.Pair.Value, rlo, rhi, col)
 					if err != nil {
 						return err
 					}
@@ -765,7 +774,7 @@ func (e *Engine) aggWindows(sl pipeline.Slice, lo, hi int, ts []int64,
 			}
 			continue
 		}
-		vals, err := e.decodeColumnRange(sl.Pair.Value, rlo, rhi, col)
+		vals, err := e.decodeColumnRange(ser, sl.Pair.Value, rlo, rhi, col)
 		if err != nil {
 			return err
 		}

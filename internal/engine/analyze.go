@@ -42,6 +42,9 @@ func (a *AnalyzeInfo) String() string {
 	if st.MergeRanges > 0 {
 		write("  merge ranges: %d", st.MergeRanges)
 	}
+	if st.CacheHits+st.CacheMisses > 0 {
+		write("  page cache: hits=%d misses=%d", st.CacheHits, st.CacheMisses)
+	}
 	write("  bytes scanned: %d", st.BytesScanned)
 	write("  elapsed: %v", a.Elapsed)
 	write("  stages: prune=%v io=%v decode=%v filter=%v agg=%v merge=%v",

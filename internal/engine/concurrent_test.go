@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"etsqp/internal/exec"
+	"etsqp/internal/storage"
+)
+
+// TestConcurrentQueriesSharedPool runs many queries through one shared
+// worker pool and one shared decoded-page cache while an ingester
+// appends and compacts a second series, exercising the OnMutate
+// invalidation path under the race detector. The queried series is
+// immutable for the duration, so every query must return the same sum.
+func TestConcurrentQueriesSharedPool(t *testing.T) {
+	pool := exec.NewPool(4)
+	defer pool.Close()
+	cache := exec.NewPageCache(1 << 20)
+
+	ts, vals := testData(8_000, 77, false)
+	st := storeFor(t, ModeETSQP, ts, vals, 512)
+	st.OnMutate(func(series string) { cache.InvalidateSeries(series) })
+	t1, t2 := ts[0], ts[len(ts)-1]
+	wantSum, wantCount := sumRange(ts, vals, t1, t2, func(v int64) bool { return v > 400 })
+	// Value predicate forces the decode path, so queries share cached
+	// decoded pages rather than the fused encoded-form scan.
+	sql := fmt.Sprintf(
+		"SELECT SUM(A), COUNT(A) FROM ts WHERE TIME >= %d AND TIME <= %d AND A > 400", t1, t2)
+
+	const queriers = 6
+	const reps = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, queriers+1)
+
+	// Ingester: appends then compacts a second series, firing OnMutate
+	// invalidations concurrently with cache fills from the queriers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bts, bvals := testData(2_000, 99, true)
+		step := int64(2_000 * 100)
+		for rep := 0; rep < reps; rep++ {
+			for i := range bts {
+				bts[i] += step
+			}
+			if err := st.Append("ingest", bts, bvals, storage.Options{PageSize: 256}); err != nil {
+				errs <- err
+				return
+			}
+			if err := st.Compact("ingest", storage.Options{PageSize: 1024}); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	for q := 0; q < queriers; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := New(st, ModeETSQP)
+			e.Pool = pool
+			e.Cache = cache
+			e.Workers = 3
+			for rep := 0; rep < reps; rep++ {
+				res, err := e.ExecuteSQL(sql)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Aggregates["SUM(A)"] != float64(wantSum) ||
+					res.Aggregates["COUNT(A)"] != float64(wantCount) {
+					errs <- fmt.Errorf("rep %d: got %v want sum=%d count=%d",
+						rep, res.Aggregates, wantSum, wantCount)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if cache.UsedBytes() > 1<<20 {
+		t.Fatalf("cache over budget: %d", cache.UsedBytes())
+	}
+}

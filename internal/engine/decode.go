@@ -53,14 +53,46 @@ func pageBlockData(codec string, data []byte) (*ts2diff.Block, error) {
 }
 
 // decodeColumn decodes a whole page column according to the engine mode.
-func (e *Engine) decodeColumn(p *storage.Page, col *statsCollector) ([]int64, error) {
-	return e.decodeColumnRange(p, 0, p.Header.Count, col)
+func (e *Engine) decodeColumn(ser string, p *storage.Page, col *statsCollector) ([]int64, error) {
+	return e.decodeColumnRange(ser, p, 0, p.Header.Count, col)
 }
 
-// decodeColumnRange decodes rows [from, to) of a page column. Vectorized
+// decodeColumnRange decodes rows [from, to) of a page column, consulting
+// the decoded-page cache first. A hit returns the shared cached slice
+// (or a subslice of it) without touching the payload — no load, no
+// checksum, no decode — which is the concurrent-workload win the cache
+// exists for. Full-page misses are decoded and admitted; partial-range
+// decodes are never admitted (they would poison the full-page key).
+// Cached slices are shared across queries: callers must treat every
+// return value as read-only.
+func (e *Engine) decodeColumnRange(ser string, p *storage.Page, from, to int, col *statsCollector) ([]int64, error) {
+	if e.Cache == nil {
+		return e.decodeColumnRangeUncached(p, from, to, col)
+	}
+	full := from == 0 && to == p.Header.Count
+	if v, ok := e.Cache.Get(p); ok {
+		if col != nil {
+			col.cacheHits.Add(1)
+		}
+		if full {
+			return v, nil
+		}
+		return v[from:to], nil
+	}
+	if col != nil {
+		col.cacheMisses.Add(1)
+	}
+	vals, err := e.decodeColumnRangeUncached(p, from, to, col)
+	if err == nil && full {
+		e.Cache.Put(ser, p, vals)
+	}
+	return vals, err
+}
+
+// decodeColumnRangeUncached is the decode path proper. Vectorized
 // modes resolve slice prefix dependencies with SumPacked; Serial decodes
 // the whole page and slices (which is what a value-wise decoder must do).
-func (e *Engine) decodeColumnRange(p *storage.Page, from, to int, col *statsCollector) (vals []int64, err error) {
+func (e *Engine) decodeColumnRangeUncached(p *storage.Page, from, to int, col *statsCollector) (vals []int64, err error) {
 	data, release := loadPage(p, col)
 	defer release()
 	if err := p.VerifyChecksum(); err != nil {

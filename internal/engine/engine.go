@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"time"
 
+	"etsqp/internal/exec"
 	"etsqp/internal/obs"
 	"etsqp/internal/sqlparse"
 	"etsqp/internal/storage"
@@ -72,6 +73,14 @@ type Engine struct {
 	// (IoTDB-style statistics-level aggregation). Off by default so the
 	// benchmark comparisons exercise the decoding pipelines.
 	UseHeaderStats bool
+	// Pool is the shared execution pool slice/page morsels run on. Nil
+	// selects the process-wide exec.Default() pool, so concurrent engines
+	// share one set of workers unless a test or server wires its own.
+	Pool *exec.Pool
+	// Cache, when non-nil, is the decoded-page cache consulted before
+	// every page-column decode. Register its InvalidateSeries with
+	// Store.OnMutate so ingest keeps it consistent.
+	Cache *exec.PageCache
 }
 
 // New returns an engine with default worker count.
@@ -84,6 +93,14 @@ func (e *Engine) workers() int {
 		return e.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// pool returns the execution pool morsel batches run on.
+func (e *Engine) pool() *exec.Pool {
+	if e.Pool != nil {
+		return e.Pool
+	}
+	return exec.Default()
 }
 
 // WindowAgg is one sliding-window result row.

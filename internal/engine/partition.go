@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"etsqp/internal/storage"
 )
@@ -41,24 +42,37 @@ func timeCuts(ser *storage.Series, t1, t2 int64, n int) [][2]int64 {
 }
 
 // runRanged executes fn over each time range concurrently and returns
-// the per-range row groups in range order.
+// the per-range row groups in range order. At most workers() goroutines
+// run, each claiming range indices from a shared counter — a straggler
+// range occupies one goroutine while the rest drain the remainder.
+// (Each claimed index is written by exactly one goroutine, so the
+// results slots stay write-disjoint — the claimed-index pattern
+// sharedwrite verifies.)
 func (e *Engine) runRanged(ranges [][2]int64, fn func(t1, t2 int64) ([]Row, error)) ([]Row, error) {
 	type out struct {
 		rows []Row
 		err  error
 	}
 	results := make([]out, len(ranges))
-	sem := make(chan struct{}, e.workers())
+	n := e.workers()
+	if n > len(ranges) {
+		n = len(ranges)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, rg := range ranges {
+	for g := 0; g < n; g++ {
 		wg.Add(1)
-		go func(i int, rg [2]int64) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rows, err := fn(rg[0], rg[1])
-			results[i] = out{rows, err}
-		}(i, rg)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ranges) {
+					return
+				}
+				rows, err := fn(ranges[i][0], ranges[i][1])
+				results[i] = out{rows, err}
+			}
+		}()
 	}
 	wg.Wait()
 	var all []Row

@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// checkCuts asserts the timeCuts invariants: disjoint, contiguous,
+// covering [t1, t2] exactly.
+func checkCuts(t *testing.T, cuts [][2]int64, t1, t2 int64) {
+	t.Helper()
+	if len(cuts) == 0 {
+		t.Fatalf("no cuts for [%d,%d]", t1, t2)
+	}
+	if cuts[0][0] != t1 || cuts[len(cuts)-1][1] != t2 {
+		t.Fatalf("cuts %v do not cover [%d,%d]", cuts, t1, t2)
+	}
+	for i, c := range cuts {
+		if c[0] > c[1] {
+			t.Fatalf("cut %d inverted: %v", i, c)
+		}
+		if i > 0 && c[0] != cuts[i-1][1]+1 {
+			t.Fatalf("gap or overlap between %v and %v", cuts[i-1], c)
+		}
+	}
+}
+
+// TestTimeCutsSinglePage: a series that fits in one page always yields a
+// single cut, whatever parallelism is requested.
+func TestTimeCutsSinglePage(t *testing.T) {
+	ts, vals := testData(500, 7, true)
+	st := storeFor(t, ModeETSQP, ts, vals, 1024)
+	ser, _ := st.Series("ts")
+	t1, t2 := ts[0], ts[len(ts)-1]
+	for _, n := range []int{1, 2, 8, 100} {
+		cuts := timeCuts(ser, t1, t2, n)
+		if len(cuts) != 1 {
+			t.Fatalf("n=%d: want 1 cut for single page, got %v", n, cuts)
+		}
+		checkCuts(t, cuts, t1, t2)
+	}
+}
+
+// TestTimeCutsMorePartsThanPages: n clamps to the page count, and the
+// cuts still tile the range.
+func TestTimeCutsMorePartsThanPages(t *testing.T) {
+	ts, vals := testData(5_000, 9, false)
+	st := storeFor(t, ModeETSQP, ts, vals, 1000) // 5 pages
+	ser, _ := st.Series("ts")
+	t1, t2 := ts[0], ts[len(ts)-1]
+	pages := ser.PagesInRange(t1, t2)
+	for _, n := range []int{len(pages) + 1, 64, 1 << 20} {
+		cuts := timeCuts(ser, t1, t2, n)
+		if len(cuts) > len(pages) {
+			t.Fatalf("n=%d: %d cuts exceed %d pages", n, len(cuts), len(pages))
+		}
+		checkCuts(t, cuts, t1, t2)
+		// Every interior boundary must sit just before a page start, so
+		// no cut splits a page.
+		starts := map[int64]bool{}
+		for _, p := range pages {
+			starts[p.StartTime()] = true
+		}
+		for i := 0; i < len(cuts)-1; i++ {
+			if !starts[cuts[i][1]+1] {
+				t.Fatalf("n=%d: boundary %d not at a page start", n, cuts[i][1])
+			}
+		}
+	}
+}
+
+// TestTimeCutsAdjacentPageStarts drives the cut-collision guard: one-row
+// pages with consecutive timestamps make each cut land exactly on the
+// current range start (cut == start, the boundary of the `cut < start`
+// guard), so every range degenerates to a single point. The cuts must
+// stay disjoint and contiguous rather than skipping or overlapping.
+func TestTimeCutsAdjacentPageStarts(t *testing.T) {
+	const n = 16
+	ts := make([]int64, n)
+	vals := make([]int64, n)
+	for i := range ts {
+		ts[i] = 1_000 + int64(i) // adjacent pages: starts differ by 1
+		vals[i] = int64(i)
+	}
+	st := storeFor(t, ModeETSQP, ts, vals, 1) // one row per page
+	ser, _ := st.Series("ts")
+	t1, t2 := ts[0], ts[len(ts)-1]
+	cuts := timeCuts(ser, t1, t2, n)
+	if len(cuts) != n {
+		t.Fatalf("want %d single-point cuts, got %d: %v", n, len(cuts), cuts)
+	}
+	checkCuts(t, cuts, t1, t2)
+	for i, c := range cuts {
+		if c[0] != c[1] || c[0] != ts[i] {
+			t.Fatalf("cut %d = %v, want single point {%d,%d}", i, c, ts[i], ts[i])
+		}
+	}
+	// A partial request still tiles without colliding.
+	checkCuts(t, timeCuts(ser, t1, t2, 5), t1, t2)
+	// Starting mid-series: the first range begins at t1 even though the
+	// first cut candidate sits only one tick later.
+	checkCuts(t, timeCuts(ser, ts[3], ts[12], 7), ts[3], ts[12])
+}
+
+// TestTimeCutsEmptyRange: a range past the data (no pages) falls back to
+// the identity cut, as does an inverted or degenerate range.
+func TestTimeCutsEmptyRange(t *testing.T) {
+	ts, vals := testData(2_000, 11, true)
+	st := storeFor(t, ModeETSQP, ts, vals, 500)
+	ser, _ := st.Series("ts")
+	t2 := ts[len(ts)-1]
+	for _, r := range [][2]int64{
+		{t2 + 100, t2 + 200}, // beyond the data
+		{0, ts[0] - 1},       // before the data
+		{ts[0], ts[0]},       // degenerate single instant
+	} {
+		cuts := timeCuts(ser, r[0], r[1], 8)
+		checkCuts(t, cuts, r[0], r[1])
+		if r[0] == r[1] && len(cuts) != 1 {
+			t.Fatalf("degenerate range: %v", cuts)
+		}
+	}
+}
+
+// TestRunRangedClaims: runRanged preserves range order in its output,
+// runs every range exactly once even with more ranges than workers, and
+// propagates the first error.
+func TestRunRangedClaims(t *testing.T) {
+	e := New(storeFor(t, ModeETSQP, []int64{1, 2}, []int64{1, 2}, 2), ModeETSQP)
+	e.Workers = 3
+	ranges := make([][2]int64, 50)
+	for i := range ranges {
+		ranges[i] = [2]int64{int64(i) * 10, int64(i)*10 + 9}
+	}
+	var calls atomic.Int64
+	rows, err := e.runRanged(ranges, func(t1, t2 int64) ([]Row, error) {
+		calls.Add(1)
+		return []Row{{Time: t1}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != int64(len(ranges)) {
+		t.Fatalf("fn ran %d times, want %d", got, len(ranges))
+	}
+	if len(rows) != len(ranges) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.Time != int64(i)*10 {
+			t.Fatalf("row %d out of order: %+v", i, r)
+		}
+	}
+	boom := errors.New("boom")
+	_, err = e.runRanged(ranges, func(t1, t2 int64) ([]Row, error) {
+		if t1 == 200 {
+			return nil, fmt.Errorf("range %d: %w", t1, boom)
+		}
+		return nil, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -3,9 +3,9 @@ package engine
 import (
 	"fmt"
 	"math"
-	"sync"
 	"time"
 
+	"etsqp/internal/exec"
 	"etsqp/internal/expr"
 	"etsqp/internal/obs"
 	"etsqp/internal/pipeline"
@@ -22,8 +22,9 @@ type sliceJob struct {
 }
 
 // readSeriesColumns decodes the [t1, t2] portion of a series into flat
-// columns, running one pipeline per worker over pages/slices and writing
-// each slice's rows into its disjoint output range (no merge copying).
+// columns, running the pages/slices as one morsel batch on the shared
+// pool and writing each slice's rows into its disjoint output range (no
+// merge copying).
 func (e *Engine) readSeriesColumns(name string, t1, t2 int64, col *statsCollector) ([]int64, []int64, error) {
 	ser, ok := e.Store.Series(name)
 	if !ok {
@@ -40,64 +41,56 @@ func (e *Engine) readSeriesColumns(name string, t1, t2 int64, col *statsCollecto
 	}
 	ts := make([]int64, total)
 	vals := make([]int64, total)
+	// Carve each slice's disjoint output window up front: a morsel then
+	// writes only through its own sliceJob destinations, never through
+	// the shared columns, so participants are write-disjoint regardless
+	// of which worker steals which morsel.
 	jobs := e.jobsFor(loaded)
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(jobs))
+	nm := 0
 	for _, slices := range jobs {
-		if len(slices) == 0 {
-			continue
-		}
-		// Carve each slice's disjoint output window here, before the
-		// worker starts: the goroutine then writes only through its own
-		// sliceJob destinations, never through the shared columns
-		// (sharedwrite-enforced).
-		sjobs := make([]sliceJob, len(slices))
-		for k, sl := range slices {
+		nm += len(slices)
+	}
+	morsels := make([]sliceJob, 0, nm)
+	for _, slices := range jobs {
+		for _, sl := range slices {
 			base := offsets[sl.Pair.Time]
-			sjobs[k] = sliceJob{
+			morsels = append(morsels, sliceJob{
 				sl:   sl,
 				tdst: ts[base+sl.StartRow : base+sl.EndRow],
 				vdst: vals[base+sl.StartRow : base+sl.EndRow],
-			}
+			})
 		}
-		wg.Add(1)
-		go func(sjobs []sliceJob) {
-			defer wg.Done()
-			for _, j := range sjobs {
-				col.slicesRun.Add(1)
-				col.tuplesLoaded.Add(int64(j.sl.Rows()))
-				obs.EngineHistSliceRows.Observe(int64(j.sl.Rows()))
-				var sliceStart time.Time
-				if col.trace != nil {
-					sliceStart = time.Now()
-				}
-				tcol, err := e.decodeColumnRange(j.sl.Pair.Time, j.sl.StartRow, j.sl.EndRow, col)
-				if err != nil {
-					errCh <- err
-					return
-				}
-				vcol, err := e.decodeColumnRange(j.sl.Pair.Value, j.sl.StartRow, j.sl.EndRow, col)
-				if err != nil {
-					errCh <- err
-					return
-				}
-				col.valuesDecoded.Add(int64(len(vcol)))
-				copy(j.tdst, tcol)
-				copy(j.vdst, vcol)
-				if col.trace != nil {
-					col.trace.addSlice(SliceEvent{
-						StartRow: j.sl.StartRow, EndRow: j.sl.EndRow, Rows: j.sl.Rows(),
-						DurNs: int64(time.Since(sliceStart)),
-					})
-				}
-			}
-		}(sjobs)
 	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
+	err := e.pool().Run(len(morsels), e.workers(), func(w *exec.Worker, i int) error {
+		j := morsels[i]
+		col.slicesRun.Add(1)
+		col.tuplesLoaded.Add(int64(j.sl.Rows()))
+		obs.EngineHistSliceRows.Observe(int64(j.sl.Rows()))
+		var sliceStart time.Time
+		if col.trace != nil {
+			sliceStart = time.Now()
+		}
+		tcol, err := e.decodeColumnRange(name, j.sl.Pair.Time, j.sl.StartRow, j.sl.EndRow, col)
+		if err != nil {
+			return err
+		}
+		vcol, err := e.decodeColumnRange(name, j.sl.Pair.Value, j.sl.StartRow, j.sl.EndRow, col)
+		if err != nil {
+			return err
+		}
+		col.valuesDecoded.Add(int64(len(vcol)))
+		copy(j.tdst, tcol)
+		copy(j.vdst, vcol)
+		if col.trace != nil {
+			col.trace.addSlice(SliceEvent{
+				StartRow: j.sl.StartRow, EndRow: j.sl.EndRow, Rows: j.sl.Rows(),
+				DurNs: int64(time.Since(sliceStart)),
+			})
+		}
+		return nil
+	})
+	if err != nil {
 		return nil, nil, err
-	default:
 	}
 	// Trim to the requested time range (page granularity loaded extra).
 	lo, hi := expr.TimeRangeBounds(ts, t1, t2)

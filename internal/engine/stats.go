@@ -37,6 +37,8 @@ type Stats struct {
 	ValuesFused   int64 // values aggregated on encoded form (Section IV)
 	ValuesDecoded int64 // values materialized for filtering/aggregation
 	MergeRanges   int64 // time-range merge nodes executed (Figure 9)
+	CacheHits     int64 // page-column decodes served by the decoded-page cache
+	CacheMisses   int64 // cache lookups that fell through to the decode path
 
 	// Stage timings for the Figure 14(b) breakdown (nanoseconds).
 	IONanos     int64
@@ -61,6 +63,8 @@ type statsCollector struct {
 	valuesFused   atomic.Int64
 	valuesDecoded atomic.Int64
 	mergeRanges   atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
 
 	ioNanos     atomic.Int64
 	decodeNanos atomic.Int64
@@ -94,6 +98,8 @@ func (c *statsCollector) snapshot() Stats {
 		ValuesFused:   c.valuesFused.Load(),
 		ValuesDecoded: c.valuesDecoded.Load(),
 		MergeRanges:   c.mergeRanges.Load(),
+		CacheHits:     c.cacheHits.Load(),
+		CacheMisses:   c.cacheMisses.Load(),
 
 		IONanos:     c.ioNanos.Load(),
 		DecodeNanos: c.decodeNanos.Load(),

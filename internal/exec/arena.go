@@ -1,0 +1,43 @@
+package exec
+
+// Scratch buffer classes. A morsel may need several live scratch
+// buffers at once (a timestamp column while the value column decodes,
+// a prune chunk while both are resolved), so the arena keys buffers by
+// a small fixed class: two borrows of different classes never alias,
+// while re-borrowing the same class reuses (and may overwrite) the
+// previous buffer of that class.
+const (
+	ClassTime    = iota // timestamp-column scratch
+	ClassValue          // value-column scratch
+	ClassPrune          // chunked prune-scan buffers
+	ClassScratch        // anything else
+	numClasses
+)
+
+// Arena is a participant-owned scratch space: one grow-only int64
+// buffer per class. Ownership follows the Worker — exactly one
+// goroutine uses an arena at a time — so borrows need no
+// synchronization and steady-state morsel execution performs zero
+// allocations once the buffers have grown to the workload's page size.
+type Arena struct {
+	bufs [numClasses][]int64
+}
+
+// Int64 borrows the class's buffer resized to n values, growing it
+// when needed. The contents are unspecified; the borrow is valid until
+// the same class is borrowed again.
+func (a *Arena) Int64(class, n int) []int64 {
+	b := a.bufs[class]
+	if cap(b) < n {
+		b = make([]int64, n)
+		a.bufs[class] = b
+	}
+	return b[:n]
+}
+
+// Reset drops every buffer, returning the memory to the collector.
+func (a *Arena) Reset() {
+	for i := range a.bufs {
+		a.bufs[i] = nil
+	}
+}

@@ -1,0 +1,403 @@
+// Package exec is the shared execution layer: a process-wide worker
+// pool that every concurrent query draws from, fed by morsel batches
+// (one morsel = one page or slice) with per-participant index deques
+// and work stealing, so a skewed page no longer gates query latency the
+// way the paper's static core-level splits do (Section III-C). Each
+// worker owns a reusable scratch arena (arena.go) and the layer fronts
+// storage with a byte-budgeted decoded-page cache (cache.go), so hot
+// pages decode once across the whole query stream.
+//
+// # Scheduling model
+//
+// A call to Pool.Run(n, par, fn) submits a batch of n morsels executed
+// by at most par participants: the submitting goroutine itself plus up
+// to par-1 pool workers. The index space [0, n) is pre-split into par
+// contiguous chunks, one per participant slot; a participant claims
+// from the front of its own chunk and, when that drains, steals single
+// morsels from the back of the other chunks. Claims and steals are one
+// CAS on a packed (next, limit) word, so the steady-state scheduling
+// cost is a handful of atomic operations per morsel and zero
+// allocations (batches, chunk words and submitter identities are all
+// recycled through freelists; enforced by AllocsPerRun tests).
+//
+// The submitter always participates, so Run makes progress even when
+// every pool worker is busy with other batches — nested or heavily
+// concurrent submission cannot deadlock, and par=1 runs entirely on the
+// calling goroutine with no cross-goroutine traffic at all.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"etsqp/internal/obs"
+)
+
+// Worker is one executing participant: a pool worker goroutine or the
+// goroutine that submitted the batch. Its Arena is scratch space owned
+// exclusively by the participant for the duration of a morsel.
+type Worker struct {
+	// ID identifies the worker within the pool (submitter identities are
+	// numbered past the pool size). Diagnostic only.
+	ID int
+	// Slot is the participant's slot in the batch currently being
+	// executed, in [0, par). Slots are assigned exactly once per batch,
+	// so Slot-indexed state (per-slot partial aggregates) is
+	// write-disjoint across participants.
+	Slot int
+	// Arena is the participant's private scratch space.
+	Arena *Arena
+}
+
+// batch is one Run invocation: n morsels, par participant slots.
+type batch struct {
+	n   int
+	par int
+	fn  func(w *Worker, i int) error
+
+	// chunks[s] packs the (next, limit) index range owned by slot s.
+	// The owner claims next (front); thieves decrement limit (back).
+	chunks []atomic.Uint64
+
+	// Guarded by the pool mutex: helper slots remaining and helpers that
+	// joined. Joining is only possible while the batch is listed in
+	// Pool.active, so the joined count is final once the submitter
+	// unlists the batch.
+	slots  int
+	joined int
+
+	done   atomic.Int64 // morsels completed (executed or skipped after failure)
+	steals atomic.Int64
+	failed atomic.Bool
+
+	errMu sync.Mutex
+	err   error
+
+	// mu/cond wake the submitter when helpers finish; exited counts
+	// helpers whose run loop returned.
+	mu     sync.Mutex
+	cond   *sync.Cond
+	exited int
+}
+
+// Pool is a set of long-lived worker goroutines shared by all
+// concurrent queries. The zero value is not usable; use NewPool or
+// Default.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond // workers wait here for batches
+	active []*batch   // batches that may still accept helpers
+	closed bool
+
+	size      int
+	freeBatch []*batch
+	freeSub   []*Worker // recycled submitter identities
+	nextSubID int
+	wg        sync.WaitGroup // worker goroutines, for Close
+}
+
+// NewPool starts a pool with n worker goroutines (n<1 selects
+// GOMAXPROCS). Call Close to stop the workers.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{size: n, nextSubID: n}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		w := &Worker{ID: i, Arena: &Arena{}}
+		go p.workerLoop(w)
+	}
+	return p
+}
+
+// Size reports the number of pool worker goroutines.
+func (p *Pool) Size() int { return p.size }
+
+// Close stops the worker goroutines after the active batches drain.
+// Run must not be called after Close.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+// defaultPool is the process-wide pool, sized to GOMAXPROCS at first
+// use. Engines fall back to it when no explicit pool is configured, so
+// all concurrent queries in a process share one set of workers.
+var (
+	defaultPool *Pool
+	defaultOnce sync.Once
+)
+
+// Default returns the process-wide shared pool.
+func Default() *Pool {
+	defaultOnce.Do(func() { defaultPool = NewPool(0) })
+	return defaultPool
+}
+
+// pack encodes a chunk's (next, limit) index pair into one word.
+func pack(next, limit int) uint64 {
+	return uint64(next)<<32 | uint64(uint32(limit))
+}
+
+// claimFront pops the next index off the front of a chunk (the owner's
+// side of the deque). Returns -1 when the chunk is empty.
+//
+//etsqp:hotpath
+func claimFront(c *atomic.Uint64) int {
+	for {
+		v := c.Load()
+		next, limit := int(v>>32), int(uint32(v))
+		if next >= limit {
+			return -1
+		}
+		if c.CompareAndSwap(v, v+(1<<32)) {
+			return next
+		}
+	}
+}
+
+// stealBack pops one index off the back of a chunk (the thief's side).
+// Returns -1 when the chunk is empty.
+//
+//etsqp:hotpath
+func stealBack(c *atomic.Uint64) int {
+	for {
+		v := c.Load()
+		next, limit := int(v>>32), int(uint32(v))
+		if next >= limit {
+			return -1
+		}
+		if c.CompareAndSwap(v, v-1) {
+			return limit - 1
+		}
+	}
+}
+
+// claim returns the next morsel index for the participant in slot, and
+// whether it was stolen from another slot's chunk. Own chunk first
+// (front), then the other chunks round-robin (back). Returns -1 when
+// the batch has no unclaimed morsels.
+//
+//etsqp:hotpath
+func (b *batch) claim(slot int) (int, bool) {
+	if i := claimFront(&b.chunks[slot]); i >= 0 {
+		return i, false
+	}
+	for k := 1; k < len(b.chunks); k++ {
+		t := slot + k
+		if t >= len(b.chunks) {
+			t -= len(b.chunks)
+		}
+		if i := stealBack(&b.chunks[t]); i >= 0 {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// runLoop claims and executes morsels until none remain. After a morsel
+// fails, remaining claims drain without executing fn so completion
+// accounting stays exact.
+func (b *batch) runLoop(w *Worker) {
+	for {
+		i, stolen := b.claim(w.Slot)
+		if i < 0 {
+			return
+		}
+		if stolen {
+			b.steals.Add(1)
+		}
+		if !b.failed.Load() {
+			if obs.Enabled() {
+				start := time.Now()
+				b.runOne(w, i)
+				obs.ExecHistMorsel.Observe(int64(time.Since(start)))
+			} else {
+				b.runOne(w, i)
+			}
+		}
+		b.done.Add(1)
+	}
+}
+
+// runOne executes one morsel, recording the first error.
+func (b *batch) runOne(w *Worker, i int) {
+	if err := b.fn(w, i); err != nil {
+		b.errMu.Lock()
+		if b.err == nil {
+			b.err = err
+		}
+		b.errMu.Unlock()
+		b.failed.Store(true)
+	}
+}
+
+// workerLoop is one pool worker: sleep until a batch needs helpers,
+// reserve a slot, drain, repeat.
+func (p *Pool) workerLoop(w *Worker) {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		var b *batch
+		for _, cand := range p.active {
+			if cand.slots > 0 {
+				cand.slots--
+				cand.joined++
+				w.Slot = cand.par - 1 - cand.slots
+				b = cand
+				break
+			}
+		}
+		if b == nil {
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+			continue
+		}
+		p.mu.Unlock()
+		b.runLoop(w)
+		b.mu.Lock()
+		b.exited++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		p.mu.Lock()
+	}
+}
+
+// Run executes fn(w, i) for every i in [0, n) using at most par
+// participants: the calling goroutine plus up to par-1 pool workers.
+// It returns the first error any morsel produced; once a morsel fails,
+// unclaimed morsels are skipped. Run blocks until every claimed morsel
+// has finished, so all writes made by fn happen-before Run returns.
+func (p *Pool) Run(n, par int, fn func(w *Worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if par < 1 {
+		par = 1
+	}
+	if par > n {
+		par = n
+	}
+	if par > p.size+1 {
+		par = p.size + 1
+	}
+
+	p.mu.Lock()
+	b := p.getBatchLocked(n, par, fn)
+	sub := p.getSubmitterLocked()
+	if par > 1 {
+		p.active = append(p.active, b)
+		if obs.Enabled() {
+			obs.ExecHistQueueDepth.Observe(int64(len(p.active)))
+		}
+	}
+	p.mu.Unlock()
+	if par > 1 {
+		p.cond.Broadcast()
+	}
+
+	sub.Slot = 0
+	b.runLoop(sub)
+
+	joined := 0
+	if par > 1 {
+		p.mu.Lock()
+		p.unlistLocked(b)
+		joined = b.joined
+		p.mu.Unlock()
+	}
+	b.mu.Lock()
+	for b.done.Load() < int64(b.n) || b.exited < joined {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+
+	err := b.err
+	if obs.Enabled() {
+		obs.ExecBatches.Inc()
+		obs.ExecMorsels.Add(int64(n))
+		obs.ExecSteals.Add(b.steals.Load())
+	}
+	p.mu.Lock()
+	p.putBatchLocked(b)
+	p.freeSub = append(p.freeSub, sub)
+	p.mu.Unlock()
+	return err
+}
+
+// getBatchLocked recycles (or builds) a batch and carves the morsel
+// index space into one contiguous chunk per participant slot.
+func (p *Pool) getBatchLocked(n, par int, fn func(w *Worker, i int) error) *batch {
+	var b *batch
+	if k := len(p.freeBatch); k > 0 {
+		b = p.freeBatch[k-1]
+		p.freeBatch = p.freeBatch[:k-1]
+	} else {
+		b = &batch{}
+		b.cond = sync.NewCond(&b.mu)
+	}
+	b.n, b.par, b.fn = n, par, fn
+	b.slots, b.joined, b.exited = par-1, 0, 0
+	b.done.Store(0)
+	b.steals.Store(0)
+	b.failed.Store(false)
+	b.err = nil
+	if cap(b.chunks) < par {
+		b.chunks = make([]atomic.Uint64, par)
+	}
+	b.chunks = b.chunks[:par]
+	base, rem := n/par, n%par
+	lo := 0
+	for s := 0; s < par; s++ {
+		size := base
+		if s < rem {
+			size++
+		}
+		b.chunks[s].Store(pack(lo, lo+size))
+		lo += size
+	}
+	return b
+}
+
+// putBatchLocked recycles a finished batch, dropping the fn reference
+// so the caller's closure (and anything it captures) can be collected.
+func (p *Pool) putBatchLocked(b *batch) {
+	b.fn = nil
+	p.freeBatch = append(p.freeBatch, b)
+}
+
+// getSubmitterLocked recycles (or mints) a Worker identity for the
+// submitting goroutine, so the submitter has an arena like any worker.
+func (p *Pool) getSubmitterLocked() *Worker {
+	if k := len(p.freeSub); k > 0 {
+		w := p.freeSub[k-1]
+		p.freeSub = p.freeSub[:k-1]
+		return w
+	}
+	w := &Worker{ID: p.nextSubID, Arena: &Arena{}}
+	p.nextSubID++
+	return w
+}
+
+// unlistLocked removes the batch from the active list, preserving
+// order, without allocating.
+func (p *Pool) unlistLocked(b *batch) {
+	for i, cand := range p.active {
+		if cand == b {
+			copy(p.active[i:], p.active[i+1:])
+			p.active[len(p.active)-1] = nil
+			p.active = p.active[:len(p.active)-1]
+			return
+		}
+	}
+}

@@ -190,8 +190,11 @@ func (s *spawnCheck) checkSharedWrite(base *ast.Ident, obj *types.Var, indexes [
 
 // isSlotIndex reports whether an index expression identifies a disjoint
 // per-worker slot: the spawn loop variable itself (per-iteration since go
-// 1.22) or a parameter of the literal whose call argument is the loop
-// variable.
+// 1.22), a parameter of the literal whose call argument is the loop
+// variable, or an index the goroutine claimed from a shared atomic
+// counter (the work-stealing deque/morsel ownership pattern of
+// internal/exec: each Add return value is handed to exactly one
+// goroutine, so claimed indices never overlap).
 func (s *spawnCheck) isSlotIndex(idx ast.Expr) bool {
 	if idx == nil {
 		return false
@@ -207,12 +210,110 @@ func (s *spawnCheck) isSlotIndex(idx ast.Expr) bool {
 	if s.loopVars[obj] {
 		return true
 	}
+	if s.isClaimedIndex(obj) {
+		return true
+	}
 	argIdx, isParam := s.paramIndex(obj)
 	if !isParam || argIdx >= len(s.gs.Call.Args) {
 		return false
 	}
 	arg, ok := ast.Unparen(s.gs.Call.Args[argIdx]).(*ast.Ident)
 	return ok && s.loopVars[s.info.ObjectOf(arg)]
+}
+
+// isClaimedIndex reports whether the index variable is declared inside
+// the goroutine literal by a := whose right-hand side derives from an
+// Add call on a sync/atomic counter captured from the spawning function.
+// A shared counter hands every Add return value to exactly one claimant,
+// so such indices are disjoint across the spawned goroutines. A counter
+// declared inside the literal is per-goroutine and proves nothing.
+func (s *spawnCheck) isClaimedIndex(obj types.Object) bool {
+	if !s.declaredInside(obj) {
+		return false
+	}
+	claimed := false
+	ast.Inspect(s.lit.Body, func(n ast.Node) bool {
+		if claimed {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || s.info.ObjectOf(id) != obj {
+				continue
+			}
+			for _, rhs := range as.Rhs {
+				if s.containsSharedAtomicAdd(rhs) {
+					claimed = true
+				}
+			}
+		}
+		return !claimed
+	})
+	return claimed
+}
+
+// containsSharedAtomicAdd reports whether the expression contains an
+// Add call on a sync/atomic value whose base variable is captured from
+// outside the goroutine literal.
+func (s *spawnCheck) containsSharedAtomicAdd(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		tv, ok := s.info.Types[sel.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		t := tv.Type
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return true
+		}
+		if o := named.Obj(); o.Pkg() == nil || o.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		// Peel to the counter's base variable: it must be shared
+		// (captured), not a fresh per-goroutine counter.
+		base := ast.Unparen(sel.X)
+		for {
+			switch x := base.(type) {
+			case *ast.ParenExpr:
+				base = x.X
+			case *ast.SelectorExpr:
+				base = x.X
+			case *ast.StarExpr:
+				base = x.X
+			case *ast.IndexExpr:
+				base = x.X
+			case *ast.UnaryExpr:
+				base = x.X
+			default:
+				if id, ok := base.(*ast.Ident); ok {
+					if bobj := s.info.ObjectOf(id); bobj != nil && !s.declaredInside(bobj) {
+						found = true
+					}
+				}
+				return !found
+			}
+		}
+	})
+	return found
 }
 
 // paramIndex returns the positional index of obj in the literal's

@@ -3,7 +3,10 @@
 // read after wg.Wait().
 package fanout
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 func work(i int) int { return i * i }
 
@@ -153,4 +156,119 @@ func BadNoWait(n int) []int {
 		}(i)
 	}
 	return res // want `per-worker slots of res in BadNoWait are read without a wg.Wait\(\)`
+}
+
+// GoodClaimedIndex writes through indices claimed from a shared atomic
+// counter — every Add return value reaches exactly one goroutine, so the
+// slots are disjoint (the work-stealing morsel ownership pattern).
+func GoodClaimedIndex(n, workers int) []int {
+	res := make([]int, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				res[i] = work(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+// GoodClaimedIndexField claims from an atomic counter reached through a
+// captured struct, as the engine's range executor does.
+func GoodClaimedIndexField(n, workers int) []int {
+	var state struct {
+		next atomic.Int32
+	}
+	res := make([]int, n)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(state.next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				res[i] = work(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+// BadClaimedEarlyRead claims indices correctly but reads the results
+// before Wait — the claim makes writes disjoint, not visible.
+func BadClaimedEarlyRead(n, workers int) []int {
+	res := make([]int, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				res[i] = work(i)
+			}
+		}()
+	}
+	first := res[0] // want `res in BadClaimedEarlyRead is read before wg.Wait\(\)`
+	wg.Wait()
+	res[0] = first
+	return res
+}
+
+// BadLocalCounter declares the counter inside the goroutine: each worker
+// counts from zero, so the "claimed" indices collide across workers.
+func BadLocalCounter(n, workers int) []int {
+	res := make([]int, n)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var next atomic.Int64
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				res[i] = work(i) // want `goroutine in BadLocalCounter writes res through an index that is not the spawn loop variable`
+			}
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+// BadDerivedNotClaimed assigns the index from plain arithmetic on a
+// captured variable, not an atomic claim.
+func BadDerivedNotClaimed(n, workers int) []int {
+	res := make([]int, n)
+	k := 0
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			i := k + 1
+			res[i] = work(i) // want `goroutine in BadDerivedNotClaimed writes res through an index that is not the spawn loop variable`
+		}()
+	}
+	wg.Wait()
+	return res
 }

@@ -116,6 +116,36 @@ var (
 		"wire-size distribution of frames written and parsed")
 )
 
+// Exec: the shared execution layer (internal/exec) — morsel batches on
+// the process-wide worker pool and the decoded-page cache fronting
+// storage.
+var (
+	ExecBatches = newCounter("exec.batches",
+		"morsel batches submitted to the shared worker pool")
+	ExecMorsels = newCounter("exec.morsels",
+		"morsels (pages or slices) executed by batch participants")
+	ExecSteals = newCounter("exec.steals",
+		"morsels claimed from another participant's chunk (work stealing)")
+	ExecCacheHits = newCounter("exec.cache.hits",
+		"decoded-page cache lookups served without re-decoding")
+	ExecCacheMisses = newCounter("exec.cache.misses",
+		"decoded-page cache lookups that fell through to the decode path")
+	ExecCacheInserts = newCounter("exec.cache.inserts",
+		"decoded page columns admitted to the cache")
+	ExecCacheInsertBytes = newCounter("exec.cache.insert_bytes",
+		"decoded bytes admitted to the cache")
+	ExecCacheEvictions = newCounter("exec.cache.evictions",
+		"cache entries evicted by the clock sweep to meet the byte budget")
+	ExecCacheEvictedBytes = newCounter("exec.cache.evicted_bytes",
+		"decoded bytes reclaimed by clock eviction")
+	ExecCacheInvalidated = newCounter("exec.cache.invalidated",
+		"cache entries dropped because their series was mutated by ingest")
+	ExecHistMorsel = newHistogram("exec.hist.morsel_ns",
+		"distribution of single-morsel execution wall time")
+	ExecHistQueueDepth = newHistogram("exec.hist.queue_depth",
+		"active-batch count observed at each multi-participant submission")
+)
+
 // Transport: the Section I encoded-delivery path.
 var (
 	TransportFramesOut = newCounter("transport.frames_out",

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"etsqp/internal/engine"
+	"etsqp/internal/exec"
+	"etsqp/internal/obs"
+	"etsqp/internal/storage"
+)
+
+// TestMetricsExecCacheGolden pins the Prometheus exposition of the
+// decoded-page cache counters: a cold value-filter query misses and
+// fills, a warm repeat hits, and an ingest into the series drops the
+// entries through Store.OnMutate.
+func TestMetricsExecCacheGolden(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	st := testStore(t) // 3 pages x 1024 rows
+	cache := exec.NewPageCache(1 << 20)
+	st.OnMutate(func(series string) { cache.InvalidateSeries(series) })
+	e := engine.New(st, engine.ModeETSQP)
+	e.Workers = 1
+	e.Cache = cache
+	// The value filter forces the decode path: the value column of each
+	// of the three pages is decoded and admitted on the cold run (the
+	// aggregate never materializes the time column), then re-served on
+	// the warm one.
+	const sql = "SELECT SUM(A) FROM (SELECT * FROM ts WHERE A > 4)"
+	for i := 0; i < 2; i++ {
+		if _, err := e.ExecuteSQL(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Ingest into the cached series drops its entries via OnMutate.
+	if err := st.Append("ts", []int64{10_000}, []int64{1}, storage.Options{PageSize: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	var block []string
+	for _, ln := range strings.Split(b.String(), "\n") {
+		if strings.Contains(ln, "etsqp_exec_cache_") {
+			block = append(block, ln)
+		}
+	}
+	want := []string{
+		`# HELP etsqp_exec_cache_hits decoded-page cache lookups served without re-decoding`,
+		`# TYPE etsqp_exec_cache_hits counter`,
+		`etsqp_exec_cache_hits 3`,
+		`# HELP etsqp_exec_cache_misses decoded-page cache lookups that fell through to the decode path`,
+		`# TYPE etsqp_exec_cache_misses counter`,
+		`etsqp_exec_cache_misses 3`,
+		`# HELP etsqp_exec_cache_inserts decoded page columns admitted to the cache`,
+		`# TYPE etsqp_exec_cache_inserts counter`,
+		`etsqp_exec_cache_inserts 3`,
+		`# HELP etsqp_exec_cache_insert_bytes decoded bytes admitted to the cache`,
+		`# TYPE etsqp_exec_cache_insert_bytes counter`,
+		`etsqp_exec_cache_insert_bytes 24576`,
+		`# HELP etsqp_exec_cache_evictions cache entries evicted by the clock sweep to meet the byte budget`,
+		`# TYPE etsqp_exec_cache_evictions counter`,
+		`etsqp_exec_cache_evictions 0`,
+		`# HELP etsqp_exec_cache_evicted_bytes decoded bytes reclaimed by clock eviction`,
+		`# TYPE etsqp_exec_cache_evicted_bytes counter`,
+		`etsqp_exec_cache_evicted_bytes 0`,
+		`# HELP etsqp_exec_cache_invalidated cache entries dropped because their series was mutated by ingest`,
+		`# TYPE etsqp_exec_cache_invalidated counter`,
+		`etsqp_exec_cache_invalidated 3`,
+	}
+	if len(block) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(block), len(want), strings.Join(block, "\n"))
+	}
+	for i := range want {
+		if block[i] != want[i] {
+			t.Errorf("line %d:\n  got  %s\n  want %s", i, block[i], want[i])
+		}
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("cache not invalidated: %d entries", cache.Len())
+	}
+}

@@ -101,11 +101,35 @@ func (s *Series) EncodedBytes() int {
 type Store struct {
 	mu     sync.RWMutex
 	series map[string]*Series
+
+	// onMutate callbacks run after a successful mutation of a series'
+	// page list (Append, AppendPages, Compact), outside the store and
+	// series locks. The execution layer registers its decoded-page cache
+	// invalidation here.
+	onMutate []func(series string)
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{series: make(map[string]*Series)}
+}
+
+// OnMutate registers fn to run after every successful mutation of a
+// series' page list, with the series name. Callbacks run outside the
+// store and series locks (so they may call back into the store) but
+// before the mutating call returns, so a caller that mutates and then
+// queries observes the callback's effect. Registration is not safe
+// concurrently with mutations; register callbacks during setup.
+func (s *Store) OnMutate(fn func(series string)) {
+	s.onMutate = append(s.onMutate, fn)
+}
+
+// notifyMutate runs the registered mutation callbacks. Call with no
+// store or series locks held.
+func (s *Store) notifyMutate(series string) {
+	for _, fn := range s.onMutate {
+		fn(series)
+	}
 }
 
 // EncodePages encodes aligned (ts, vals) columns into page pairs without
@@ -192,6 +216,16 @@ func (s *Store) Append(name string, ts, vals []int64, opts Options) error {
 	if err != nil {
 		return err
 	}
+	if err := s.appendPairs(name, pairs); err != nil {
+		return err
+	}
+	s.notifyMutate(name)
+	return nil
+}
+
+// appendPairs appends page pairs under the store and series locks,
+// releasing both before returning so mutation callbacks can run.
+func (s *Store) appendPairs(name string, pairs []PagePair) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ser, ok := s.series[name]
@@ -201,13 +235,15 @@ func (s *Store) Append(name string, ts, vals []int64, opts Options) error {
 	}
 	ser.mu.Lock()
 	defer ser.mu.Unlock()
-	if len(ser.Pages) > 0 && len(pairs) > 0 {
-		if last := ser.Pages[len(ser.Pages)-1].EndTime(); pairs[0].StartTime() <= last {
-			return fmt.Errorf("storage: append to %q out of time order (%d <= %d)",
-				name, pairs[0].StartTime(), last)
+	for _, pp := range pairs {
+		if len(ser.Pages) > 0 {
+			if last := ser.Pages[len(ser.Pages)-1].EndTime(); pp.StartTime() <= last {
+				return fmt.Errorf("storage: append to %q out of time order (%d <= %d)",
+					name, pp.StartTime(), last)
+			}
 		}
+		ser.Pages = append(ser.Pages, pp)
 	}
-	ser.Pages = append(ser.Pages, pairs...)
 	return nil
 }
 
@@ -289,14 +325,16 @@ func (s *Store) Compact(name string, opts Options) error {
 		return err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	ser, ok := s.series[name]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("storage: unknown series %q", name)
 	}
 	ser.mu.Lock()
 	ser.Pages = pairs
 	ser.mu.Unlock()
+	s.mu.Unlock()
+	s.notifyMutate(name)
 	return nil
 }
 
@@ -304,23 +342,9 @@ func (s *Store) Compact(name string, opts Options) error {
 // server-side ingest path for pages that arrive encoded over the
 // network (Section I: data is delivered compressed, never re-encoded).
 func (s *Store) AppendPages(name string, pairs []PagePair) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ser, ok := s.series[name]
-	if !ok {
-		ser = &Series{Name: name}
-		s.series[name] = ser
+	if err := s.appendPairs(name, pairs); err != nil {
+		return err
 	}
-	ser.mu.Lock()
-	defer ser.mu.Unlock()
-	for _, pp := range pairs {
-		if len(ser.Pages) > 0 {
-			if last := ser.Pages[len(ser.Pages)-1].EndTime(); pp.StartTime() <= last {
-				return fmt.Errorf("storage: page append to %q out of time order (%d <= %d)",
-					name, pp.StartTime(), last)
-			}
-		}
-		ser.Pages = append(ser.Pages, pp)
-	}
+	s.notifyMutate(name)
 	return nil
 }

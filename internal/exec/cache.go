@@ -57,10 +57,17 @@ func NewPageCache(budget int64) *PageCache {
 //
 //etsqp:hotpath
 func (c *PageCache) Get(p *storage.Page) ([]int64, bool) {
+	// vals must be captured under the lock: a concurrent eviction or
+	// invalidation nils e.vals and recycles the entry onto the free
+	// list, where a Put can reassign it to a different page. The
+	// underlying array is immutable, so holding the slice past eviction
+	// is safe; only the field read needs synchronizing.
+	var vals []int64
 	c.mu.Lock()
 	e, ok := c.entries[p]
 	if ok {
 		e.ref = true
+		vals = e.vals
 	}
 	c.mu.Unlock()
 	if obs.Enabled() {
@@ -70,16 +77,20 @@ func (c *PageCache) Get(p *storage.Page) ([]int64, bool) {
 			obs.ExecCacheMisses.Inc()
 		}
 	}
-	if !ok {
-		return nil, false
-	}
-	return e.vals, true
+	return vals, ok
 }
 
 // Put inserts a fully decoded page column, evicting colder entries
 // until the budget holds. Values larger than the whole budget are not
 // cached. The cache takes ownership of vals: the caller must not write
 // to it afterwards.
+//
+// A decode racing with Compact can Put a page that InvalidateSeries
+// just dropped (decode old page, Compact swaps pages, invalidate runs,
+// Put admits the dead page). The entry's content stays correct (pages
+// are immutable) but it is unreachable for future queries; it occupies
+// budget only until the clock hand evicts it, so no epoch check is
+// needed.
 func (c *PageCache) Put(series string, p *storage.Page, vals []int64) {
 	bytes := int64(len(vals)) * 8
 	if bytes > c.budget {

@@ -115,6 +115,38 @@ func TestCacheInvalidateSeries(t *testing.T) {
 	}
 }
 
+// TestCacheGetEvictionRace pins the Get path that must capture e.vals
+// under the lock: with a tiny budget, entries are evicted and their
+// structs recycled onto the free list while readers hold them, so a
+// late field read would observe nil or another page's values.
+func TestCacheGetEvictionRace(t *testing.T) {
+	c := NewPageCache(2 * 16 * 8) // room for just two entries
+	pages := testPages(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 200; rep++ {
+				for i, p := range pages {
+					v, ok := c.Get(p)
+					if ok {
+						if v == nil {
+							panic("Get returned ok with nil values")
+						}
+						if v[0] != int64(i)*1000 {
+							panic(fmt.Sprintf("page %d served values of another page: %d", i, v[0]))
+						}
+					} else {
+						c.Put("s", p, vals(16, int64(i)*1000))
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 func TestCacheConcurrent(t *testing.T) {
 	c := NewPageCache(64 * 16 * 8)
 	pages := testPages(256)

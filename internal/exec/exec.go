@@ -278,9 +278,14 @@ func (p *Pool) workerLoop(w *Worker) {
 // It returns the first error any morsel produced; once a morsel fails,
 // unclaimed morsels are skipped. Run blocks until every claimed morsel
 // has finished, so all writes made by fn happen-before Run returns.
+// n must be below 1<<31: chunk (next, limit) pairs are packed into 32
+// bits each, so larger batches would silently truncate their bounds.
 func (p *Pool) Run(n, par int, fn func(w *Worker, i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if int64(n) >= 1<<31 {
+		panic("exec: Run batch size exceeds 1<<31 morsels")
 	}
 	if par < 1 {
 		par = 1

@@ -218,6 +218,19 @@ func TestRunParClamp(t *testing.T) {
 	}
 }
 
+// TestRunBatchTooLarge checks Run rejects batches whose bounds would
+// not fit the packed 32-bit chunk indices.
+func TestRunBatchTooLarge(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run(1<<31) did not panic")
+		}
+	}()
+	p.Run(1<<31, 1, func(w *Worker, i int) error { return nil })
+}
+
 // TestPoolClose checks Close drains workers and returns.
 func TestPoolClose(t *testing.T) {
 	p := NewPool(4)

@@ -134,3 +134,11 @@ func BenchmarkFig14Slices(b *testing.B) {
 		return bench.Fig14Slices(benchCfg, []int{1, 2, 4, 8, 16, 32})
 	})
 }
+
+// BenchmarkFigWindow measures hopping-window aggregation as the overlap
+// factor grows: fused segment closed forms vs the serial decoded fold.
+func BenchmarkFigWindow(b *testing.B) {
+	report(b, func() ([]bench.Measurement, error) {
+		return bench.FigWindow(benchCfg, []int{1, 2, 4, 8})
+	})
+}

@@ -37,6 +37,7 @@ func main() {
 		workers = flag.Int("workers", 0, "engine worker pipelines (0 = GOMAXPROCS)")
 		reps    = flag.Int("reps", 0, "timed repetitions per point, best-of (0 = default 3)")
 		conc    = flag.Bool("conc", false, "run the concurrent-clients shared-execution figure")
+		window  = flag.Bool("window", false, "run the window-overlap shared-segment figure")
 		csvOut  = flag.Bool("csv", false, "emit measurements as CSV instead of tables")
 		obsDump = flag.Bool("obs", false, "enable global metrics and dump them on exit")
 		jsonOut = flag.String("jsonout", "", "write every measurement of the run to this BENCH_*.json file")
@@ -54,7 +55,7 @@ func main() {
 	}
 	cfg := bench.Config{Rows: *rows, Seed: *seed, Workers: *workers, Reps: *reps}.WithDefaults()
 
-	if !*all && *fig == 0 && *table == 0 && !*conc {
+	if !*all && *fig == 0 && *table == 0 && !*conc && !*window {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -91,6 +92,10 @@ func main() {
 		if *all || *conc {
 			section("Concurrent clients: shared pool vs pool+cache, skewed page widths (aggregate Mtuples/s)")
 			printMeasurements(must(bench.FigConcurrent(cfg, nil)))
+		}
+		if *all || *window {
+			section("Window overlap: shared segments, fused vs serial decode (Mtuples/s)")
+			printMeasurements(must(bench.FigWindow(cfg, nil)))
 		}
 		if *all || *fig == 14 {
 			section("Figure 14(a): decoder fusion ablation")

@@ -6,6 +6,8 @@
 //	nopanic       no panics reachable from Decode/Read/Unmarshal entries
 //	obsguard      obs counters via atomic helpers, Enabled()-gated in hot paths
 //	plantable     plan-table widths in range, lane loops within vector bounds
+//	querydoc      SQL grammar surface and docs/QUERYING.md stay in sync
+//	sharedwrite   parallel fan-outs write disjoint index ranges
 //
 // Usage:
 //

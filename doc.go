@@ -10,6 +10,11 @@
 // delivery path: devices ship CRC-framed encoded pages that the server
 // ingests without decoding.
 //
+// The query surface — aggregates, sliding/hopping windows, series
+// concatenation and natural join, predicates, subqueries, LIMIT — is
+// specified in docs/QUERYING.md, which the querydoc analyzer keeps in
+// sync with the parser in both directions.
+//
 // Execution is observable end to end: every query reports engine.Stats,
 // EXPLAIN ANALYZE renders those observed counters next to the plan's
 // estimates, and internal/obs exposes process-global metrics for every

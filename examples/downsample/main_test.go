@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDownsample runs the example end to end: tumbling SW windows in two
+// modes plus the hopping GROUP BY TIME query with shared segments.
+func TestDownsample(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"ETSQP",
+		"Serial",
+		"windows in",
+		"hopping max:",
+		"shared segments",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

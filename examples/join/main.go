@@ -1,11 +1,14 @@
 // Join: multi-series pipelines — series merge (UNION ... ORDER BY TIME),
 // natural join, and an arithmetic projection over the join, mirroring
-// benchmark queries Q4-Q6.
+// benchmark queries Q4-Q6. Both operators stream typed columnar batches
+// from storage cursors, so a LIMIT stops page decoding early.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"etsqp/internal/engine"
 	"etsqp/internal/storage"
@@ -14,6 +17,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	store := storage.NewStore()
 
 	// Two sensors on different sampling grids: temperatures every 2 s,
@@ -29,34 +38,48 @@ func main() {
 		t2[i] = int64(i+1) * 3000
 		v2[i] = 550 + int64(i%25)
 	}
-	must(store.Append("temp", t1, v1, storage.Options{}))
-	must(store.Append("hum", t2, v2, storage.Options{}))
+	if err := store.Append("temp", t1, v1, storage.Options{}); err != nil {
+		return err
+	}
+	if err := store.Append("hum", t2, v2, storage.Options{}); err != nil {
+		return err
+	}
 
 	eng := engine.New(store, engine.ModeETSQP)
 
 	// Q5: time-ordered merge of both series.
 	res, err := eng.ExecuteSQL("SELECT * FROM temp UNION hum ORDER BY TIME")
-	must(err)
-	fmt.Printf("merge: %d rows (from %d + %d inputs)\n", len(res.Rows), n, n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "merge: %d rows (from %d + %d inputs)\n", len(res.Rows), n, n)
 
 	// Q6: natural join — rows where both sensors reported.
 	res, err = eng.ExecuteSQL("SELECT * FROM temp, hum")
-	must(err)
-	fmt.Printf("natural join: %d aligned rows\n", len(res.Rows))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "natural join: %d aligned rows\n", len(res.Rows))
 	for i := 0; i < 3 && i < len(res.Rows); i++ {
 		r := res.Rows[i]
-		fmt.Printf("  t=%-8d temp=%d hum=%d\n", r.Time, r.Values[0], r.Values[1])
+		fmt.Fprintf(w, "  t=%-8d temp=%d hum=%d\n", r.Time, r.Values[0], r.Values[1])
 	}
 
 	// Q4: arithmetic over the join.
 	res, err = eng.ExecuteSQL("SELECT temp.A + hum.A FROM temp, hum")
-	must(err)
-	fmt.Printf("projection temp+hum: %d rows, first = %d\n",
-		len(res.Rows), res.Rows[0].Values[0])
-}
-
-func must(err error) {
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
+	fmt.Fprintf(w, "projection temp+hum: %d rows, first = %d\n",
+		len(res.Rows), res.Rows[0].Values[0])
+
+	// LIMIT stops the cursors early: only the first pages of each side
+	// are ever decoded, visible as the pages-read / batch counts.
+	res, err = eng.ExecuteSQL("SELECT * FROM temp, hum LIMIT 3")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "join LIMIT 3: %d rows from %d cursor batches (%d of %d pages read)\n",
+		len(res.Rows), res.Stats.CursorBatches, res.Stats.PagesRead, res.Stats.PagesTotal)
+	return nil
 }

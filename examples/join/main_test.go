@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestJoin runs the example end to end: merge, natural join, projection
+// over the join, and the LIMIT early-stop over batch cursors.
+func TestJoin(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"merge: 83334 rows",
+		"natural join: 16666 aligned rows",
+		"projection temp+hum:",
+		"join LIMIT 3: 3 rows",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

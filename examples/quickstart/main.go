@@ -4,7 +4,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"etsqp/internal/engine"
 	"etsqp/internal/storage"
@@ -13,6 +15,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// A velocity sensor reporting once per minute.
 	n := 10_000
 	ts := make([]int64, n)
@@ -25,10 +33,10 @@ func main() {
 	// Ingest: pages are TS2DIFF-encoded (order-2 deltas for timestamps).
 	store := storage.NewStore()
 	if err := store.Append("root.fleet.truck1.velocity", ts, vals, storage.Options{}); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ser, _ := store.Series("root.fleet.truck1.velocity")
-	fmt.Printf("stored %d points in %d pages, %d encoded bytes (%.1fx compression)\n",
+	fmt.Fprintf(w, "stored %d points in %d pages, %d encoded bytes (%.1fx compression)\n",
 		ser.NumPoints(), len(ser.Pages), ser.EncodedBytes(),
 		float64(n*16)/float64(ser.EncodedBytes()))
 
@@ -38,10 +46,11 @@ func main() {
 		"SELECT AVG(A), MIN(A), MAX(A) FROM root.fleet.truck1.velocity WHERE TIME >= %d AND TIME <= %d",
 		ts[1000], ts[9000]))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("avg velocity = %.2f km/h (min %v, max %v)\n",
+	fmt.Fprintf(w, "avg velocity = %.2f km/h (min %v, max %v)\n",
 		res.Aggregates["AVG(A)"], res.Aggregates["MIN(A)"], res.Aggregates["MAX(A)"])
-	fmt.Printf("pipeline ran %d jobs over %d pages\n",
+	fmt.Fprintf(w, "pipeline ran %d jobs over %d pages\n",
 		res.Stats.SlicesRun, res.Stats.PagesTotal)
+	return nil
 }

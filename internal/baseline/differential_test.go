@@ -1,0 +1,358 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	_ "etsqp/internal/encoding/rlbe"
+	_ "etsqp/internal/encoding/ts2diff"
+	"etsqp/internal/engine"
+	"etsqp/internal/storage"
+)
+
+// The differential harness: the engine's shared-segment window path and
+// streaming cursor merge/join must agree bit-for-bit with the naive
+// decode-then-compute oracles in oracle.go. Values are clamped to
+// |v| <= 2^20 and windows cover < 2^12 rows, so every Σv² partial stays
+// below 2^53 and float accumulation is exact in any association order —
+// AVG and VAR compare with ==, not a tolerance.
+
+const walkClamp = 1 << 20
+
+// genWalk builds a strictly-increasing timestamp column with random
+// gaps and a clamped random-walk value column.
+func genWalk(rng *rand.Rand, n int, t0 int64) (ts, vals []int64) {
+	ts = make([]int64, n)
+	vals = make([]int64, n)
+	t := t0
+	var v int64
+	for i := 0; i < n; i++ {
+		t += 1 + int64(rng.Intn(20))
+		v += int64(rng.Intn(2001)) - 1000
+		if v > walkClamp {
+			v = walkClamp
+		}
+		if v < -walkClamp {
+			v = -walkClamp
+		}
+		ts[i] = t
+		vals[i] = v
+	}
+	return ts, vals
+}
+
+// wantWindowValue replicates the engine's finalization (operation order
+// included) from the oracle's per-window scalars.
+func wantWindowValue(agg string, w ScalarWindow) float64 {
+	if w.Count == 0 {
+		return 0
+	}
+	switch agg {
+	case "SUM":
+		return float64(w.Sum)
+	case "COUNT":
+		return float64(w.Count)
+	case "AVG":
+		return float64(w.Sum) / float64(w.Count)
+	case "MIN":
+		return float64(w.Min)
+	case "MAX":
+		return float64(w.Max)
+	case "VAR":
+		mean := float64(w.Sum) / float64(w.Count)
+		return w.SumSq/float64(w.Count) - mean*mean
+	case "FIRST":
+		return float64(w.First)
+	case "LAST":
+		return float64(w.Last)
+	}
+	return 0
+}
+
+func windowStore(t testing.TB, ts, vals []int64, pageSize int) *storage.Store {
+	st := storage.NewStore()
+	if err := st.Append("ts", ts, vals, storage.Options{PageSize: pageSize}); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// checkWindowed runs one windowed query on every execution mode and
+// compares each window instance against the re-scan oracle.
+func checkWindowed(t testing.TB, ts, vals []int64, pageSize int,
+	agg string, sql string, anchor, width, slide int64) {
+	t.Helper()
+	want := ScalarWindowed(ts, vals, anchor, width, slide, ts[len(ts)-1])
+	st := windowStore(t, ts, vals, pageSize)
+	for _, mode := range []engine.Mode{engine.ModeSerial, engine.ModeETSQP, engine.ModeETSQPPrune} {
+		e := engine.New(st, mode)
+		res, err := e.ExecuteSQL(sql)
+		if err != nil {
+			t.Fatalf("%v %q: %v", mode, sql, err)
+		}
+		if len(res.Windows) != len(want) {
+			t.Fatalf("%v %q: %d windows, oracle has %d", mode, sql, len(res.Windows), len(want))
+		}
+		for i, w := range res.Windows {
+			o := want[i]
+			if w.Start != o.Start || w.End != o.End {
+				t.Fatalf("%v %q window %d: bounds [%d,%d) want [%d,%d)",
+					mode, sql, i, w.Start, w.End, o.Start, o.End)
+			}
+			if w.Count != o.Count {
+				t.Fatalf("%v %q window %d: count %d want %d", mode, sql, i, w.Count, o.Count)
+			}
+			if wv := wantWindowValue(agg, o); w.Value != wv {
+				t.Fatalf("%v %q window %d [%d,%d): %s = %v, oracle %v",
+					mode, sql, i, w.Start, w.End, agg, w.Value, wv)
+			}
+		}
+	}
+}
+
+// TestWindowDifferentialAllAggs checks every aggregate over randomized
+// series, window widths and slides (overlapping, tumbling and gapped),
+// for both the SW and GROUP BY TIME forms, across all engine modes.
+func TestWindowDifferentialAllAggs(t *testing.T) {
+	aggs := []string{"SUM", "COUNT", "AVG", "MIN", "MAX", "VAR", "FIRST", "LAST"}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(2000)
+		t0 := int64(1_000_000 + rng.Intn(1000))
+		ts, vals := genWalk(rng, n, t0)
+		pageSize := 128 << rng.Intn(3)
+		width := int64(1 + rng.Intn(900))
+		slide := int64(1 + rng.Intn(900))
+		anchor := t0 + int64(rng.Intn(200)) - 100
+		agg := aggs[rng.Intn(len(aggs))]
+
+		// SW form: explicit anchor and slide.
+		sql := fmt.Sprintf("SELECT %s(A) FROM ts SW(%d, %d, %d)", agg, anchor, width, slide)
+		checkWindowed(t, ts, vals, pageSize, agg, sql, anchor, width, slide)
+
+		// GROUP BY TIME form: anchored at the series start.
+		sql = fmt.Sprintf("SELECT %s(A) FROM ts GROUP BY TIME(%d, %d)", agg, width, slide)
+		checkWindowed(t, ts, vals, pageSize, agg, sql, ts[0], width, slide)
+
+		// Tumbling SW without an explicit slide.
+		sql = fmt.Sprintf("SELECT %s(A) FROM ts SW(%d, %d)", agg, anchor, width)
+		checkWindowed(t, ts, vals, pageSize, agg, sql, anchor, width, width)
+	}
+}
+
+// TestWindowDifferentialTimeBounds checks windowed queries under WHERE
+// TIME bounds: the window set clips at the upper bound and only rows
+// inside [t1, t2] aggregate.
+func TestWindowDifferentialTimeBounds(t *testing.T) {
+	for seed := int64(10); seed < 14; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ts, vals := genWalk(rng, 1200, 5_000)
+		t1 := ts[100+rng.Intn(200)]
+		t2 := ts[700+rng.Intn(400)]
+		width := int64(1 + rng.Intn(300))
+		slide := int64(1 + rng.Intn(300))
+
+		// Oracle sees only the rows inside [t1, t2]; windows enumerate to
+		// min(series end, t2) — here t2.
+		var fts, fvs []int64
+		for i := range ts {
+			if ts[i] >= t1 && ts[i] <= t2 {
+				fts = append(fts, ts[i])
+				fvs = append(fvs, vals[i])
+			}
+		}
+		want := ScalarWindowed(fts, fvs, t1, width, slide, t2)
+
+		st := windowStore(t, ts, vals, 256)
+		sql := fmt.Sprintf(
+			"SELECT SUM(A) FROM ts WHERE TIME >= %d AND TIME <= %d GROUP BY TIME(%d, %d)",
+			t1, t2, width, slide)
+		for _, mode := range []engine.Mode{engine.ModeSerial, engine.ModeETSQP, engine.ModeETSQPPrune} {
+			e := engine.New(st, mode)
+			res, err := e.ExecuteSQL(sql)
+			if err != nil {
+				t.Fatalf("%v: %v", mode, err)
+			}
+			if len(res.Windows) != len(want) {
+				t.Fatalf("%v: %d windows, oracle has %d", mode, len(res.Windows), len(want))
+			}
+			for i, w := range res.Windows {
+				if w.Count != want[i].Count || w.Value != float64(want[i].Sum) {
+					t.Fatalf("%v window %d: (%v, %d) want (%d, %d)",
+						mode, i, w.Value, w.Count, want[i].Sum, want[i].Count)
+				}
+			}
+		}
+	}
+}
+
+// sharedGrid builds two series sampled from one timestamp grid so their
+// merge has all three row shapes (left-only, right-only, both) and the
+// join is non-trivial.
+func sharedGrid(rng *rand.Rand, n int) (lts, lvs, rts, rvs []int64) {
+	t := int64(10_000)
+	for i := 0; i < n; i++ {
+		t += 1 + int64(rng.Intn(10))
+		v := int64(rng.Intn(2*walkClamp)) - walkClamp
+		if rng.Intn(10) < 7 {
+			lts = append(lts, t)
+			lvs = append(lvs, v)
+		}
+		if rng.Intn(10) < 7 {
+			rts = append(rts, t)
+			rvs = append(rvs, v+1)
+		}
+	}
+	return lts, lvs, rts, rvs
+}
+
+func twoSeriesStore(t testing.TB, lts, lvs, rts, rvs []int64, pageSize int) *storage.Store {
+	st := storage.NewStore()
+	if err := st.Append("ts1", lts, lvs, storage.Options{PageSize: pageSize}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("ts2", rts, rvs, storage.Options{PageSize: pageSize}); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestConcatJoinDifferential checks UNION ... ORDER BY TIME against the
+// timestamp-set oracle and the natural join (star and sum projections)
+// against the nested-loop oracle, across all engine modes.
+func TestConcatJoinDifferential(t *testing.T) {
+	for seed := int64(20); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		lts, lvs, rts, rvs := sharedGrid(rng, 400+rng.Intn(600))
+		st := twoSeriesStore(t, lts, lvs, rts, rvs, 128<<rng.Intn(3))
+		wantMerge := ScalarConcat(lts, lvs, rts, rvs)
+		wantJoin := ScalarJoin(lts, lvs, rts, rvs)
+		for _, mode := range []engine.Mode{engine.ModeSerial, engine.ModeETSQP, engine.ModeETSQPPrune} {
+			e := engine.New(st, mode)
+
+			res, err := e.ExecuteSQL("SELECT * FROM ts1 UNION ts2 ORDER BY TIME")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != len(wantMerge) {
+				t.Fatalf("%v merge: %d rows, oracle has %d", mode, len(res.Rows), len(wantMerge))
+			}
+			for i, r := range res.Rows {
+				o := wantMerge[i]
+				if r.Time != o.Time || r.Values[0] != o.L || r.Values[1] != o.R {
+					t.Fatalf("%v merge row %d: %v want %+v", mode, i, r, o)
+				}
+			}
+
+			res, err = e.ExecuteSQL("SELECT * FROM ts1, ts2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != len(wantJoin) {
+				t.Fatalf("%v join: %d rows, oracle has %d", mode, len(res.Rows), len(wantJoin))
+			}
+			for i, r := range res.Rows {
+				o := wantJoin[i]
+				if r.Time != o.Time || r.Values[0] != o.L || r.Values[1] != o.R {
+					t.Fatalf("%v join row %d: %v want %+v", mode, i, r, o)
+				}
+			}
+
+			res, err = e.ExecuteSQL("SELECT ts1.A + ts2.A FROM ts1, ts2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range res.Rows {
+				o := wantJoin[i]
+				if r.Time != o.Time || r.Values[0] != o.L+o.R {
+					t.Fatalf("%v join-sum row %d: %v want %+v", mode, i, r, o)
+				}
+			}
+		}
+	}
+}
+
+// FuzzWindowDifferential fuzzes window geometry (width, slide, anchor)
+// and the aggregate against the re-scan oracle on the ETSQP mode.
+func FuzzWindowDifferential(f *testing.F) {
+	f.Add(int64(1), uint16(50), uint16(20), uint8(0), int16(0))
+	f.Add(int64(2), uint16(7), uint16(90), uint8(3), int16(-50))
+	f.Add(int64(3), uint16(128), uint16(128), uint8(5), int16(40))
+	aggs := []string{"SUM", "COUNT", "AVG", "MIN", "MAX", "VAR", "FIRST", "LAST"}
+	f.Fuzz(func(t *testing.T, seed int64, widthRaw, slideRaw uint16, aggIdx uint8, anchorOff int16) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(900)
+		t0 := int64(1_000_000)
+		ts, vals := genWalk(rng, n, t0)
+		width := int64(widthRaw%1000) + 1
+		slide := int64(slideRaw%1000) + 1
+		anchor := t0 + int64(anchorOff)
+		agg := aggs[int(aggIdx)%len(aggs)]
+		sql := fmt.Sprintf("SELECT %s(A) FROM ts SW(%d, %d, %d)", agg, anchor, width, slide)
+		want := ScalarWindowed(ts, vals, anchor, width, slide, ts[len(ts)-1])
+		st := windowStore(t, ts, vals, 256)
+		e := engine.New(st, engine.ModeETSQP)
+		res, err := e.ExecuteSQL(sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		if len(res.Windows) != len(want) {
+			t.Fatalf("%q: %d windows, oracle has %d", sql, len(res.Windows), len(want))
+		}
+		for i, w := range res.Windows {
+			o := want[i]
+			if w.Count != o.Count || w.Value != wantWindowValue(agg, o) {
+				t.Fatalf("%q window %d [%d,%d): (%v, %d) want (%v, %d)",
+					sql, i, o.Start, o.End, w.Value, w.Count, wantWindowValue(agg, o), o.Count)
+			}
+		}
+	})
+}
+
+// FuzzMergeJoinDifferential fuzzes the shared-grid shape of two series
+// and checks the streaming merge and join against the oracles.
+func FuzzMergeJoinDifferential(f *testing.F) {
+	f.Add(int64(1), uint16(300))
+	f.Add(int64(7), uint16(64))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint16) {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%600) + 20
+		lts, lvs, rts, rvs := sharedGrid(rng, n)
+		if len(lts) == 0 || len(rts) == 0 {
+			t.Skip("empty side")
+		}
+		st := twoSeriesStore(t, lts, lvs, rts, rvs, 128)
+		e := engine.New(st, engine.ModeETSQP)
+
+		wantMerge := ScalarConcat(lts, lvs, rts, rvs)
+		res, err := e.ExecuteSQL("SELECT * FROM ts1 UNION ts2 ORDER BY TIME")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != len(wantMerge) {
+			t.Fatalf("merge: %d rows, oracle has %d", len(res.Rows), len(wantMerge))
+		}
+		for i, r := range res.Rows {
+			o := wantMerge[i]
+			if r.Time != o.Time || r.Values[0] != o.L || r.Values[1] != o.R {
+				t.Fatalf("merge row %d: %v want %+v", i, r, o)
+			}
+		}
+
+		wantJoin := ScalarJoin(lts, lvs, rts, rvs)
+		res, err = e.ExecuteSQL("SELECT * FROM ts1, ts2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != len(wantJoin) {
+			t.Fatalf("join: %d rows, oracle has %d", len(res.Rows), len(wantJoin))
+		}
+		for i, r := range res.Rows {
+			o := wantJoin[i]
+			if r.Time != o.Time || r.Values[0] != o.L || r.Values[1] != o.R {
+				t.Fatalf("join row %d: %v want %+v", i, r, o)
+			}
+		}
+	})
+}

@@ -513,6 +513,44 @@ func FigConcurrent(cfg Config, clients []int) ([]Measurement, error) {
 	return out, nil
 }
 
+// FigWindow measures sliding-window aggregation as the window overlap
+// factor (width/slide) grows: hopping windows with slide < width make
+// every row a member of `overlap` window instances. Both engines share
+// disjoint row segments across instances (docs/EXECUTION.md), so cost
+// grows with the segment count rather than multiplicatively with
+// overlap; ETSQP additionally fills the segment sums on encoded form
+// via the Proposition 3 closed forms, while the serial engine decodes
+// and folds every row.
+func FigWindow(cfg Config, overlaps []int) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	if len(overlaps) == 0 {
+		overlaps = []int{1, 2, 4, 8}
+	}
+	w, err := buildWorkload(cfg, "Atm", storage.DefaultValueCodec)
+	if err != nil {
+		return nil, err
+	}
+	width := w.interval * 1000 // 10^3 points per instance (Section VII-A)
+	var out []Measurement
+	for _, mode := range []engine.Mode{engine.ModeETSQP, engine.ModeSerial} {
+		e := engineFor(cfg, w, mode)
+		for _, ov := range overlaps {
+			slide := width / int64(ov)
+			if slide < 1 {
+				slide = 1
+			}
+			sql := fmt.Sprintf("SELECT SUM(A) FROM ts1 GROUP BY TIME(%d, %d)", width, slide)
+			m, err := run(cfg, e, sql)
+			if err != nil {
+				return nil, fmt.Errorf("figwindow %s overlap=%d: %w", mode, ov, err)
+			}
+			m.Figure, m.Series, m.X = "figwindow", mode.String(), fmt.Sprintf("overlap=%d", ov)
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
 // Table1Row is one Table I row with a measured compression ratio.
 type Table1Row struct {
 	Method    string

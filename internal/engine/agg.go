@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -237,12 +238,8 @@ func (e *Engine) executeAgg(q *sqlparse.Query, series string, preds []sqlparse.P
 
 	var windows []expr.Window
 	if q.Window != nil {
-		_, seriesEnd := ser.TimeRange()
-		if seriesEnd > t2 {
-			seriesEnd = t2
-		}
 		var err error
-		windows, err = expr.SlidingWindows(q.Window.TMin, q.Window.DT, seriesEnd)
+		windows, err = windowInstances(q.Window, ser, t1, t2)
 		if err != nil {
 			return nil, err
 		}
@@ -312,6 +309,24 @@ func (e *Engine) executeAgg(q *sqlparse.Query, series string, preds []sqlparse.P
 		res.Aggregates[fmt.Sprintf("%s(A)", it.Agg)] = v
 	}
 	return res, nil
+}
+
+// windowInstances enumerates a query's window set over one series. The
+// SW form carries its anchor; GROUP BY TIME anchors at the query's time
+// lower bound, or the series' first timestamp when unbounded below.
+func windowInstances(w *sqlparse.Window, ser *storage.Series, t1, t2 int64) ([]expr.Window, error) {
+	seriesStart, seriesEnd := ser.TimeRange()
+	if seriesEnd > t2 {
+		seriesEnd = t2
+	}
+	anchor := w.TMin
+	if !w.HasTMin {
+		anchor = t1
+		if t1 <= math.MinInt64+1 {
+			anchor = seriesStart
+		}
+	}
+	return expr.SlidingWindowsHop(anchor, w.DT, w.Hop(), seriesEnd)
 }
 
 // valueRange extracts conjunctive bounds [c1, c2] from value predicates
@@ -423,7 +438,7 @@ func (e *Engine) aggSlice(ser string, sl pipeline.Slice, t1, t2 int64, vp []sqlp
 	}
 
 	if len(windows) > 0 {
-		return e.aggWindows(ser, sl, lo, hi, ts, vp, c1, c2, fused, needFL, windows, localWin, col)
+		return e.aggWindows(ser, sl, lo, hi, ts, vp, c1, c2, fused, needFL, windows, localWin, col, arena)
 	}
 
 	if needFL {
@@ -725,67 +740,144 @@ func (e *Engine) rowTimeFunc(sl pipeline.Slice, ts []int64) func(i int) int64 {
 	return func(i int) int64 { return first + int64(i)*interval }
 }
 
-// aggWindows folds rows [lo, hi) into per-window partials. Window
-// boundaries within the slice come from the decoded timestamps, or from
-// binary search over the constant-interval arithmetic.
+// aggWindows folds rows [lo, hi) into per-window partials with one pass
+// over the slice: the boundaries of every intersecting window cut the
+// row range into disjoint segments, a single segment pass fills all
+// per-segment partials (on encoded form via the Proposition 3 closed
+// forms when fused), and each window then merges its contiguous segment
+// run. Overlapping windows (slide < width) thus share the decode and
+// the page parse instead of re-scanning per window — the incremental
+// evaluation of Section VI's G_sw. Window boundaries map to rows via
+// the decoded timestamps or constant-interval arithmetic.
 func (e *Engine) aggWindows(ser string, sl pipeline.Slice, lo, hi int, ts []int64,
 	vp []sqlparse.Pred, c1, c2 int64,
-	fused, needFL bool, windows []expr.Window, localWin []partialAgg, col *statsCollector) error {
+	fused, needFL bool, windows []expr.Window, localWin []partialAgg,
+	col *statsCollector, arena *exec.Arena) error {
 	rowTime := e.rowTimeFunc(sl, ts)
 	tLo, tHi := rowTime(lo), rowTime(hi-1)
-	// Windows intersecting [tLo, tHi].
+	// Windows intersecting [tLo, tHi]: starts are sorted, so the
+	// intersecting set is one contiguous index range.
 	wFirst := sort.Search(len(windows), func(i int) bool { return windows[i].End > tLo })
-	for wi := wFirst; wi < len(windows) && windows[wi].Start <= tHi; wi++ {
-		w := windows[wi]
-		// Row range of this window within [lo, hi).
-		rlo := sort.Search(hi-lo, func(i int) bool { return rowTime(lo+i) >= w.Start }) + lo
-		rhi := sort.Search(hi-lo, func(i int) bool { return rowTime(lo+i) >= w.End }) + lo
-		if rlo >= rhi {
-			continue
+	wLast := wFirst
+	for wLast < len(windows) && windows[wLast].Start <= tHi {
+		wLast++
+	}
+	if wFirst == wLast {
+		return nil
+	}
+	rowOf := func(t int64) int {
+		return lo + sort.Search(hi-lo, func(i int) bool { return rowTime(lo+i) >= t })
+	}
+	// Per-window row ranges and the merged, deduplicated cut set.
+	nw := wLast - wFirst
+	winLo := make([]int, nw)
+	winHi := make([]int, nw)
+	cuts := make([]int, 0, 2*nw)
+	for k := 0; k < nw; k++ {
+		w := windows[wFirst+k]
+		winLo[k] = rowOf(w.Start)
+		winHi[k] = rowOf(w.End)
+		cuts = append(cuts, winLo[k], winHi[k])
+	}
+	sort.Ints(cuts)
+	uniq := cuts[:1]
+	for _, c := range cuts[1:] {
+		if c != uniq[len(uniq)-1] {
+			uniq = append(uniq, c)
 		}
-		if needFL {
-			if err := e.addBoundaries(ser, sl, rlo, rhi, ts, &localWin[wi], col); err != nil {
+	}
+	cuts = uniq
+	nseg := len(cuts) - 1
+	if nseg <= 0 {
+		return nil
+	}
+	col.windowSegments.Add(int64(nseg))
+	segAt := func(row int) int { return sort.SearchInts(cuts, row) }
+
+	if needFL {
+		// Boundary rows are per-window by definition; they cost two
+		// single-row decodes each regardless of overlap.
+		for k := 0; k < nw; k++ {
+			if winLo[k] >= winHi[k] {
+				continue
+			}
+			if err := e.addBoundaries(ser, sl, winLo[k], winHi[k], ts, &localWin[wFirst+k], col); err != nil {
 				return err
 			}
 		}
-		if fused {
-			err := timed(&col.aggNanos, func() error {
-				sum, count, ok, err := e.fusedSumRange(sl.Pair.Value, rlo, rhi, col)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					vals, err := e.decodeColumnRange(ser, sl.Pair.Value, rlo, rhi, col)
-					if err != nil {
-						return err
-					}
-					col.valuesDecoded.Add(int64(len(vals)))
-					for _, v := range vals {
-						localWin[wi].addValue(v)
-					}
-					return nil
-				}
-				col.valuesFused.Add(count)
-				localWin[wi].addSum(sum, count)
-				return nil
+	}
+
+	mergeSegs := func(fold func(k, s int)) {
+		for k := 0; k < nw; k++ {
+			for s, sEnd := segAt(winLo[k]), segAt(winHi[k]); s < sEnd; s++ {
+				fold(k, s)
+			}
+		}
+	}
+
+	if fused {
+		handled := false
+		err := timed(&col.windowNanos, func() error {
+			sums := arenaInt64(arena, exec.ClassScratch, nseg)
+			ok, err := e.fusedSumSegments(sl.Pair.Value, cuts, sums, col)
+			if err != nil || !ok {
+				return err // !ok falls through to the decoded pass
+			}
+			handled = true
+			for s := 0; s < nseg; s++ {
+				col.valuesFused.Add(int64(cuts[s+1] - cuts[s]))
+			}
+			mergeSegs(func(k, s int) {
+				localWin[wFirst+k].addSum(sums[s], int64(cuts[s+1]-cuts[s]))
 			})
-			if err != nil {
-				return err
-			}
-			continue
-		}
-		vals, err := e.decodeColumnRange(ser, sl.Pair.Value, rlo, rhi, col)
-		if err != nil {
-			return err
-		}
-		col.valuesDecoded.Add(int64(len(vals)))
-		err = timed(&col.aggNanos, func() error {
-			foldValues(vals, vp, c1, c2, &localWin[wi])
 			return nil
 		})
-		if err != nil {
+		if err != nil || handled {
 			return err
 		}
 	}
-	return nil
+
+	// Decoded pass (also the fused fallback): materialize the covered
+	// rows once, build per-segment partials, merge each window's run.
+	vals, err := e.decodeColumnRange(ser, sl.Pair.Value, cuts[0], cuts[nseg], col)
+	if err != nil {
+		return err
+	}
+	col.valuesDecoded.Add(int64(len(vals)))
+	return timed(&col.windowNanos, func() error {
+		segAgg := make([]partialAgg, nseg)
+		for s := 0; s < nseg; s++ {
+			foldValues(vals[cuts[s]-cuts[0]:cuts[s+1]-cuts[0]], vp, c1, c2, &segAgg[s])
+		}
+		mergeSegs(func(k, s int) {
+			localWin[wFirst+k].merge(&segAgg[s])
+		})
+		return nil
+	})
+}
+
+// fusedSumSegments fills per-segment sums over the cut partition of a
+// value page without materializing values. The page is loaded, verified,
+// and parsed once no matter how many windows cut it; ok is false when
+// the codec has no fused segment path.
+func (e *Engine) fusedSumSegments(p *storage.Page, cuts []int, sums []int64, col *statsCollector) (ok bool, err error) {
+	data, release := loadPage(p, col)
+	defer release()
+	if err := p.VerifyChecksum(); err != nil {
+		return false, err
+	}
+	if first, pairs, isRLBE := deltaRunsOfData(p.Header.Codec, data); isRLBE {
+		if err := fusion.SumRangeSegments(first, pairs, cuts, sums); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	blk, berr := pageBlockData(p.Header.Codec, data)
+	if berr != nil || blk == nil {
+		return false, berr
+	}
+	if err := fusion.SumBlockSegments(blk, cuts, sums); err != nil {
+		return false, err
+	}
+	return true, nil
 }

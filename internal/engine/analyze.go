@@ -42,16 +42,22 @@ func (a *AnalyzeInfo) String() string {
 	if st.MergeRanges > 0 {
 		write("  merge ranges: %d", st.MergeRanges)
 	}
+	if st.WindowSegments > 0 {
+		write("  window segments: %d", st.WindowSegments)
+	}
+	if st.CursorBatches > 0 {
+		write("  cursor batches: %d", st.CursorBatches)
+	}
 	if st.CacheHits+st.CacheMisses > 0 {
 		write("  page cache: hits=%d misses=%d", st.CacheHits, st.CacheMisses)
 	}
 	write("  bytes scanned: %d", st.BytesScanned)
 	write("  elapsed: %v", a.Elapsed)
-	write("  stages: prune=%v io=%v decode=%v filter=%v agg=%v merge=%v",
+	write("  stages: prune=%v io=%v decode=%v filter=%v agg=%v window=%v merge=%v",
 		time.Duration(st.PruneNanos),
 		time.Duration(st.IONanos), time.Duration(st.DecodeNanos),
 		time.Duration(st.FilterNanos), time.Duration(st.AggNanos),
-		time.Duration(st.MergeNanos))
+		time.Duration(st.WindowNanos), time.Duration(st.MergeNanos))
 	if a.Trace != nil {
 		b.WriteString(a.Trace.String())
 	}

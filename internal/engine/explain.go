@@ -101,13 +101,11 @@ func (e *Engine) explainQuery(q *sqlparse.Query) (*PlanInfo, error) {
 		(info.Shape == "aggregate" || info.Shape == "window")
 	info.Pruning = e.Mode == ModeETSQPPrune && len(vp) > 0
 	if q.Window != nil {
-		_, seriesEnd := ser.TimeRange()
-		if seriesEnd > t2 {
-			seriesEnd = t2
+		ws, err := windowInstances(q.Window, ser, t1, t2)
+		if err != nil {
+			return nil, err
 		}
-		if q.Window.DT > 0 && seriesEnd >= q.Window.TMin {
-			info.Windows = int((seriesEnd-q.Window.TMin)/q.Window.DT) + 1
-		}
+		info.Windows = len(ws)
 	}
 	if info.Shape == "merge" || info.Shape == "join" {
 		info.MergeRanges = len(timeCuts(ser, t1, t2, e.workers()))

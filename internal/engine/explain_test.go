@@ -128,7 +128,7 @@ func normalizeAnalyze(s string) string {
 	spanNames := map[string]bool{
 		"query": true, "parse": true, "plan": true, "prune": true,
 		"io": true, "decode": true, "filter": true, "agg": true,
-		"merge": true, "other": true,
+		"window": true, "merge": true, "other": true,
 	}
 	lines := strings.Split(s, "\n")
 	for i, ln := range lines {
@@ -154,8 +154,11 @@ func normalizeAnalyze(s string) string {
 				sort.Strings(lines[j : i+1])
 			}
 		default:
-			// Span lines render as "name <duration>".
-			if name, _, ok := strings.Cut(trimmed, " "); ok && spanNames[name] {
+			// Span lines render as exactly "name <duration>"; two fields, so
+			// plan lines that happen to start with a stage name ("window
+			// instances: 6", "merge ranges: 2") are left alone.
+			if name, rest, ok := strings.Cut(trimmed, " "); ok && spanNames[name] &&
+				!strings.ContainsRune(rest, ' ') {
 				indent := ln[:len(ln)-len(strings.TrimLeft(ln, " "))]
 				lines[i] = indent + name + " <t>"
 			}
@@ -193,6 +196,7 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 		"      decode <t>\n" +
 		"      filter <t>\n" +
 		"      agg <t>\n" +
+		"      window <t>\n" +
 		"      merge <t>\n" +
 		"      other <t>\n" +
 		"    slices: 3 run, 3 recorded\n" +

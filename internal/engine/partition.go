@@ -1,9 +1,7 @@
 package engine
 
 import (
-	"sync"
-	"sync/atomic"
-
+	"etsqp/internal/exec"
 	"etsqp/internal/storage"
 )
 
@@ -41,46 +39,27 @@ func timeCuts(ser *storage.Series, t1, t2 int64, n int) [][2]int64 {
 	return append(cuts, [2]int64{start, t2})
 }
 
-// runRanged executes fn over each time range concurrently and returns
-// the per-range row groups in range order. At most workers() goroutines
-// run, each claiming range indices from a shared counter — a straggler
-// range occupies one goroutine while the rest drain the remainder.
-// (Each claimed index is written by exactly one goroutine, so the
-// results slots stay write-disjoint — the claimed-index pattern
-// sharedwrite verifies.)
+// runRanged executes fn over each time range as one morsel batch on the
+// shared worker pool and returns the per-range row groups in range
+// order. Each claimed range index is owned by exactly one participant,
+// so the results slots stay write-disjoint; a straggler range occupies
+// one participant while the rest drain the remainder.
 func (e *Engine) runRanged(ranges [][2]int64, fn func(t1, t2 int64) ([]Row, error)) ([]Row, error) {
-	type out struct {
-		rows []Row
-		err  error
+	results := make([][]Row, len(ranges))
+	err := e.pool().Run(len(ranges), e.workers(), func(w *exec.Worker, i int) error {
+		rows, err := fn(ranges[i][0], ranges[i][1])
+		if err != nil {
+			return err
+		}
+		results[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	results := make([]out, len(ranges))
-	n := e.workers()
-	if n > len(ranges) {
-		n = len(ranges)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for g := 0; g < n; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(ranges) {
-					return
-				}
-				rows, err := fn(ranges[i][0], ranges[i][1])
-				results[i] = out{rows, err}
-			}
-		}()
-	}
-	wg.Wait()
 	var all []Row
 	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
-		}
-		all = append(all, r.rows...)
+		all = append(all, r...)
 	}
 	return all, nil
 }

@@ -98,23 +98,50 @@ func (e *Engine) readSeriesColumns(name string, t1, t2 int64, col *statsCollecto
 }
 
 // executeScan handles SELECT * FROM series [WHERE ...]: decoded rows with
-// predicates applied.
+// predicates applied. A LIMIT scan streams through a batch cursor so the
+// scan stops decoding pages once the limit is satisfied; an unbounded
+// scan materializes all pages in parallel on the shared pool.
 func (e *Engine) executeScan(q *sqlparse.Query, tr *Trace) (*Result, error) {
 	t1, t2 := timeRange(q.Preds)
 	vp := valuePreds(q.Preds)
 	col := newCollector(tr)
+	res := &Result{}
+	if q.Limit > 0 {
+		cur, err := e.newBatchCursor(q.Series[0], t1, t2, col)
+		if err != nil {
+			return nil, err
+		}
+		for len(res.Rows) < q.Limit {
+			b, err := cur.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b.Len() == 0 {
+				break
+			}
+			timed(&col.filterNanos, func() error {
+				for i := range b.Ts {
+					if predsMatch(vp, b.Vals[i]) {
+						res.Rows = append(res.Rows, Row{Time: b.Ts[i], Values: []int64{b.Vals[i]}})
+						if len(res.Rows) >= q.Limit {
+							break
+						}
+					}
+				}
+				return nil
+			})
+		}
+		res.Stats = col.finish()
+		return res, nil
+	}
 	ts, vals, err := e.readSeriesColumns(q.Series[0], t1, t2, col)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
 	err = timed(&col.filterNanos, func() error {
 		for i := range ts {
 			if predsMatch(vp, vals[i]) {
 				res.Rows = append(res.Rows, Row{Time: ts[i], Values: []int64{vals[i]}})
-				if q.Limit > 0 && len(res.Rows) >= q.Limit {
-					break
-				}
 			}
 		}
 		return nil
@@ -144,20 +171,20 @@ func (e *Engine) executeMerge(q *sqlparse.Query, tr *Trace) (*Result, error) {
 	ranges := timeCuts(serL, t1, t2, e.workers())
 	col.mergeRanges.Add(int64(len(ranges)))
 	rows, err := e.runRanged(ranges, func(a, b int64) ([]Row, error) {
-		lts, lvs, err := e.readSeriesColumns(q.Series[0], a, b, col)
+		lc, err := e.newBatchCursor(q.Series[0], a, b, col)
 		if err != nil {
 			return nil, err
 		}
-		rts, rvs, err := e.readSeriesColumns(q.UnionWith, a, b, col)
+		rc, err := e.newBatchCursor(q.UnionWith, a, b, col)
 		if err != nil {
 			return nil, err
 		}
 		var out []Row
-		err = timed(&col.mergeNanos, func() error {
-			for _, m := range expr.MergeByTime(lts, lvs, rts, rvs) {
-				out = append(out, Row{Time: m.Time, Values: m.Values})
-			}
-			return nil
+		err = mergeCursors(lc, rc, col, func(r Row) bool {
+			out = append(out, r)
+			// Rows past the limit can never survive the final trim, so
+			// each range stops decoding once it alone could satisfy it.
+			return q.Limit <= 0 || len(out) < q.Limit
 		})
 		return out, err
 	})
@@ -190,29 +217,25 @@ func (e *Engine) executeJoin(q *sqlparse.Query, tr *Trace) (*Result, error) {
 	ranges := timeCuts(serL, t1, t2, e.workers())
 	col.mergeRanges.Add(int64(len(ranges)))
 	rows, err := e.runRanged(ranges, func(a, b int64) ([]Row, error) {
-		lts, lvs, err := e.readSeriesColumns(q.Series[0], a, b, col)
+		lc, err := e.newBatchCursor(q.Series[0], a, b, col)
 		if err != nil {
 			return nil, err
 		}
-		rts, rvs, err := e.readSeriesColumns(q.Series[1], a, b, col)
+		rc, err := e.newBatchCursor(q.Series[1], a, b, col)
 		if err != nil {
 			return nil, err
 		}
 		var out []Row
-		err = timed(&col.mergeNanos, func() error {
-			left, right := expr.NaturalJoin(lts, rts)
-			for k := range left {
-				lv, rv := lvs[left[k]], rvs[right[k]]
-				if !joinPredsMatch(vp, q.Series, lv, rv) {
-					continue
-				}
-				if item.Star {
-					out = append(out, Row{Time: lts[left[k]], Values: []int64{lv, rv}})
-				} else {
-					out = append(out, Row{Time: lts[left[k]], Values: []int64{lv + rv}})
-				}
+		err = joinCursors(lc, rc, col, func(t, lv, rv int64) bool {
+			if !joinPredsMatch(vp, q.Series, lv, rv) {
+				return true
 			}
-			return nil
+			if item.Star {
+				out = append(out, Row{Time: t, Values: []int64{lv, rv}})
+			} else {
+				out = append(out, Row{Time: t, Values: []int64{lv + rv}})
+			}
+			return q.Limit <= 0 || len(out) < q.Limit
 		})
 		return out, err
 	})

@@ -40,11 +40,18 @@ type Stats struct {
 	CacheHits     int64 // page-column decodes served by the decoded-page cache
 	CacheMisses   int64 // cache lookups that fell through to the decode path
 
+	// Windowed-aggregation sharing (Section VI G_sw): segments are the
+	// disjoint row ranges the window boundaries cut slices into; each is
+	// aggregated once and shared by every window covering it.
+	WindowSegments int64
+	CursorBatches  int64 // columnar batches yielded by storage cursors
+
 	// Stage timings for the Figure 14(b) breakdown (nanoseconds).
 	IONanos     int64
 	DecodeNanos int64
 	FilterNanos int64
 	AggNanos    int64
+	WindowNanos int64 // per-window partial fills and segment merges
 	MergeNanos  int64
 	PruneNanos  int64 // page selection + header-statistics pruning
 }
@@ -66,10 +73,14 @@ type statsCollector struct {
 	cacheHits     atomic.Int64
 	cacheMisses   atomic.Int64
 
+	windowSegments atomic.Int64
+	cursorBatches  atomic.Int64
+
 	ioNanos     atomic.Int64
 	decodeNanos atomic.Int64
 	filterNanos atomic.Int64
 	aggNanos    atomic.Int64
+	windowNanos atomic.Int64
 	mergeNanos  atomic.Int64
 	pruneNanos  atomic.Int64
 
@@ -101,10 +112,14 @@ func (c *statsCollector) snapshot() Stats {
 		CacheHits:     c.cacheHits.Load(),
 		CacheMisses:   c.cacheMisses.Load(),
 
+		WindowSegments: c.windowSegments.Load(),
+		CursorBatches:  c.cursorBatches.Load(),
+
 		IONanos:     c.ioNanos.Load(),
 		DecodeNanos: c.decodeNanos.Load(),
 		FilterNanos: c.filterNanos.Load(),
 		AggNanos:    c.aggNanos.Load(),
+		WindowNanos: c.windowNanos.Load(),
 		MergeNanos:  c.mergeNanos.Load(),
 		PruneNanos:  c.pruneNanos.Load(),
 	}
@@ -122,6 +137,8 @@ func (c *statsCollector) finish() Stats {
 		obs.EngineValuesDecoded.Add(st.ValuesDecoded)
 		obs.EnginePagesStatAnswered.Add(st.StatAnswered)
 		obs.EngineMergeRanges.Add(st.MergeRanges)
+		obs.EngineWindowSegments.Add(st.WindowSegments)
+		obs.EngineCursorBatches.Add(st.CursorBatches)
 		obs.PruneRowsSkipped.Add(st.RowsPruned)
 		obs.StoragePagesRead.Add(st.PagesRead)
 		obs.StorageBytesScanned.Add(st.BytesScanned)
@@ -129,6 +146,7 @@ func (c *statsCollector) finish() Stats {
 		obs.EngineTimeDecode.AddNanos(st.DecodeNanos)
 		obs.EngineTimeFilter.AddNanos(st.FilterNanos)
 		obs.EngineTimeAgg.AddNanos(st.AggNanos)
+		obs.EngineTimeWindow.AddNanos(st.WindowNanos)
 		obs.EngineTimeMerge.AddNanos(st.MergeNanos)
 		obs.EngineTimePrune.AddNanos(st.PruneNanos)
 		// The stage histograms observe one value per query — the query's
@@ -137,6 +155,7 @@ func (c *statsCollector) finish() Stats {
 		obs.EngineHistDecode.Observe(st.DecodeNanos)
 		obs.EngineHistFilter.Observe(st.FilterNanos)
 		obs.EngineHistAgg.Observe(st.AggNanos)
+		obs.EngineHistWindow.Observe(st.WindowNanos)
 		obs.EngineHistMerge.Observe(st.MergeNanos)
 	}
 	return st

@@ -40,8 +40,8 @@ type SliceEvent struct {
 }
 
 // Trace is the per-query span tree the engine assembles when tracing is
-// requested: parse → plan → prune → io → decode → filter → agg → merge
-// stage spans under a query root, plus per-slice events. A nil *Trace
+// requested: parse → plan → prune → io → decode → filter → agg →
+// window → merge stage spans under a query root, plus per-slice events. A nil *Trace
 // disables tracing entirely; the execution hot paths only ever perform a
 // nil check, so tracing off costs nothing and allocates nothing
 // (TestParallelExecutorAllocs budgets are unchanged).
@@ -90,6 +90,7 @@ func (t *Trace) finish(st Stats, elapsed time.Duration) {
 		{Name: "decode", DurNs: st.DecodeNanos},
 		{Name: "filter", DurNs: st.FilterNanos},
 		{Name: "agg", DurNs: st.AggNanos},
+		{Name: "window", DurNs: st.WindowNanos},
 		{Name: "merge", DurNs: st.MergeNanos},
 	}
 	var accounted int64

@@ -49,7 +49,7 @@ func TestTraceSpanTreeShape(t *testing.T) {
 	if tr.Root.Name != "query" {
 		t.Errorf("root span = %q, want query", tr.Root.Name)
 	}
-	wantOrder := []string{"parse", "plan", "prune", "io", "decode", "filter", "agg", "merge", "other"}
+	wantOrder := []string{"parse", "plan", "prune", "io", "decode", "filter", "agg", "window", "merge", "other"}
 	if len(tr.Root.Children) != len(wantOrder) {
 		t.Fatalf("root has %d children, want %d", len(tr.Root.Children), len(wantOrder))
 	}
@@ -91,7 +91,7 @@ func TestTraceJSONGolden(t *testing.T) {
 	tr.finish(Stats{
 		SlicesRun:  1,
 		PruneNanos: 30, IONanos: 40, DecodeNanos: 50,
-		FilterNanos: 60, AggNanos: 70, MergeNanos: 80,
+		FilterNanos: 60, AggNanos: 70, WindowNanos: 5, MergeNanos: 80,
 	}, 400*time.Nanosecond)
 	tr.addSlice(SliceEvent{StartRow: 0, EndRow: 8, Rows: 8, Fused: true, Width: 4, Nv: 7, DurNs: 90})
 	var b strings.Builder
@@ -103,8 +103,9 @@ func TestTraceJSONGolden(t *testing.T) {
 		`{"name":"parse","dur_ns":10},{"name":"plan","dur_ns":20},` +
 		`{"name":"prune","dur_ns":30},{"name":"io","dur_ns":40},` +
 		`{"name":"decode","dur_ns":50},{"name":"filter","dur_ns":60},` +
-		`{"name":"agg","dur_ns":70},{"name":"merge","dur_ns":80},` +
-		`{"name":"other","dur_ns":70}]},` +
+		`{"name":"agg","dur_ns":70},{"name":"window","dur_ns":5},` +
+		`{"name":"merge","dur_ns":80},` +
+		`{"name":"other","dur_ns":65}]},` +
 		`"slices":[{"start_row":0,"end_row":8,"rows":8,"fused":true,"width":4,"nv":7,"dur_ns":90}],` +
 		`"slices_total":1}` + "\n"
 	if got := b.String(); got != want {

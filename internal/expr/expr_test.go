@@ -242,6 +242,41 @@ func TestSlidingWindows(t *testing.T) {
 	}
 }
 
+func TestSlidingWindowsHop(t *testing.T) {
+	// Overlapping: width 10, slide 4 over [0, 11].
+	ws, err := SlidingWindowsHop(0, 10, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	for k, w := range ws {
+		if w.Index != k || w.Start != int64(4*k) || w.End != int64(4*k+10) {
+			t.Fatalf("window %d = %+v", k, w)
+		}
+	}
+	// Sampling with gaps: slide > width.
+	ws, err = SlidingWindowsHop(100, 5, 20, 140)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 || ws[2].Start != 140 || ws[2].End != 145 {
+		t.Fatalf("windows = %+v", ws)
+	}
+	// Empty range.
+	if ws, err = SlidingWindowsHop(10, 5, 5, 9); err != nil || ws != nil {
+		t.Fatalf("empty range: %v %v", ws, err)
+	}
+	// Guards.
+	if _, err := SlidingWindowsHop(0, 10, 0, 100); err == nil {
+		t.Fatal("zero slide must fail")
+	}
+	if _, err := SlidingWindowsHop(0, 10, 1, int64(MaxWindowInstances)+10); err == nil {
+		t.Fatal("instance-count cap must trip")
+	}
+}
+
 func TestFractionAndAdd(t *testing.T) {
 	col := []int64{1, 2, 3, 4, 5}
 	if got := Fraction(col, 1, 3); !reflect.DeepEqual(got, []int64{2, 3}) {

@@ -193,17 +193,43 @@ type Window struct {
 
 // SlidingWindows enumerates the window instances of G_sw(Tmin, ΔT) up to
 // tMax (inclusive), per Definition 2: k >= 0 and Tmin + k·ΔT <= tMax.
+// The windows tumble: each starts where the previous ended.
 func SlidingWindows(tMin, dT, tMax int64) ([]Window, error) {
-	if dT <= 0 {
+	return SlidingWindowsHop(tMin, dT, dT, tMax)
+}
+
+// MaxWindowInstances bounds the number of window instances a single
+// query may enumerate. Per-window partial state is materialized per
+// worker, so an unbounded instance count (a tiny slide over a huge time
+// range) would turn one query into an unbounded allocation.
+const MaxWindowInstances = 1 << 16
+
+// SlidingWindowsHop enumerates the instances of a hopping window
+// specification: window k covers [Tmin + k·slide, Tmin + k·slide + width)
+// for k >= 0 while the start does not exceed tMax. slide < width yields
+// overlapping windows (a value belongs to several), slide = width
+// tumbles, and slide > width samples with gaps. The instance count is
+// capped at MaxWindowInstances.
+func SlidingWindowsHop(tMin, width, slide, tMax int64) ([]Window, error) {
+	if width <= 0 {
 		return nil, errors.New("expr: window width must be positive")
+	}
+	if slide <= 0 {
+		return nil, errors.New("expr: window slide must be positive")
+	}
+	if tMax < tMin {
+		return nil, nil
+	}
+	if n := (tMax-tMin)/slide + 1; n > MaxWindowInstances {
+		return nil, errors.New("expr: too many window instances")
 	}
 	var out []Window
 	for k := int64(0); ; k++ {
-		start := tMin + k*dT
+		start := tMin + k*slide
 		if start > tMax {
 			break
 		}
-		out = append(out, Window{Index: int(k), Start: start, End: start + dT})
+		out = append(out, Window{Index: int(k), Start: start, End: start + width})
 	}
 	return out, nil
 }

@@ -1,0 +1,204 @@
+package fusion
+
+import (
+	"errors"
+
+	"etsqp/internal/bitio"
+	"etsqp/internal/encoding"
+	"etsqp/internal/encoding/ts2diff"
+	"etsqp/internal/pipeline"
+)
+
+// Segment kernels: sliding windows that overlap (slide < width) share
+// rows, so re-running a range kernel per window re-reads the same
+// encoded data O(windows) times. Instead the window boundaries cut the
+// row range into disjoint segments, each kernel pass fills *all* segment
+// sums at once, and every window is the sum of a contiguous segment run
+// — the incremental-sharing evaluation of Section VI's G_sw on top of
+// the Proposition 3 closed forms.
+
+// validateCuts checks that cuts is a strictly increasing partition with
+// one more entry than sums.
+func validateCuts(cuts []int, nsums int) error {
+	if len(cuts) != nsums+1 {
+		return errors.New("fusion: cuts must have len(sums)+1 entries")
+	}
+	if len(cuts) > 0 && cuts[0] < 0 {
+		return errors.New("fusion: negative cut")
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			return errors.New("fusion: cuts must be strictly increasing")
+		}
+	}
+	return nil
+}
+
+// SumRangeSegments fills sums[i] with Σ values over rows
+// [cuts[i], cuts[i+1]) of the flattened Delta-Repeat series, walking the
+// runs exactly once. A run spanning several segments contributes one
+// closed-form partial (Proposition 3) per overlapped segment; segments
+// beyond the series' row count stay partial or zero.
+//
+//etsqp:hotpath
+func SumRangeSegments(first int64, pairs []encoding.DeltaRun, cuts []int, sums []int64) error {
+	if err := validateCuts(cuts, len(sums)); err != nil {
+		return err
+	}
+	for i := range sums {
+		sums[i] = 0
+	}
+	if len(sums) == 0 {
+		return nil
+	}
+	// Row 0 holds `first`; run p then covers rows idx+1 .. idx+Count with
+	// values cur + jΔ (j = row - idx).
+	if cuts[0] == 0 {
+		sums[0] = first
+	}
+	last := cuts[len(cuts)-1]
+	cur := first
+	idx := 0
+	s := 0
+	for _, p := range pairs {
+		runEnd := idx + p.Count
+		if idx+1 >= last {
+			break
+		}
+		for s < len(sums) && cuts[s+1] <= idx+1 {
+			s++
+		}
+		for t := s; t < len(sums) && cuts[t] <= runEnd; t++ {
+			lo := cuts[t]
+			if lo < idx+1 {
+				lo = idx + 1
+			}
+			hi := cuts[t+1] - 1 // inclusive last row of the segment
+			if hi > runEnd {
+				hi = runEnd
+			}
+			if lo > hi {
+				continue
+			}
+			j0 := int64(lo - idx)
+			j1 := int64(hi - idx)
+			base, ok1 := mulChecked(cur, j1-j0+1)
+			inc, ok2 := mulChecked(p.Delta, sumArith(j1)-sumArith(j0-1))
+			runSum, ok3 := addChecked(base, inc)
+			var ok4 bool
+			sums[t], ok4 = addChecked(sums[t], runSum)
+			if !(ok1 && ok2 && ok3 && ok4) {
+				return ErrOverflow
+			}
+		}
+		cur += p.Delta * int64(p.Count)
+		idx = runEnd
+	}
+	return nil
+}
+
+// SumBlockSegments fills sums[i] with Σ values over rows
+// [cuts[i], cuts[i+1]) of a TS2DIFF block, streaming the packed deltas
+// once through a fixed-size stack chunk (the SumBlockOrder2 idiom) for
+// both orders — one decode pass regardless of how many windows cut the
+// block. Cuts past b.Count contribute what exists.
+//
+//etsqp:hotpath
+func SumBlockSegments(b *ts2diff.Block, cuts []int, sums []int64) error {
+	if err := validateCuts(cuts, len(sums)); err != nil {
+		return err
+	}
+	for i := range sums {
+		sums[i] = 0
+	}
+	if len(sums) == 0 || b.Count == 0 {
+		return nil
+	}
+	to := cuts[len(cuts)-1]
+	if to > b.Count {
+		to = b.Count
+	}
+	if to <= cuts[0] {
+		return nil
+	}
+	adder := segAdder{cuts: cuts, sums: sums}
+	cur := b.First
+	if !adder.add(0, cur) {
+		return ErrOverflow
+	}
+	delta := b.FirstDelta // order-2 running first difference
+	m := b.NumPacked()
+	need := to - 1
+	if need > m {
+		need = m
+	}
+	// Chunk boundaries stay multiples of the plan's BlockElems so each
+	// chunk starts byte-aligned in the packed stream.
+	var chunk [8 * pipeline.MaxNv]int64
+	chunkE := len(chunk)
+	if b.Width > 0 && b.Width <= pipeline.MaxNarrowWidth {
+		p, err := pipeline.PlanFor(b.Width)
+		if err != nil {
+			return err
+		}
+		chunkE = len(chunk) / p.BlockElems * p.BlockElems
+	}
+	row := 1
+	for e := 0; e < need; e += chunkE {
+		cnt := need - e
+		if cnt > chunkE {
+			cnt = chunkE
+		}
+		off := e * int(b.Width) / 8
+		if off > len(b.Packed) {
+			return bitio.ErrShortBuffer
+		}
+		if err := pipeline.DecodeDeltasInto(chunk[:cnt], b.Packed[off:], cnt, b.Width, b.MinBase); err != nil {
+			return err
+		}
+		for _, d := range chunk[:cnt] {
+			if b.Order == ts2diff.Order1 {
+				cur += d
+			} else {
+				cur += delta
+				delta += d
+			}
+			if !adder.add(row, cur) {
+				return ErrOverflow
+			}
+			row++
+		}
+	}
+	// Order-2 blocks have n-2 packed deltas for n-1 steps: the final rows
+	// advance by the last accumulated first difference.
+	for ; row < to; row++ {
+		cur += delta
+		if !adder.add(row, cur) {
+			return ErrOverflow
+		}
+	}
+	return nil
+}
+
+// segAdder folds row values into the segment their row index falls in,
+// advancing the current segment monotonically as rows stream in order.
+type segAdder struct {
+	cuts []int
+	sums []int64
+	s    int
+}
+
+// add folds v at row into its segment; false reports overflow.
+//
+//etsqp:hotpath
+func (a *segAdder) add(row int, v int64) bool {
+	for a.s < len(a.sums) && a.cuts[a.s+1] <= row {
+		a.s++
+	}
+	if a.s < len(a.sums) && a.cuts[a.s] <= row {
+		var ok bool
+		a.sums[a.s], ok = addChecked(a.sums[a.s], v)
+		return ok
+	}
+	return true
+}

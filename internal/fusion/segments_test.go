@@ -1,0 +1,139 @@
+package fusion
+
+import (
+	"math/rand"
+	"testing"
+
+	"etsqp/internal/encoding"
+	"etsqp/internal/encoding/ts2diff"
+)
+
+// randomCuts builds a strictly increasing partition of [0, n] with at
+// most k interior cuts (segments may start past 0 and end past n).
+func randomCuts(rng *rand.Rand, n, k int) []int {
+	set := map[int]bool{}
+	for i := 0; i < k; i++ {
+		set[rng.Intn(n+n/2+2)] = true
+	}
+	cuts := make([]int, 0, len(set)+1)
+	for c := range set {
+		cuts = append(cuts, c)
+	}
+	for i := range cuts {
+		for j := i + 1; j < len(cuts); j++ {
+			if cuts[j] < cuts[i] {
+				cuts[i], cuts[j] = cuts[j], cuts[i]
+			}
+		}
+	}
+	if len(cuts) < 2 {
+		cuts = []int{0, n + 1}
+	}
+	return cuts
+}
+
+func TestSumRangeSegmentsMatchesSumRange(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		vals := randomPairsSeries(seed, 12)
+		first, pairs := encoding.DeltaRLEEncode(vals)
+		cuts := randomCuts(rng, len(vals), 9)
+		sums := make([]int64, len(cuts)-1)
+		if err := SumRangeSegments(first, pairs, cuts, sums); err != nil {
+			t.Fatal(err)
+		}
+		for i := range sums {
+			from, to := cuts[i], cuts[i+1]
+			if from > len(vals) {
+				from = len(vals)
+			}
+			if to > len(vals) {
+				to = len(vals)
+			}
+			want, err := SumRange(first, pairs, from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sums[i] != want {
+				t.Fatalf("seed %d seg [%d,%d): got %d want %d", seed, cuts[i], cuts[i+1], sums[i], want)
+			}
+		}
+	}
+}
+
+func TestSumRangeSegmentsValidation(t *testing.T) {
+	first, pairs := encoding.DeltaRLEEncode([]int64{1, 2, 3})
+	if err := SumRangeSegments(first, pairs, []int{0, 0}, make([]int64, 1)); err == nil {
+		t.Fatal("non-increasing cuts must fail")
+	}
+	if err := SumRangeSegments(first, pairs, []int{-1, 2}, make([]int64, 1)); err == nil {
+		t.Fatal("negative cut must fail")
+	}
+	if err := SumRangeSegments(first, pairs, []int{0, 1, 2}, make([]int64, 1)); err == nil {
+		t.Fatal("cuts/sums mismatch must fail")
+	}
+	// Empty segment list is a no-op.
+	if err := SumRangeSegments(first, pairs, []int{3}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumBlockSegmentsMatchesSumBlockRange(t *testing.T) {
+	for _, order := range []ts2diff.Order{ts2diff.Order1, ts2diff.Order2} {
+		for seed := int64(0); seed < 25; seed++ {
+			rng := rand.New(rand.NewSource(seed + int64(order)*1000))
+			n := rng.Intn(700) + 1
+			vals := make([]int64, n)
+			cur := rng.Int63n(10000)
+			step := rng.Int63n(20) - 10
+			for i := range vals {
+				vals[i] = cur
+				step += rng.Int63n(7) - 3
+				cur += step
+			}
+			b, err := ts2diff.Encode(vals, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cuts := randomCuts(rng, n, 8)
+			sums := make([]int64, len(cuts)-1)
+			if err := SumBlockSegments(b, cuts, sums); err != nil {
+				t.Fatal(err)
+			}
+			for i := range sums {
+				want, err := SumBlockRange(b, cuts[i], cuts[i+1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sums[i] != want {
+					t.Fatalf("order %v seed %d seg [%d,%d): got %d want %d",
+						order, seed, cuts[i], cuts[i+1], sums[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestSumBlockSegmentsWholeBlockMatchesSumBlock(t *testing.T) {
+	vals := make([]int64, 300)
+	for i := range vals {
+		vals[i] = int64(i*i - 40*i)
+	}
+	for _, order := range []ts2diff.Order{ts2diff.Order1, ts2diff.Order2} {
+		b, err := ts2diff.Encode(vals, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums := make([]int64, 1)
+		if err := SumBlockSegments(b, []int{0, len(vals)}, sums); err != nil {
+			t.Fatal(err)
+		}
+		want, err := SumBlock(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sums[0] != want {
+			t.Fatalf("order %v: got %d want %d", order, sums[0], want)
+		}
+	}
+}

@@ -19,6 +19,10 @@ func TestObsGuard(t *testing.T) {
 	linttest.Run(t, "testdata/obsguard", analyzers.ObsGuard)
 }
 
+func TestQueryDoc(t *testing.T) {
+	linttest.Run(t, "testdata/querydoc", analyzers.QueryDoc)
+}
+
 func TestPlanTable(t *testing.T) {
 	linttest.Run(t, "testdata/plantable", analyzers.PlanTable)
 }

@@ -1,0 +1,229 @@
+package analyzers
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"etsqp/internal/lint"
+)
+
+// QueryDoc enforces the query-language documentation contract: the SQL
+// surface the parser actually accepts and the reference tables in
+// docs/QUERYING.md may not drift apart.
+//
+// The grammar surface is extracted from internal/sqlparse mechanically:
+//
+//   - keywords: string-literal arguments of acceptKw / expectKw calls
+//   - aggregate functions: keys of the aggNames map literal
+//   - comparison operators: keys of the cmpOps map literal
+//   - column names: case literals of isColumnName
+//
+// The documented surface is every backticked token inside the table
+// region delimited by `<!-- querydoc:begin -->` and `<!-- querydoc:end -->`
+// in docs/QUERYING.md (uppercase words and operator glyphs count; mixed-
+// case metavariables like `Tmin` do not). Every parsed token must be
+// documented and every documented token must be parsed.
+var QueryDoc = &lint.Analyzer{
+	Name: "querydoc",
+	Doc:  "SQL keywords/operators and the docs/QUERYING.md reference stay in sync",
+	Run:  runQueryDoc,
+}
+
+// keywordAcceptors are the parser helpers whose string argument is a
+// grammar keyword.
+var keywordAcceptors = map[string]bool{"acceptKw": true, "expectKw": true}
+
+// tokenMaps are the sqlparse map literals whose keys are grammar tokens.
+var tokenMaps = map[string]bool{"aggNames": true, "cmpOps": true}
+
+// grammarToken is one token of the parser's accepted surface.
+type grammarToken struct {
+	text string
+	pos  ast.Node
+}
+
+func runQueryDoc(pass *lint.Pass) error {
+	for _, pkg := range pass.Module.Pkgs {
+		if lint.PathHasSuffix(pkg.Path, "internal/sqlparse") {
+			checkQueryDocSync(pass, pkg)
+		}
+	}
+	return nil
+}
+
+func checkQueryDocSync(pass *lint.Pass, pkg *lint.Package) {
+	var toks []grammarToken
+	var firstFile *ast.File
+	addLit := func(lit *ast.BasicLit) {
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil || s == "" {
+			return
+		}
+		toks = append(toks, grammarToken{text: strings.ToUpper(s), pos: lit})
+	}
+	for _, file := range pkg.Files {
+		if firstFile == nil {
+			firstFile = file
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				// Keywords: acceptKw("SELECT") / expectKw("FROM").
+				if len(n.Args) != 1 {
+					return true
+				}
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || !keywordAcceptors[sel.Sel.Name] {
+					return true
+				}
+				if lit, ok := n.Args[0].(*ast.BasicLit); ok {
+					addLit(lit)
+				}
+			case *ast.ValueSpec:
+				// Token maps: aggNames / cmpOps keys.
+				for i, name := range n.Names {
+					if !tokenMaps[name.Name] || i >= len(n.Values) {
+						continue
+					}
+					cl, ok := n.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, elt := range cl.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if lit, ok := kv.Key.(*ast.BasicLit); ok {
+							addLit(lit)
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				// Column names: the isColumnName switch cases.
+				if n.Name.Name != "isColumnName" || n.Body == nil {
+					return true
+				}
+				ast.Inspect(n.Body, func(m ast.Node) bool {
+					cc, ok := m.(*ast.CaseClause)
+					if !ok {
+						return true
+					}
+					for _, e := range cc.List {
+						if lit, ok := e.(*ast.BasicLit); ok {
+							addLit(lit)
+						}
+					}
+					return true
+				})
+				return false
+			}
+			return true
+		})
+	}
+	if len(toks) == 0 {
+		return
+	}
+	docPath := filepath.Join(pass.Module.Dir, "docs", "QUERYING.md")
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		pass.Reportf(firstFile.Name.Pos(), "sqlparse grammar has no docs/QUERYING.md to sync against: %v", err)
+		return
+	}
+	documented, ok := docGrammarTokens(string(data))
+	if !ok {
+		pass.Reportf(firstFile.Name.Pos(), "docs/QUERYING.md lacks the querydoc:begin/querydoc:end token-table markers")
+		return
+	}
+	parsed := make(map[string]bool, len(toks))
+	reported := map[string]bool{}
+	for _, tk := range toks {
+		parsed[tk.text] = true
+		if !documented[tk.text] && !reported[tk.text] {
+			reported[tk.text] = true
+			pass.Reportf(tk.pos.Pos(), "grammar token %s is not documented in docs/QUERYING.md", tk.text)
+		}
+	}
+	var ghosts []string
+	for t := range documented {
+		if !parsed[t] {
+			ghosts = append(ghosts, t)
+		}
+	}
+	sort.Strings(ghosts)
+	for _, t := range ghosts {
+		pass.Reportf(firstFile.Name.Pos(), "docs/QUERYING.md documents token %s but the parser does not accept it", t)
+	}
+}
+
+// docGrammarTokens extracts the documented token set from the marked
+// region of QUERYING.md: inside each backtick span of a table row,
+// all-uppercase words and pure operator glyph runs count as claims.
+func docGrammarTokens(doc string) (map[string]bool, bool) {
+	begin := strings.Index(doc, "<!-- querydoc:begin -->")
+	end := strings.Index(doc, "<!-- querydoc:end -->")
+	if begin < 0 || end < 0 || end < begin {
+		return nil, false
+	}
+	out := map[string]bool{}
+	for _, line := range strings.Split(doc[begin:end], "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		for _, span := range backtickSpans(line) {
+			if isOperatorGlyphs(span) {
+				out[span] = true
+				continue
+			}
+			for _, word := range strings.FieldsFunc(span, func(r rune) bool {
+				return r < 'A' || (r > 'Z' && r < 'a') || r > 'z'
+			}) {
+				if word == strings.ToUpper(word) {
+					out[word] = true
+				}
+			}
+		}
+	}
+	return out, true
+}
+
+// backtickSpans returns the contents of every `...` span in a line.
+func backtickSpans(line string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(line, '`')
+		if i < 0 {
+			return out
+		}
+		line = line[i+1:]
+		j := strings.IndexByte(line, '`')
+		if j < 0 {
+			return out
+		}
+		if j > 0 {
+			out = append(out, line[:j])
+		}
+		line = line[j+1:]
+	}
+}
+
+// isOperatorGlyphs reports whether s is a non-empty run of comparison
+// glyphs (the cmpOps key alphabet).
+func isOperatorGlyphs(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch r {
+		case '<', '>', '=', '!':
+		default:
+			return false
+		}
+	}
+	return true
+}

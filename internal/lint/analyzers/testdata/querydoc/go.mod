@@ -1,0 +1,3 @@
+module fixture.test/querydoc
+
+go 1.22

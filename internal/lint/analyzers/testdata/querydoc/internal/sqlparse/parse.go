@@ -1,0 +1,43 @@
+package sqlparse // want `docs/QUERYING.md documents token FOO but the parser does not accept it`
+
+import "strings"
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.pos < len(p.toks) && strings.EqualFold(p.toks[p.pos], kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) bool { return p.acceptKw(kw) }
+
+func (p *parser) parse() bool {
+	if !p.expectKw("SELECT") {
+		return false
+	}
+	if !p.expectKw("FROM") {
+		return false
+	}
+	return p.acceptKw("ZORP") // want `grammar token ZORP is not documented in docs/QUERYING.md`
+}
+
+var aggNames = map[string]int{
+	"SUM":  1,
+	"MAXX": 2, // want `grammar token MAXX is not documented in docs/QUERYING.md`
+}
+
+var cmpOps = map[string]int{"<": 1, "<=": 2}
+
+func isColumnName(s string) bool {
+	switch strings.ToUpper(s) {
+	case "A", "TIME":
+		return true
+	}
+	return false
+}

@@ -26,6 +26,10 @@ var (
 		"pages answered from header statistics alone, payload untouched")
 	EngineMergeRanges = newCounter("engine.merge_ranges",
 		"time-range merge nodes executed for merge/join queries (Figure 9)")
+	EngineWindowSegments = newCounter("engine.window_segments",
+		"disjoint row segments cut by window boundaries, each aggregated once and shared by overlapping windows")
+	EngineCursorBatches = newCounter("engine.cursor_batches",
+		"columnar batches yielded by storage batch cursors for merge/join/scan queries")
 )
 
 // Engine stage timers: per-stage wall time summed across workers, so a
@@ -39,6 +43,8 @@ var (
 		"wall time applying value predicates to materialized rows")
 	EngineTimeAgg = newTimer("engine.time.agg_ns",
 		"wall time folding values into aggregate states")
+	EngineTimeWindow = newTimer("engine.time.window_ns",
+		"wall time filling per-window partials and merging shared segments")
 	EngineTimeMerge = newTimer("engine.time.merge_ns",
 		"wall time merging and joining per-range results")
 	EngineTimeQuery = newTimer("engine.time.query_ns",
@@ -106,6 +112,8 @@ var (
 		"per-query distribution of summed filter stage time")
 	EngineHistAgg = newHistogram("engine.hist.agg_ns",
 		"per-query distribution of summed aggregation stage time")
+	EngineHistWindow = newHistogram("engine.hist.window_ns",
+		"per-query distribution of summed windowed-aggregation stage time")
 	EngineHistMerge = newHistogram("engine.hist.merge_ns",
 		"per-query distribution of summed merge stage time")
 	EngineHistPageDecode = newHistogram("engine.hist.page_decode_ns",

@@ -46,10 +46,27 @@ type Pred struct {
 	Value int64
 }
 
-// Window is the SW(Tmin, ΔT) sliding-window clause.
+// Window is a sliding-window clause: either the explicit-anchor
+// SW(Tmin, width[, slide]) form or the anchor-inferred
+// GROUP BY TIME(width[, slide]) form. Window k covers
+// [anchor + k·Slide, anchor + k·Slide + DT); Slide < DT overlaps,
+// Slide = DT tumbles (the paper's G_sw(Tmin, ΔT)).
 type Window struct {
 	TMin int64
-	DT   int64
+	// HasTMin distinguishes SW (explicit anchor) from GROUP BY TIME,
+	// whose anchor is the query's time lower bound — or the series'
+	// first timestamp when the time range is unbounded below.
+	HasTMin bool
+	DT      int64 // window width
+	Slide   int64 // hop between window starts; 0 means DT (tumbling)
+}
+
+// Hop returns the effective slide: Slide, or DT for tumbling windows.
+func (w *Window) Hop() int64 {
+	if w.Slide > 0 {
+		return w.Slide
+	}
+	return w.DT
 }
 
 // Query is a parsed statement.

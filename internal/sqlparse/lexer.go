@@ -6,14 +6,21 @@
 // Grammar (case-insensitive keywords):
 //
 //	query   := SELECT items FROM source [WHERE pred (AND pred)*]
-//	           [SW '(' int ',' int ')'] [UNION series [ORDER BY TIME]] [';']
+//	           [window] [UNION series] [ORDER BY TIME] [LIMIT int] [';']
+//	window  := SW '(' int ',' int [',' int] ')'
+//	         | GROUP BY TIME '(' int [',' int] ')'
 //	items   := '*' | item (',' item)*
-//	item    := agg '(' col ')' | col '+' col | col
-//	agg     := SUM | AVG | COUNT | MIN | MAX | VAR
+//	item    := agg '(' col ')' | CORR '(' col ',' col ')' | col '+' col | col
+//	agg     := SUM | AVG | COUNT | MIN | MAX | VAR | FIRST | LAST
 //	source  := series [',' series] | '(' query ')'
 //	pred    := col op int
 //	col     := [series '.'] ('A' | 'TIME' | 'VALUE')
 //	op      := '<' | '<=' | '>' | '>=' | '=' | '!='
+//
+// SW(Tmin, width[, slide]) anchors windows at the explicit Tmin;
+// GROUP BY TIME(width[, slide]) anchors at the query's time lower bound
+// (or the series' first timestamp when unbounded below). Omitting slide
+// tumbles (slide = width).
 //
 // Series names are dotted identifiers (e.g. root.sg.d1.velocity); a final
 // segment A, TIME, or VALUE denotes a column reference on that series.

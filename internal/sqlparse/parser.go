@@ -99,6 +99,18 @@ func (p *parser) parseQuery() (*Query, error) {
 			return nil, err
 		}
 		q.Window = w
+	} else if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("TIME"); err != nil {
+			return nil, err
+		}
+		w, err := p.parseGroupByTime()
+		if err != nil {
+			return nil, err
+		}
+		q.Window = w
 	}
 	if p.acceptKw("UNION") {
 		name, err := p.parseSeriesName()
@@ -298,32 +310,81 @@ func (p *parser) parsePred() (Pred, error) {
 	return Pred{Col: col, Op: op, Value: v}, nil
 }
 
+// readWindowInt consumes one integer argument of a window clause.
+func (p *parser) readWindowInt(clause string) (int64, error) {
+	if p.peek().kind != tokNumber {
+		return 0, fmt.Errorf("sqlparse: expected number in %s, got %q", clause, p.peek().text)
+	}
+	return strconv.ParseInt(p.next().text, 10, 64)
+}
+
+// parseWindow parses the explicit-anchor form SW(Tmin, width[, slide]).
 func (p *parser) parseWindow() (*Window, error) {
 	if err := p.expect("("); err != nil {
 		return nil, err
 	}
-	readInt := func() (int64, error) {
-		if p.peek().kind != tokNumber {
-			return 0, fmt.Errorf("sqlparse: expected number in SW, got %q", p.peek().text)
-		}
-		return strconv.ParseInt(p.next().text, 10, 64)
-	}
-	tmin, err := readInt()
+	tmin, err := p.readWindowInt("SW")
 	if err != nil {
 		return nil, err
 	}
 	if err := p.expect(","); err != nil {
 		return nil, err
 	}
-	dt, err := readInt()
+	dt, err := p.readWindowInt("SW")
 	if err != nil {
 		return nil, err
+	}
+	w := &Window{TMin: tmin, HasTMin: true, DT: dt}
+	if p.accept(",") {
+		slide, err := p.readWindowInt("SW")
+		if err != nil {
+			return nil, err
+		}
+		if slide <= 0 {
+			return nil, fmt.Errorf("sqlparse: SW slide must be positive")
+		}
+		w.Slide = slide
 	}
 	if err := p.expect(")"); err != nil {
 		return nil, err
 	}
-	if dt <= 0 {
-		return nil, fmt.Errorf("sqlparse: SW width must be positive")
+	return validateWindow(w, "SW")
+}
+
+// parseGroupByTime parses the anchor-inferred form
+// GROUP BY TIME(width[, slide]); the anchor comes from the query's time
+// range at execution time.
+func (p *parser) parseGroupByTime() (*Window, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
 	}
-	return &Window{TMin: tmin, DT: dt}, nil
+	dt, err := p.readWindowInt("GROUP BY TIME")
+	if err != nil {
+		return nil, err
+	}
+	w := &Window{DT: dt}
+	if p.accept(",") {
+		slide, err := p.readWindowInt("GROUP BY TIME")
+		if err != nil {
+			return nil, err
+		}
+		if slide <= 0 {
+			return nil, fmt.Errorf("sqlparse: GROUP BY TIME slide must be positive")
+		}
+		w.Slide = slide
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return validateWindow(w, "GROUP BY TIME")
+}
+
+func validateWindow(w *Window, clause string) (*Window, error) {
+	if w.DT <= 0 {
+		return nil, fmt.Errorf("sqlparse: %s width must be positive", clause)
+	}
+	if w.Slide == w.DT {
+		w.Slide = 0 // canonical tumbling form
+	}
+	return w, nil
 }

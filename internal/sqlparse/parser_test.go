@@ -171,6 +171,65 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestParseWindowForms(t *testing.T) {
+	// SW with explicit slide.
+	q, err := Parse("SELECT SUM(A) FROM ts SW(100, 50, 10)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := q.Window
+	if w == nil || !w.HasTMin || w.TMin != 100 || w.DT != 50 || w.Slide != 10 || w.Hop() != 10 {
+		t.Fatalf("window = %+v", w)
+	}
+	// SW slide equal to width canonicalizes to tumbling (Slide = 0).
+	q, err = Parse("SELECT SUM(A) FROM ts SW(100, 50, 50)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Window.Slide != 0 || q.Window.Hop() != 50 {
+		t.Fatalf("window = %+v", q.Window)
+	}
+	// GROUP BY TIME: anchor inferred, tumbling by default.
+	q, err = Parse("SELECT AVG(A) FROM ts WHERE TIME >= 10 AND TIME <= 99 GROUP BY TIME(25)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = q.Window
+	if w == nil || w.HasTMin || w.TMin != 0 || w.DT != 25 || w.Slide != 0 || w.Hop() != 25 {
+		t.Fatalf("window = %+v", w)
+	}
+	// GROUP BY TIME with hop.
+	q, err = Parse("select count(a) from ts group by time(30, 7) limit 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = q.Window
+	if w == nil || w.HasTMin || w.DT != 30 || w.Slide != 7 || q.Limit != 4 {
+		t.Fatalf("%+v", q)
+	}
+}
+
+func TestParseWindowErrors(t *testing.T) {
+	bad := []string{
+		"SELECT SUM(A) FROM ts SW(0, -5)",
+		"SELECT SUM(A) FROM ts SW(0, 10, 0)",
+		"SELECT SUM(A) FROM ts SW(0, 10, -3)",
+		"SELECT SUM(A) FROM ts SW(0, 10,)",
+		"SELECT SUM(A) FROM ts GROUP BY TIME",
+		"SELECT SUM(A) FROM ts GROUP BY TIME()",
+		"SELECT SUM(A) FROM ts GROUP BY TIME(0)",
+		"SELECT SUM(A) FROM ts GROUP BY TIME(10, 0)",
+		"SELECT SUM(A) FROM ts GROUP BY TIME(10, -1)",
+		"SELECT SUM(A) FROM ts GROUP TIME(10)",
+		"SELECT SUM(A) FROM ts GROUP BY A",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
 func TestParseQualifiedPredicate(t *testing.T) {
 	q, err := Parse("SELECT * FROM ts1, ts2 WHERE ts1.A > 10")
 	if err != nil {

@@ -49,6 +49,9 @@ func run(root string) error {
 	if err := sqlCorpus(root); err != nil {
 		return err
 	}
+	if err := parseSQLCorpus(root); err != nil {
+		return err
+	}
 	if err := storageCorpus(root, series); err != nil {
 		return err
 	}
@@ -95,6 +98,33 @@ func sqlCorpus(root string) error {
 		"SELECT COUNT(A) FROM ts WHERE",
 	}
 	dir := filepath.Join(root, "internal/sqlparse/testdata/fuzz/FuzzParse")
+	for i, s := range seeds {
+		if err := writeEntry(dir, i, "string("+strconv.Quote(s)+")"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseSQLCorpus seeds FuzzParseSQL, the serving-path hardening target:
+// statements exercising every clause the grammar accepts (windows,
+// joins, unions, subqueries, LIMIT), boundary literals, and near-miss
+// malformed inputs that reach deep into the parser before failing.
+func parseSQLCorpus(root string) error {
+	seeds := []string{
+		"SELECT SUM(A) FROM ts",
+		"SELECT AVG(A), VAR(A) FROM root.sg.d1.v WHERE TIME >= 1 AND A != -7 LIMIT 5",
+		"SELECT COUNT(A) FROM ts GROUP BY TIME(100, 25)",
+		"SELECT SUM(A) FROM ts SW(0, 1000, 250);",
+		"SELECT CORR(ts1.A, ts2.A) FROM ts1, ts2",
+		"SELECT * FROM ts1 UNION ts2 ORDER BY TIME LIMIT 3",
+		"SELECT MAX(A) FROM (SELECT * FROM ts WHERE A > 100)",
+		"SELECT SUM(A) FROM ts WHERE TIME >= 9223372036854775807",
+		"SELECT FIRST(A), LAST(A) FROM ts WHERE TIME >= -1 AND TIME <= 1",
+		"SELECT SUM(A) FROM ts SW(0, 1000", // near-miss: unclosed window
+		"SELECT ts1.A+ts2.A FROM ts1, ts2 GROUP BY TIME(",
+	}
+	dir := filepath.Join(root, "internal/sqlparse/testdata/fuzz/FuzzParseSQL")
 	for i, s := range seeds {
 		if err := writeEntry(dir, i, "string("+strconv.Quote(s)+")"); err != nil {
 			return err

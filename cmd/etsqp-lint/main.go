@@ -2,7 +2,10 @@
 // loads the whole module with the standard library's type checker and
 // runs the invariant suite in internal/lint/analyzers —
 //
+//	atomicfield   //etsqp:atomic fields touched only through sync/atomic
+//	guardedby     //etsqp:guardedby fields accessed holding the named mutex
 //	hotpathalloc  no allocating constructs reachable from //etsqp:hotpath
+//	lockorder     the module-wide lock-acquisition graph stays acyclic
 //	nopanic       no panics reachable from Decode/Read/Unmarshal entries
 //	obsguard      obs counters via atomic helpers, Enabled()-gated in hot paths
 //	plantable     plan-table widths in range, lane loops within vector bounds
@@ -29,6 +32,7 @@ import (
 
 	"etsqp/internal/lint"
 	"etsqp/internal/lint/analyzers"
+	"etsqp/internal/lint/findings"
 )
 
 func main() {
@@ -77,7 +81,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *jsonOut {
-		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+		if err := findings.WriteJSON(os.Stdout, diags); err != nil {
 			fmt.Fprintf(os.Stderr, "etsqp-lint: %v\n", err)
 			os.Exit(2)
 		}

@@ -29,7 +29,7 @@ import (
 	"os"
 	"strings"
 
-	"etsqp/internal/lint"
+	"etsqp/internal/lint/findings"
 	"etsqp/internal/lint/vet"
 )
 
@@ -77,7 +77,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *jsonOut {
-		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+		if err := findings.WriteJSON(os.Stdout, diags); err != nil {
 			fmt.Fprintf(os.Stderr, "etsqp-vet: %v\n", err)
 			os.Exit(2)
 		}

@@ -23,10 +23,12 @@
 //
 // The invariants behind the performance claims — allocation-free unpack
 // kernels, panic-free decode paths, gated observability, consistent plan
-// tables, write-disjoint parallel fan-outs — are enforced by the
-// cmd/etsqp-lint analyzer suite, and cmd/etsqp-vet checks the compiler's
-// own diagnostics against per-kernel bounds-check-elimination, escape
-// and inlining contracts (docs/STATIC_ANALYSIS.md).
+// tables, write-disjoint parallel fan-outs, and declared mutex/atomic
+// protocols on every shared struct (//etsqp:guardedby, //etsqp:atomic,
+// lock-order acyclicity) — are enforced by the cmd/etsqp-lint analyzer
+// suite, and cmd/etsqp-vet checks the compiler's own diagnostics
+// against per-kernel bounds-check-elimination, escape and inlining
+// contracts (docs/STATIC_ANALYSIS.md).
 //
 // The library lives under internal/ (see DESIGN.md for the module map);
 // runnable entry points are cmd/etsqp-bench (regenerates every table and

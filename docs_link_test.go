@@ -12,11 +12,76 @@ import (
 // from any #fragment before checking.
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
+// mdHeading matches ATX headings; the text renders to an anchor slug.
+var mdHeading = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
+
+// slugify converts a heading to its rendered anchor the way GitHub
+// does: inline code markers stripped, lowercased, everything but
+// letters, digits, hyphens, underscores and spaces removed, spaces to
+// hyphens. Duplicate headings get -1, -2, ... suffixes, which
+// headingSlugs handles.
+func slugify(heading string) string {
+	s := strings.ReplaceAll(heading, "`", "")
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// headingSlugs returns the set of anchor slugs a markdown document
+// renders, skipping fenced code blocks (a # inside ``` is not a
+// heading) and numbering duplicates like the renderer does.
+func headingSlugs(data string) map[string]bool {
+	out := map[string]bool{}
+	counts := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(data, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := mdHeading.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[1])
+		if n := counts[slug]; n > 0 {
+			out[slug+"-"+itoa(n)] = true
+		} else {
+			out[slug] = true
+		}
+		counts[slug]++
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for ; n > 0; n /= 10 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+	}
+	return string(b)
+}
+
 // TestDocLinks walks every markdown file in the repository and verifies
-// that relative link targets exist, so the documentation set cannot
-// silently rot as files move. External links (scheme-prefixed) and
-// pure-fragment links are skipped; lint fixture trees are skipped
-// because their docs are deliberately self-inconsistent.
+// that relative link targets exist and that #fragment anchors resolve
+// to a rendered heading of the target document, so the documentation
+// set cannot silently rot as files move or sections get renamed.
+// External links (scheme-prefixed) are skipped; lint fixture trees are
+// skipped because their docs are deliberately self-inconsistent.
 func TestDocLinks(t *testing.T) {
 	var mdFiles []string
 	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
@@ -42,24 +107,78 @@ func TestDocLinks(t *testing.T) {
 		t.Fatalf("expected to find the documentation set, got %v", mdFiles)
 	}
 
+	// Anchor sets are built lazily: most targets carry no fragment.
+	slugCache := map[string]map[string]bool{}
+	slugsOf := func(path string) (map[string]bool, error) {
+		if s, ok := slugCache[path]; ok {
+			return s, nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		s := headingSlugs(string(data))
+		slugCache[path] = s
+		return s, nil
+	}
+
 	for _, md := range mdFiles {
 		data, err := os.ReadFile(md)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
-			target := m[1]
-			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+			full := m[1]
+			if strings.Contains(full, "://") || strings.HasPrefix(full, "mailto:") {
 				continue
 			}
-			target, _, _ = strings.Cut(target, "#")
-			if target == "" {
-				continue // same-file fragment
+			target, frag, _ := strings.Cut(full, "#")
+			resolved := md // same-file fragment
+			if target != "" {
+				resolved = filepath.Join(filepath.Dir(md), target)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q (resolved %s)", md, full, resolved)
+					continue
+				}
 			}
-			resolved := filepath.Join(filepath.Dir(md), target)
-			if _, err := os.Stat(resolved); err != nil {
-				t.Errorf("%s: broken link %q (resolved %s)", md, m[1], resolved)
+			if frag == "" || !strings.HasSuffix(resolved, ".md") {
+				continue // anchors into non-markdown files are not checkable
+			}
+			slugs, err := slugsOf(resolved)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slugs[frag] {
+				t.Errorf("%s: link %q points at missing anchor #%s in %s", md, full, frag, resolved)
 			}
 		}
+	}
+}
+
+// TestHeadingSlugs pins the slug algorithm against rendered-anchor
+// behavior so anchor validation itself cannot drift silently.
+func TestHeadingSlugs(t *testing.T) {
+	doc := "# Top Level\n" +
+		"## `code` and text\n" +
+		"### Dots. Commas, and (parens)!\n" +
+		"## Repeated\n" +
+		"## Repeated\n" +
+		"```\n# not a heading\n```\n" +
+		"## snake_case and-hyphens\n"
+	got := headingSlugs(doc)
+	for _, want := range []string{
+		"top-level",
+		"code-and-text",
+		"dots-commas-and-parens",
+		"repeated",
+		"repeated-1",
+		"snake_case-and-hyphens",
+	} {
+		if !got[want] {
+			t.Errorf("missing slug %q in %v", want, got)
+		}
+	}
+	if got["not-a-heading"] {
+		t.Error("heading inside code fence produced a slug")
 	}
 }

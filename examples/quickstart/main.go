@@ -37,7 +37,7 @@ func run(w io.Writer) error {
 	}
 	ser, _ := store.Series("root.fleet.truck1.velocity")
 	fmt.Fprintf(w, "stored %d points in %d pages, %d encoded bytes (%.1fx compression)\n",
-		ser.NumPoints(), len(ser.Pages), ser.EncodedBytes(),
+		ser.NumPoints(), ser.NumPages(), ser.EncodedBytes(),
 		float64(n*16)/float64(ser.EncodedBytes()))
 
 	// Query with the vectorized pipeline engine.

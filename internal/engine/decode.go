@@ -92,6 +92,10 @@ func (e *Engine) decodeColumnRange(ser string, p *storage.Page, from, to int, co
 // decodeColumnRangeUncached is the decode path proper. Vectorized
 // modes resolve slice prefix dependencies with SumPacked; Serial decodes
 // the whole page and slices (which is what a value-wise decoder must do).
+// A miss necessarily materializes the decoded column, so this is where
+// the hot cursor path is allowed to allocate (amortized by the cache).
+//
+//etsqp:coldpath
 func (e *Engine) decodeColumnRangeUncached(p *storage.Page, from, to int, col *statsCollector) (vals []int64, err error) {
 	data, release := loadPage(p, col)
 	defer release()

@@ -58,31 +58,31 @@ type Stats struct {
 
 // statsCollector accumulates Stats from concurrent workers.
 type statsCollector struct {
-	pagesTotal   atomic.Int64
-	pagesPruned  atomic.Int64
-	slicesRun    atomic.Int64
-	tuplesLoaded atomic.Int64
-	rowsPruned   atomic.Int64
-	statAnswered atomic.Int64
+	pagesTotal   atomic.Int64 //etsqp:atomic
+	pagesPruned  atomic.Int64 //etsqp:atomic
+	slicesRun    atomic.Int64 //etsqp:atomic
+	tuplesLoaded atomic.Int64 //etsqp:atomic
+	rowsPruned   atomic.Int64 //etsqp:atomic
+	statAnswered atomic.Int64 //etsqp:atomic
 
-	pagesRead     atomic.Int64
-	bytesScanned  atomic.Int64
-	valuesFused   atomic.Int64
-	valuesDecoded atomic.Int64
-	mergeRanges   atomic.Int64
-	cacheHits     atomic.Int64
-	cacheMisses   atomic.Int64
+	pagesRead     atomic.Int64 //etsqp:atomic
+	bytesScanned  atomic.Int64 //etsqp:atomic
+	valuesFused   atomic.Int64 //etsqp:atomic
+	valuesDecoded atomic.Int64 //etsqp:atomic
+	mergeRanges   atomic.Int64 //etsqp:atomic
+	cacheHits     atomic.Int64 //etsqp:atomic
+	cacheMisses   atomic.Int64 //etsqp:atomic
 
-	windowSegments atomic.Int64
-	cursorBatches  atomic.Int64
+	windowSegments atomic.Int64 //etsqp:atomic
+	cursorBatches  atomic.Int64 //etsqp:atomic
 
-	ioNanos     atomic.Int64
-	decodeNanos atomic.Int64
-	filterNanos atomic.Int64
-	aggNanos    atomic.Int64
-	windowNanos atomic.Int64
-	mergeNanos  atomic.Int64
-	pruneNanos  atomic.Int64
+	ioNanos     atomic.Int64 //etsqp:atomic
+	decodeNanos atomic.Int64 //etsqp:atomic
+	filterNanos atomic.Int64 //etsqp:atomic
+	aggNanos    atomic.Int64 //etsqp:atomic
+	windowNanos atomic.Int64 //etsqp:atomic
+	mergeNanos  atomic.Int64 //etsqp:atomic
+	pruneNanos  atomic.Int64 //etsqp:atomic
 
 	// trace, when non-nil, receives per-slice events. Hot paths only ever
 	// perform a nil check on it, so tracing off adds no work and no

@@ -67,6 +67,10 @@ func NewTrace(query string, mode string, workers int) *Trace {
 }
 
 // addSlice records a per-slice event, dropping detail beyond the cap.
+// Tracing is opt-in diagnostics (trace == nil on the plain query path),
+// so the slice append is acceptable here.
+//
+//etsqp:coldpath
 func (t *Trace) addSlice(ev SliceEvent) {
 	t.mu.Lock()
 	if len(t.Slices) < maxTraceSlices {

@@ -26,12 +26,12 @@ import (
 // callers.
 type PageCache struct {
 	mu      sync.Mutex
-	budget  int64
-	used    int64
-	entries map[*storage.Page]*cacheEntry
-	ring    []*cacheEntry
-	hand    int
-	free    []*cacheEntry
+	budget  int64                         // immutable after NewPageCache
+	used    int64                         //etsqp:guardedby mu
+	entries map[*storage.Page]*cacheEntry //etsqp:guardedby mu
+	ring    []*cacheEntry                 //etsqp:guardedby mu
+	hand    int                           //etsqp:guardedby mu
+	free    []*cacheEntry                 //etsqp:guardedby mu
 }
 
 type cacheEntry struct {
@@ -91,6 +91,12 @@ func (c *PageCache) Get(p *storage.Page) ([]int64, bool) {
 // are immutable) but it is unreachable for future queries; it occupies
 // budget only until the clock hand evicts it, so no epoch check is
 // needed.
+//
+// Put only runs on a decode miss, which already allocated the column
+// it admits; ring growth and entry bookkeeping are cold by the same
+// amortization.
+//
+//etsqp:coldpath
 func (c *PageCache) Put(series string, p *storage.Page, vals []int64) {
 	bytes := int64(len(vals)) * 8
 	if bytes > c.budget {
@@ -162,6 +168,8 @@ func (c *PageCache) UsedBytes() int64 {
 }
 
 // evictForLocked runs the clock hand until need bytes fit in budget.
+//
+//etsqp:locked mu
 func (c *PageCache) evictForLocked(need int64) (evictions, evictedBytes int64) {
 	for c.used+need > c.budget && len(c.ring) > 0 {
 		if c.hand >= len(c.ring) {
@@ -188,6 +196,7 @@ func (c *PageCache) evictForLocked(need int64) (evictions, evictedBytes int64) {
 	return evictions, evictedBytes
 }
 
+//etsqp:locked mu
 func (c *PageCache) getEntryLocked() *cacheEntry {
 	if k := len(c.free); k > 0 {
 		e := c.free[k-1]
@@ -197,6 +206,7 @@ func (c *PageCache) getEntryLocked() *cacheEntry {
 	return &cacheEntry{}
 }
 
+//etsqp:locked mu
 func (c *PageCache) putEntryLocked(e *cacheEntry) {
 	e.page, e.vals, e.series = nil, nil, ""
 	c.free = append(c.free, e)

@@ -59,27 +59,31 @@ type batch struct {
 
 	// chunks[s] packs the (next, limit) index range owned by slot s.
 	// The owner claims next (front); thieves decrement limit (back).
+	// Elements are touched only through claimFront/stealBack CAS loops,
+	// but the slice header itself is resized in getBatchLocked, so the
+	// field cannot carry the //etsqp:atomic contract.
 	chunks []atomic.Uint64
 
-	// Guarded by the pool mutex: helper slots remaining and helpers that
-	// joined. Joining is only possible while the batch is listed in
-	// Pool.active, so the joined count is final once the submitter
-	// unlists the batch.
+	// Guarded by the POOL's mutex, not a field of this struct, which the
+	// //etsqp:guardedby directive cannot express: helper slots remaining
+	// and helpers that joined. Joining is only possible while the batch
+	// is listed in Pool.active, so the joined count is final once the
+	// submitter unlists the batch.
 	slots  int
 	joined int
 
-	done   atomic.Int64 // morsels completed (executed or skipped after failure)
-	steals atomic.Int64
-	failed atomic.Bool
+	done   atomic.Int64 //etsqp:atomic — morsels completed (executed or skipped after failure)
+	steals atomic.Int64 //etsqp:atomic
+	failed atomic.Bool  //etsqp:atomic
 
 	errMu sync.Mutex
-	err   error
+	err   error //etsqp:guardedby errMu
 
 	// mu/cond wake the submitter when helpers finish; exited counts
 	// helpers whose run loop returned.
 	mu     sync.Mutex
 	cond   *sync.Cond
-	exited int
+	exited int //etsqp:guardedby mu
 }
 
 // Pool is a set of long-lived worker goroutines shared by all
@@ -88,13 +92,13 @@ type batch struct {
 type Pool struct {
 	mu     sync.Mutex
 	cond   *sync.Cond // workers wait here for batches
-	active []*batch   // batches that may still accept helpers
-	closed bool
+	active []*batch   //etsqp:guardedby mu — batches that may still accept helpers
+	closed bool       //etsqp:guardedby mu
 
-	size      int
-	freeBatch []*batch
-	freeSub   []*Worker // recycled submitter identities
-	nextSubID int
+	size      int            // immutable after NewPool
+	freeBatch []*batch       //etsqp:guardedby mu
+	freeSub   []*Worker      //etsqp:guardedby mu — recycled submitter identities
+	nextSubID int            //etsqp:guardedby mu
 	wg        sync.WaitGroup // worker goroutines, for Close
 }
 
@@ -239,6 +243,13 @@ func (b *batch) runOne(w *Worker, i int) {
 	}
 }
 
+// firstErr returns the first error any morsel recorded.
+func (b *batch) firstErr() error {
+	b.errMu.Lock()
+	defer b.errMu.Unlock()
+	return b.err
+}
+
 // workerLoop is one pool worker: sleep until a batch needs helpers,
 // reserve a slot, drain, repeat.
 func (p *Pool) workerLoop(w *Worker) {
@@ -327,7 +338,7 @@ func (p *Pool) Run(n, par int, fn func(w *Worker, i int) error) error {
 	}
 	b.mu.Unlock()
 
-	err := b.err
+	err := b.firstErr()
 	if obs.Enabled() {
 		obs.ExecBatches.Inc()
 		obs.ExecMorsels.Add(int64(n))
@@ -341,7 +352,12 @@ func (p *Pool) Run(n, par int, fn func(w *Worker, i int) error) error {
 }
 
 // getBatchLocked recycles (or builds) a batch and carves the morsel
-// index space into one contiguous chunk per participant slot.
+// index space into one contiguous chunk per participant slot. A
+// recycled batch is quiescent — Run waited for every participant — but
+// exited and err live under the batch's own mutexes, so their resets
+// take those (uncontended) locks rather than racing by fiat.
+//
+//etsqp:locked mu
 func (p *Pool) getBatchLocked(n, par int, fn func(w *Worker, i int) error) *batch {
 	var b *batch
 	if k := len(p.freeBatch); k > 0 {
@@ -352,11 +368,16 @@ func (p *Pool) getBatchLocked(n, par int, fn func(w *Worker, i int) error) *batc
 		b.cond = sync.NewCond(&b.mu)
 	}
 	b.n, b.par, b.fn = n, par, fn
-	b.slots, b.joined, b.exited = par-1, 0, 0
+	b.slots, b.joined = par-1, 0
+	b.mu.Lock()
+	b.exited = 0
+	b.mu.Unlock()
 	b.done.Store(0)
 	b.steals.Store(0)
 	b.failed.Store(false)
+	b.errMu.Lock()
 	b.err = nil
+	b.errMu.Unlock()
 	if cap(b.chunks) < par {
 		b.chunks = make([]atomic.Uint64, par)
 	}
@@ -376,6 +397,8 @@ func (p *Pool) getBatchLocked(n, par int, fn func(w *Worker, i int) error) *batc
 
 // putBatchLocked recycles a finished batch, dropping the fn reference
 // so the caller's closure (and anything it captures) can be collected.
+//
+//etsqp:locked mu
 func (p *Pool) putBatchLocked(b *batch) {
 	b.fn = nil
 	p.freeBatch = append(p.freeBatch, b)
@@ -383,6 +406,8 @@ func (p *Pool) putBatchLocked(b *batch) {
 
 // getSubmitterLocked recycles (or mints) a Worker identity for the
 // submitting goroutine, so the submitter has an arena like any worker.
+//
+//etsqp:locked mu
 func (p *Pool) getSubmitterLocked() *Worker {
 	if k := len(p.freeSub); k > 0 {
 		w := p.freeSub[k-1]
@@ -396,6 +421,8 @@ func (p *Pool) getSubmitterLocked() *Worker {
 
 // unlistLocked removes the batch from the active list, preserving
 // order, without allocating.
+//
+//etsqp:locked mu
 func (p *Pool) unlistLocked(b *batch) {
 	for i, cand := range p.active {
 		if cand == b {

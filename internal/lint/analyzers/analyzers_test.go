@@ -7,6 +7,18 @@ import (
 	"etsqp/internal/lint/linttest"
 )
 
+func TestGuardedBy(t *testing.T) {
+	linttest.Run(t, "testdata/guardedby", analyzers.GuardedBy)
+}
+
+func TestAtomicField(t *testing.T) {
+	linttest.Run(t, "testdata/atomicfield", analyzers.AtomicField)
+}
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, "testdata/lockorder", analyzers.LockOrder)
+}
+
 func TestHotPathAlloc(t *testing.T) {
 	linttest.Run(t, "testdata/hotpathalloc", analyzers.HotPathAlloc)
 }

@@ -1,0 +1,310 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"etsqp/internal/lint"
+)
+
+// LockOrder builds the module-wide lock-acquisition order graph and
+// fails on cycles. Nodes are lock classes (declaration identity of a
+// mutex: "storage.Series.mu", "expr.planMu"); an edge A -> B is added
+// whenever B is acquired while A is held — directly in a function body,
+// or through a call to a function whose transitive acquisition summary
+// contains B. //etsqp:locked annotations seed the held set, so helper
+// protocols contribute their edges even without a resolvable call
+// chain. Function literals that escape (deferred, go'd, passed as
+// values) are summarized separately with an empty held set: they run at
+// another time, so their acquisitions are not attributed to callers of
+// the defining function. Same-class nesting (lock coupling over two
+// instances of one struct) is out of scope and not reported.
+var LockOrder = &lint.Analyzer{
+	Name: "lockorder",
+	Doc:  "the module-wide lock-acquisition graph over mutex classes is acyclic",
+	Run:  runLockOrder,
+}
+
+type lockEdge struct{ from, to string }
+
+type lockCallFact struct {
+	callee string
+	held   []string
+	pos    token.Pos
+}
+
+func runLockOrder(pass *lint.Pass) error {
+	m := pass.Module
+
+	// Pass A: interpret every function, collecting direct-acquire edges,
+	// per-function direct acquisition summaries (function level only,
+	// escaped closures excluded), and held-across-call facts.
+	edges := map[lockEdge]token.Pos{}
+	directAcq := map[string]map[string]bool{} // func key → classes
+	var callFacts []lockCallFact
+
+	addEdge := func(from, to string, pos token.Pos) {
+		if from == "" || to == "" || from == to {
+			return
+		}
+		e := lockEdge{from, to}
+		if old, ok := edges[e]; !ok || posLess(m, pos, old) {
+			edges[e] = pos
+		}
+	}
+
+	for _, fi := range sortedFuncs(m) {
+		fi := fi
+		if fi.Decl.Body == nil || inTestFile(m, fi.Decl.Pos()) {
+			continue
+		}
+		acq := map[string]bool{}
+		directAcq[fi.Key] = acq
+		inClosure := false
+		hooks := lockHooks{
+			acquire: func(op *mutexOp, held lockSet) {
+				if op.class != "" && !inClosure {
+					acq[op.class] = true
+				}
+				for _, li := range held {
+					addEdge(li.class, op.class, op.call.Pos())
+				}
+			},
+			call: func(call *ast.CallExpr, set lockSet) {
+				if len(set) == 0 {
+					return
+				}
+				fn := lint.CalleeFunc(fi.Pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return
+				}
+				path := fn.Pkg().Path()
+				if path != m.Path && !strings.HasPrefix(path, m.Path+"/") {
+					return
+				}
+				var held []string
+				for _, li := range set {
+					if li.class != "" {
+						held = append(held, li.class)
+					}
+				}
+				if len(held) > 0 {
+					callFacts = append(callFacts, lockCallFact{fn.FullName(), held, call.Pos()})
+				}
+			},
+			enterClosure: func() { inClosure = true },
+		}
+		walkLockFunc(fi.Pkg, fi.Decl, lockedSeed(fi), hooks)
+	}
+
+	// Pass B: transitive acquisition summaries over synchronous callees
+	// (calls outside function literals), then edges for held-across-call.
+	memo := map[string]map[string]bool{}
+	onStack := map[string]bool{}
+	var transAcq func(key string) map[string]bool
+	transAcq = func(key string) map[string]bool {
+		if s, ok := memo[key]; ok {
+			return s
+		}
+		if onStack[key] {
+			return nil // recursion: resolved by the fixpoint-free DFS below it
+		}
+		fi, ok := m.Funcs[key]
+		if !ok || fi.Decl.Body == nil {
+			return nil
+		}
+		onStack[key] = true
+		out := map[string]bool{}
+		for c := range directAcq[key] {
+			out[c] = true
+		}
+		for _, callee := range syncCallees(m, fi) {
+			for c := range transAcq(callee) {
+				out[c] = true
+			}
+		}
+		delete(onStack, key)
+		memo[key] = out
+		return out
+	}
+	for _, cf := range callFacts {
+		for to := range transAcq(cf.callee) {
+			for _, from := range cf.held {
+				addEdge(from, to, cf.pos)
+			}
+		}
+	}
+
+	reportLockCycles(pass, edges)
+	return nil
+}
+
+// syncCallees resolves the module-internal functions called from the
+// function body outside any function literal — the calls that execute
+// synchronously under the caller's locks.
+func syncCallees(m *lint.Module, fi *lint.FuncInfo) []string {
+	var out []string
+	seen := map[string]bool{}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lint.CalleeFunc(fi.Pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		if path != m.Path && !strings.HasPrefix(path, m.Path+"/") {
+			return true
+		}
+		if key := fn.FullName(); !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+		return true
+	})
+	return out
+}
+
+// reportLockCycles finds strongly connected components of the edge
+// graph and reports each cycle once, at its smallest edge position.
+func reportLockCycles(pass *lint.Pass, edges map[lockEdge]token.Pos) {
+	adj := map[string][]string{}
+	nodes := map[string]bool{}
+	for e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+		nodes[e.from], nodes[e.to] = true, true
+	}
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+	for _, scc := range stronglyConnected(nodes, adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		sort.Strings(scc)
+		inSCC := map[string]bool{}
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		// Report position: the smallest edge position inside the SCC.
+		pos := token.NoPos
+		for e, p := range edges {
+			if inSCC[e.from] && inSCC[e.to] && (pos == token.NoPos || posLess(pass.Module, p, pos)) {
+				pos = p
+			}
+		}
+		cycle := findCycle(scc[0], adj, inSCC)
+		names := make([]string, 0, len(cycle)+1)
+		for _, c := range cycle {
+			names = append(names, shortClass(c))
+		}
+		names = append(names, shortClass(scc[0]))
+		pass.Reportf(pos, "lock acquisition order cycle: %s", strings.Join(names, " -> "))
+	}
+}
+
+// findCycle returns a path from start back to start within the SCC.
+func findCycle(start string, adj map[string][]string, inSCC map[string]bool) []string {
+	var path []string
+	visited := map[string]bool{}
+	var dfs func(n string) bool
+	dfs = func(n string) bool {
+		path = append(path, n)
+		visited[n] = true
+		for _, nb := range adj[n] {
+			if !inSCC[nb] {
+				continue
+			}
+			if nb == start {
+				return true
+			}
+			if !visited[nb] && dfs(nb) {
+				return true
+			}
+		}
+		path = path[:len(path)-1]
+		return false
+	}
+	dfs(start)
+	return path
+}
+
+// stronglyConnected is Tarjan's algorithm over the class graph.
+func stronglyConnected(nodes map[string]bool, adj map[string][]string) [][]string {
+	sorted := make([]string, 0, len(nodes))
+	for n := range nodes {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	index := map[string]int{}
+	lowlink := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v], lowlink[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			} else if onStack[w] && index[w] < lowlink[v] {
+				lowlink[v] = index[w]
+			}
+		}
+		if lowlink[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, n := range sorted {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return sccs
+}
+
+// shortClass trims the import-path prefix of a lock class for display:
+// "etsqp/internal/storage.Series.mu" → "storage.Series.mu".
+func shortClass(class string) string {
+	if i := strings.LastIndex(class, "/"); i >= 0 {
+		return class[i+1:]
+	}
+	return class
+}
+
+func posLess(m *lint.Module, a, b token.Pos) bool {
+	pa, pb := m.Fset.Position(a), m.Fset.Position(b)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Line != pb.Line {
+		return pa.Line < pb.Line
+	}
+	return pa.Column < pb.Column
+}

@@ -1,0 +1,50 @@
+// Package atomicfield exercises //etsqp:atomic in both styles: modern
+// atomic.Int64-typed fields and legacy plain integers driven through
+// the sync/atomic functions.
+package atomicfield
+
+import "sync/atomic"
+
+type Counter struct {
+	hits  atomic.Int64 //etsqp:atomic
+	skips int64        //etsqp:atomic
+	name  string
+}
+
+func (c *Counter) Hit() { c.hits.Add(1) } // ok: sync/atomic method
+
+func (c *Counter) Skip() { atomic.AddInt64(&c.skips, 1) } // ok: address into sync/atomic
+
+func (c *Counter) Load() int64 { return c.hits.Load() } // ok
+
+func (c *Counter) Name() string { return c.name } // ok: unannotated field
+
+func (c *Counter) racyRead() int64 {
+	return c.skips // want `plain read of atomic field Counter.skips \(use sync/atomic\)`
+}
+
+func (c *Counter) racyWrite() {
+	c.skips = 0 // want `plain write to atomic field Counter.skips \(use sync/atomic\)`
+}
+
+func (c *Counter) racyIncr() {
+	c.skips++ // want `plain write to atomic field Counter.skips \(use sync/atomic\)`
+}
+
+func (c *Counter) escape() *int64 {
+	return &c.skips // want `address of atomic field Counter.skips escapes \(pass it only to sync/atomic operations\)`
+}
+
+func (c *Counter) copyValue() int64 {
+	v := c.hits // want `plain read of atomic field Counter.hits \(use sync/atomic\)`
+	return v.Load()
+}
+
+// timed mirrors engine's stats helper: a pointer-to-atomic parameter is
+// an allowed sink for a field address.
+func timed(v *atomic.Int64, f func()) {
+	v.Add(1)
+	f()
+}
+
+func (c *Counter) Timed(f func()) { timed(&c.hits, f) } // ok: *atomic.Int64 parameter

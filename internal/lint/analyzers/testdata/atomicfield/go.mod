@@ -1,0 +1,3 @@
+module fixture.test/atomicfield
+
+go 1.22

@@ -1,0 +1,43 @@
+package atomicfield
+
+import "sync/atomic"
+
+// Hist exercises arrays of atomics, the obs.Histogram shape.
+type Hist struct {
+	buckets [8]atomic.Int64 //etsqp:atomic
+	legacy  [4]int64        //etsqp:atomic
+}
+
+func (h *Hist) Observe(i int) { h.buckets[i].Add(1) } // ok: element method
+
+func (h *Hist) ObserveLegacy(i int) { atomic.AddInt64(&h.legacy[i], 1) } // ok: element address into sync/atomic
+
+func (h *Hist) Sum() int64 {
+	var s int64
+	for i := range h.buckets { // ok: index-only range
+		s += h.buckets[i].Load()
+	}
+	return s
+}
+
+func (h *Hist) Buckets() int { return len(h.buckets) } // ok: len
+
+func (h *Hist) racyElem(i int) int64 {
+	x := h.buckets[i] // want `plain read of atomic field Hist.buckets \(use sync/atomic\)`
+	return x.Load()
+}
+
+func (h *Hist) racyRange() int64 {
+	var s int64
+	for _, b := range h.buckets { // want `plain read of atomic field Hist.buckets \(use sync/atomic\)`
+		s += b.Load()
+	}
+	return s
+}
+
+// BadAtomic exercises directive validation: only sync/atomic types,
+// arrays of them, and plain integers can honor the contract.
+type BadAtomic struct {
+	//etsqp:atomic
+	s []int // want `//etsqp:atomic on BadAtomic.s: type \[\]int is not a sync/atomic type, an array of them, or a plain integer`
+}

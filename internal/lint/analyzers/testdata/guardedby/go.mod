@@ -1,0 +1,3 @@
+module fixture.test/guardedby
+
+go 1.22

@@ -1,0 +1,35 @@
+package guardedby
+
+import "sync"
+
+// Pool exercises //etsqp:locked accessor protocols: annotated helpers
+// assume the lock, and their call sites must prove it.
+type Pool struct {
+	active []int //etsqp:guardedby mu
+	mu     sync.RWMutex
+}
+
+// compactLocked requires the caller to hold p.mu for writing.
+//
+//etsqp:locked mu
+func (p *Pool) compactLocked() {
+	p.active = p.active[:0] // ok: lock seeded by the annotation
+}
+
+func (p *Pool) Shrink() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.compactLocked() // ok: write lock held at the call
+}
+
+func (p *Pool) badShrink() {
+	p.compactLocked() // want `call to compactLocked requires holding p.mu \(//etsqp:locked\)`
+}
+
+// readShrink holds only the read lock, which is not enough for a
+// helper that mutates guarded state.
+func (p *Pool) readShrink() {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	p.compactLocked() // want `call to compactLocked requires holding p.mu \(//etsqp:locked\)`
+}

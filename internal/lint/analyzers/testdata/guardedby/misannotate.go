@@ -1,0 +1,19 @@
+package guardedby
+
+import "sync"
+
+// Bad exercises directive validation: the guard must name a sibling
+// sync.Mutex/RWMutex field.
+type Bad struct {
+	//etsqp:guardedby missing
+	data []int // want `//etsqp:guardedby missing: Bad.data has no field "missing"`
+	//etsqp:guardedby notMu
+	n     int // want `field "notMu" of Bad is int, not a sync.Mutex or sync.RWMutex`
+	notMu int
+	mu    sync.Mutex
+}
+
+//etsqp:locked nothere
+func (b *Bad) helper() { // want `//etsqp:locked nothere: "nothere" is not a sync.Mutex/RWMutex reachable from helper`
+	b.n++
+}

@@ -1,0 +1,114 @@
+// Package guardedby exercises the //etsqp:guardedby lock-set checks on
+// a protocol modeled after storage.Series — including the historical
+// ingest-vs-read race, where Series.Pages was read with no lock while
+// an ingest goroutine appended to it.
+package guardedby
+
+import "sync"
+
+type PagePair struct{ N int }
+
+type Series struct {
+	Name  string
+	Pages []PagePair //etsqp:guardedby mu
+	mu    sync.RWMutex
+}
+
+// pagesSnapshot is the canonical read accessor: the deferred RUnlock
+// keeps the lock held through the return expression.
+func (s *Series) pagesSnapshot() []PagePair {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.Pages // ok: read lock held to function exit
+}
+
+func (s *Series) NumPoints() int {
+	n := 0
+	for _, p := range s.pagesSnapshot() {
+		n += p.N
+	}
+	return n
+}
+
+func (s *Series) Append(p PagePair) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Pages = append(s.Pages, p) // ok: write lock held
+}
+
+// racyLen reproduces the historical ingest-vs-read race.
+func (s *Series) racyLen() int {
+	return len(s.Pages) // want `read of Series.Pages without holding s.mu \(//etsqp:guardedby\)`
+}
+
+// racyAppend mutates the page list while only read-locked.
+func (s *Series) racyAppend(p PagePair) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.Pages = append(s.Pages, p) // want `write to Series.Pages with s.mu read-locked \(write lock required\)`
+}
+
+// branchy holds at least a read lock on every path: the branch merge
+// keeps the weaker strength, which satisfies a read.
+func (s *Series) branchy(write bool) int {
+	if write {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	} else {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+	return len(s.Pages) // ok: read-locked or better on both paths
+}
+
+// maybeReset locks on only one path, so the write is unproven.
+func (s *Series) maybeReset(cond bool) {
+	if cond {
+		s.mu.Lock()
+	}
+	s.Pages = nil // want `write to Series.Pages without holding s.mu \(//etsqp:guardedby\)`
+	if cond {
+		s.mu.Unlock()
+	}
+}
+
+// asyncRead spawns a goroutine under the lock: the goroutine body runs
+// later with an empty lock set and must re-acquire for itself.
+func (s *Series) asyncRead() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		_ = s.Pages // want `read of Series.Pages without holding s.mu \(//etsqp:guardedby\)`
+	}()
+}
+
+// useAfterUnlock loses the lock at the explicit Unlock.
+func (s *Series) useAfterUnlock() {
+	s.mu.Lock()
+	s.Pages = nil // ok
+	s.mu.Unlock()
+	s.Pages = nil // want `write to Series.Pages without holding s.mu \(//etsqp:guardedby\)`
+}
+
+// drain unlocks and relocks inside the loop: the lock is held at loop
+// entry, after every iteration and after the loop, so the fixpoint
+// proves every access.
+func (s *Series) drain() {
+	s.mu.Lock()
+	for len(s.Pages) > 0 {
+		s.Pages = s.Pages[:len(s.Pages)-1]
+		s.mu.Unlock()
+		s.mu.Lock()
+	}
+	s.mu.Unlock()
+}
+
+// leakyDrain drops the lock inside the loop without reacquiring it, so
+// iterations after the first run unlocked.
+func (s *Series) leakyDrain() {
+	s.mu.Lock()
+	for i := 0; i < 3; i++ {
+		_ = s.Pages // want `read of Series.Pages without holding s.mu \(//etsqp:guardedby\)`
+		s.mu.Unlock()
+	}
+}

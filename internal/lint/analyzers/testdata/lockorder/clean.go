@@ -1,0 +1,61 @@
+package lockorder
+
+import "sync"
+
+// Store -> Series2 is a clean two-level hierarchy: one consistent
+// order, no finding.
+type Store struct {
+	mu     sync.RWMutex
+	series map[string]*Series2
+}
+
+type Series2 struct {
+	mu    sync.RWMutex
+	pages []int
+}
+
+func (st *Store) appendTo(name string, v int) {
+	st.mu.Lock()
+	ser := st.series[name]
+	ser.mu.Lock()
+	ser.pages = append(ser.pages, v)
+	ser.mu.Unlock()
+	st.mu.Unlock()
+}
+
+// P's locked helper acquires Q.mu: the //etsqp:locked seed contributes
+// the P.mu -> Q.mu edge even with no resolvable call chain. Acyclic.
+type P struct {
+	mu sync.Mutex
+	q  Q
+}
+
+type Q struct{ mu sync.Mutex }
+
+//etsqp:locked mu
+func (p *P) pokeLocked() {
+	p.q.mu.Lock()
+	p.q.mu.Unlock()
+}
+
+// R and S would form a cycle only if goroutine bodies inherited the
+// spawner's held locks; they run later and must not.
+type R struct{ mu sync.Mutex }
+
+type S struct{ mu sync.Mutex }
+
+func spawnRS(r *R, s *S) {
+	r.mu.Lock()
+	go func() {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}()
+	r.mu.Unlock()
+}
+
+func sThenR(r *R, s *S) {
+	s.mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	s.mu.Unlock()
+}

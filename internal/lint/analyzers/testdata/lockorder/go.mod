@@ -1,0 +1,3 @@
+module fixture.test/lockorder
+
+go 1.22

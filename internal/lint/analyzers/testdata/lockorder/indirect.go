@@ -1,0 +1,31 @@
+package lockorder
+
+import "sync"
+
+// C and D invert their order through calls: the edge comes from the
+// callee's transitive acquisition summary, not a direct Lock.
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+func lockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func lockC(c *C) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+func cThenD(c *C, d *D) {
+	c.mu.Lock()
+	lockD(d) // want `lock acquisition order cycle: lockorder\.C\.mu -> lockorder\.D\.mu -> lockorder\.C\.mu`
+	c.mu.Unlock()
+}
+
+func dThenC(c *C, d *D) {
+	d.mu.Lock()
+	lockC(c) // the inverse ordering, through a call as well
+	d.mu.Unlock()
+}

@@ -1,0 +1,24 @@
+// Package lockorder exercises the module-wide lock-acquisition graph:
+// direct inversions, inversions threaded through calls, a clean
+// hierarchy, //etsqp:locked seeding and goroutine exclusion.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock acquisition order cycle: lockorder\.A\.mu -> lockorder\.B\.mu -> lockorder\.A\.mu`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // the inverse ordering that closes the cycle
+	a.mu.Unlock()
+	b.mu.Unlock()
+}

@@ -1,0 +1,77 @@
+// Package findings defines the finding schema shared by the project's
+// two static-verification tools: cmd/etsqp-lint (AST/type-graph
+// analyzers) and cmd/etsqp-vet (compiler-contract checks). Both emit
+// the same struct, sort with the same order and encode the same JSON
+// shape, so one problem matcher and one documentation table cover both
+// tools.
+package findings
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// A Finding is one reported diagnostic: a position, the analyzer (or
+// compiler contract) that produced it, and a message.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Sort orders findings deterministically: by file, line, column,
+// analyzer, then message. Both etsqp-lint and etsqp-vet emit in this
+// order so repeated runs (and CI annotation diffs) are stable.
+func Sort(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// jsonFinding is the stable machine-readable finding shape shared by
+// the -json modes of cmd/etsqp-lint and cmd/etsqp-vet.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON writes findings as an indented JSON array (never null:
+// zero findings encode as []), in the order given.
+func WriteJSON(w io.Writer, fs []Finding) error {
+	out := make([]jsonFinding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

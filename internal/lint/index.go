@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -10,20 +11,132 @@ import (
 // package, //etsqp: annotations and the statically resolved
 // module-internal callees.
 type FuncInfo struct {
-	Key         string // types.Func.FullName
-	Decl        *ast.FuncDecl
-	Pkg         *Package
-	Obj         *types.Func
-	Annotations map[string]bool // "hotpath", "coldpath", "trusted", ...
-	Callees     []string        // keys of module functions statically called
+	Key  string // types.Func.FullName
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	Obj  *types.Func
+	// Annotations maps directive name to its argument ("" for bare
+	// directives): "hotpath", "coldpath", "trusted", "locked mu", ...
+	Annotations map[string]string
+	Callees     []string // keys of module functions statically called
 }
 
 // Annotated reports whether the function carries //etsqp:<name>.
-func (f *FuncInfo) Annotated(name string) bool { return f.Annotations[name] }
+func (f *FuncInfo) Annotated(name string) bool {
+	_, ok := f.Annotations[name]
+	return ok
+}
+
+// AnnotationArg returns the argument of //etsqp:<name> <arg>, or "".
+func (f *FuncInfo) AnnotationArg(name string) string { return f.Annotations[name] }
+
+// A FieldKey identifies a struct field by name, not object identity:
+// the loader type-checks a defining package once per importing unit, so
+// *types.Var field objects differ across units while these strings match.
+type FieldKey struct {
+	PkgPath string // defining package import path
+	Type    string // struct type name
+	Field   string // field name
+}
+
+// FieldDir is a //etsqp: directive attached to a struct field (in the
+// field's doc comment or trailing line comment):
+//
+//	//etsqp:guardedby <mutexField> — reads/writes require the named
+//	    sync.Mutex/RWMutex in the same struct to be held
+//	//etsqp:atomic — the field may only be touched through sync/atomic
+type FieldDir struct {
+	Key       FieldKey
+	GuardedBy string // mutex field name; "" when not guarded
+	Atomic    bool
+	Pos       token.Pos // the annotated field name, for misannotation reports
+}
+
+// FieldOf resolves a field selection to its FieldKey, or false when the
+// selection is not a direct (non-embedded) field of a named struct type.
+func FieldOf(sel *types.Selection) (FieldKey, bool) {
+	if sel == nil || sel.Kind() != types.FieldVal || len(sel.Index()) != 1 {
+		return FieldKey{}, false
+	}
+	recv := sel.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return FieldKey{}, false
+	}
+	return FieldKey{
+		PkgPath: named.Obj().Pkg().Path(),
+		Type:    named.Obj().Name(),
+		Field:   sel.Obj().Name(),
+	}, true
+}
+
+// buildFieldIndex collects the //etsqp:guardedby and //etsqp:atomic
+// field directives of every struct declaration in the module.
+func (m *Module) buildFieldIndex() {
+	m.Fields = map[FieldKey]*FieldDir{}
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					m.indexStructFields(pkg, ts.Name.Name, st)
+				}
+			}
+		}
+	}
+}
+
+func (m *Module) indexStructFields(pkg *Package, typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		anns := parseAnnotations(field.Doc)
+		for name, arg := range parseAnnotations(field.Comment) {
+			anns[name] = arg
+		}
+		guard, hasGuard := anns["guardedby"]
+		// The argument is the first token; anything after it on the line
+		// is free-form commentary.
+		if f := strings.Fields(guard); len(f) > 0 {
+			guard = f[0]
+		} else {
+			guard = ""
+		}
+		_, hasAtomic := anns["atomic"]
+		if !hasGuard && !hasAtomic {
+			continue
+		}
+		for _, id := range field.Names {
+			key := FieldKey{PkgPath: pkg.Path, Type: typeName, Field: id.Name}
+			if _, dup := m.Fields[key]; dup {
+				continue // same directive seen through another analysis unit
+			}
+			m.Fields[key] = &FieldDir{
+				Key:       key,
+				GuardedBy: guard,
+				Atomic:    hasAtomic,
+				Pos:       id.Pos(),
+			}
+		}
+	}
+}
 
 // buildIndex populates Module.Funcs from the analysis units.
 func (m *Module) buildIndex() {
 	m.Funcs = map[string]*FuncInfo{}
+	m.buildFieldIndex()
 	for _, pkg := range m.Pkgs {
 		for _, file := range pkg.Files {
 			for _, decl := range file.Decls {
@@ -96,19 +209,22 @@ func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 	return nil
 }
 
-// parseAnnotations extracts //etsqp:<word> directives from a doc comment.
-func parseAnnotations(doc *ast.CommentGroup) map[string]bool {
-	out := map[string]bool{}
+// parseAnnotations extracts //etsqp:<word> [arg] directives from a doc
+// or trailing comment group, keyed by directive name with the rest of
+// the line (trimmed) as the argument.
+func parseAnnotations(doc *ast.CommentGroup) map[string]string {
+	out := map[string]string{}
 	if doc == nil {
 		return out
 	}
 	for _, c := range doc.List {
 		if rest, ok := strings.CutPrefix(c.Text, "//etsqp:"); ok {
+			name, arg := rest, ""
 			if i := strings.IndexAny(rest, " \t"); i >= 0 {
-				rest = rest[:i]
+				name, arg = rest[:i], strings.TrimSpace(rest[i+1:])
 			}
-			if rest != "" {
-				out[rest] = true
+			if name != "" {
+				out[name] = arg
 			}
 		}
 	}

@@ -37,6 +37,11 @@ type Module struct {
 	// Funcs maps a canonical function key (types.Func.FullName) to its
 	// declaration, package, annotations and static callees.
 	Funcs map[string]*FuncInfo
+
+	// Fields maps annotated struct fields (//etsqp:guardedby,
+	// //etsqp:atomic) to their directives, keyed by name so lookups work
+	// across analysis units.
+	Fields map[FieldKey]*FieldDir
 }
 
 // loader type-checks the module bottom-up. Module-internal imports are

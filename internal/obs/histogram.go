@@ -25,9 +25,9 @@ const HistBuckets = 64
 // of two, and in practice far less for smooth latency distributions
 // (docs/OBSERVABILITY.md quantifies the bounds).
 type Histogram struct {
-	buckets [HistBuckets]atomic.Int64
-	sum     atomic.Int64
-	count   atomic.Int64
+	buckets [HistBuckets]atomic.Int64 //etsqp:atomic
+	sum     atomic.Int64              //etsqp:atomic
+	count   atomic.Int64              //etsqp:atomic
 	name    string
 	help    string
 }

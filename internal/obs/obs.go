@@ -55,7 +55,7 @@ func Enabled() bool { return enabled.Load() }
 // usable; counters are created at init time by counters.go so the
 // registry is fixed before any concurrent access.
 type Counter struct {
-	v    atomic.Int64
+	v    atomic.Int64 //etsqp:atomic
 	name string
 	help string
 }

@@ -42,7 +42,9 @@ type Server struct {
 	// MaxRows caps row output on /query (0 = unlimited).
 	MaxRows int
 
-	logMu sync.Mutex
+	logMu      sync.Mutex
+	slowCount  int64 //etsqp:guardedby logMu
+	lastSlowNs int64 //etsqp:guardedby logMu
 }
 
 // Handler builds the HTTP mux:
@@ -102,19 +104,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	cli.RenderResult(w, res, s.MaxRows)
 }
 
-// logSlow emits the trace as one JSON line when the query was slow
-// enough. Lines are written whole under a lock, so concurrent slow
-// queries never interleave mid-line.
+// logSlow counts the query as slow and emits the trace as one JSON
+// line when a log sink is configured. Lines are written whole under
+// logMu, so concurrent slow queries never interleave mid-line; the
+// same lock guards the slow-query counters so SlowStats is consistent
+// with the log even when SlowLog is nil.
 func (s *Server) logSlow(tr *engine.Trace) {
-	if s.SlowLog == nil || s.SlowThreshold < 0 {
-		return
-	}
-	if time.Duration(tr.ElapsedNs) < s.SlowThreshold {
+	if s.SlowThreshold < 0 || time.Duration(tr.ElapsedNs) < s.SlowThreshold {
 		return
 	}
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
-	_ = tr.WriteJSON(s.SlowLog)
+	s.slowCount++
+	s.lastSlowNs = tr.ElapsedNs
+	if s.SlowLog != nil {
+		_ = tr.WriteJSON(s.SlowLog)
+	}
+}
+
+// SlowStats reports how many queries crossed the slow threshold and
+// the wall time of the most recent one (0 when none have).
+func (s *Server) SlowStats() (count, lastNs int64) {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	return s.slowCount, s.lastSlowNs
 }
 
 // ServeIngest accepts transport connections on l, ingesting frames into

@@ -270,6 +270,30 @@ func TestSlowLogThresholdGates(t *testing.T) {
 	}
 }
 
+// TestSlowStats checks the slow-query counters track threshold
+// crossings even without a log sink, and stay zero when disabled.
+func TestSlowStats(t *testing.T) {
+	s := testServer(t, nil) // SlowLog nil: counting must not need a sink
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	httpGet(t, srv.URL+"/query?q=SELECT+SUM(A)+FROM+ts")
+	httpGet(t, srv.URL+"/query?q=SELECT+COUNT(A)+FROM+ts")
+	count, lastNs := s.SlowStats()
+	if count != 2 {
+		t.Errorf("slow count = %d after 2 queries at threshold 0, want 2", count)
+	}
+	if lastNs <= 0 {
+		t.Errorf("last slow elapsed = %dns, want > 0", lastNs)
+	}
+
+	s.SlowThreshold = -1 // disabled: nothing counts
+	httpGet(t, srv.URL+"/query?q=SELECT+SUM(A)+FROM+ts")
+	if c, _ := s.SlowStats(); c != count {
+		t.Errorf("slow count moved to %d with logging disabled, want %d", c, count)
+	}
+}
+
 // TestQueryTraceParam checks ?trace=1 returns the trace document.
 func TestQueryTraceParam(t *testing.T) {
 	s := testServer(t, nil)

@@ -1,6 +1,9 @@
 package sqlparse
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // FuzzParse drives arbitrary strings through the SQL parser: malformed
 // input must produce errors, never panics.
@@ -28,6 +31,67 @@ func FuzzParse(f *testing.F) {
 		}
 		if len(q.Items) == 0 {
 			t.Fatal("parsed query with no items")
+		}
+	})
+}
+
+// FuzzParseSQL hardens the raw-string boundary the serving path
+// exposes (/query hands request bodies straight to Parse): any input
+// must either produce an error or a structurally valid query, never a
+// panic, and parsing must be deterministic — the same string yields
+// the same AST or the same error on every call. The nopanic analyzer
+// proves the handler's call tree free of intentional panics; this
+// target chases the unintentional ones (index/slice/nil failures on
+// adversarial bytes).
+func FuzzParseSQL(f *testing.F) {
+	seeds := []string{
+		"SELECT SUM(A) FROM ts",
+		"SELECT AVG(A), VAR(A) FROM root.sg.d1.v WHERE TIME >= 1 AND A != -7 LIMIT 5",
+		"SELECT COUNT(A) FROM ts GROUP BY TIME(100, 25)",
+		"SELECT SUM(A) FROM ts SW(0, 1000, 250);",
+		"SELECT CORR(ts1.A, ts2.A) FROM ts1, ts2",
+		"SELECT * FROM ts1 UNION ts2 ORDER BY TIME LIMIT 3",
+		"SELECT MAX(A) FROM (SELECT * FROM ts WHERE A > 100)",
+		"select sum(a) from ts where time <= 10",
+		"SELECT SUM(A) FROM ts WHERE TIME >= 9223372036854775807",
+		"SELECT SUM(A) FROM ts --",
+		"\xff\xfe SELECT",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q1, err1 := Parse(src)
+		q2, err2 := Parse(src)
+		switch {
+		case (err1 == nil) != (err2 == nil):
+			t.Fatalf("nondeterministic outcome: %v vs %v", err1, err2)
+		case err1 != nil:
+			if err1.Error() != err2.Error() {
+				t.Fatalf("nondeterministic error: %q vs %q", err1, err2)
+			}
+			return
+		}
+		if !reflect.DeepEqual(q1, q2) {
+			t.Fatalf("nondeterministic AST:\n%#v\n%#v", q1, q2)
+		}
+		// Structural invariants every accepted query must satisfy —
+		// downstream planning assumes them without re-checking.
+		if q1 == nil || len(q1.Items) == 0 {
+			t.Fatalf("accepted query without items: %#v", q1)
+		}
+		if len(q1.Series) == 0 && q1.Sub == nil {
+			t.Fatalf("accepted query without a FROM source: %#v", q1)
+		}
+		if len(q1.Series) > 0 && q1.Sub != nil {
+			t.Fatalf("accepted query with both series and subquery: %#v", q1)
+		}
+		if q1.Window != nil && q1.Window.DT <= 0 {
+			t.Fatalf("accepted window with non-positive width: %#v", q1.Window)
+		}
+		if q1.Limit < 0 {
+			t.Fatalf("accepted negative LIMIT: %d", q1.Limit)
 		}
 	})
 }

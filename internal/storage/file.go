@@ -50,7 +50,7 @@ func (s *Store) writeTo(w io.Writer) error {
 		return err
 	}
 	for _, name := range names {
-		ser := s.series[name]
+		pages := s.series[name].pagesSnapshot()
 		binary.BigEndian.PutUint32(tmp[:], uint32(len(name)))
 		if _, err := w.Write(tmp[:]); err != nil {
 			return err
@@ -58,11 +58,11 @@ func (s *Store) writeTo(w io.Writer) error {
 		if _, err := io.WriteString(w, name); err != nil {
 			return err
 		}
-		binary.BigEndian.PutUint32(tmp[:], uint32(len(ser.Pages)))
+		binary.BigEndian.PutUint32(tmp[:], uint32(len(pages)))
 		if _, err := w.Write(tmp[:]); err != nil {
 			return err
 		}
-		for _, pp := range ser.Pages {
+		for _, pp := range pages {
 			buf := marshalPage(nil, pp.Time)
 			buf = marshalPage(buf, pp.Value)
 			binary.BigEndian.PutUint32(tmp[:], uint32(len(buf)))
@@ -119,7 +119,7 @@ func ReadBytes(raw []byte) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		ser := &Series{Name: name}
+		var pages []PagePair
 		for p := 0; p < nPages; p++ {
 			pairLen, err := u32()
 			if err != nil {
@@ -138,9 +138,11 @@ func ReadBytes(raw []byte) (*Store, error) {
 			if err != nil {
 				return nil, err
 			}
-			ser.Pages = append(ser.Pages, PagePair{Time: tp, Value: vp})
+			pages = append(pages, PagePair{Time: tp, Value: vp})
 		}
-		st.series[name] = ser
+		ser := &Series{Name: name}
+		ser.setPages(pages)
+		st.putSeries(name, ser)
 	}
 	return st, nil
 }

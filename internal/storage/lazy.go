@@ -57,13 +57,13 @@ func (s *Store) WriteIndexedFile(path string) (err error) {
 	s.mu.RLock()
 	for _, name := range names {
 		start := len(body)
-		ser := s.series[name]
+		pages := s.series[name].pagesSnapshot()
 		binary.BigEndian.PutUint32(tmp[:4], uint32(len(name)))
 		body = append(body, tmp[:4]...)
 		body = append(body, name...)
-		binary.BigEndian.PutUint32(tmp[:4], uint32(len(ser.Pages)))
+		binary.BigEndian.PutUint32(tmp[:4], uint32(len(pages)))
 		body = append(body, tmp[:4]...)
-		for _, pp := range ser.Pages {
+		for _, pp := range pages {
 			buf := marshalPage(nil, pp.Time)
 			buf = marshalPage(buf, pp.Value)
 			binary.BigEndian.PutUint32(tmp[:4], uint32(len(buf)))
@@ -96,12 +96,15 @@ func (s *Store) WriteIndexedFile(path string) (err error) {
 
 // LazyFile reads series on demand from an indexed store file.
 type LazyFile struct {
-	f       *os.File
-	mu      sync.Mutex
+	f  *os.File
+	mu sync.Mutex
+	// index and names are filled once by readIndex before the LazyFile
+	// is returned to any caller and are read-only afterwards, so they
+	// carry no lock contract.
 	index   map[string][2]int64 // name -> (offset, length)
 	names   []string
-	cache   map[string]*Series
-	maxHeld int // cached series cap (0 = unbounded)
+	cache   map[string]*Series //etsqp:guardedby mu
+	maxHeld int                //etsqp:guardedby mu
 }
 
 // OpenLazy opens an indexed store file without loading any series data.
@@ -202,7 +205,7 @@ func (lf *LazyFile) Series(name string) (*Series, error) {
 		return nil, err
 	}
 	obs.StorageLazySeriesLoaded.Inc()
-	obs.StorageLazyPagesLoaded.Add(int64(len(ser.Pages)))
+	obs.StorageLazyPagesLoaded.Add(int64(ser.NumPages()))
 	lf.mu.Lock()
 	defer lf.mu.Unlock()
 	if lf.maxHeld > 0 && len(lf.cache) >= lf.maxHeld {
@@ -228,9 +231,7 @@ func (lf *LazyFile) LoadStore(names ...string) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		st.mu.Lock()
-		st.series[name] = ser
-		st.mu.Unlock()
+		st.putSeries(name, ser)
 	}
 	return st, nil
 }
@@ -245,10 +246,11 @@ func parseSeriesRecord(raw []byte) (*Series, error) {
 	if len(raw) < off+nameLen+4 {
 		return nil, io.ErrUnexpectedEOF
 	}
-	ser := &Series{Name: string(raw[off : off+nameLen])}
+	name := string(raw[off : off+nameLen])
 	off += nameLen
 	nPages := int(binary.BigEndian.Uint32(raw[off:]))
 	off += 4
+	var pages []PagePair
 	for p := 0; p < nPages; p++ {
 		if len(raw) < off+4 {
 			return nil, io.ErrUnexpectedEOF
@@ -268,7 +270,9 @@ func parseSeriesRecord(raw []byte) (*Series, error) {
 		if err != nil {
 			return nil, err
 		}
-		ser.Pages = append(ser.Pages, PagePair{Time: tp, Value: vp})
+		pages = append(pages, PagePair{Time: tp, Value: vp})
 	}
+	ser := &Series{Name: name}
+	ser.setPages(pages)
 	return ser, nil
 }

@@ -48,12 +48,13 @@ func (o Options) withDefaults() Options {
 // mu guards Pages: a *Series handed out by Store.Series may be queried
 // (PagesInRange, TimeRange, NumPoints, ...) while ingest goroutines
 // append through Store.Append/AppendPages, so the accessor methods take
-// mu and the store's mutators hold it while changing Pages. Direct field
-// access is only safe before the series is published to a store or when
-// no concurrent writer exists (loaders, tests, examples).
+// mu and the store's mutators hold it while changing Pages. The
+// contract is machine-checked: every read of Pages must hold mu (RLock
+// suffices) and every write the write lock — loaders build page lists
+// locally and publish them through setPages.
 type Series struct {
 	Name  string
-	Pages []PagePair
+	Pages []PagePair //etsqp:guardedby mu — snapshot via pagesSnapshot, publish via setPages
 
 	mu sync.RWMutex
 }
@@ -66,6 +67,17 @@ func (s *Series) pagesSnapshot() []PagePair {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.Pages
+}
+
+// NumPages reports the number of stored pages.
+func (s *Series) NumPages() int { return len(s.pagesSnapshot()) }
+
+// setPages publishes a fully built page list — the loaders' single
+// write to a series they are about to share.
+func (s *Series) setPages(pages []PagePair) {
+	s.mu.Lock()
+	s.Pages = pages
+	s.mu.Unlock()
 }
 
 // NumPoints sums the page counts.
@@ -100,12 +112,13 @@ func (s *Series) EncodedBytes() int {
 // an IoT database). It is safe for concurrent use.
 type Store struct {
 	mu     sync.RWMutex
-	series map[string]*Series
+	series map[string]*Series //etsqp:guardedby mu
 
 	// onMutate callbacks run after a successful mutation of a series'
 	// page list (Append, AppendPages, Compact), outside the store and
 	// series locks. The execution layer registers its decoded-page cache
-	// invalidation here.
+	// invalidation here. Registered during single-goroutine setup only
+	// (see OnMutate), so the slice itself needs no lock.
 	onMutate []func(series string)
 }
 
@@ -245,6 +258,13 @@ func (s *Store) appendPairs(name string, pairs []PagePair) error {
 		ser.Pages = append(ser.Pages, pp)
 	}
 	return nil
+}
+
+// putSeries publishes a loader-built series into the store's map.
+func (s *Store) putSeries(name string, ser *Series) {
+	s.mu.Lock()
+	s.series[name] = ser
+	s.mu.Unlock()
 }
 
 // Series returns the named series.

@@ -12,8 +12,10 @@
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -64,7 +66,62 @@ func run(root string) error {
 	if err := flattenCorpus(root); err != nil {
 		return err
 	}
+	if err := overflowParityCorpus(root); err != nil {
+		return err
+	}
 	return rlbeCorpus(root, series, runs)
+}
+
+// overflowParityCorpus seeds FuzzOverflowParity (internal/fusion) with the
+// extreme-magnitude pages the clamped random-walk differential targets
+// never generate: first values and deltas at the int64 boundaries, the
+// sqrt(2^63) square threshold, and cancelling walks whose running sums
+// wrap while the totals fit. Input shape (see parityRuns in
+// internal/fusion/overflow_parity_test.go): an int64 first value plus
+// 9-byte runs — big-endian uint64 delta, then a count byte.
+func overflowParityCorpus(root string) error {
+	run := func(delta int64, countByte byte) []byte {
+		var b [9]byte
+		binary.BigEndian.PutUint64(b[:8], uint64(delta))
+		b[8] = countByte
+		return b[:]
+	}
+	cat := func(chunks ...[]byte) []byte {
+		var out []byte
+		for _, c := range chunks {
+			out = append(out, c...)
+		}
+		return out
+	}
+	type entry struct {
+		first int64
+		raw   []byte
+	}
+	entries := []entry{
+		{math.MaxInt64, run(1, 0)},
+		{math.MinInt64, run(-1, 2)},
+		{math.MaxInt64 / 2, run(math.MaxInt64/2, 1)},
+		{math.MaxInt64 - 10, run(0, 4)},
+		// Either side of sqrt(2^63): v² crosses int64 between these.
+		{3_037_000_499, run(0, 1)},
+		{3_037_000_500, run(0, 1)},
+		// Huge single-step delta between two in-range values.
+		{-3_000_000_000, run(6_000_000_000, 0)},
+		// Cancelling walk: running sums wrap, the total fits.
+		{math.MaxInt64 / 2, cat(run(-math.MaxInt64/2, 0), run(math.MaxInt64/2, 0), run(-math.MaxInt64/2, 0))},
+		// Steep ramp that leaves int64 mid-page.
+		{0, run(1<<40, 31)},
+		// Moderate page: the must-succeed regime.
+		{1 << 20, cat(run(1<<10, 31), run(-(1<<9), 15))},
+	}
+	dir := filepath.Join(root, "internal/fusion/testdata/fuzz/FuzzOverflowParity")
+	for i, e := range entries {
+		lit := "int64(" + strconv.FormatInt(e.first, 10) + ")\n[]byte(" + strconv.Quote(string(e.raw)) + ")"
+		if err := writeEntry(dir, i, lit); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // flattenCorpus seeds FuzzFlatten's 4-byte-first + 3-byte-runs input

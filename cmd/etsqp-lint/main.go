@@ -2,15 +2,17 @@
 // loads the whole module with the standard library's type checker and
 // runs the invariant suite in internal/lint/analyzers —
 //
-//	atomicfield   //etsqp:atomic fields touched only through sync/atomic
-//	guardedby     //etsqp:guardedby fields accessed holding the named mutex
-//	hotpathalloc  no allocating constructs reachable from //etsqp:hotpath
-//	lockorder     the module-wide lock-acquisition graph stays acyclic
-//	nopanic       no panics reachable from Decode/Read/Unmarshal entries
-//	obsguard      obs counters via atomic helpers, Enabled()-gated in hot paths
-//	plantable     plan-table widths in range, lane loops within vector bounds
-//	querydoc      SQL grammar surface and docs/QUERYING.md stay in sync
-//	sharedwrite   parallel fan-outs write disjoint index ranges
+//	atomicfield    //etsqp:atomic fields touched only through sync/atomic
+//	boundscontract call sites satisfy callees' //etsqp:bounds parameter intervals
+//	guardedby      //etsqp:guardedby fields accessed holding the named mutex
+//	hotpathalloc   no allocating constructs reachable from //etsqp:hotpath
+//	lockorder      the module-wide lock-acquisition graph stays acyclic
+//	nopanic        no panics reachable from Decode/Read/Unmarshal entries
+//	obsguard       obs counters via atomic helpers, Enabled()-gated in hot paths
+//	plantable      plan-table widths in range, lane loops within vector bounds
+//	querydoc       SQL grammar surface and docs/QUERYING.md stay in sync
+//	rangecheck     int64 arithmetic in //etsqp:rangecheck kernels is checked or in range
+//	sharedwrite    parallel fan-outs write disjoint index ranges
 //
 // Usage:
 //

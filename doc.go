@@ -23,9 +23,12 @@
 //
 // The invariants behind the performance claims — allocation-free unpack
 // kernels, panic-free decode paths, gated observability, consistent plan
-// tables, write-disjoint parallel fan-outs, and declared mutex/atomic
+// tables, write-disjoint parallel fan-outs, declared mutex/atomic
 // protocols on every shared struct (//etsqp:guardedby, //etsqp:atomic,
-// lock-order acyclicity) — are enforced by the cmd/etsqp-lint analyzer
+// lock-order acyclicity), and value-range proofs on the aggregation
+// kernels (//etsqp:rangecheck interval analysis with //etsqp:bounds
+// contracts, so Section VI-C overflow surfaces as an error rather than
+// a wrapped sum) — are enforced by the cmd/etsqp-lint analyzer
 // suite, and cmd/etsqp-vet checks the compiler's own diagnostics
 // against per-kernel bounds-check-elimination, escape and inlining
 // contracts (docs/STATIC_ANALYSIS.md).

@@ -35,3 +35,64 @@ func ScalarAggregateDeltaRuns(first int64, pairs []encoding.DeltaRun) ScalarAggr
 	agg.Variance = float64(agg.SumSquares)/n - mean*mean
 	return agg
 }
+
+// ScalarAggregateDeltaRunsChecked is the overflow-aware sibling of
+// ScalarAggregateDeltaRuns: the same one-value-at-a-time fold with every
+// int64 step checked. overflow reports whether any reconstruction step
+// (cur += delta), Sum fold, square, or SumSquares fold left int64.
+//
+// It anchors the overflow-parity contract with internal/fusion: whenever
+// the decode-then-aggregate route stays in range (overflow == false), the
+// fused closed forms must succeed and match bit-for-bit; when it wraps,
+// the fused path must either return ErrOverflow or the exact value — it
+// may be conservative, but never silently wrong.
+func ScalarAggregateDeltaRunsChecked(first int64, pairs []encoding.DeltaRun) (agg ScalarAggregates, overflow bool) {
+	agg = ScalarAggregates{Sum: first, Count: 1}
+	sq, okSq := mulCheck(first, first)
+	overflow = !okSq
+	agg.SumSquares = sq
+	cur := first
+	for _, p := range pairs {
+		for k := 0; k < p.Count; k++ {
+			var ok bool
+			cur, ok = addCheck(cur, p.Delta)
+			overflow = overflow || !ok
+			agg.Sum, ok = addCheck(agg.Sum, cur)
+			overflow = overflow || !ok
+			s, okM := mulCheck(cur, cur)
+			agg.SumSquares, ok = addCheck(agg.SumSquares, s)
+			overflow = overflow || !okM || !ok
+			agg.Count++
+		}
+	}
+	n := float64(agg.Count)
+	mean := float64(agg.Sum) / n
+	agg.Avg = mean
+	agg.Variance = float64(agg.SumSquares)/n - mean*mean
+	return agg, overflow
+}
+
+// addCheck returns a+b and whether the sum stayed in int64.
+//
+//etsqp:checked add
+func addCheck(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return s, false
+	}
+	return s, true
+}
+
+// mulCheck returns a*b and whether the product stayed in int64.
+//
+//etsqp:checked mul
+func mulCheck(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return p, false
+	}
+	return p, true
+}

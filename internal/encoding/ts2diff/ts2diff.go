@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 
 	"etsqp/internal/encoding"
 )
@@ -34,18 +35,30 @@ const (
 // fields directly (packing width, minBase) to build its unpack layout and
 // pruning bounds without touching the payload.
 type Block struct {
-	Order      Order
-	Count      int   // number of original values
+	Order Order
+	// Count is the number of original values. Encode rejects longer
+	// inputs and Unmarshal parses the count from a uint32, so the bound
+	// is a format invariant, not an aspiration; rangeflow seeds kernel
+	// intervals from it.
+	//
+	//etsqp:bounds [0, 1<<32)
+	Count      int
 	First      int64 // X0
 	FirstDelta int64 // D1, order 2 only
 	MinBase    int64 // minimum delta (base in Figure 1(b))
-	Width      uint  // packing width omega
-	MinValue   int64 // statistics for pruning
-	MaxValue   int64
-	Packed     []byte // big-endian packed (delta - MinBase) values
+	// Width is the packing width omega; Unmarshal rejects widths past 64.
+	//
+	//etsqp:bounds [0, 64]
+	Width    uint
+	MinValue int64 // statistics for pruning
+	MaxValue int64
+	Packed   []byte // big-endian packed (delta - MinBase) values
 }
 
 // NumPacked returns the number of packed deltas in the payload.
+//
+//etsqp:bounds return [0, 1<<32)
+//etsqp:rangecheck
 func (b *Block) NumPacked() int {
 	switch {
 	case b.Count <= 1:
@@ -64,6 +77,11 @@ func (b *Block) NumPacked() int {
 func Encode(vals []int64, order Order) (*Block, error) {
 	if order != Order1 && order != Order2 {
 		return nil, fmt.Errorf("ts2diff: invalid order %d", order)
+	}
+	if len(vals) > math.MaxUint32 {
+		// Marshal stores the count as a uint32; a longer block would
+		// round-trip with a silently truncated Count.
+		return nil, fmt.Errorf("ts2diff: %d values exceed the 2^32-1 block limit", len(vals))
 	}
 	b := &Block{Order: order, Count: len(vals)}
 	if len(vals) == 0 {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -21,6 +22,14 @@ import (
 // checks on value-filtered scans.
 const pruneChunk = 1024
 
+// ErrOverflow is the Section VI-C aggregate-overflow sentinel. It is the
+// fusion package's sentinel re-exported, so a single errors.Is covers
+// both detection sites: the fused closed forms (which return it
+// directly) and the scalar accumulators (whose sticky flag final()
+// wraps around it). Serving layers use it to map overflow to a
+// structured client error instead of a generic failure.
+var ErrOverflow = fusion.ErrOverflow
+
 // partialAgg is one worker's accumulation state, merged at the merge node.
 type partialAgg struct {
 	sum      int64
@@ -37,9 +46,27 @@ type partialAgg struct {
 	hasFL          bool
 }
 
+// addCheck adds two int64 detecting overflow — the scalar Section VI-C
+// primitive the accumulators below fold through (fusion.addChecked is
+// the same shape on the fused side).
+//
+//etsqp:checked add
+//etsqp:hotpath
+//etsqp:nobce
+//etsqp:noescape
+//etsqp:inline
+func addCheck(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return s, false
+	}
+	return s, true
+}
+
 // addBoundary folds a slice's boundary rows into the FIRST/LAST state.
 //
 //etsqp:hotpath
+//etsqp:rangecheck
 func (p *partialAgg) addBoundary(firstT, firstV, lastT, lastV int64) {
 	if !p.hasFL || firstT < p.firstT {
 		p.firstT, p.firstV = firstT, firstV
@@ -56,14 +83,19 @@ func (p *partialAgg) addBoundary(firstT, firstV, lastT, lastV int64) {
 //etsqp:hotpath
 //etsqp:nobce
 //etsqp:noescape
+//etsqp:rangecheck
 func (p *partialAgg) addValue(v int64) {
-	s := p.sum + v
-	if (p.sum > 0 && v > 0 && s < 0) || (p.sum < 0 && v < 0 && s >= 0) {
+	s, ok := addCheck(p.sum, v)
+	if !ok {
 		p.overflow = true
 	}
 	p.sum = s
 	p.sumSq += float64(v) * float64(v)
-	p.count++
+	var okC bool
+	p.count, okC = addCheck(p.count, 1)
+	if !okC {
+		p.overflow = true
+	}
 	if !p.seen || v < p.min {
 		p.min = v
 	}
@@ -78,13 +110,18 @@ func (p *partialAgg) addValue(v int64) {
 //etsqp:hotpath
 //etsqp:nobce
 //etsqp:noescape
+//etsqp:rangecheck
 func (p *partialAgg) addSum(sum int64, count int64) {
-	s := p.sum + sum
-	if (p.sum > 0 && sum > 0 && s < 0) || (p.sum < 0 && sum < 0 && s >= 0) {
+	s, ok := addCheck(p.sum, sum)
+	if !ok {
 		p.overflow = true
 	}
 	p.sum = s
-	p.count += count
+	var okC bool
+	p.count, okC = addCheck(p.count, count)
+	if !okC {
+		p.overflow = true
+	}
 	p.seen = p.seen || count > 0
 }
 
@@ -92,15 +129,20 @@ func (p *partialAgg) addSum(sum int64, count int64) {
 //
 //etsqp:hotpath
 //etsqp:nobce
+//etsqp:rangecheck
 func (p *partialAgg) merge(o *partialAgg) {
 	p.overflow = p.overflow || o.overflow
-	s := p.sum + o.sum
-	if (p.sum > 0 && o.sum > 0 && s < 0) || (p.sum < 0 && o.sum < 0 && s >= 0) {
+	s, ok := addCheck(p.sum, o.sum)
+	if !ok {
 		p.overflow = true
 	}
 	p.sum = s
 	p.sumSq += o.sumSq
-	p.count += o.count
+	var okC bool
+	p.count, okC = addCheck(p.count, o.count)
+	if !okC {
+		p.overflow = true
+	}
 	if o.hasFL {
 		p.addBoundary(o.firstT, o.firstV, o.lastT, o.lastV)
 	}
@@ -125,7 +167,7 @@ func (p *partialAgg) final(agg sqlparse.AggFunc) (float64, error) {
 	if p.overflow {
 		switch agg {
 		case sqlparse.AggSum, sqlparse.AggAvg, sqlparse.AggVar:
-			return 0, fmt.Errorf("engine: %s overflow (Section VI-C check)", agg)
+			return 0, fmt.Errorf("engine: %s overflow (Section VI-C check): %w", agg, ErrOverflow)
 		}
 	}
 	switch agg {
@@ -565,6 +607,13 @@ func (e *Engine) timeBoundsPruned(sl pipeline.Slice, t1, t2 int64,
 // page without materializing values; ok is false when the codec has no
 // fused path. Page loading is charged to the IO stage like the decoding
 // paths.
+//
+// A fusion.ErrOverflow from the closed forms is reported as ok=false,
+// not as a failure: the fused polynomials can overflow on intermediates
+// (n·cur, Δ²·Σi²) even when the decoded fold stays in range, and the
+// decoded fallback re-detects any genuine overflow exactly via the
+// checked accumulators — COUNT/MIN/MAX over the same rows then still
+// answer while SUM/AVG/VAR surface the Section VI-C error from final().
 func (e *Engine) fusedSumRange(p *storage.Page, lo, hi int, col *statsCollector) (sum int64, count int64, ok bool, err error) {
 	data, release := loadPage(p, col)
 	defer release()
@@ -574,6 +623,9 @@ func (e *Engine) fusedSumRange(p *storage.Page, lo, hi int, col *statsCollector)
 	if first, pairs, isRLBE := deltaRunsOfData(p.Header.Codec, data); isRLBE {
 		s, err := fusion.SumRange(first, pairs, lo, hi)
 		if err != nil {
+			if errors.Is(err, fusion.ErrOverflow) {
+				return 0, 0, false, nil
+			}
 			return 0, 0, false, err
 		}
 		return s, int64(hi - lo), true, nil
@@ -584,6 +636,9 @@ func (e *Engine) fusedSumRange(p *storage.Page, lo, hi int, col *statsCollector)
 	}
 	s, err := fusion.SumBlockRange(blk, lo, hi)
 	if err != nil {
+		if errors.Is(err, fusion.ErrOverflow) {
+			return 0, 0, false, nil
+		}
 		return 0, 0, false, err
 	}
 	return s, int64(hi - lo), true, nil
@@ -859,7 +914,9 @@ func (e *Engine) aggWindows(ser string, sl pipeline.Slice, lo, hi int, ts []int6
 // fusedSumSegments fills per-segment sums over the cut partition of a
 // value page without materializing values. The page is loaded, verified,
 // and parsed once no matter how many windows cut it; ok is false when
-// the codec has no fused segment path.
+// the codec has no fused segment path. Like fusedSumRange, a
+// fusion.ErrOverflow demotes to ok=false so the decoded segment pass
+// re-evaluates under the exact checked accumulators.
 func (e *Engine) fusedSumSegments(p *storage.Page, cuts []int, sums []int64, col *statsCollector) (ok bool, err error) {
 	data, release := loadPage(p, col)
 	defer release()
@@ -868,6 +925,9 @@ func (e *Engine) fusedSumSegments(p *storage.Page, cuts []int, sums []int64, col
 	}
 	if first, pairs, isRLBE := deltaRunsOfData(p.Header.Codec, data); isRLBE {
 		if err := fusion.SumRangeSegments(first, pairs, cuts, sums); err != nil {
+			if errors.Is(err, fusion.ErrOverflow) {
+				return false, nil
+			}
 			return false, err
 		}
 		return true, nil
@@ -877,6 +937,9 @@ func (e *Engine) fusedSumSegments(p *storage.Page, cuts []int, sums []int64, col
 		return false, berr
 	}
 	if err := fusion.SumBlockSegments(blk, cuts, sums); err != nil {
+		if errors.Is(err, fusion.ErrOverflow) {
+			return false, nil
+		}
 		return false, err
 	}
 	return true, nil

@@ -203,6 +203,9 @@ func (e *Engine) executeTimed(q *sqlparse.Query, tr *Trace) (*Result, error) {
 	start := time.Now()
 	res, err := e.execute(q, tr)
 	if err != nil {
+		if tr != nil {
+			tr.fail(err, time.Since(start))
+		}
 		return nil, err
 	}
 	obs.EngineQueries.Inc()
@@ -253,7 +256,11 @@ func (e *Engine) ExecuteSQL(sql string) (*Result, error) {
 // TraceSQL parses, plans and runs a statement with tracing on, returning
 // the result together with the assembled span tree. The parse and plan
 // phases are timed into their own spans; planning reuses the EXPLAIN
-// machinery, so a traced query also validates its plan shape.
+// machinery, so a traced query also validates its plan shape. When
+// execution itself fails (e.g. a Section VI-C aggregate overflow) the
+// trace is still returned with the failure recorded, so serving layers
+// can log what the query did before it errored; parse and plan failures
+// return a nil trace — nothing executed.
 func (e *Engine) TraceSQL(sql string) (*Result, *Trace, error) {
 	tr := NewTrace(sql, e.Mode.String(), e.workers())
 	parseStart := time.Now()
@@ -269,7 +276,7 @@ func (e *Engine) TraceSQL(sql string) (*Result, *Trace, error) {
 	tr.planNs = int64(time.Since(planStart))
 	res, err := e.ExecuteTraced(q, tr)
 	if err != nil {
-		return nil, nil, err
+		return nil, tr, err
 	}
 	return res, tr, nil
 }

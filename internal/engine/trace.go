@@ -55,6 +55,11 @@ type Trace struct {
 	// SlicesTotal counts every executed job, including those beyond the
 	// retained-event cap.
 	SlicesTotal int64 `json:"slices_total"`
+	// Error records why the query produced no result (empty on success),
+	// so a slow-query log line for a failed query — e.g. a Section VI-C
+	// aggregate overflow — still explains itself. Appended to the schema;
+	// omitted when empty, so successful-trace goldens are unchanged.
+	Error string `json:"error,omitempty"`
 
 	parseNs int64
 	planNs  int64
@@ -107,6 +112,15 @@ func (t *Trace) finish(st Stats, elapsed time.Duration) {
 	}
 	stages = append(stages, Span{Name: "other", DurNs: other})
 	t.Root = Span{Name: "query", DurNs: t.ElapsedNs, Children: stages}
+}
+
+// fail finishes a trace for a query that errored mid-execution: the span
+// tree is assembled from whatever stages completed (stage counters are
+// unavailable — the result that carries them never materialized) and the
+// error is recorded for the slow-query log.
+func (t *Trace) fail(err error, elapsed time.Duration) {
+	t.Error = err.Error()
+	t.finish(Stats{}, elapsed)
 }
 
 // StageSum returns the total duration of the query root's children —

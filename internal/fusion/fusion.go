@@ -26,6 +26,7 @@ var ErrOverflow = errors.New("fusion: aggregate overflow")
 
 // addChecked adds two int64 detecting overflow.
 //
+//etsqp:checked add
 //etsqp:hotpath
 //etsqp:nobce
 //etsqp:noescape
@@ -40,6 +41,7 @@ func addChecked(a, b int64) (int64, bool) {
 
 // mulChecked multiplies two int64 detecting overflow.
 //
+//etsqp:checked mul
 //etsqp:hotpath
 //etsqp:nobce
 //etsqp:noescape
@@ -55,21 +57,110 @@ func mulChecked(a, b int64) (int64, bool) {
 	return p, true
 }
 
-// sumArith is Σ_{i=1..n} i = n(n+1)/2.
+// sumArithChecked is Σ_{i=1..n} i = n(n+1)/2, detecting overflow. Exactly
+// one of n and n+1 is even, so halving that factor before the multiply
+// keeps every intermediate exact; the one wrap (n+1 at n = MaxInt64)
+// flips the sign and mulChecked rejects it.
 //
+//etsqp:checked
+//etsqp:bounds return [0, 1<<63)
 //etsqp:hotpath
 //etsqp:nobce
 //etsqp:noescape
-//etsqp:inline
-func sumArith(n int64) int64 { return n * (n + 1) / 2 }
+func sumArithChecked(n int64) (int64, bool) {
+	if n <= 0 {
+		return 0, n == 0
+	}
+	if n&1 == 0 {
+		return mulChecked(n/2, n+1)
+	}
+	return mulChecked(n, (n+1)/2)
+}
 
-// sumSquaresArith is Σ_{i=1..n} i² = n(n+1)(2n+1)/6.
+// triangleChecked is Σ_{i=1..n-1} i = n(n-1)/2, detecting overflow — the
+// ramp weight of TS2DIFF minBase/firstDelta closed forms. Same even-factor
+// halving as sumArithChecked, so n up to 2^32 (the block Count ceiling)
+// stays exact where the naive n*(n-1) wraps past n > 3037000499.
 //
+//etsqp:checked
+//etsqp:bounds return [0, 1<<63)
 //etsqp:hotpath
 //etsqp:nobce
 //etsqp:noescape
-//etsqp:inline
-func sumSquaresArith(n int64) int64 { return n * (n + 1) * (2*n + 1) / 6 }
+func triangleChecked(n int64) (int64, bool) {
+	if n <= 1 {
+		return 0, n >= 0
+	}
+	if n&1 == 0 {
+		return mulChecked(n/2, n-1)
+	}
+	return mulChecked(n, (n-1)/2)
+}
+
+// sumSquaresArithChecked is Σ_{i=1..n} i² = n(n+1)(2n+1)/6, detecting
+// overflow. The divisor 6 is split exactly across the three factors:
+// one of {n, n+1, 2n+1} is divisible by 3 (2n+1 is when n ≡ 1 mod 3), and
+// after that division the even member of {n, n+1} is still even. Beyond
+// n ≥ 2^31 the true result exceeds int64 anyway (≈ n³/3 ≥ 2^91), so the
+// guard rejects before 2n+1 could wrap.
+//
+//etsqp:checked
+//etsqp:bounds return [0, 1<<63)
+//etsqp:hotpath
+//etsqp:nobce
+//etsqp:noescape
+func sumSquaresArithChecked(n int64) (int64, bool) {
+	if n <= 0 {
+		return 0, n == 0
+	}
+	if n >= 1<<31 {
+		return 0, false
+	}
+	a, b, c := n, n+1, 2*n+1
+	switch n % 3 {
+	case 0:
+		a /= 3
+	case 1:
+		c /= 3
+	default:
+		b /= 3
+	}
+	if a&1 == 0 {
+		a /= 2
+	} else {
+		b /= 2
+	}
+	p, ok1 := mulChecked(a, b)
+	q, ok2 := mulChecked(p, c)
+	return q, ok1 && ok2
+}
+
+// windowArithChecked is Σ_{i=j0..j1} i = (j0+j1)(j1−j0+1)/2, detecting
+// overflow — the windowed ramp weight of SumRange. The sum (j0+j1) and
+// width (j1−j0+1) always differ in parity, so halving the even one keeps
+// the product exact; the j1 < 2^62 guard keeps both factors wrap-free.
+//
+//etsqp:checked
+//etsqp:bounds return [0, 1<<63)
+//etsqp:hotpath
+//etsqp:nobce
+//etsqp:noescape
+func windowArithChecked(j0, j1 int64) (int64, bool) {
+	if j1 < j0 {
+		return 0, true
+	}
+	if j0 < 0 || j1 >= 1<<62 {
+		return 0, false
+	}
+	s := j0 + j1
+	w := j1 - j0 + 1
+	if s&1 == 0 {
+		s /= 2
+	} else {
+		w /= 2
+	}
+	return mulChecked(s, w)
+}
 
 // Sum aggregates Σ values over a Delta-Repeat series (first value plus
 // pairs) without flattening. Cost: O(#pairs).
@@ -77,21 +168,25 @@ func sumSquaresArith(n int64) int64 { return n * (n + 1) * (2*n + 1) / 6 }
 //etsqp:hotpath
 //etsqp:nobce
 //etsqp:noescape
+//etsqp:rangecheck
 func Sum(first int64, pairs []encoding.DeltaRun) (int64, error) {
 	total := first
 	cur := first
-	ok := true
 	for _, p := range pairs {
 		n := int64(p.Count)
 		// Σ over the run: n·cur + Δ·n(n+1)/2.
 		runSum, ok1 := mulChecked(cur, n)
-		inc, ok2 := mulChecked(p.Delta, sumArith(n))
-		runSum, ok3 := addChecked(runSum, inc)
-		total, ok = addChecked(total, runSum)
-		if !(ok && ok1 && ok2 && ok3) {
+		tri, ok2 := sumArithChecked(n)
+		inc, ok3 := mulChecked(p.Delta, tri)
+		runSum, ok4 := addChecked(runSum, inc)
+		var ok5 bool
+		total, ok5 = addChecked(total, runSum)
+		step, ok6 := mulChecked(p.Delta, n)
+		var ok7 bool
+		cur, ok7 = addChecked(cur, step)
+		if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7) {
 			return 0, ErrOverflow
 		}
-		cur += p.Delta * n
 	}
 	return total, nil
 }
@@ -101,12 +196,12 @@ func Sum(first int64, pairs []encoding.DeltaRun) (int64, error) {
 // sliding-window aggregation over Delta-Repeat data.
 //
 //etsqp:hotpath
+//etsqp:rangecheck
 func SumRange(first int64, pairs []encoding.DeltaRun, from, to int) (int64, error) {
 	if to <= from {
 		return 0, nil
 	}
 	var total int64
-	ok := true
 	if from == 0 {
 		total = first
 	}
@@ -115,7 +210,12 @@ func SumRange(first int64, pairs []encoding.DeltaRun, from, to int) (int64, erro
 	for _, p := range pairs {
 		runEnd := idx + p.Count
 		if runEnd < from || idx+1 > to {
-			cur += p.Delta * int64(p.Count)
+			step, okS := mulChecked(p.Delta, int64(p.Count))
+			var okC bool
+			cur, okC = addChecked(cur, step)
+			if !(okS && okC) {
+				return 0, ErrOverflow
+			}
 			idx = runEnd
 			if idx >= to {
 				break
@@ -135,16 +235,23 @@ func SumRange(first int64, pairs []encoding.DeltaRun, from, to int) (int64, erro
 			// Values: cur + jΔ for j = lo-idx .. hi-idx.
 			j0 := int64(lo - idx)
 			j1 := int64(hi - idx)
-			count := j1 - j0 + 1
+			count := int64(hi - lo + 1)
 			base, ok1 := mulChecked(cur, count)
-			inc, ok2 := mulChecked(p.Delta, sumArith(j1)-sumArith(j0-1))
-			runSum, ok3 := addChecked(base, inc)
-			total, ok = addChecked(total, runSum)
-			if !(ok && ok1 && ok2 && ok3) {
+			win, ok2 := windowArithChecked(j0, j1)
+			inc, ok3 := mulChecked(p.Delta, win)
+			runSum, ok4 := addChecked(base, inc)
+			var ok5 bool
+			total, ok5 = addChecked(total, runSum)
+			if !(ok1 && ok2 && ok3 && ok4 && ok5) {
 				return 0, ErrOverflow
 			}
 		}
-		cur += p.Delta * int64(p.Count)
+		step, okS := mulChecked(p.Delta, int64(p.Count))
+		var okC bool
+		cur, okC = addChecked(cur, step)
+		if !(okS && okC) {
+			return 0, ErrOverflow
+		}
 		idx = runEnd
 		if idx >= to {
 			break
@@ -176,6 +283,11 @@ func Avg(first int64, pairs []encoding.DeltaRun) (float64, error) {
 // MinMax scans run endpoints only: within a run values are monotone, so
 // extremes occur at run boundaries.
 //
+// MinMax has no error result, so it cannot carry the //etsqp:rangecheck
+// contract: a series whose running value leaves int64 reports wrapped
+// extremes. Callers that need detection aggregate Sum first — it walks
+// the same endpoints under checked arithmetic and returns ErrOverflow.
+//
 //etsqp:hotpath
 func MinMax(first int64, pairs []encoding.DeltaRun) (minV, maxV int64) {
 	minV, maxV = first, first
@@ -196,6 +308,7 @@ func MinMax(first int64, pairs []encoding.DeltaRun) (minV, maxV int64) {
 // Σ_{i=1..n}(a+iΔ)² = n·a² + 2aΔ·Σi + Δ²·Σi².
 //
 //etsqp:hotpath
+//etsqp:rangecheck
 func SumSquares(first int64, pairs []encoding.DeltaRun) (int64, error) {
 	total, ok := mulChecked(first, first)
 	if !ok {
@@ -206,18 +319,24 @@ func SumSquares(first int64, pairs []encoding.DeltaRun) (int64, error) {
 		n := int64(p.Count)
 		a2, ok1 := mulChecked(cur, cur)
 		t1, ok2 := mulChecked(a2, n)
-		cross, ok3 := mulChecked(2*cur, p.Delta)
-		cross, ok4 := mulChecked(cross, sumArith(n))
-		d2, ok5 := mulChecked(p.Delta, p.Delta)
-		d2, ok6 := mulChecked(d2, sumSquaresArith(n))
-		s, ok7 := addChecked(t1, cross)
-		s, ok8 := addChecked(s, d2)
-		var ok9 bool
-		total, ok9 = addChecked(total, s)
-		if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7 && ok8 && ok9) {
+		twoA, ok3 := mulChecked(cur, 2)
+		cross, ok4 := mulChecked(twoA, p.Delta)
+		tri, ok5 := sumArithChecked(n)
+		cross, ok6 := mulChecked(cross, tri)
+		d2, ok7 := mulChecked(p.Delta, p.Delta)
+		sq, ok8 := sumSquaresArithChecked(n)
+		d2, ok9 := mulChecked(d2, sq)
+		s, ok10 := addChecked(t1, cross)
+		s, ok11 := addChecked(s, d2)
+		var ok12 bool
+		total, ok12 = addChecked(total, s)
+		step, ok13 := mulChecked(p.Delta, n)
+		var ok14 bool
+		cur, ok14 = addChecked(cur, step)
+		if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7 && ok8 &&
+			ok9 && ok10 && ok11 && ok12 && ok13 && ok14) {
 			return 0, ErrOverflow
 		}
-		cur += p.Delta * n
 	}
 	return total, nil
 }
@@ -245,6 +364,7 @@ func Variance(first int64, pairs []encoding.DeltaRun) (float64, error) {
 //	Σ_{i=1..v}(a+iΔA)(b+iΔB) = v·ab + aΔB·Σi + bΔA·Σi + ΔAΔB·Σi²
 //
 //etsqp:hotpath
+//etsqp:rangecheck
 func DotProduct(aFirst int64, aPairs []encoding.DeltaRun, bFirst int64, bPairs []encoding.DeltaRun) (int64, error) {
 	if Count(aPairs) != Count(bPairs) {
 		return 0, errors.New("fusion: series length mismatch")
@@ -272,18 +392,28 @@ func DotProduct(aFirst int64, aPairs []encoding.DeltaRun, bFirst int64, bPairs [
 		// Four-term polynomial.
 		ab, ok0 := mulChecked(a, b)
 		t0, okT := mulChecked(ab, v)
-		ok0 = ok0 && okT
-		t1, ok1 := mulChecked(a*dB+b*dA, sumArith(v))
-		t2, ok2 := mulChecked(dA*dB, sumSquaresArith(v))
+		adb, okA := mulChecked(a, dB)
+		bda, okB := mulChecked(b, dA)
+		mix, okM := addChecked(adb, bda)
+		tri, okR := sumArithChecked(v)
+		t1, ok1 := mulChecked(mix, tri)
+		dd, okD := mulChecked(dA, dB)
+		sq, okQ := sumSquaresArithChecked(v)
+		t2, ok2 := mulChecked(dd, sq)
 		s, ok3 := addChecked(t0, t1)
 		s, ok4 := addChecked(s, t2)
 		var ok5 bool
 		total, ok5 = addChecked(total, s)
-		if !(ok0 && ok1 && ok2 && ok3 && ok4 && ok5) {
+		stepA, okSA := mulChecked(dA, v)
+		var okAA bool
+		a, okAA = addChecked(a, stepA)
+		stepB, okSB := mulChecked(dB, v)
+		var okBB bool
+		b, okBB = addChecked(b, stepB)
+		if !(ok0 && okT && okA && okB && okM && okR && ok1 && okD && okQ &&
+			ok2 && ok3 && ok4 && ok5 && okSA && okAA && okSB && okBB) {
 			return 0, ErrOverflow
 		}
-		a += dA * v
-		b += dB * v
 		aRem -= valid
 		bRem -= valid
 		if aRem == 0 {

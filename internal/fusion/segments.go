@@ -41,6 +41,7 @@ func validateCuts(cuts []int, nsums int) error {
 // beyond the series' row count stay partial or zero.
 //
 //etsqp:hotpath
+//etsqp:rangecheck
 func SumRangeSegments(first int64, pairs []encoding.DeltaRun, cuts []int, sums []int64) error {
 	if err := validateCuts(cuts, len(sums)); err != nil {
 		return err
@@ -82,16 +83,22 @@ func SumRangeSegments(first int64, pairs []encoding.DeltaRun, cuts []int, sums [
 			}
 			j0 := int64(lo - idx)
 			j1 := int64(hi - idx)
-			base, ok1 := mulChecked(cur, j1-j0+1)
-			inc, ok2 := mulChecked(p.Delta, sumArith(j1)-sumArith(j0-1))
+			base, ok1 := mulChecked(cur, int64(hi-lo+1))
+			win, okW := windowArithChecked(j0, j1)
+			inc, ok2 := mulChecked(p.Delta, win)
 			runSum, ok3 := addChecked(base, inc)
 			var ok4 bool
 			sums[t], ok4 = addChecked(sums[t], runSum)
-			if !(ok1 && ok2 && ok3 && ok4) {
+			if !(ok1 && okW && ok2 && ok3 && ok4) {
 				return ErrOverflow
 			}
 		}
-		cur += p.Delta * int64(p.Count)
+		step, okS := mulChecked(p.Delta, int64(p.Count))
+		var okC bool
+		cur, okC = addChecked(cur, step)
+		if !(okS && okC) {
+			return ErrOverflow
+		}
 		idx = runEnd
 	}
 	return nil
@@ -104,6 +111,7 @@ func SumRangeSegments(first int64, pairs []encoding.DeltaRun, cuts []int, sums [
 // block. Cuts past b.Count contribute what exists.
 //
 //etsqp:hotpath
+//etsqp:rangecheck
 func SumBlockSegments(b *ts2diff.Block, cuts []int, sums []int64) error {
 	if err := validateCuts(cuts, len(sums)); err != nil {
 		return err
@@ -157,11 +165,17 @@ func SumBlockSegments(b *ts2diff.Block, cuts []int, sums []int64) error {
 			return err
 		}
 		for _, d := range chunk[:cnt] {
+			var okC bool
 			if b.Order == ts2diff.Order1 {
-				cur += d
+				cur, okC = addChecked(cur, d)
 			} else {
-				cur += delta
-				delta += d
+				cur, okC = addChecked(cur, delta)
+				var okD bool
+				delta, okD = addChecked(delta, d)
+				okC = okC && okD
+			}
+			if !okC {
+				return ErrOverflow
 			}
 			if !adder.add(row, cur) {
 				return ErrOverflow
@@ -172,7 +186,11 @@ func SumBlockSegments(b *ts2diff.Block, cuts []int, sums []int64) error {
 	// Order-2 blocks have n-2 packed deltas for n-1 steps: the final rows
 	// advance by the last accumulated first difference.
 	for ; row < to; row++ {
-		cur += delta
+		var okC bool
+		cur, okC = addChecked(cur, delta)
+		if !okC {
+			return ErrOverflow
+		}
 		if !adder.add(row, cur) {
 			return ErrOverflow
 		}
@@ -191,6 +209,7 @@ type segAdder struct {
 // add folds v at row into its segment; false reports overflow.
 //
 //etsqp:hotpath
+//etsqp:rangecheck
 func (a *segAdder) add(row int, v int64) bool {
 	for a.s < len(a.sums) && a.cuts[a.s+1] <= row {
 		a.s++

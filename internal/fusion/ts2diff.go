@@ -18,6 +18,7 @@ import (
 // vectors the decoder would build — but nothing is materialized.
 //
 //etsqp:hotpath
+//etsqp:rangecheck
 func SumBlock(b *ts2diff.Block) (int64, error) {
 	if b.Order != ts2diff.Order1 {
 		return SumBlockOrder2(b)
@@ -31,9 +32,10 @@ func SumBlock(b *ts2diff.Block) (int64, error) {
 	if !ok {
 		return 0, ErrOverflow
 	}
-	ramp, ok2 := mulChecked(b.MinBase, n*(n-1)/2)
+	tri, okT := triangleChecked(n)
+	ramp, ok2 := mulChecked(b.MinBase, tri)
 	total, ok3 := addChecked(total, ramp)
-	if !ok2 || !ok3 {
+	if !okT || !ok2 || !ok3 {
 		return 0, ErrOverflow
 	}
 	sumP, err := sumPrefixes(b.Packed, m, b.Width)
@@ -50,7 +52,9 @@ func SumBlock(b *ts2diff.Block) (int64, error) {
 // sumPrefixes returns Σ_{i=1..m} P_i with P_i the inclusive prefix sums of
 // the packed fields, vectorized over whole plan blocks.
 //
+//etsqp:bounds width [0, 64]
 //etsqp:hotpath
+//etsqp:rangecheck
 func sumPrefixes(packed []byte, m int, width uint) (int64, error) {
 	if m == 0 {
 		return 0, nil
@@ -79,18 +83,25 @@ func sumPrefixes(packed []byte, m int, width uint) (int64, error) {
 			lanePrefix := simd.ExclusivePrefixSum32(laneTot)
 			var localP int64
 			for j := 0; j < p.Nv; j++ {
-				localP += int64(simd.HSum32(vecs[j]))
+				var okH bool
+				localP, okH = addChecked(localP, int64(simd.HSum32(vecs[j])))
+				if !okH {
+					return 0, ErrOverflow
+				}
 			}
-			localP += int64(p.Nv) * int64(simd.HSum32(lanePrefix))
+			// In range by the HSum32 return bound: Nv ≤ 16, Σ lanes < 2^35.
+			lane := int64(p.Nv) * int64(simd.HSum32(lanePrefix))
+			localP, okL := addChecked(localP, lane)
 			blockTotal := int64(lanePrefix[simd.Lanes32-1]) + int64(laneTot[simd.Lanes32-1])
 			inc, ok1 := mulChecked(prefixBefore, int64(p.BlockElems))
 			s, ok2 := addChecked(inc, localP)
 			var ok3 bool
 			sumP, ok3 = addChecked(sumP, s)
-			if !(ok1 && ok2 && ok3) {
+			var ok4 bool
+			prefixBefore, ok4 = addChecked(prefixBefore, blockTotal)
+			if !(okL && ok1 && ok2 && ok3 && ok4) {
 				return 0, ErrOverflow
 			}
-			prefixBefore += blockTotal
 		}
 	}
 	if e < m {
@@ -104,7 +115,11 @@ func sumPrefixes(packed []byte, m int, width uint) (int64, error) {
 			if err != nil {
 				return 0, err
 			}
-			prefix += int64(v)
+			var okP bool
+			prefix, okP = addChecked(prefix, int64(v))
+			if !okP {
+				return 0, ErrOverflow
+			}
 			var ok bool
 			sumP, ok = addChecked(sumP, prefix)
 			if !ok {
@@ -118,6 +133,8 @@ func sumPrefixes(packed []byte, m int, width uint) (int64, error) {
 // SumBlockRange computes Σ values over rows [from, to) of a TS2DIFF block
 // without materializing decoded values; it scans packed fields once up to
 // `to` and stops (a window aggregation primitive).
+//
+//etsqp:rangecheck
 func SumBlockRange(b *ts2diff.Block, from, to int) (int64, error) {
 	if from < 0 {
 		from = 0
@@ -135,7 +152,6 @@ func SumBlockRange(b *ts2diff.Block, from, to int) (int64, error) {
 		return 0, err
 	}
 	var total int64
-	ok := true
 	switch b.Order {
 	case ts2diff.Order1:
 		cur := b.First
@@ -143,8 +159,13 @@ func SumBlockRange(b *ts2diff.Block, from, to int) (int64, error) {
 			total = cur
 		}
 		for row := 1; row < to; row++ {
-			cur += deltas[row-1]
+			var okC bool
+			cur, okC = addChecked(cur, deltas[row-1])
+			if !okC {
+				return 0, ErrOverflow
+			}
 			if row >= from {
+				var ok bool
 				total, ok = addChecked(total, cur)
 				if !ok {
 					return 0, ErrOverflow
@@ -158,15 +179,24 @@ func SumBlockRange(b *ts2diff.Block, from, to int) (int64, error) {
 			total = cur
 		}
 		for row := 1; row < to; row++ {
-			cur += delta
+			var okC bool
+			cur, okC = addChecked(cur, delta)
+			if !okC {
+				return 0, ErrOverflow
+			}
 			if row >= from {
+				var ok bool
 				total, ok = addChecked(total, cur)
 				if !ok {
 					return 0, ErrOverflow
 				}
 			}
 			if row-1 < len(deltas) {
-				delta += deltas[row-1]
+				var okD bool
+				delta, okD = addChecked(delta, deltas[row-1])
+				if !okD {
+					return 0, ErrOverflow
+				}
 			}
 		}
 	}
@@ -183,6 +213,7 @@ func SumBlockRange(b *ts2diff.Block, from, to int) (int64, error) {
 // the packed fields evaluates the weighted sum.
 //
 //etsqp:hotpath
+//etsqp:rangecheck
 func SumBlockOrder2(b *ts2diff.Block) (int64, error) {
 	if b.Order != ts2diff.Order2 {
 		return 0, ErrOverflow // misuse guard; callers dispatch by order
@@ -198,9 +229,10 @@ func SumBlockOrder2(b *ts2diff.Block) (int64, error) {
 	if n == 1 {
 		return total, nil
 	}
-	ramp, ok1 := mulChecked(b.FirstDelta, n*(n-1)/2)
+	tri, okT := triangleChecked(n)
+	ramp, ok1 := mulChecked(b.FirstDelta, tri)
 	total, ok2 := addChecked(total, ramp)
-	if !ok1 || !ok2 {
+	if !okT || !ok1 || !ok2 {
 		return 0, ErrOverflow
 	}
 	m := b.NumPacked() // n-2 second-order deltas
@@ -236,11 +268,15 @@ func SumBlockOrder2(b *ts2diff.Block) (int64, error) {
 		}
 		for i, d := range chunk[:cnt] {
 			j := int64(e + i)
-			w := (n - 2 - j) * (n - 1 - j) / 2
+			if j < 0 || j >= n {
+				return 0, ErrOverflow // unreachable: j <= m-1 <= n-3
+			}
+			// w = (n-2-j)(n-1-j)/2 is the triangle number T(n-1-j).
+			w, okW := triangleChecked(n - 1 - j)
 			term, ok1 := mulChecked(d, w)
 			var ok2 bool
 			total, ok2 = addChecked(total, term)
-			if !ok1 || !ok2 {
+			if !okW || !ok1 || !ok2 {
 				return 0, ErrOverflow
 			}
 		}

@@ -7,6 +7,14 @@ import (
 	"etsqp/internal/lint/linttest"
 )
 
+func TestRangeCheck(t *testing.T) {
+	linttest.Run(t, "testdata/rangecheck", analyzers.RangeCheck)
+}
+
+func TestBoundsContract(t *testing.T) {
+	linttest.Run(t, "testdata/boundscontract", analyzers.BoundsContract)
+}
+
 func TestGuardedBy(t *testing.T) {
 	linttest.Run(t, "testdata/guardedby", analyzers.GuardedBy)
 }

@@ -1,0 +1,1988 @@
+package analyzers
+
+// Interval dataflow shared by the rangecheck and boundscontract
+// analyzers: an intra-procedural abstract interpretation that tracks, at
+// every program point, a [lo, hi] interval for every integer variable
+// and field path in scope, following lockflow.go's walker shape.
+//
+// The abstraction:
+//
+//   - Intervals are exact mathematical integers (math/big), always
+//     finite: the top element of a variable is its type's value range
+//     (int and uint are assumed 64 bits wide, as every supported
+//     platform of this module has them).
+//   - Arithmetic is evaluated exactly over operand intervals; the raw-op
+//     hook sees the exact result interval *before* it is clamped back to
+//     the type range, which is how rangecheck detects results that can
+//     leave int64.
+//   - Intervals seed from //etsqp:bounds directives on parameters and
+//     struct fields, from constants, and from conversions of narrower
+//     types; comparisons narrow them along branches (if/else, boolean
+//     switch clauses, loop conditions), with && in the true branch and
+//     || in the false branch decomposed.
+//   - Loops run silent join iterations first; entries still changing
+//     after a few rounds are widened to their type range, after which
+//     loop-condition narrowing re-establishes index bounds. Hooks fire
+//     only in the single reporting pass, exactly like lockflow.
+//   - Functions annotated //etsqp:checked are runtime-checked arithmetic
+//     primitives: their (int64, bool) results are clamped to int64 (the
+//     directive argument "add" or "mul" models the exact operation, a
+//     //etsqp:bounds return directive models anything else), and their
+//     bodies are exempt from rangecheck.
+//   - Variable identity is the printed path of the reference ("n",
+//     "b.Count"), so facts about fields survive only until a call or an
+//     assignment could invalidate them; address-taken locals are dropped
+//     at every call.
+//
+// Not modeled: relational facts (i <= j+k), per-element slice intervals,
+// and anything about float64 — the int64 value domain of Section VI-C is
+// the whole scope; plain `int` index math is covered dynamically by the
+// bounds-check-elimination budget of etsqp-vet instead.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"math/big"
+	"strings"
+
+	"etsqp/internal/lint"
+)
+
+// ---- intervals ----
+
+// ival is a closed interval [lo, hi] of mathematical integers. The
+// bounds are never nil and never mutated after construction.
+type ival struct {
+	lo, hi *big.Int
+}
+
+var (
+	bigZero      = big.NewInt(0)
+	bigOne       = big.NewInt(1)
+	bigMinInt64  = new(big.Int).Lsh(big.NewInt(-1), 63)
+	bigMaxInt64  = new(big.Int).Sub(new(big.Int).Lsh(bigOne, 63), bigOne)
+	bigMaxUint64 = new(big.Int).Sub(new(big.Int).Lsh(bigOne, 64), bigOne)
+	int64Range   = &ival{lo: bigMinInt64, hi: bigMaxInt64}
+)
+
+func newIval(lo, hi *big.Int) *ival { return &ival{lo: lo, hi: hi} }
+
+func pointIval(v *big.Int) *ival { return &ival{lo: v, hi: v} }
+
+func (a *ival) String() string { return fmt.Sprintf("[%s, %s]", a.lo, a.hi) }
+
+func (a *ival) subsetOf(b *ival) bool {
+	return a.lo.Cmp(b.lo) >= 0 && a.hi.Cmp(b.hi) <= 0
+}
+
+func (a *ival) contains(v *big.Int) bool {
+	return a.lo.Cmp(v) <= 0 && a.hi.Cmp(v) >= 0
+}
+
+func (a *ival) isPoint() bool { return a.lo.Cmp(a.hi) == 0 }
+
+// joinIval is the union hull.
+func joinIval(a, b *ival) *ival {
+	lo, hi := a.lo, a.hi
+	if b.lo.Cmp(lo) < 0 {
+		lo = b.lo
+	}
+	if b.hi.Cmp(hi) > 0 {
+		hi = b.hi
+	}
+	return newIval(lo, hi)
+}
+
+// meetIval is the intersection; ok is false when it is empty.
+func meetIval(a, b *ival) (*ival, bool) {
+	lo, hi := a.lo, a.hi
+	if b.lo.Cmp(lo) > 0 {
+		lo = b.lo
+	}
+	if b.hi.Cmp(hi) < 0 {
+		hi = b.hi
+	}
+	if lo.Cmp(hi) > 0 {
+		return nil, false
+	}
+	return newIval(lo, hi), true
+}
+
+func equalIval(a, b *ival) bool {
+	return a.lo.Cmp(b.lo) == 0 && a.hi.Cmp(b.hi) == 0
+}
+
+// hullOf returns the min/max hull of a candidate set.
+func hullOf(cands ...*big.Int) *ival {
+	lo, hi := cands[0], cands[0]
+	for _, c := range cands[1:] {
+		if c.Cmp(lo) < 0 {
+			lo = c
+		}
+		if c.Cmp(hi) > 0 {
+			hi = c
+		}
+	}
+	return newIval(lo, hi)
+}
+
+func addIval(a, b *ival) *ival {
+	return newIval(new(big.Int).Add(a.lo, b.lo), new(big.Int).Add(a.hi, b.hi))
+}
+
+func subIval(a, b *ival) *ival {
+	return newIval(new(big.Int).Sub(a.lo, b.hi), new(big.Int).Sub(a.hi, b.lo))
+}
+
+func negIval(a *ival) *ival {
+	return newIval(new(big.Int).Neg(a.hi), new(big.Int).Neg(a.lo))
+}
+
+func mulIval(a, b *ival) *ival {
+	return hullOf(
+		new(big.Int).Mul(a.lo, b.lo), new(big.Int).Mul(a.lo, b.hi),
+		new(big.Int).Mul(a.hi, b.lo), new(big.Int).Mul(a.hi, b.hi),
+	)
+}
+
+// quoIval bounds Go's truncated integer division. Divisor candidates are
+// the endpoints plus ±1 where the interval crosses them (the extremes of
+// the quotient occur at divisors of minimal magnitude). A divisor that
+// can only be zero yields nil (the op panics; no value flows on).
+func quoIval(a, b *ival) *ival {
+	var divs []*big.Int
+	add := func(d *big.Int) {
+		if d.Sign() != 0 && b.contains(d) {
+			divs = append(divs, d)
+		}
+	}
+	add(b.lo)
+	add(b.hi)
+	add(bigOne)
+	add(big.NewInt(-1))
+	if len(divs) == 0 {
+		return nil
+	}
+	var cands []*big.Int
+	for _, d := range divs {
+		cands = append(cands,
+			new(big.Int).Quo(a.lo, d), new(big.Int).Quo(a.hi, d))
+	}
+	return hullOf(cands...)
+}
+
+// remIval bounds Go's truncated remainder: |a % b| < max(|b|) with the
+// sign of a, refined by |a| when a is small.
+func remIval(a, b *ival) *ival {
+	m := new(big.Int).Abs(b.lo)
+	if abs := new(big.Int).Abs(b.hi); abs.Cmp(m) > 0 {
+		m = abs
+	}
+	if m.Sign() == 0 {
+		return nil // only divisor is zero: the op panics
+	}
+	bound := new(big.Int).Sub(m, bigOne)
+	lo, hi := new(big.Int).Neg(bound), bound
+	if a.lo.Sign() >= 0 {
+		lo = bigZero
+		if a.hi.Cmp(hi) < 0 {
+			hi = a.hi
+		}
+	} else if a.hi.Sign() <= 0 {
+		hi = bigZero
+		if neg := new(big.Int).Neg(a.lo); neg.Cmp(bound) < 0 {
+			lo = a.lo
+		}
+	}
+	return newIval(lo, hi)
+}
+
+// maxShift caps modeled shift amounts: beyond it the result interval is
+// astronomically out of every type range anyway, and the cap keeps the
+// big.Int arithmetic small.
+const maxShift = 256
+
+func shlIval(a, b *ival) *ival {
+	smin, smax := shiftRange(b)
+	return hullOf(
+		shiftLeft(a.lo, smin), shiftLeft(a.lo, smax),
+		shiftLeft(a.hi, smin), shiftLeft(a.hi, smax),
+	)
+}
+
+func shrIval(a, b *ival) *ival {
+	smin, smax := shiftRange(b)
+	// big.Int.Rsh on a negative value is floor division by 2^n — exactly
+	// Go's arithmetic right shift.
+	return hullOf(
+		new(big.Int).Rsh(a.lo, smin), new(big.Int).Rsh(a.lo, smax),
+		new(big.Int).Rsh(a.hi, smin), new(big.Int).Rsh(a.hi, smax),
+	)
+}
+
+func shiftRange(b *ival) (uint, uint) {
+	smin, smax := uint(0), uint(maxShift)
+	if b.lo.Sign() > 0 && b.lo.Cmp(big.NewInt(maxShift)) < 0 {
+		smin = uint(b.lo.Int64())
+	}
+	if b.hi.Sign() >= 0 && b.hi.Cmp(big.NewInt(maxShift)) < 0 {
+		smax = uint(b.hi.Int64())
+	}
+	if smax < smin {
+		smax = smin
+	}
+	return smin, smax
+}
+
+func shiftLeft(v *big.Int, n uint) *big.Int {
+	return new(big.Int).Lsh(v, n) // Lsh is sign-preserving: v * 2^n
+}
+
+// bitwiseIval bounds & | ^ &^ for non-negative operands; nil otherwise.
+func bitwiseIval(op token.Token, a, b *ival) *ival {
+	if a.lo.Sign() < 0 || b.lo.Sign() < 0 {
+		return nil
+	}
+	switch op {
+	case token.AND:
+		hi := a.hi
+		if b.hi.Cmp(hi) < 0 {
+			hi = b.hi
+		}
+		return newIval(bigZero, hi)
+	case token.AND_NOT:
+		return newIval(bigZero, a.hi)
+	case token.OR, token.XOR:
+		m := a.hi
+		if b.hi.Cmp(m) > 0 {
+			m = b.hi
+		}
+		bound := new(big.Int).Sub(new(big.Int).Lsh(bigOne, uint(m.BitLen())), bigOne)
+		return newIval(bigZero, bound)
+	}
+	return nil
+}
+
+// typeIval returns the value range of an integer type (nil for anything
+// else). int, uint and uintptr are assumed 64 bits wide.
+func typeIval(t types.Type) *ival {
+	if t == nil {
+		return nil
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return nil
+	}
+	switch basic.Kind() {
+	case types.Int, types.Int64:
+		return int64Range
+	case types.Int8:
+		return newIval(big.NewInt(-128), big.NewInt(127))
+	case types.Int16:
+		return newIval(big.NewInt(-32768), big.NewInt(32767))
+	case types.Int32:
+		return newIval(big.NewInt(-1<<31), big.NewInt(1<<31-1))
+	case types.Uint, types.Uint64, types.Uintptr:
+		return newIval(bigZero, bigMaxUint64)
+	case types.Uint8:
+		return newIval(bigZero, big.NewInt(255))
+	case types.Uint16:
+		return newIval(bigZero, big.NewInt(65535))
+	case types.Uint32:
+		return newIval(bigZero, big.NewInt(1<<32-1))
+	case types.UntypedInt:
+		return int64Range
+	}
+	return nil
+}
+
+// isInt64Type reports whether the expression type is the int64 value
+// domain rangecheck polices (underlying int64, excluding plain int —
+// index math is the province of the BCE budget, not Section VI-C).
+func isInt64Type(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Int64
+}
+
+// ---- //etsqp:bounds directives ----
+
+// boundDecl is one parsed //etsqp:bounds directive.
+type boundDecl struct {
+	name string // parameter name, "return", or "" for fields
+	iv   *ival
+	pos  token.Pos
+	raw  string
+	err  string // non-empty when the directive is malformed
+}
+
+// funcBounds aggregates a function's bounds directives.
+type funcBounds struct {
+	params map[string]*boundDecl
+	ret    *boundDecl
+	bad    []*boundDecl
+}
+
+// boundsIndex is the module-wide directive table both analyzers share.
+type boundsIndex struct {
+	funcs   map[string]*funcBounds       // by FuncInfo.Key
+	fields  map[lint.FieldKey]*boundDecl // by annotated field
+	checked map[string]string            // //etsqp:checked funcs: key -> arg ("", "add", "mul")
+}
+
+// buildBoundsIndex parses every //etsqp:bounds and //etsqp:checked
+// directive in the module. Multiple bounds lines per doc comment are
+// supported (the generic annotation map keeps only the last, so the doc
+// comments are rescanned here).
+func buildBoundsIndex(m *lint.Module) *boundsIndex {
+	idx := &boundsIndex{
+		funcs:   map[string]*funcBounds{},
+		fields:  map[lint.FieldKey]*boundDecl{},
+		checked: map[string]string{},
+	}
+	for _, fi := range sortedFuncs(m) {
+		if fi.Annotated("checked") {
+			idx.checked[fi.Key] = strings.TrimSpace(fi.AnnotationArg("checked"))
+		}
+		if fi.Decl.Doc == nil {
+			continue
+		}
+		var fb *funcBounds
+		for _, c := range fi.Decl.Doc.List {
+			arg, ok := cutBoundsLine(c.Text)
+			if !ok {
+				continue
+			}
+			if fb == nil {
+				fb = &funcBounds{params: map[string]*boundDecl{}}
+			}
+			d := parseBoundDecl(arg, c.Pos(), true, constResolver(fi.Pkg, fb))
+			switch {
+			case d.err != "":
+				fb.bad = append(fb.bad, d)
+			case d.name == "return":
+				fb.ret = d
+			default:
+				fb.params[d.name] = d
+			}
+		}
+		if fb != nil {
+			idx.funcs[fi.Key] = fb
+		}
+	}
+	// Field directives resolve package constants and sibling fields'
+	// declared bounds (for symbolic forms like [0, 1<<Width)); two passes
+	// so declaration order does not matter.
+	for pass := 0; pass < 2; pass++ {
+		for _, key := range sortedFieldKeys(m) {
+			dir := m.Fields[key]
+			if dir.Bounds == "" {
+				continue
+			}
+			if d, done := idx.fields[key]; done && d.err == "" {
+				continue
+			}
+			pkg := pkgByPath(m, key.PkgPath)
+			if pkg == nil {
+				continue
+			}
+			resolve := func(name string) *ival {
+				sib := lint.FieldKey{PkgPath: key.PkgPath, Type: key.Type, Field: name}
+				if d, ok := idx.fields[sib]; ok && d.err == "" {
+					return d.iv
+				}
+				return lookupConst(pkg, name)
+			}
+			idx.fields[key] = parseBoundDecl(dir.Bounds, dir.Pos, false, resolve)
+		}
+	}
+	return idx
+}
+
+func pkgByPath(m *lint.Module, path string) *lint.Package {
+	for _, pkg := range m.Pkgs {
+		if pkg.Path == path {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// cutBoundsLine extracts the argument of a //etsqp:bounds comment line.
+func cutBoundsLine(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, "//etsqp:bounds")
+	if !ok {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// constResolver resolves bound-expression identifiers against the
+// declaring package's constants and the function's sibling parameter
+// bounds parsed so far.
+func constResolver(pkg *lint.Package, fb *funcBounds) func(string) *ival {
+	return func(name string) *ival {
+		if fb != nil {
+			if d, ok := fb.params[name]; ok {
+				return d.iv
+			}
+		}
+		return lookupConst(pkg, name)
+	}
+}
+
+// lookupConst resolves a (possibly pkg-qualified) integer constant to a
+// point interval.
+func lookupConst(pkg *lint.Package, name string) *ival {
+	scope := pkg.Types.Scope()
+	if dot := strings.IndexByte(name, '.'); dot >= 0 {
+		qual, rest := name[:dot], name[dot+1:]
+		scope = nil
+		for _, imp := range pkg.Types.Imports() {
+			if imp.Name() == qual {
+				scope = imp.Scope()
+				break
+			}
+		}
+		if scope == nil {
+			return nil
+		}
+		name = rest
+	}
+	c, ok := scope.Lookup(name).(*types.Const)
+	if !ok {
+		return nil
+	}
+	return constIval(c.Val())
+}
+
+func constIval(v constant.Value) *ival {
+	if v == nil || v.Kind() != constant.Int {
+		return nil
+	}
+	switch val := constant.Val(v).(type) {
+	case int64:
+		return pointIval(big.NewInt(val))
+	case *big.Int:
+		return pointIval(new(big.Int).Set(val))
+	}
+	return nil
+}
+
+// parseBoundDecl parses "name [lo, hi]" (named true) or "[lo, hi]"
+// (struct fields). A ')' closer makes hi exclusive. The bound
+// expressions are Go constant expressions over integer literals, + - *
+// / % << >> and identifiers the resolver can supply an interval for.
+func parseBoundDecl(arg string, pos token.Pos, named bool, resolve func(string) *ival) *boundDecl {
+	d := &boundDecl{pos: pos, raw: arg}
+	spec := strings.TrimSpace(arg)
+	if named && !strings.HasPrefix(spec, "[") {
+		i := strings.IndexAny(spec, " \t")
+		if i < 0 {
+			d.err = "want <name> [lo, hi]"
+			return d
+		}
+		d.name, spec = spec[:i], strings.TrimSpace(spec[i+1:])
+	}
+	if named && d.name == "" {
+		d.err = "want <name> [lo, hi]"
+		return d
+	}
+	exclusive := false
+	switch {
+	case strings.HasPrefix(spec, "[") && strings.HasSuffix(spec, "]"):
+	case strings.HasPrefix(spec, "[") && strings.HasSuffix(spec, ")"):
+		exclusive = true
+	default:
+		d.err = fmt.Sprintf("malformed interval %q: want [lo, hi] or [lo, hi)", spec)
+		return d
+	}
+	inner := spec[1 : len(spec)-1]
+	parts := strings.SplitN(inner, ",", 2)
+	if len(parts) != 2 {
+		d.err = fmt.Sprintf("malformed interval %q: want two comma-separated bounds", spec)
+		return d
+	}
+	lo := evalBoundExpr(parts[0], resolve)
+	hi := evalBoundExpr(parts[1], resolve)
+	if lo == nil || hi == nil {
+		d.err = fmt.Sprintf("cannot evaluate interval %q: bounds must be integer constant expressions", spec)
+		return d
+	}
+	hiV := hi.hi
+	if exclusive {
+		hiV = new(big.Int).Sub(hiV, bigOne)
+	}
+	if lo.lo.Cmp(hiV) > 0 {
+		d.err = fmt.Sprintf("empty interval %q", spec)
+		return d
+	}
+	d.iv = newIval(lo.lo, hiV)
+	return d
+}
+
+// evalBoundExpr evaluates one bound expression to an interval (a point
+// for fully constant expressions; a hull when it references bounded
+// siblings). nil means unresolvable.
+func evalBoundExpr(src string, resolve func(string) *ival) *ival {
+	e, err := parser.ParseExpr(strings.TrimSpace(src))
+	if err != nil {
+		return nil
+	}
+	var eval func(e ast.Expr) *ival
+	eval = func(e ast.Expr) *ival {
+		switch e := e.(type) {
+		case *ast.BasicLit:
+			if e.Kind != token.INT {
+				return nil
+			}
+			v, ok := new(big.Int).SetString(e.Value, 0)
+			if !ok {
+				return nil
+			}
+			return pointIval(v)
+		case *ast.Ident:
+			return resolve(e.Name)
+		case *ast.SelectorExpr:
+			if base, ok := e.X.(*ast.Ident); ok {
+				return resolve(base.Name + "." + e.Sel.Name)
+			}
+			return nil
+		case *ast.ParenExpr:
+			return eval(e.X)
+		case *ast.UnaryExpr:
+			x := eval(e.X)
+			if x == nil {
+				return nil
+			}
+			switch e.Op {
+			case token.SUB:
+				return negIval(x)
+			case token.ADD:
+				return x
+			}
+			return nil
+		case *ast.BinaryExpr:
+			x, y := eval(e.X), eval(e.Y)
+			if x == nil || y == nil {
+				return nil
+			}
+			switch e.Op {
+			case token.ADD:
+				return addIval(x, y)
+			case token.SUB:
+				return subIval(x, y)
+			case token.MUL:
+				return mulIval(x, y)
+			case token.QUO:
+				return quoIval(x, y)
+			case token.REM:
+				return remIval(x, y)
+			case token.SHL:
+				return shlIval(x, y)
+			case token.SHR:
+				return shrIval(x, y)
+			}
+			return nil
+		}
+		return nil
+	}
+	return eval(e)
+}
+
+// ---- the dataflow walker ----
+
+// rangeEnv maps reference paths ("n", "b.Count") to their intervals.
+type rangeEnv map[string]*rangeFact
+
+type rangeFact struct {
+	iv *ival
+	t  types.Type
+}
+
+func cloneEnv(env rangeEnv) rangeEnv {
+	out := make(rangeEnv, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// joinEnv keeps paths present in both, with the interval hull.
+func joinEnv(a, b rangeEnv) rangeEnv {
+	out := rangeEnv{}
+	for k, av := range a {
+		if bv, ok := b[k]; ok {
+			out[k] = &rangeFact{iv: joinIval(av.iv, bv.iv), t: av.t}
+		}
+	}
+	return out
+}
+
+func equalEnv(a, b rangeEnv) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || !equalIval(av.iv, bv.iv) {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeHooks are the dataflow events an analyzer observes; they fire
+// only during reporting passes.
+type rangeHooks struct {
+	// rawOp fires for every raw (unchecked) binary arithmetic op and
+	// op-assignment, with the exact (pre-clamp) result interval.
+	rawOp func(pos token.Pos, op token.Token, desc string, exact *ival, t types.Type)
+	// call fires for every ordinary call, with an evaluator for the
+	// interval of argument i at the call point.
+	call func(call *ast.CallExpr, argIval func(i int) *ival)
+	// ret fires at every return with the interval of each integer result
+	// (nil entries for non-integer results).
+	ret func(rs *ast.ReturnStmt, results []*ival)
+	// blankOK fires when the ok result of a //etsqp:checked helper is
+	// assigned to the blank identifier.
+	blankOK func(pos token.Pos, callee string)
+}
+
+type rangeFlow struct {
+	pkg        *lint.Package
+	m          *lint.Module
+	bounds     *boundsIndex
+	hooks      rangeHooks
+	silent     bool
+	env        rangeEnv
+	terminated bool
+	ctxs       []*rangeCtx
+	label      string
+	addrTaken  map[string]bool
+
+	queue  []*ast.FuncLit
+	queued map[*ast.FuncLit]bool
+}
+
+type rangeCtx struct {
+	label     string
+	isLoop    bool
+	breaks    []rangeEnv
+	continues []rangeEnv
+}
+
+// walkRangeFunc interprets one function body. The seed environment maps
+// parameter names to their declared (or type) intervals. Escaped
+// function literals are scanned afterwards with an empty environment.
+func walkRangeFunc(m *lint.Module, fi *lint.FuncInfo, bounds *boundsIndex, hooks rangeHooks) {
+	if fi.Decl.Body == nil {
+		return
+	}
+	f := &rangeFlow{
+		pkg:       fi.Pkg,
+		m:         m,
+		bounds:    bounds,
+		hooks:     hooks,
+		queued:    map[*ast.FuncLit]bool{},
+		addrTaken: map[string]bool{},
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if id, ok := ast.Unparen(u.X).(*ast.Ident); ok {
+				f.addrTaken[id.Name] = true
+			}
+		}
+		return true
+	})
+	f.env = seedEnv(fi, bounds)
+	f.stmt(fi.Decl.Body)
+	for i := 0; i < len(f.queue); i++ {
+		lit := f.queue[i]
+		f.env, f.terminated, f.ctxs, f.label = rangeEnv{}, false, nil, ""
+		seedLitParams(f, lit)
+		f.stmt(lit.Body)
+	}
+}
+
+// seedEnv builds a function's entry environment: every integer
+// parameter at its declared //etsqp:bounds interval (meet the type
+// range) or at the type range.
+func seedEnv(fi *lint.FuncInfo, bounds *boundsIndex) rangeEnv {
+	env := rangeEnv{}
+	fb := bounds.funcs[fi.Key]
+	if fi.Decl.Type.Params == nil {
+		return env
+	}
+	for _, field := range fi.Decl.Type.Params.List {
+		for _, id := range field.Names {
+			t := fi.Pkg.Info.TypeOf(field.Type)
+			tr := typeIval(t)
+			if tr == nil {
+				continue
+			}
+			iv := tr
+			if fb != nil {
+				if d, ok := fb.params[id.Name]; ok && d.err == "" {
+					if met, ok := meetIval(d.iv, tr); ok {
+						iv = met
+					}
+				}
+			}
+			env[id.Name] = &rangeFact{iv: iv, t: t}
+		}
+	}
+	return env
+}
+
+func seedLitParams(f *rangeFlow, lit *ast.FuncLit) {
+	if lit.Type.Params == nil {
+		return
+	}
+	for _, field := range lit.Type.Params.List {
+		for _, id := range field.Names {
+			t := f.pkg.Info.TypeOf(field.Type)
+			if tr := typeIval(t); tr != nil {
+				f.env[id.Name] = &rangeFact{iv: tr, t: t}
+			}
+		}
+	}
+}
+
+func (f *rangeFlow) enqueue(lit *ast.FuncLit) {
+	if f.silent || f.queued[lit] {
+		return
+	}
+	f.queued[lit] = true
+	f.queue = append(f.queue, lit)
+}
+
+// pathOf returns the environment key of a variable or field reference,
+// or "" when the expression is not a trackable path.
+func (f *rangeFlow) pathOf(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return ""
+		}
+		if _, ok := f.pkg.Info.ObjectOf(e).(*types.Var); ok {
+			return e.Name
+		}
+	case *ast.SelectorExpr:
+		if _, ok := f.pkg.Info.ObjectOf(e.Sel).(*types.Var); !ok {
+			return ""
+		}
+		base := f.pathOf(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// set records a fact for a path, dropping facts about its sub-paths.
+func (f *rangeFlow) set(path string, iv *ival, t types.Type) {
+	f.killPrefix(path)
+	f.env[path] = &rangeFact{iv: iv, t: t}
+}
+
+func (f *rangeFlow) killPrefix(path string) {
+	delete(f.env, path)
+	pfx := path + "."
+	for k := range f.env {
+		if strings.HasPrefix(k, pfx) {
+			delete(f.env, k)
+		}
+	}
+}
+
+// killOnCall drops facts a call could invalidate: every field path and
+// every address-taken local.
+func (f *rangeFlow) killOnCall() {
+	for k := range f.env {
+		if strings.ContainsRune(k, '.') || f.addrTaken[k] {
+			delete(f.env, k)
+		}
+	}
+}
+
+// ---- statements ----
+
+func (f *rangeFlow) stmt(s ast.Stmt) {
+	if f.terminated || s == nil {
+		return
+	}
+	lbl := f.label
+	f.label = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			f.stmt(st)
+		}
+	case *ast.ExprStmt:
+		f.eval(s.X)
+	case *ast.AssignStmt:
+		f.assign(s)
+	case *ast.IncDecStmt:
+		iv := f.eval(s.X)
+		if path := f.pathOf(s.X); path != "" && iv != nil {
+			one := pointIval(bigOne)
+			var exact *ival
+			if s.Tok == token.INC {
+				exact = addIval(iv, one)
+			} else {
+				exact = subIval(iv, one)
+			}
+			t := f.pkg.Info.TypeOf(s.X)
+			f.reportRaw(s.Pos(), token.ADD, types.ExprString(s.X)+s.Tok.String(), exact, t)
+			f.set(path, clampToType(exact, t), t)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					t := f.pkg.Info.TypeOf(id)
+					var iv *ival
+					if i < len(vs.Values) {
+						iv = f.eval(vs.Values[i])
+					} else {
+						// var x int64 — zero value.
+						if typeIval(t) != nil {
+							iv = pointIval(bigZero)
+						}
+					}
+					if iv != nil && id.Name != "_" {
+						f.set(id.Name, iv, t)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		f.eval(s.Chan)
+		f.eval(s.Value)
+	case *ast.ReturnStmt:
+		var results []*ival
+		for _, r := range s.Results {
+			results = append(results, f.eval(r))
+		}
+		if !f.silent && f.hooks.ret != nil {
+			f.hooks.ret(s, results)
+		}
+		f.terminated = true
+	case *ast.DeferStmt:
+		f.callLike(s.Call)
+	case *ast.GoStmt:
+		f.callLike(s.Call)
+	case *ast.IfStmt:
+		f.ifStmt(s)
+	case *ast.ForStmt:
+		f.forStmt(s, lbl)
+	case *ast.RangeStmt:
+		f.rangeStmt(s, lbl)
+	case *ast.SwitchStmt:
+		f.switchStmt(s, lbl)
+	case *ast.TypeSwitchStmt:
+		f.typeSwitchStmt(s, lbl)
+	case *ast.SelectStmt:
+		f.selectStmt(s, lbl)
+	case *ast.BranchStmt:
+		f.branchStmt(s)
+	case *ast.LabeledStmt:
+		f.label = s.Label.Name
+		f.stmt(s.Stmt)
+	case *ast.EmptyStmt:
+	}
+}
+
+// callLike evaluates a go/defer call's operands; literals escape.
+func (f *rangeFlow) callLike(c *ast.CallExpr) {
+	if lit, ok := ast.Unparen(c.Fun).(*ast.FuncLit); ok {
+		for _, a := range c.Args {
+			f.eval(a)
+		}
+		f.enqueue(lit)
+		f.killOnCall()
+		return
+	}
+	f.eval(c)
+}
+
+// assign interprets every assignment form, including op-assignments
+// (desugared to the raw binary op) and checked-helper multi-assigns.
+func (f *rangeFlow) assign(s *ast.AssignStmt) {
+	// x op= y  →  x = x op y with the raw-op check.
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		op := assignOp(s.Tok)
+		lhs := s.Lhs[0]
+		liv, riv := f.eval(lhs), f.eval(s.Rhs[0])
+		t := f.pkg.Info.TypeOf(lhs)
+		if liv != nil && riv != nil {
+			exact := f.binIval(op, liv, riv, t)
+			desc := types.ExprString(lhs) + " " + s.Tok.String() + " " + types.ExprString(s.Rhs[0])
+			f.reportRaw(s.Pos(), op, desc, exact, t)
+			if path := f.pathOf(lhs); path != "" {
+				f.set(path, clampToType(exact, t), t)
+				return
+			}
+		}
+		f.invalidateTarget(lhs)
+		return
+	}
+	// x, ok := checkedHelper(a, b)
+	if len(s.Rhs) == 1 && len(s.Lhs) == 2 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if iv, isChecked := f.checkedCall(call); isChecked {
+				if id, ok := ast.Unparen(s.Lhs[1]).(*ast.Ident); ok && id.Name == "_" && !f.silent && f.hooks.blankOK != nil {
+					callee := lint.CalleeFunc(f.pkg.Info, call)
+					f.hooks.blankOK(s.Pos(), callee.Name())
+				}
+				f.assignTo(s.Lhs[0], iv)
+				f.invalidateTarget(s.Lhs[1])
+				return
+			}
+		}
+	}
+	if len(s.Rhs) == len(s.Lhs) {
+		ivs := make([]*ival, len(s.Rhs))
+		for i, r := range s.Rhs {
+			ivs[i] = f.eval(r)
+		}
+		for i, l := range s.Lhs {
+			f.assignTo(l, ivs[i])
+		}
+		return
+	}
+	// Multi-value from one call/map/assert: evaluate and drop to tops.
+	for _, r := range s.Rhs {
+		f.eval(r)
+	}
+	for _, l := range s.Lhs {
+		f.invalidateTarget(l)
+	}
+}
+
+func assignOp(tok token.Token) token.Token {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	case token.AND_ASSIGN:
+		return token.AND
+	case token.OR_ASSIGN:
+		return token.OR
+	case token.XOR_ASSIGN:
+		return token.XOR
+	case token.AND_NOT_ASSIGN:
+		return token.AND_NOT
+	}
+	return token.ILLEGAL
+}
+
+func (f *rangeFlow) assignTo(l ast.Expr, iv *ival) {
+	path := f.pathOf(l)
+	t := f.pkg.Info.TypeOf(l)
+	if path != "" && iv != nil && typeIval(t) != nil {
+		f.set(path, clampToType(iv, t), t)
+		return
+	}
+	f.invalidateTarget(l)
+}
+
+// invalidateTarget drops facts an untracked assignment could change.
+func (f *rangeFlow) invalidateTarget(l ast.Expr) {
+	switch l := ast.Unparen(l).(type) {
+	case *ast.Ident:
+		if l.Name != "_" {
+			f.killPrefix(l.Name)
+		}
+	case *ast.SelectorExpr:
+		if path := f.pathOf(l); path != "" {
+			f.killPrefix(path)
+			return
+		}
+		f.eval(l.X)
+	case *ast.IndexExpr:
+		f.eval(l.X)
+		f.eval(l.Index)
+	case *ast.StarExpr:
+		f.eval(l.X)
+	}
+}
+
+func (f *rangeFlow) ifStmt(s *ast.IfStmt) {
+	f.stmt(s.Init)
+	f.eval(s.Cond)
+	entry := cloneEnv(f.env)
+
+	f.env = cloneEnv(entry)
+	thenDead := !f.narrow(s.Cond, true)
+	if thenDead {
+		f.runDead(s.Body)
+	} else {
+		f.stmt(s.Body)
+	}
+	thenEnv, thenTerm := f.env, f.terminated || thenDead
+	f.terminated = false
+
+	f.env = cloneEnv(entry)
+	elseDead := !f.narrow(s.Cond, false)
+	if s.Else != nil {
+		if elseDead {
+			f.runDead(s.Else)
+		} else {
+			f.stmt(s.Else)
+		}
+	}
+	elseEnv, elseTerm := f.env, f.terminated || elseDead
+	f.terminated = false
+
+	switch {
+	case thenTerm && elseTerm:
+		f.terminated = true
+	case thenTerm:
+		f.env = elseEnv
+	case elseTerm:
+		f.env = thenEnv
+	default:
+		f.env = joinEnv(thenEnv, elseEnv)
+	}
+}
+
+// runDead walks a statically unreachable branch silently (no hooks): a
+// contradiction-guarded body must not produce findings.
+func (f *rangeFlow) runDead(s ast.Stmt) {
+	saved := f.silent
+	f.silent = true
+	f.stmt(s)
+	f.silent = saved
+}
+
+func (f *rangeFlow) forStmt(s *ast.ForStmt, lbl string) {
+	f.stmt(s.Init)
+	entry := cloneEnv(f.env)
+	iter := func() {
+		f.eval(s.Cond)
+		if s.Cond != nil && !f.narrow(s.Cond, true) {
+			f.terminated = true // loop body unreachable
+			return
+		}
+		f.stmt(s.Body)
+		f.stmt(s.Post)
+	}
+	stable := f.loopFixpoint(entry, iter)
+	ctx := f.loopReportPass(stable, lbl, iter)
+	f.afterLoop(s.Cond, stable, ctx)
+}
+
+func (f *rangeFlow) rangeStmt(s *ast.RangeStmt, lbl string) {
+	f.eval(s.X)
+	entry := cloneEnv(f.env)
+	body := func() {
+		f.seedRangeVars(s)
+		f.stmt(s.Body)
+	}
+	stable := f.loopFixpoint(entry, body)
+	ctx := f.loopReportPass(stable, lbl, body)
+	f.afterLoop(nil, stable, ctx)
+	// The range may be empty: the post env must include the entry.
+	if !f.terminated {
+		f.env = joinEnv(f.env, stable)
+	} else {
+		f.env, f.terminated = stable, false
+	}
+}
+
+// seedRangeVars assigns the loop variables' intervals: slice/array/
+// string keys are non-negative ints; `range n` keys are [0, n-1];
+// element values get their type range.
+func (f *rangeFlow) seedRangeVars(s *ast.RangeStmt) {
+	xt := f.pkg.Info.TypeOf(s.X)
+	if s.Key != nil {
+		kt := f.pkg.Info.TypeOf(s.Key)
+		if tr := typeIval(kt); tr != nil {
+			iv := tr
+			switch xt.Underlying().(type) {
+			case *types.Slice, *types.Array, *types.Basic:
+				if basic, ok := xt.Underlying().(*types.Basic); ok && basic.Info()&types.IsInteger != 0 {
+					// for i := range n
+					if n := f.silentEval(s.X); n != nil && n.hi.Sign() > 0 {
+						iv, _ = meetIval(newIval(bigZero, new(big.Int).Sub(n.hi, bigOne)), tr)
+					} else {
+						iv, _ = meetIval(newIval(bigZero, bigMaxInt64), tr)
+					}
+				} else {
+					iv, _ = meetIval(newIval(bigZero, bigMaxInt64), tr)
+				}
+			}
+			if iv == nil {
+				iv = tr
+			}
+			f.assignIdent(s.Key, iv, kt)
+		} else {
+			f.invalidateTarget(s.Key)
+		}
+	}
+	if s.Value != nil {
+		vt := f.pkg.Info.TypeOf(s.Value)
+		if tr := typeIval(vt); tr != nil {
+			f.assignIdent(s.Value, tr, vt)
+		} else {
+			f.invalidateTarget(s.Value)
+		}
+	}
+}
+
+// silentEval evaluates without firing hooks, for re-evaluations of
+// expressions the walker has already visited.
+func (f *rangeFlow) silentEval(e ast.Expr) *ival {
+	saved := f.silent
+	f.silent = true
+	iv := f.eval(e)
+	f.silent = saved
+	return iv
+}
+
+func (f *rangeFlow) assignIdent(e ast.Expr, iv *ival, t types.Type) {
+	if path := f.pathOf(e); path != "" {
+		f.set(path, iv, t)
+		return
+	}
+	f.invalidateTarget(e)
+}
+
+// loopFixpoint runs silent join iterations to a stable loop-entry env;
+// entries still unstable after a few rounds widen to their type range.
+func (f *rangeFlow) loopFixpoint(entry rangeEnv, iter func()) rangeEnv {
+	cur := entry
+	savedSilent := f.silent
+	f.silent = true
+	for i := 0; i < 6; i++ {
+		ctx := &rangeCtx{isLoop: true, label: f.label}
+		f.ctxs = append(f.ctxs, ctx)
+		f.env = cloneEnv(cur)
+		f.terminated = false
+		iter()
+		edges := ctx.continues
+		if !f.terminated {
+			edges = append(edges, f.env)
+		}
+		f.ctxs = f.ctxs[:len(f.ctxs)-1]
+		next := cur
+		for _, e := range edges {
+			next = joinBackEdge(next, e)
+		}
+		if equalEnv(next, cur) {
+			break
+		}
+		if i >= 3 {
+			next = widenEnv(cur, next)
+		}
+		cur = next
+	}
+	f.silent = savedSilent
+	f.terminated = false
+	return cur
+}
+
+// joinBackEdge joins a back-edge env into the entry env: entries the
+// back edge lacks are dropped, shared entries take the hull.
+func joinBackEdge(entry, edge rangeEnv) rangeEnv {
+	return joinEnv(entry, edge)
+}
+
+// widenEnv jumps still-growing bounds straight to the type range so the
+// fixpoint terminates; loop-condition narrowing recovers index bounds
+// on the next pass.
+func widenEnv(prev, next rangeEnv) rangeEnv {
+	out := rangeEnv{}
+	for k, nv := range next {
+		pv, ok := prev[k]
+		if !ok || equalIval(pv.iv, nv.iv) {
+			out[k] = nv
+			continue
+		}
+		tr := typeIval(nv.t)
+		if tr == nil {
+			tr = int64Range
+		}
+		lo, hi := nv.iv.lo, nv.iv.hi
+		if nv.iv.lo.Cmp(pv.iv.lo) < 0 {
+			lo = tr.lo
+		}
+		if nv.iv.hi.Cmp(pv.iv.hi) > 0 {
+			hi = tr.hi
+		}
+		out[k] = &rangeFact{iv: newIval(lo, hi), t: nv.t}
+	}
+	return out
+}
+
+func (f *rangeFlow) loopReportPass(stable rangeEnv, lbl string, iter func()) *rangeCtx {
+	ctx := &rangeCtx{isLoop: true, label: lbl}
+	f.ctxs = append(f.ctxs, ctx)
+	f.env = cloneEnv(stable)
+	f.terminated = false
+	iter()
+	f.ctxs = f.ctxs[:len(f.ctxs)-1]
+	f.terminated = false
+	return ctx
+}
+
+// afterLoop computes the post-loop env: the condition-false exit (when
+// there is a condition) joined with every break.
+func (f *rangeFlow) afterLoop(cond ast.Expr, stable rangeEnv, ctx *rangeCtx) {
+	var exits []rangeEnv
+	if cond != nil {
+		f.env = cloneEnv(stable)
+		f.narrow(cond, false)
+		exits = append(exits, f.env)
+	} else if len(ctx.breaks) == 0 {
+		// for {} or range with no breaks: range loops handle the empty
+		// case in rangeStmt; a plain for {} only exits via return.
+		f.terminated = true
+		return
+	}
+	exits = append(exits, ctx.breaks...)
+	out := exits[0]
+	for _, e := range exits[1:] {
+		out = joinEnv(out, e)
+	}
+	f.env = out
+	f.terminated = false
+}
+
+// switchStmt interprets a (possibly expressionless) switch with
+// narrowing: in a bool switch each clause narrows by its condition and
+// the negation of every earlier clause; in a tag switch over a tracked
+// integer a single-value clause pins the tag.
+func (f *rangeFlow) switchStmt(s *ast.SwitchStmt, lbl string) {
+	f.stmt(s.Init)
+	f.eval(s.Tag)
+	entry := cloneEnv(f.env)
+	tagPath := ""
+	var tagType types.Type
+	if s.Tag != nil {
+		tagPath = f.pathOf(s.Tag)
+		tagType = f.pkg.Info.TypeOf(s.Tag)
+	}
+	ctx := &rangeCtx{label: lbl}
+	f.ctxs = append(f.ctxs, ctx)
+	var exits []rangeEnv
+	hasDefault := false
+	fallen := cloneEnv(entry) // entry narrowed by prior clauses being false
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		f.env = cloneEnv(fallen)
+		f.terminated = false
+		dead := false
+		if s.Tag == nil && len(cc.List) == 1 {
+			// switch { case cond: } — narrow by the condition.
+			f.eval(cc.List[0])
+			dead = !f.narrow(cc.List[0], true)
+		} else {
+			for _, e := range cc.List {
+				f.eval(e)
+			}
+			if tagPath != "" && len(cc.List) == 1 {
+				if v := f.eval(cc.List[0]); v != nil {
+					if cur, ok := f.env[tagPath]; ok {
+						if met, nonEmpty := meetIval(cur.iv, v); nonEmpty {
+							f.set(tagPath, met, tagType)
+						} else {
+							dead = true
+						}
+					}
+				}
+			}
+		}
+		if dead {
+			for _, st := range cc.Body {
+				f.runDead(st)
+			}
+			f.terminated = true
+		} else {
+			for _, st := range cc.Body {
+				f.stmt(st)
+			}
+		}
+		if !f.terminated {
+			exits = append(exits, f.env)
+		}
+		// Later clauses see this one's condition as false.
+		if s.Tag == nil && len(cc.List) == 1 {
+			f.env = fallen
+			f.terminated = false
+			f.narrow(cc.List[0], false)
+			fallen = f.env
+		}
+	}
+	f.ctxs = f.ctxs[:len(f.ctxs)-1]
+	f.terminated = false
+	exits = append(exits, ctx.breaks...)
+	if !hasDefault {
+		exits = append(exits, fallen)
+	}
+	f.mergeExits(exits)
+}
+
+func (f *rangeFlow) typeSwitchStmt(s *ast.TypeSwitchStmt, lbl string) {
+	f.stmt(s.Init)
+	f.stmt(s.Assign)
+	entry := cloneEnv(f.env)
+	ctx := &rangeCtx{label: lbl}
+	f.ctxs = append(f.ctxs, ctx)
+	var exits []rangeEnv
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		f.env = cloneEnv(entry)
+		f.terminated = false
+		for _, st := range cc.Body {
+			f.stmt(st)
+		}
+		if !f.terminated {
+			exits = append(exits, f.env)
+		}
+	}
+	f.ctxs = f.ctxs[:len(f.ctxs)-1]
+	f.terminated = false
+	exits = append(exits, ctx.breaks...)
+	if !hasDefault {
+		exits = append(exits, entry)
+	}
+	f.mergeExits(exits)
+}
+
+func (f *rangeFlow) selectStmt(s *ast.SelectStmt, lbl string) {
+	entry := cloneEnv(f.env)
+	ctx := &rangeCtx{label: lbl}
+	f.ctxs = append(f.ctxs, ctx)
+	var exits []rangeEnv
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		f.env = cloneEnv(entry)
+		f.terminated = false
+		f.stmt(cc.Comm)
+		for _, st := range cc.Body {
+			f.stmt(st)
+		}
+		if !f.terminated {
+			exits = append(exits, f.env)
+		}
+	}
+	f.ctxs = f.ctxs[:len(f.ctxs)-1]
+	f.terminated = false
+	exits = append(exits, ctx.breaks...)
+	f.mergeExits(exits)
+}
+
+func (f *rangeFlow) mergeExits(exits []rangeEnv) {
+	if len(exits) == 0 {
+		f.terminated = true
+		return
+	}
+	out := exits[0]
+	for _, e := range exits[1:] {
+		out = joinEnv(out, e)
+	}
+	f.env = out
+}
+
+func (f *rangeFlow) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(f.ctxs) - 1; i >= 0; i-- {
+			c := f.ctxs[i]
+			if label == "" || c.label == label {
+				c.breaks = append(c.breaks, cloneEnv(f.env))
+				break
+			}
+		}
+		f.terminated = true
+	case token.CONTINUE:
+		for i := len(f.ctxs) - 1; i >= 0; i-- {
+			c := f.ctxs[i]
+			if c.isLoop && (label == "" || c.label == label) {
+				c.continues = append(c.continues, cloneEnv(f.env))
+				break
+			}
+		}
+		f.terminated = true
+	case token.GOTO:
+		f.terminated = true
+	case token.FALLTHROUGH:
+		// The next clause re-enters from the switch entry, a superset of
+		// the facts here — sound, merely imprecise.
+	}
+}
+
+// ---- narrowing ----
+
+// narrow refines the environment assuming cond evaluates to sense.
+// It returns false when the assumption is contradictory (dead branch).
+// Narrowing re-evaluates subexpressions the walker has already hooked,
+// so it always runs silent.
+func (f *rangeFlow) narrow(cond ast.Expr, sense bool) bool {
+	saved := f.silent
+	f.silent = true
+	ok := f.narrow0(cond, sense)
+	f.silent = saved
+	return ok
+}
+
+func (f *rangeFlow) narrow0(cond ast.Expr, sense bool) bool {
+	if cond == nil {
+		return true
+	}
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return f.narrow0(c.X, !sense)
+		}
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			if sense {
+				return f.narrow0(c.X, true) && f.narrow0(c.Y, true)
+			}
+			return true // !(a && b): no single fact
+		case token.LOR:
+			if !sense {
+				return f.narrow0(c.X, false) && f.narrow0(c.Y, false)
+			}
+			return true
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			return f.narrowCmp(c, sense)
+		}
+	}
+	return true
+}
+
+// narrowCmp applies one comparison to both sides' paths.
+func (f *rangeFlow) narrowCmp(c *ast.BinaryExpr, sense bool) bool {
+	op := c.Op
+	if !sense {
+		op = negateCmp(op)
+	}
+	liv, riv := f.eval(c.X), f.eval(c.Y)
+	if liv == nil || riv == nil {
+		return true
+	}
+	ok := true
+	if path := f.pathOf(c.X); path != "" {
+		ok = f.applyCmp(path, f.pkg.Info.TypeOf(c.X), liv, op, riv) && ok
+	}
+	if path := f.pathOf(c.Y); path != "" {
+		ok = f.applyCmp(path, f.pkg.Info.TypeOf(c.Y), riv, flipCmp(op), liv) && ok
+	}
+	return ok
+}
+
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return op
+}
+
+// flipCmp mirrors a comparison: a < b  ⇔  b > a.
+func flipCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}
+
+// applyCmp narrows `path` (currently cur) under `path op other`.
+func (f *rangeFlow) applyCmp(path string, t types.Type, cur *ival, op token.Token, other *ival) bool {
+	var constraint *ival
+	switch op {
+	case token.LSS:
+		constraint = newIval(bigMinOf(), new(big.Int).Sub(other.hi, bigOne))
+	case token.LEQ:
+		constraint = newIval(bigMinOf(), other.hi)
+	case token.GTR:
+		constraint = newIval(new(big.Int).Add(other.lo, bigOne), bigMaxOf())
+	case token.GEQ:
+		constraint = newIval(other.lo, bigMaxOf())
+	case token.EQL:
+		constraint = other
+	case token.NEQ:
+		// Trim only a point endpoint.
+		if other.isPoint() {
+			out := cur
+			if cur.lo.Cmp(other.lo) == 0 {
+				out = newIval(new(big.Int).Add(cur.lo, bigOne), cur.hi)
+			} else if cur.hi.Cmp(other.lo) == 0 {
+				out = newIval(cur.lo, new(big.Int).Sub(cur.hi, bigOne))
+			}
+			if out.lo.Cmp(out.hi) > 0 {
+				return false
+			}
+			f.set(path, out, t)
+		}
+		return true
+	default:
+		return true
+	}
+	met, nonEmpty := meetIval(cur, constraint)
+	if !nonEmpty {
+		return false
+	}
+	f.set(path, met, t)
+	return true
+}
+
+// bigMinOf/bigMaxOf are the unbounded ends of one-sided constraints;
+// the meet with the current interval restores finiteness.
+func bigMinOf() *big.Int { return new(big.Int).Lsh(big.NewInt(-1), 200) }
+func bigMaxOf() *big.Int { return new(big.Int).Lsh(bigOne, 200) }
+
+// ---- expressions ----
+
+// eval returns the interval of an expression, nil for non-integer
+// expressions. Integer expressions always get a finite interval (worst
+// case: the type range).
+func (f *rangeFlow) eval(e ast.Expr) *ival {
+	if e == nil {
+		return nil
+	}
+	t := f.pkg.Info.TypeOf(e)
+	if tv, ok := f.pkg.Info.Types[e]; ok && tv.Value != nil {
+		if iv := constIval(tv.Value); iv != nil {
+			return iv
+		}
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return f.eval(e.X)
+	case *ast.Ident:
+		if fact, ok := f.env[e.Name]; ok {
+			return fact.iv
+		}
+		return typeIval(t)
+	case *ast.SelectorExpr:
+		f.eval(e.X)
+		if path := f.pathOf(e); path != "" {
+			if fact, ok := f.env[path]; ok {
+				return fact.iv
+			}
+		}
+		if iv := f.fieldBound(e); iv != nil {
+			return iv
+		}
+		return typeIval(t)
+	case *ast.BinaryExpr:
+		return f.binExpr(e, t)
+	case *ast.UnaryExpr:
+		return f.unaryExpr(e, t)
+	case *ast.CallExpr:
+		return f.callExpr(e, t)
+	case *ast.IndexExpr:
+		f.eval(e.X)
+		f.eval(e.Index)
+		return typeIval(t)
+	case *ast.IndexListExpr:
+		f.eval(e.X)
+		for _, ix := range e.Indices {
+			f.eval(ix)
+		}
+		return typeIval(t)
+	case *ast.SliceExpr:
+		f.eval(e.X)
+		f.eval(e.Low)
+		f.eval(e.High)
+		f.eval(e.Max)
+		return nil
+	case *ast.StarExpr:
+		f.eval(e.X)
+		return typeIval(t)
+	case *ast.TypeAssertExpr:
+		f.eval(e.X)
+		return typeIval(t)
+	case *ast.FuncLit:
+		f.enqueue(e)
+		return nil
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			f.eval(el)
+		}
+		return nil
+	case *ast.KeyValueExpr:
+		f.eval(e.Key)
+		f.eval(e.Value)
+		return nil
+	}
+	return typeIval(t)
+}
+
+// fieldBound returns the declared //etsqp:bounds interval of a field
+// selection, met with the field's type range.
+func (f *rangeFlow) fieldBound(sel *ast.SelectorExpr) *ival {
+	key, ok := lint.FieldOf(f.pkg.Info.Selections[sel])
+	if !ok {
+		return nil
+	}
+	d, ok := f.bounds.fields[key]
+	if !ok || d.err != "" {
+		return nil
+	}
+	tr := typeIval(f.pkg.Info.TypeOf(sel))
+	if tr == nil {
+		return d.iv
+	}
+	if met, nonEmpty := meetIval(d.iv, tr); nonEmpty {
+		return met
+	}
+	return tr
+}
+
+func (f *rangeFlow) binExpr(e *ast.BinaryExpr, t types.Type) *ival {
+	liv := f.eval(e.X)
+	riv := f.eval(e.Y)
+	switch e.Op {
+	case token.LAND, token.LOR, token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return nil // boolean
+	}
+	if liv == nil || riv == nil {
+		return typeIval(t)
+	}
+	exact := f.binIval(e.Op, liv, riv, t)
+	desc := types.ExprString(e)
+	f.reportRaw(e.OpPos, e.Op, desc, exact, t)
+	return clampToType(exact, t)
+}
+
+// binIval evaluates one binary op exactly over intervals; nil means the
+// op's result is unmodeled (caller falls back to the type range).
+func (f *rangeFlow) binIval(op token.Token, a, b *ival, t types.Type) *ival {
+	switch op {
+	case token.ADD:
+		return addIval(a, b)
+	case token.SUB:
+		return subIval(a, b)
+	case token.MUL:
+		return mulIval(a, b)
+	case token.QUO:
+		return quoIval(a, b)
+	case token.REM:
+		return remIval(a, b)
+	case token.SHL:
+		return shlIval(a, b)
+	case token.SHR:
+		return shrIval(a, b)
+	case token.AND, token.OR, token.XOR, token.AND_NOT:
+		return bitwiseIval(op, a, b)
+	}
+	return nil
+}
+
+// reportRaw fires the raw-op hook for overflow-relevant operators when
+// the exact result is known.
+func (f *rangeFlow) reportRaw(pos token.Pos, op token.Token, desc string, exact *ival, t types.Type) {
+	if f.silent || f.hooks.rawOp == nil || exact == nil {
+		return
+	}
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.SHL, token.QUO:
+		f.hooks.rawOp(pos, op, desc, exact, t)
+	}
+}
+
+// clampToType clamps an exact interval back into the type's value range
+// (the wrapped value is *somewhere* in the range; the raw-op hook has
+// already seen the exact interval).
+func clampToType(exact *ival, t types.Type) *ival {
+	tr := typeIval(t)
+	if tr == nil {
+		return exact
+	}
+	if exact == nil {
+		return tr
+	}
+	if met, nonEmpty := meetIval(exact, tr); nonEmpty && exact.subsetOf(tr) {
+		return met
+	}
+	return tr
+}
+
+func (f *rangeFlow) unaryExpr(e *ast.UnaryExpr, t types.Type) *ival {
+	x := f.eval(e.X)
+	switch e.Op {
+	case token.SUB:
+		if x == nil {
+			return typeIval(t)
+		}
+		exact := negIval(x)
+		f.reportRaw(e.OpPos, token.SUB, types.ExprString(e), exact, t)
+		return clampToType(exact, t)
+	case token.ADD:
+		return x
+	case token.XOR: // ^x == -x - 1
+		if x == nil {
+			return typeIval(t)
+		}
+		return clampToType(subIval(negIval(x), pointIval(bigOne)), t)
+	}
+	return typeIval(t)
+}
+
+func (f *rangeFlow) callExpr(c *ast.CallExpr, t types.Type) *ival {
+	// Conversion: T(x).
+	if tv, ok := f.pkg.Info.Types[ast.Unparen(c.Fun)]; ok && tv.IsType() && len(c.Args) == 1 {
+		x := f.eval(c.Args[0])
+		tr := typeIval(t)
+		if tr == nil {
+			return nil
+		}
+		if x != nil && x.subsetOf(tr) {
+			return x
+		}
+		return tr // may wrap: all we know is the target range
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := f.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return f.builtinCall(b.Name(), c, t)
+		}
+	}
+	fn := lint.CalleeFunc(f.pkg.Info, c)
+	if fn != nil {
+		if _, isChecked := f.bounds.checked[fn.FullName()]; isChecked {
+			// Checked helpers mutate nothing; their tuple results are
+			// modeled at the assignment. checkedCall evaluates the
+			// arguments (with hooks) exactly once.
+			if iv, ok := f.checkedCall(c); ok && !isTuple(t) {
+				return iv
+			}
+			return nil
+		}
+	}
+	for _, a := range c.Args {
+		f.eval(a)
+	}
+	if lit, ok := ast.Unparen(c.Fun).(*ast.FuncLit); ok {
+		f.enqueue(lit)
+		f.killOnCall()
+		return typeIval(t)
+	}
+	f.eval(c.Fun)
+	if !f.silent && f.hooks.call != nil {
+		env := cloneEnv(f.env)
+		f.hooks.call(c, func(i int) *ival {
+			saved := f.env
+			f.env = env
+			savedSilent := f.silent
+			f.silent = true
+			iv := f.eval(c.Args[i])
+			f.env = saved
+			f.silent = savedSilent
+			return iv
+		})
+	}
+	if isTerminatorCall(f.pkg, c) {
+		f.terminated = true
+		return nil
+	}
+	f.killOnCall()
+	// Declared return bounds apply to the first result.
+	if fn != nil && !isTuple(t) {
+		if fb, ok := f.bounds.funcs[fn.FullName()]; ok && fb.ret != nil && fb.ret.err == "" {
+			if met, nonEmpty := meetIval(fb.ret.iv, orFull(typeIval(t))); nonEmpty {
+				return met
+			}
+		}
+	}
+	return typeIval(t)
+}
+
+func isTuple(t types.Type) bool {
+	_, ok := t.(*types.Tuple)
+	return ok
+}
+
+func orFull(iv *ival) *ival {
+	if iv == nil {
+		return int64Range
+	}
+	return iv
+}
+
+func (f *rangeFlow) builtinCall(name string, c *ast.CallExpr, t types.Type) *ival {
+	ivs := make([]*ival, len(c.Args))
+	for i, a := range c.Args {
+		ivs[i] = f.eval(a)
+	}
+	switch name {
+	case "len", "cap":
+		return newIval(bigZero, bigMaxInt64)
+	case "min", "max":
+		var out *ival
+		for _, iv := range ivs {
+			if iv == nil {
+				return typeIval(t)
+			}
+			if out == nil {
+				out = iv
+			} else if name == "min" {
+				lo, hi := out.lo, out.hi
+				if iv.lo.Cmp(lo) < 0 {
+					lo = iv.lo
+				}
+				if iv.hi.Cmp(hi) < 0 {
+					hi = iv.hi
+				}
+				out = newIval(lo, hi)
+			} else {
+				lo, hi := out.lo, out.hi
+				if iv.lo.Cmp(lo) > 0 {
+					lo = iv.lo
+				}
+				if iv.hi.Cmp(hi) > 0 {
+					hi = iv.hi
+				}
+				out = newIval(lo, hi)
+			}
+		}
+		return out
+	case "panic":
+		f.terminated = true
+		return nil
+	case "delete", "copy", "append", "clear":
+		for _, a := range c.Args {
+			f.invalidateTarget(a)
+		}
+		return typeIval(t)
+	}
+	return typeIval(t)
+}
+
+// checkedCall models a call to an //etsqp:checked helper: the first
+// result is the exact operation (for "add"/"mul") or the declared
+// return bounds, clamped to int64 — the runtime check guarantees the
+// value is only used when it stayed in range.
+func (f *rangeFlow) checkedCall(c *ast.CallExpr) (*ival, bool) {
+	fn := lint.CalleeFunc(f.pkg.Info, c)
+	if fn == nil {
+		return nil, false
+	}
+	kind, ok := f.bounds.checked[fn.FullName()]
+	if !ok {
+		return nil, false
+	}
+	var iv *ival
+	switch kind {
+	case "add", "mul":
+		if len(c.Args) == 2 {
+			a, b := f.eval(c.Args[0]), f.eval(c.Args[1])
+			if a != nil && b != nil {
+				var exact *ival
+				if kind == "add" {
+					exact = addIval(a, b)
+				} else {
+					exact = mulIval(a, b)
+				}
+				if met, nonEmpty := meetIval(exact, int64Range); nonEmpty {
+					iv = met
+				} else {
+					iv = pointIval(bigZero) // check always fails
+				}
+			}
+		}
+	default:
+		for _, a := range c.Args {
+			f.eval(a)
+		}
+		if fb, ok := f.bounds.funcs[fn.FullName()]; ok && fb.ret != nil && fb.ret.err == "" {
+			if met, nonEmpty := meetIval(fb.ret.iv, int64Range); nonEmpty {
+				iv = met
+			}
+		}
+	}
+	if iv == nil {
+		iv = int64Range
+	}
+	// On check failure the helper returns zero; the ok bool is untracked,
+	// so the modeled value must cover both outcomes.
+	iv = joinIval(iv, pointIval(bigZero))
+	return iv, true
+}
+
+// isTerminatorCall reports whether a call never returns.
+func isTerminatorCall(pkg *lint.Package, c *ast.CallExpr) bool {
+	fn := lint.CalleeFunc(pkg.Info, c)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	case "log":
+		return strings.HasPrefix(fn.Name(), "Fatal") || strings.HasPrefix(fn.Name(), "Panic")
+	}
+	return false
+}

@@ -1,0 +1,61 @@
+// Package boundscontract exercises the module-wide //etsqp:bounds
+// parameter contracts: every call site of an annotated function must
+// pass arguments whose intervals fit the declared ranges.
+package boundscontract
+
+// decodeLane requires a hardware-meaningful lane width.
+//
+//etsqp:bounds width [0, 32]
+func decodeLane(width int64) int64 {
+	return int64(1) << width
+}
+
+// fillPage's capacity bound is exclusive.
+//
+//etsqp:bounds n [0, 4096)
+func fillPage(n int64) int64 { return n }
+
+// ok: a constant in range.
+func callConst() int64 {
+	return decodeLane(17)
+}
+
+// ok: the caller narrows before the call.
+func callNarrowed(w int64) int64 {
+	if w < 0 || w > 32 {
+		return 0
+	}
+	return decodeLane(w)
+}
+
+// bad: unvalidated input flows to the bounded parameter.
+func callWild(w int64) int64 {
+	return decodeLane(w) // want `argument "width" to decodeLane has interval \[-9223372036854775808, 9223372036854775807\], outside declared //etsqp:bounds width \[0, 32\]`
+}
+
+// bad: an off-by-one against the exclusive page bound.
+func callEdge(n int64) int64 {
+	if n < 0 || n > 4096 {
+		return 0
+	}
+	return fillPage(n) // want `argument "n" to fillPage has interval \[0, 4096\], outside declared //etsqp:bounds n \[0, 4095\]`
+}
+
+// Header's field bound feeds call-site intervals.
+type Header struct {
+	//etsqp:bounds [0, 64]
+	Width int64
+}
+
+// bad: the field bound alone is wider than decodeLane's contract.
+func callFromField(h Header) int64 {
+	return decodeLane(h.Width) // want `argument "width" to decodeLane has interval \[0, 64\], outside declared //etsqp:bounds width \[0, 32\]`
+}
+
+// ok: the guard narrows the field path below the contract.
+func callFromFieldNarrowed(h Header) int64 {
+	if h.Width > 32 {
+		return 0
+	}
+	return decodeLane(h.Width)
+}

@@ -1,0 +1,3 @@
+module fixture.test/boundscontract
+
+go 1.22

@@ -1,0 +1,3 @@
+module fixture.test/rangecheck
+
+go 1.22

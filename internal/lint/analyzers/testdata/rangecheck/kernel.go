@@ -1,0 +1,156 @@
+// Package rangecheck exercises the interval abstract interpretation:
+// //etsqp:bounds seeding, branch narrowing, loop widening, checked
+// helpers, and the findings for int64 arithmetic that can wrap.
+package rangecheck
+
+// addChecked is the checked-addition primitive. Its body is exempt from
+// rangecheck; call sites model the exact sum clamped to int64.
+//
+//etsqp:checked add
+func addChecked(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+//etsqp:checked mul
+func mulChecked(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// Block mirrors the ts2diff encoded-block header: Count parses from a
+// uint32 on the wire and Width is validated <= 64 at decode time.
+type Block struct {
+	//etsqp:bounds [0, 1<<32)
+	Count int64
+	//etsqp:bounds [0, 64]
+	Width   int64
+	MinBase int64
+}
+
+// SumRamp reproduces the historical internal/fusion/ts2diff.go ramp bug:
+// Count*(Count-1) wraps for Count > 3037000499 even though the true
+// triangle number fits int64 for every Count below 1<<32.
+//
+//etsqp:rangecheck
+func SumRamp(b Block) (int64, bool) {
+	n := b.Count
+	return mulChecked(b.MinBase, n*(n-1)/2) // want `SumRamp: unchecked int64 multiplication`
+}
+
+// SumRampFixed computes the same ramp through the checked triangle.
+//
+//etsqp:rangecheck
+func SumRampFixed(b Block) (int64, bool) {
+	t, ok := triangleChecked(b.Count)
+	if !ok {
+		return 0, false
+	}
+	return mulChecked(b.MinBase, t)
+}
+
+// triangleChecked returns n*(n-1)/2 without an intermediate wrap by
+// halving the even factor before multiplying.
+//
+//etsqp:bounds n [0, 1<<32)
+//etsqp:rangecheck
+func triangleChecked(n int64) (int64, bool) {
+	if n%2 == 0 {
+		return mulChecked(n/2, n-1)
+	}
+	return mulChecked(n, (n-1)/2)
+}
+
+// prefixBase is in range only because of Block.Count's declared bound:
+// widening the directive past 1<<61 turns this into a finding.
+//
+//etsqp:rangecheck
+func prefixBase(b Block) int64 {
+	return b.Count * 8
+}
+
+// laneLimit's shift stays inside int64 thanks to the width bound.
+//
+//etsqp:bounds width [0, 32]
+//etsqp:rangecheck
+func laneLimit(width int64) int64 {
+	return int64(1) << width
+}
+
+//etsqp:rangecheck
+func laneLimitWild(width int64) int64 {
+	return int64(1) << width // want `laneLimitWild: unchecked int64 shift`
+}
+
+// sumWidthLanes accumulates lane values proven < 1<<width, through the
+// checked helper: branch narrowing bounds v, addChecked bounds sum.
+//
+//etsqp:bounds width [0, 32]
+//etsqp:rangecheck
+func sumWidthLanes(vals []int64, width int64) (int64, bool) {
+	limit := int64(1) << width
+	var sum int64
+	for _, v := range vals {
+		if v < 0 || v >= limit {
+			return 0, false
+		}
+		s, ok := addChecked(sum, v)
+		if !ok {
+			return 0, false
+		}
+		sum = s
+	}
+	return sum, true
+}
+
+// sumRaw is the shape rangecheck exists to reject: a raw += of an
+// unbounded lane into the accumulator.
+//
+//etsqp:rangecheck
+func sumRaw(vals []int64) int64 {
+	var sum int64
+	for _, v := range vals {
+		sum += v // want `sumRaw: unchecked int64 addition`
+	}
+	return sum
+}
+
+// clampWidth proves its declared return interval by construction.
+//
+//etsqp:bounds return [0, 64]
+//etsqp:rangecheck
+func clampWidth(w int64) int64 {
+	if w < 0 {
+		return 0
+	}
+	if w > 64 {
+		return 64
+	}
+	return w
+}
+
+// leakWidth declares a return bound narrower than what it returns.
+//
+//etsqp:bounds return [0, 64]
+//etsqp:rangecheck
+func leakWidth(w int64) int64 {
+	if w < 0 {
+		return 0
+	}
+	return w // want `leakWidth: return value interval \[0, 9223372036854775807\] exceeds declared //etsqp:bounds return \[0, 64\]`
+}
+
+//etsqp:rangecheck
+func dropsOverflowFlag(a, b int64) int64 {
+	s, _ := addChecked(a, b) // want `dropsOverflowFlag: ok result of checked helper addChecked discarded`
+	return s
+}

@@ -1,0 +1,30 @@
+package rangecheck
+
+// badParam names a parameter that does not exist.
+//
+//etsqp:bounds m [0, 10]
+func badParam(n int64) int64 { // want `badParam: //etsqp:bounds names unknown parameter "m"`
+	return n
+}
+
+// badInterval declares an empty interval.
+//
+//etsqp:bounds n [10, 0]
+func badInterval(n int64) int64 { // want `badInterval: malformed //etsqp:bounds directive`
+	return n
+}
+
+// wideParam declares a bound the parameter type cannot represent.
+//
+//etsqp:bounds n [0, 1<<40]
+func wideParam(n int32) int32 { // want `wideParam: declared //etsqp:bounds for "n" \[0, 1099511627776\] exceeds the parameter's type range`
+	return n
+}
+
+// BadField's bound exceeds its int32 range.
+type BadField struct {
+	//etsqp:bounds [0, 1<<40]
+	w int32 // want `field BadField.w: declared //etsqp:bounds \[0, 1099511627776\] exceeds the field's type range`
+}
+
+func useBadField(b BadField) int32 { return b.w }

@@ -45,10 +45,13 @@ type FieldKey struct {
 //	//etsqp:guardedby <mutexField> — reads/writes require the named
 //	    sync.Mutex/RWMutex in the same struct to be held
 //	//etsqp:atomic — the field may only be touched through sync/atomic
+//	//etsqp:bounds [lo, hi] — the field's value stays in the interval
+//	    (a ')' closer makes hi exclusive); consumed by rangeflow.go
 type FieldDir struct {
 	Key       FieldKey
 	GuardedBy string // mutex field name; "" when not guarded
 	Atomic    bool
+	Bounds    string    // raw //etsqp:bounds argument; "" when absent
 	Pos       token.Pos // the annotated field name, for misannotation reports
 }
 
@@ -115,7 +118,8 @@ func (m *Module) indexStructFields(pkg *Package, typeName string, st *ast.Struct
 			guard = ""
 		}
 		_, hasAtomic := anns["atomic"]
-		if !hasGuard && !hasAtomic {
+		bounds, hasBounds := anns["bounds"]
+		if !hasGuard && !hasAtomic && !hasBounds {
 			continue
 		}
 		for _, id := range field.Names {
@@ -127,6 +131,7 @@ func (m *Module) indexStructFields(pkg *Package, typeName string, st *ast.Struct
 				Key:       key,
 				GuardedBy: guard,
 				Atomic:    hasAtomic,
+				Bounds:    bounds,
 				Pos:       id.Pos(),
 			}
 		}

@@ -85,9 +85,20 @@ func ChooseNv(width, wPrime uint) int {
 
 // Plan holds the JIT-compiled unpack tables for one packing width.
 type Plan struct {
-	Width      uint
-	Nv         int // unpacked vectors per block
-	BlockElems int // 8 * Nv deltas per block
+	// Width is the packing width; PlanFor rejects widths past 32.
+	//
+	//etsqp:bounds [0, 32]
+	Width uint
+	// Nv is the unpacked vectors per block; ChooseNv clamps to [1, MaxNv]
+	// and (*Plan).Check enforces the same bound, so rangeflow can prove
+	// kernel products like Nv·HSum32(·) stay far inside int64.
+	//
+	//etsqp:bounds [1, MaxNv]
+	Nv int
+	// BlockElems is 8 * Nv deltas per block.
+	//
+	//etsqp:bounds [8, 8*MaxNv]
+	BlockElems int
 	BlockBytes int // BlockElems * Width / 8 (8*Nv*Width bits is always whole bytes)
 	NLoad      int // loaded 256-bit vectors per block (n_ld, for cost models)
 
@@ -114,8 +125,12 @@ var (
 )
 
 // PlanFor returns the cached plan for a packing width in [0, 32], or
-// ErrWidthRange for wider (corrupt) widths.
+// ErrWidthRange for wider (corrupt) widths. The declared bound makes the
+// precondition a boundscontract obligation: callers prove the width is
+// narrowed (page-header validation or an explicit guard) before asking
+// for tables.
 //
+//etsqp:bounds width [0, 32]
 //etsqp:coldpath
 func PlanFor(width uint) (*Plan, error) {
 	if width > 32 {

@@ -85,8 +85,11 @@ func decodeBlockInto(out []int64, b *ts2diff.Block) error {
 
 // accumulateFrom fills out[1:] with first + prefix sums of the m packed
 // deltas: out[i] = first + i*minBase + sum(packed[0:i]). out[0] must
-// already hold first.
+// already hold first. Accumulation wraps intentionally: Delta encode and
+// decode are inverse mod 2^64, so checked adds here would reject values
+// that round-trip correctly.
 //
+//etsqp:bounds width [0, 64]
 //etsqp:hotpath
 func accumulateFrom(out []int64, first int64, packed []byte, m int, width uint, minBase int64) error {
 	if m == 0 {
@@ -174,6 +177,7 @@ func accumulateFrom(out []int64, first int64, packed []byte, m int, width uint, 
 
 // accumulateScalar is the bit-reader fallback for widths above 32 bits.
 //
+//etsqp:bounds width [0, 64]
 //etsqp:hotpath
 func accumulateScalar(out []int64, first int64, packed []byte, m int, width uint, minBase int64) error {
 	r := bitio.NewReader(packed)
@@ -192,6 +196,7 @@ func accumulateScalar(out []int64, first int64, packed []byte, m int, width uint
 // accumulateWide handles widths above MaxNarrowWidth with 8-byte windows
 // and 64-bit accumulation (the two-round shuffle path of wide fields).
 //
+//etsqp:bounds width [0, 32]
 //etsqp:hotpath
 func accumulateWide(out []int64, first int64, packed []byte, m int, width uint, minBase int64) error {
 	mask := uint64(1)<<width - 1
@@ -237,6 +242,9 @@ func window64(buf []byte, fb int) (uint64, error) {
 // DecodeDeltas vector-unpacks m packed fields and adds minBase, returning
 // the delta sequence without accumulation — the input Repeat flattening
 // and the order-2 pipeline consume.
+//
+//etsqp:bounds m [0, 1<<32)
+//etsqp:bounds width [0, 64]
 func DecodeDeltas(packed []byte, m int, width uint, minBase int64) ([]int64, error) {
 	out := make([]int64, m)
 	if err := DecodeDeltasInto(out, packed, m, width, minBase); err != nil {
@@ -248,6 +256,7 @@ func DecodeDeltas(packed []byte, m int, width uint, minBase int64) ([]int64, err
 // DecodeDeltasInto is the allocation-free kernel behind DecodeDeltas:
 // out must have length m.
 //
+//etsqp:bounds width [0, 64]
 //etsqp:hotpath
 func DecodeDeltasInto(out []int64, packed []byte, m int, width uint, minBase int64) error {
 	if len(out) != m {
@@ -324,6 +333,7 @@ func DecodeDeltasInto(out []int64, packed []byte, m int, width uint, minBase int
 // minBase), using lane-parallel accumulation. Slices use it to resolve
 // their prefix dependency and fusion uses it for SUM without decoding.
 //
+//etsqp:bounds width [0, 64]
 //etsqp:hotpath
 func SumPacked(packed []byte, m int, width uint) (uint64, error) {
 	if m == 0 || width == 0 {

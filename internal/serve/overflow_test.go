@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"etsqp/internal/engine"
+	"etsqp/internal/storage"
+)
+
+// overflowServer serves a series whose SUM leaves int64: two values of
+// MaxInt64 wrap any signed accumulator on the second fold.
+func overflowServer(t *testing.T, slowLog *bytes.Buffer) *Server {
+	t.Helper()
+	ts := []int64{1, 2, 3, 4}
+	vals := []int64{math.MaxInt64, math.MaxInt64, 1, 2}
+	st := storage.NewStore()
+	if err := st.Append("hot", ts, vals, storage.Options{PageSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(st, engine.ModeETSQP)
+	e.Workers = 1
+	return &Server{Engine: e, Store: st, SlowThreshold: 0, SlowLog: slowLog, MaxRows: 20}
+}
+
+// TestQueryOverflowStructuredError is the end-to-end Section VI-C check
+// for the serving surface: an overflowing aggregate must come back as a
+// structured JSON error with the "overflow" kind and a 422 — never a 500
+// and never a silently wrapped number — and the failed query must still
+// leave a slow-log trace recording the failure.
+func TestQueryOverflowStructuredError(t *testing.T) {
+	var slowLog bytes.Buffer
+	s := overflowServer(t, &slowLog)
+	h := s.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/query?q=SELECT+SUM(A)+FROM+hot", nil))
+
+	if rec.Code != 422 {
+		t.Fatalf("overflowing SUM: status = %d, want 422; body: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("overflowing SUM: Content-Type = %q, want application/json", ct)
+	}
+	var qe struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &qe); err != nil {
+		t.Fatalf("overflow response is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if qe.Kind != "overflow" {
+		t.Errorf("kind = %q, want %q", qe.Kind, "overflow")
+	}
+	if !strings.Contains(qe.Error, "overflow") {
+		t.Errorf("error %q does not mention overflow", qe.Error)
+	}
+
+	// The failure reached the slow-query log as a trace line carrying the
+	// error, and the slow counter advanced.
+	count, _ := s.SlowStats()
+	if count != 1 {
+		t.Fatalf("slow count = %d, want 1 (failed query must be recorded)", count)
+	}
+	var trLine struct {
+		Query string `json:"query"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(slowLog.Bytes(), &trLine); err != nil {
+		t.Fatalf("slow log line is not JSON: %v\n%s", err, slowLog.String())
+	}
+	if !strings.Contains(trLine.Error, "overflow") {
+		t.Errorf("slow-log trace error = %q, want it to record the overflow", trLine.Error)
+	}
+	if !strings.Contains(trLine.Query, "SUM(A)") {
+		t.Errorf("slow-log trace query = %q, want the failing statement", trLine.Query)
+	}
+
+	// COUNT over the same series never consumes the wrapped sum: the
+	// serving path must keep answering what is still well-defined.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/query?q=SELECT+COUNT(A)+FROM+hot", nil))
+	if rec.Code != 200 {
+		t.Fatalf("COUNT after overflow: status = %d, want 200; body: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "4") {
+		t.Errorf("COUNT body %q does not contain the row count", rec.Body.String())
+	}
+
+	// Malformed SQL stays a plain bad_query 400, now structured too.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/query?q=SELECT+FROM", nil))
+	if rec.Code != 400 {
+		t.Fatalf("malformed SQL: status = %d, want 400", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &qe); err != nil {
+		t.Fatalf("malformed-SQL response is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if qe.Kind != "bad_query" {
+		t.Errorf("malformed SQL kind = %q, want %q", qe.Kind, "bad_query")
+	}
+}

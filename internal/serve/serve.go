@@ -11,6 +11,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -92,7 +93,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, tr, err := s.Engine.TraceSQL(sql)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		// An execution failure still carries a trace (parse/plan failures
+		// do not): feed it to the slow-query log so operators see what the
+		// query did before it errored.
+		if tr != nil {
+			s.logSlow(tr)
+		}
+		writeQueryError(w, err)
 		return
 	}
 	s.logSlow(tr)
@@ -102,6 +109,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cli.RenderResult(w, res, s.MaxRows)
+}
+
+// queryError is the structured /query error document. Kind gives clients
+// a stable discriminator: "overflow" for Section VI-C aggregate overflow
+// (the query is well-formed; the data exceeds int64 — retry at a larger
+// quantity or narrower window), "bad_query" for everything else.
+type queryError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// writeQueryError maps an engine error to a structured JSON response.
+// Overflow is the client-actionable case: 422 (the request was valid,
+// the aggregate is just not representable), never a 500 and never a
+// silently wrapped value.
+func writeQueryError(w http.ResponseWriter, err error) {
+	qe := queryError{Error: err.Error(), Kind: "bad_query"}
+	status := http.StatusBadRequest
+	if errors.Is(err, engine.ErrOverflow) {
+		qe.Kind = "overflow"
+		status = http.StatusUnprocessableEntity
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(qe)
 }
 
 // logSlow counts the query as slow and emits the trace as one JSON

@@ -1,0 +1,73 @@
+package simd
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// TestAddCheck32AgainstBig property-tests the Section VI-C lane overflow
+// check against exact big-int arithmetic: for every lane, the sum must be
+// the two's-complement wrap of the exact signed sum, and the overflow
+// mask must be all-ones exactly when the exact sum leaves int32.
+func TestAddCheck32AgainstBig(t *testing.T) {
+	check := func(a, b U32x8) {
+		t.Helper()
+		sum, overflow := AddCheck32(a, b)
+		for i := 0; i < Lanes32; i++ {
+			exact := new(big.Int).Add(
+				big.NewInt(int64(int32(a[i]))),
+				big.NewInt(int64(int32(b[i]))),
+			)
+			if want := uint32(exact.Int64()); sum[i] != want {
+				t.Fatalf("lane %d: sum(%#x, %#x) = %#x, want %#x", i, a[i], b[i], sum[i], want)
+			}
+			wrapped := exact.Int64() > math.MaxInt32 || exact.Int64() < math.MinInt32
+			switch overflow[i] {
+			case 0:
+				if wrapped {
+					t.Fatalf("lane %d: %d + %d = %s wraps int32 but overflow lane is clear",
+						i, int32(a[i]), int32(b[i]), exact)
+				}
+			case 0xFFFFFFFF:
+				if !wrapped {
+					t.Fatalf("lane %d: %d + %d = %s fits int32 but overflow lane is set",
+						i, int32(a[i]), int32(b[i]), exact)
+				}
+			default:
+				t.Fatalf("lane %d: overflow lane %#x is neither clear nor all-ones", i, overflow[i])
+			}
+		}
+	}
+
+	// Deterministic boundary lanes: both signs of both extremes, the
+	// exact wrap points, and zero.
+	boundary := []uint32{
+		0, 1, 0x7FFFFFFF, 0x80000000, 0x80000001, 0xFFFFFFFF,
+		0x40000000, 0xC0000000,
+	}
+	var a, b U32x8
+	for _, x := range boundary {
+		for _, y := range boundary {
+			for i := 0; i < Lanes32; i++ {
+				a[i], b[i] = x, y
+			}
+			check(a, b)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5000; trial++ {
+		for i := 0; i < Lanes32; i++ {
+			a[i] = rng.Uint32()
+			b[i] = rng.Uint32()
+			// Bias some lanes toward the boundaries, where the sign trick
+			// earns its keep.
+			if trial%3 == 0 {
+				a[i] = boundary[rng.Intn(len(boundary))]
+			}
+		}
+		check(a, b)
+	}
+}

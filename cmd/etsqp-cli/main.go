@@ -8,9 +8,16 @@
 // dump on exit.
 //
 // The serve subcommand runs the live observability surface instead of
-// the shell: an HTTP server with /metrics (Prometheus), /debug/vars,
+// the shell: an HTTP server with /metrics (Prometheus exposition with
+// trace-ID exemplars), /debug/vars, /debug/windows (rolling-window
+// rates and quantiles), /debug/dash (browser ops console),
 // /debug/pprof, and /query endpoints, an optional transport ingest
-// listener, and a slow-query log of span-tree JSON lines.
+// listener, and a bounded slow-query log of span-tree JSON lines.
+//
+// The top subcommand is the terminal ops console: it polls a running
+// server's /debug/windows and renders QPS, latency quantiles, pool
+// utilization, cache hit ratio, and the most expensive recent queries
+// by worker CPU, refreshing in place like top(1).
 //
 // Usage:
 //
@@ -18,7 +25,8 @@
 //	etsqp-cli -load store.etsqp            # interactive: one query per line
 //	etsqp-cli -gen Gas -mode serial -q "EXPLAIN SELECT SUM(A) FROM ts1"
 //	etsqp-cli -gen Atm -mode prune -obs -q "EXPLAIN ANALYZE SELECT SUM(A) FROM ts1 WHERE A >= 3"
-//	etsqp-cli serve -gen Atm -http :8080 -ingest :9090 -slow 100ms
+//	etsqp-cli serve -gen Atm -http :8080 -ingest :9090 -slow 100ms -slow-max 1024
+//	etsqp-cli top -url http://localhost:8080 -interval 1s
 package main
 
 import (
@@ -49,6 +57,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		runServe(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		runTop(os.Args[2:])
 		return
 	}
 	var (
@@ -110,6 +122,7 @@ func runServe(args []string) {
 		httpAddr = fs.String("http", ":8080", "HTTP listen address")
 		ingest   = fs.String("ingest", "", "transport ingest listen address (empty = off)")
 		slow     = fs.Duration("slow", 100*time.Millisecond, "slow-query log threshold (0 logs everything)")
+		slowMax  = fs.Int("slow-max", 1024, "slow-query traces retained in memory (negative = none)")
 		execWork = fs.Int("exec-workers", 0, "shared execution pool size (0 = GOMAXPROCS)")
 		cacheMB  = fs.Int("cache-mb", 64, "decoded-page cache budget in MiB (0 = off)")
 	)
@@ -143,9 +156,15 @@ func runServe(args []string) {
 		eng.Cache = cache
 	}
 	obs.Enable() // the serving surface exists to be scraped
+	// The rolling-window sampler behind /debug/windows and /debug/dash:
+	// one registry snapshot per second, 5m30s of history.
+	windows := obs.NewWindow(time.Second, 0)
+	stopWindows := windows.Start()
+	defer stopWindows()
 	srv := &serve.Server{
 		Engine: eng, Store: store,
 		SlowThreshold: *slow, SlowLog: os.Stderr, MaxRows: *maxRows,
+		SlowMax: *slowMax, Windows: windows,
 	}
 	if *ingest != "" {
 		l, err := net.Listen("tcp", *ingest)
@@ -155,6 +174,24 @@ func runServe(args []string) {
 		fmt.Printf("ingest: %s\n", l.Addr())
 		go func() { log.Fatal(srv.ServeIngest(l)) }()
 	}
-	fmt.Printf("http: %s (endpoints: /metrics /debug/vars /debug/pprof /query /healthz)\n", *httpAddr)
+	fmt.Printf("http: %s (endpoints: /metrics /debug/vars /debug/windows /debug/dash /debug/pprof /query /healthz)\n", *httpAddr)
 	log.Fatal(http.ListenAndServe(*httpAddr, srv.Handler()))
+}
+
+// runTop runs the terminal ops console against a running serve
+// instance.
+func runTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	var (
+		url      = fs.String("url", "http://localhost:8080", "base URL of a running etsqp-cli serve instance")
+		interval = fs.Duration("interval", time.Second, "refresh interval")
+		frames   = fs.Int("n", 0, "number of frames to render (0 = run until the server goes away)")
+		topN     = fs.Int("top", 10, "recent queries to list, ranked by worker CPU")
+	)
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+	if err := serve.RunTop(os.Stdout, *url, *interval, *frames, *topN); err != nil {
+		log.Fatal(err)
+	}
 }

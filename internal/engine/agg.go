@@ -305,7 +305,7 @@ func (e *Engine) executeAgg(q *sqlparse.Query, series string, preds []sqlparse.P
 	locals := make([]partialAgg, par)
 	winLocal := make([]partialAgg, par*len(windows))
 	nw := len(windows)
-	err := e.pool().Run(len(slices), par, func(w *exec.Worker, i int) error {
+	err := e.pool().RunWith(&col.execStats, len(slices), par, func(w *exec.Worker, i int) error {
 		var lw []partialAgg
 		if nw > 0 {
 			lw = winLocal[w.Slot*nw : (w.Slot+1)*nw]

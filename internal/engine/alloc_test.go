@@ -48,11 +48,11 @@ func TestParallelExecutorAllocs(t *testing.T) {
 	ranges := timeCuts(ser, ts[0], ts[len(ts)-1], 8)
 	static := []Row{{Time: 1, Values: []int64{1}}}
 	fn := func(a, b int64) ([]Row, error) { return static, nil }
-	if _, err := e.runRanged(ranges, fn); err != nil {
+	if _, err := e.runRanged(ranges, nil, fn); err != nil {
 		t.Fatal(err)
 	}
 	n = testing.AllocsPerRun(100, func() {
-		if _, err := e.runRanged(ranges, fn); err != nil {
+		if _, err := e.runRanged(ranges, nil, fn); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -214,7 +214,13 @@ func (e *Engine) executeTimed(q *sqlparse.Query, tr *Trace) (*Result, error) {
 		elapsed := time.Since(start)
 		if obs.Enabled() {
 			obs.EngineTimeQuery.AddNanos(int64(elapsed))
-			obs.EngineHistQuery.Observe(int64(elapsed))
+			if tr != nil {
+				// A traced query stamps its ID on the latency histogram as
+				// an exemplar, so a /metrics bucket links to the trace.
+				obs.EngineHistQuery.ObserveExemplar(int64(elapsed), tr.TraceID)
+			} else {
+				obs.EngineHistQuery.Observe(int64(elapsed))
+			}
 		}
 		if tr != nil {
 			tr.finish(res.Stats, elapsed)

@@ -138,6 +138,8 @@ func normalizeAnalyze(s string) string {
 			lines[i] = "    elapsed: <t>"
 		case strings.HasPrefix(trimmed, "stages:"):
 			lines[i] = "    stages: <t>"
+		case strings.HasPrefix(trimmed, "resources:"):
+			lines[i] = "    resources: <r>"
 		case strings.HasPrefix(trimmed, "bytes scanned:"):
 			lines[i] = "    bytes scanned: <n>"
 		case strings.HasPrefix(trimmed, "slice ["):
@@ -187,6 +189,7 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 		"    bytes scanned: <n>\n" +
 		"    elapsed: <t>\n" +
 		"    stages: <t>\n" +
+		"    resources: <r>\n" +
 		"  trace:\n" +
 		"    query <t>\n" +
 		"      parse <t>\n" +

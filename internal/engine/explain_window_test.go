@@ -76,6 +76,7 @@ func TestExplainAnalyzeWindowGolden(t *testing.T) {
 		"    bytes scanned: <n>\n" +
 		"    elapsed: <t>\n" +
 		"    stages: <t>\n" +
+		"    resources: <r>\n" +
 		"  trace:\n" +
 		"    query <t>\n" +
 		"      parse <t>\n" +
@@ -140,6 +141,7 @@ func TestExplainAnalyzeJoinLimitGolden(t *testing.T) {
 		"    bytes scanned: <n>\n" +
 		"    elapsed: <t>\n" +
 		"    stages: <t>\n" +
+		"    resources: <r>\n" +
 		"  trace:\n" +
 		"    query <t>\n" +
 		"      parse <t>\n" +
@@ -163,10 +165,19 @@ func TestExplainAnalyzeJoinLimitGolden(t *testing.T) {
 	}
 }
 
-// zeroDurations blanks every timing field of a trace in place so its
-// JSON form is byte-stable.
+// zeroDurations blanks every timing- or environment-dependent field of
+// a trace in place so its JSON form is byte-stable: span durations, the
+// minted trace ID, and the resource fields that vary run to run (CPU
+// time; the arena high-water mark depends on what earlier tests left in
+// the shared pool's arenas). The deterministic resource counts (morsels,
+// pages, bytes) stay pinned.
 func zeroDurations(tr *Trace) {
 	tr.ElapsedNs = 0
+	tr.TraceID = "tid"
+	if tr.Resources != nil {
+		tr.Resources.CPUNanos = 0
+		tr.Resources.ArenaHighWater = 0
+	}
 	var walk func(*Span)
 	walk = func(s *Span) {
 		s.DurNs = 0
@@ -208,7 +219,10 @@ func TestTraceJSONWindowJoinGolden(t *testing.T) {
 			`{"start_row":0,"end_row":1024,"rows":1024,"fused":true,"nv":1,"dur_ns":0},` +
 			`{"start_row":0,"end_row":1024,"rows":1024,"fused":true,"nv":1,"dur_ns":0},` +
 			`{"start_row":0,"end_row":1024,"rows":1024,"fused":true,"width":4,"nv":7,"dur_ns":0}],` +
-			`"slices_total":3}` + "\n"
+			`"slices_total":3,"trace_id":"tid",` +
+			`"resources":{"cpu_ns":0,"morsels":3,"steals":0,"pages_read":3,` +
+			`"bytes_scanned":665,"values_decoded":0,"cache_hits":0,"cache_misses":0,` +
+			`"arena_high_bytes":0}}` + "\n"
 		if got := b.String(); got != want {
 			t.Errorf("trace JSON mismatch\ngot:  %swant: %s", got, want)
 		}
@@ -239,7 +253,10 @@ func TestTraceJSONWindowJoinGolden(t *testing.T) {
 			`"slices":[` +
 			`{"start_row":0,"end_row":1024,"rows":1024,"fused":false,"dur_ns":0},` +
 			`{"start_row":0,"end_row":1024,"rows":1024,"fused":false,"dur_ns":0}],` +
-			`"slices_total":0}` + "\n"
+			`"slices_total":0,"trace_id":"tid",` +
+			`"resources":{"cpu_ns":0,"morsels":1,"steals":0,"pages_read":4,` +
+			`"bytes_scanned":972,"values_decoded":2048,"cache_hits":0,"cache_misses":0,` +
+			`"arena_high_bytes":0}}` + "\n"
 		if got := b.String(); got != want {
 			t.Errorf("trace JSON mismatch\ngot:  %swant: %s", got, want)
 		}

@@ -43,10 +43,16 @@ func timeCuts(ser *storage.Series, t1, t2 int64, n int) [][2]int64 {
 // shared worker pool and returns the per-range row groups in range
 // order. Each claimed range index is owned by exactly one participant,
 // so the results slots stay write-disjoint; a straggler range occupies
-// one participant while the rest drain the remainder.
-func (e *Engine) runRanged(ranges [][2]int64, fn func(t1, t2 int64) ([]Row, error)) ([]Row, error) {
+// one participant while the rest drain the remainder. The query's
+// collector (nil = unattributed) receives the batch's shared-pool
+// resource accounting.
+func (e *Engine) runRanged(ranges [][2]int64, col *statsCollector, fn func(t1, t2 int64) ([]Row, error)) ([]Row, error) {
+	var qs *exec.QueryStats
+	if col != nil {
+		qs = &col.execStats
+	}
 	results := make([][]Row, len(ranges))
-	err := e.pool().Run(len(ranges), e.workers(), func(w *exec.Worker, i int) error {
+	err := e.pool().RunWith(qs, len(ranges), e.workers(), func(w *exec.Worker, i int) error {
 		rows, err := fn(ranges[i][0], ranges[i][1])
 		if err != nil {
 			return err

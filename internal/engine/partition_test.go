@@ -135,7 +135,7 @@ func TestRunRangedClaims(t *testing.T) {
 		ranges[i] = [2]int64{int64(i) * 10, int64(i)*10 + 9}
 	}
 	var calls atomic.Int64
-	rows, err := e.runRanged(ranges, func(t1, t2 int64) ([]Row, error) {
+	rows, err := e.runRanged(ranges, nil, func(t1, t2 int64) ([]Row, error) {
 		calls.Add(1)
 		return []Row{{Time: t1}}, nil
 	})
@@ -154,7 +154,7 @@ func TestRunRangedClaims(t *testing.T) {
 		}
 	}
 	boom := errors.New("boom")
-	_, err = e.runRanged(ranges, func(t1, t2 int64) ([]Row, error) {
+	_, err = e.runRanged(ranges, nil, func(t1, t2 int64) ([]Row, error) {
 		if t1 == 200 {
 			return nil, fmt.Errorf("range %d: %w", t1, boom)
 		}

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"testing"
+
+	"etsqp/internal/sqlparse"
+)
+
+// TestQueryStatsZeroAllocSteadyState pins the cost of per-query
+// resource attribution on the Figure 10 hot path (fused aggregate over
+// a multi-page series, shared pool, tracing off): the attribution
+// collector is embedded by value in the per-query stats collector and
+// charged through nil-gated atomics, so a steady-state Execute holds
+// the same page-proportional allocation budget as before the feature —
+// zero allocations are added per operation. The pool-layer half of the
+// proof (RunWith with a collector allocates exactly zero, like Run) is
+// TestRunWithQueryStatsAllocs in internal/exec.
+func TestQueryStatsZeroAllocSteadyState(t *testing.T) {
+	ts, vals := testData(8192, 7, true)
+	st := storeFor(t, ModeETSQP, ts, vals, 1024)
+	e := New(st, ModeETSQP)
+	e.Workers = 4
+	q, err := sqlparse.Parse("SELECT SUM(A), COUNT(A) FROM ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: plan cache, pool batch/submitter freelists, worker arenas.
+	var slices int64
+	for i := 0; i < 3; i++ {
+		res, err := e.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slices = res.Stats.SlicesRun
+	}
+	if slices == 0 {
+		t.Fatal("no pipeline jobs ran")
+	}
+
+	// Attribution is on for every query, not just traced ones.
+	res, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MorselsRun != slices {
+		t.Errorf("MorselsRun = %d, want the %d pipeline jobs", res.Stats.MorselsRun, slices)
+	}
+	if res.Stats.CPUNanos <= 0 {
+		t.Errorf("CPUNanos = %d, want > 0", res.Stats.CPUNanos)
+	}
+	// ArenaHighWater is not asserted: the fused aggregate path never
+	// materializes, so its own arena use is zero, and the shared default
+	// pool's arenas may or may not have grown under earlier tests.
+
+	n := testing.AllocsPerRun(50, func() {
+		if _, err := e.Execute(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Budget: the same page-proportional constant the executor held
+	// before per-query attribution existed — the collector itself is one
+	// of the fixed per-query allocations, and charging it is atomic adds
+	// only.
+	if budget := float64(slices*12 + 64); n > budget {
+		t.Errorf("Execute: %.1f allocs/op over %d jobs, budget %.0f", n, slices, budget)
+	}
+	t.Logf("Execute: %.1f allocs/op over %d jobs", n, slices)
+}

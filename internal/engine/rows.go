@@ -61,7 +61,7 @@ func (e *Engine) readSeriesColumns(name string, t1, t2 int64, col *statsCollecto
 			})
 		}
 	}
-	err := e.pool().Run(len(morsels), e.workers(), func(w *exec.Worker, i int) error {
+	err := e.pool().RunWith(&col.execStats, len(morsels), e.workers(), func(w *exec.Worker, i int) error {
 		j := morsels[i]
 		col.slicesRun.Add(1)
 		col.tuplesLoaded.Add(int64(j.sl.Rows()))
@@ -170,7 +170,7 @@ func (e *Engine) executeMerge(q *sqlparse.Query, tr *Trace) (*Result, error) {
 	}
 	ranges := timeCuts(serL, t1, t2, e.workers())
 	col.mergeRanges.Add(int64(len(ranges)))
-	rows, err := e.runRanged(ranges, func(a, b int64) ([]Row, error) {
+	rows, err := e.runRanged(ranges, col, func(a, b int64) ([]Row, error) {
 		lc, err := e.newBatchCursor(q.Series[0], a, b, col)
 		if err != nil {
 			return nil, err
@@ -216,7 +216,7 @@ func (e *Engine) executeJoin(q *sqlparse.Query, tr *Trace) (*Result, error) {
 	}
 	ranges := timeCuts(serL, t1, t2, e.workers())
 	col.mergeRanges.Add(int64(len(ranges)))
-	rows, err := e.runRanged(ranges, func(a, b int64) ([]Row, error) {
+	rows, err := e.runRanged(ranges, col, func(a, b int64) ([]Row, error) {
 		lc, err := e.newBatchCursor(q.Series[0], a, b, col)
 		if err != nil {
 			return nil, err

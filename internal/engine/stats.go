@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"etsqp/internal/exec"
 	"etsqp/internal/expr"
 	"etsqp/internal/obs"
 )
@@ -54,6 +55,15 @@ type Stats struct {
 	WindowNanos int64 // per-window partial fills and segment merges
 	MergeNanos  int64
 	PruneNanos  int64 // page selection + header-statistics pruning
+
+	// Shared-pool resource attribution (exec.QueryStats): worker CPU time
+	// summed over the query's morsel executions (exceeds wall time on
+	// parallel queries by design), morsels run and stolen on its behalf,
+	// and the largest scratch-arena footprint any participant held.
+	CPUNanos       int64
+	MorselsRun     int64
+	MorselsStolen  int64
+	ArenaHighWater int64 // bytes
 }
 
 // statsCollector accumulates Stats from concurrent workers.
@@ -83,6 +93,12 @@ type statsCollector struct {
 	windowNanos atomic.Int64 //etsqp:atomic
 	mergeNanos  atomic.Int64 //etsqp:atomic
 	pruneNanos  atomic.Int64 //etsqp:atomic
+
+	// execStats is the query's shared-pool attribution sink, passed to
+	// Pool.RunWith by every batch the query submits. Embedded by value so
+	// per-query accounting adds no allocation beyond the collector that
+	// already exists (TestQueryStatsZeroAllocSteadyState).
+	execStats exec.QueryStats
 
 	// trace, when non-nil, receives per-slice events. Hot paths only ever
 	// perform a nil check on it, so tracing off adds no work and no
@@ -122,6 +138,11 @@ func (c *statsCollector) snapshot() Stats {
 		WindowNanos: c.windowNanos.Load(),
 		MergeNanos:  c.mergeNanos.Load(),
 		PruneNanos:  c.pruneNanos.Load(),
+
+		CPUNanos:       c.execStats.CPUNanos(),
+		MorselsRun:     c.execStats.Morsels(),
+		MorselsStolen:  c.execStats.Steals(),
+		ArenaHighWater: c.execStats.ArenaHighWater(),
 	}
 }
 

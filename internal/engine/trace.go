@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -60,15 +61,55 @@ type Trace struct {
 	// aggregate overflow — still explains itself. Appended to the schema;
 	// omitted when empty, so successful-trace goldens are unchanged.
 	Error string `json:"error,omitempty"`
+	// TraceID is a process-unique identifier stamped on the engine's
+	// latency-histogram exemplar, so a /metrics bucket links back to the
+	// matching slow-query-log line. Appended to the schema.
+	TraceID string `json:"trace_id,omitempty"`
+	// Resources attributes shared-pool and storage consumption to this
+	// query (nil when execution recorded none). Appended to the schema.
+	Resources *TraceResources `json:"resources,omitempty"`
 
 	parseNs int64
 	planNs  int64
 	mu      sync.Mutex
 }
 
-// NewTrace starts a trace for one query.
+// TraceResources is the per-query resource-attribution block of a trace:
+// what the query cost the shared pool and the storage layer, as opposed
+// to how long its stages took. CPUNanos sums per-morsel wall time across
+// participants, so it exceeds ElapsedNs on parallel queries by design.
+type TraceResources struct {
+	CPUNanos       int64 `json:"cpu_ns"`
+	Morsels        int64 `json:"morsels"`
+	Steals         int64 `json:"steals"`
+	PagesRead      int64 `json:"pages_read"`
+	BytesScanned   int64 `json:"bytes_scanned"`
+	ValuesDecoded  int64 `json:"values_decoded"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	ArenaHighWater int64 `json:"arena_high_bytes"`
+}
+
+// traceIDSeq and traceIDSalt make trace IDs process-unique without
+// coordination: a per-process random-ish salt (start time) mixed with an
+// atomic sequence through a splitmix64-style multiplier.
+var (
+	traceIDSeq  atomic.Uint64 //etsqp:atomic
+	traceIDSalt = uint64(time.Now().UnixNano())
+)
+
+// newTraceID mints a 16-hex-character process-unique trace ID.
+func newTraceID() string {
+	x := traceIDSalt + traceIDSeq.Add(1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return fmt.Sprintf("%016x", x)
+}
+
+// NewTrace starts a trace for one query, minting its trace ID.
 func NewTrace(query string, mode string, workers int) *Trace {
-	return &Trace{Query: query, Mode: mode, Workers: workers}
+	return &Trace{Query: query, Mode: mode, Workers: workers, TraceID: newTraceID()}
 }
 
 // addSlice records a per-slice event, dropping detail beyond the cap.
@@ -112,6 +153,21 @@ func (t *Trace) finish(st Stats, elapsed time.Duration) {
 	}
 	stages = append(stages, Span{Name: "other", DurNs: other})
 	t.Root = Span{Name: "query", DurNs: t.ElapsedNs, Children: stages}
+	if st.CPUNanos != 0 || st.MorselsRun != 0 || st.PagesRead != 0 ||
+		st.BytesScanned != 0 || st.ValuesDecoded != 0 ||
+		st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Resources = &TraceResources{
+			CPUNanos:       st.CPUNanos,
+			Morsels:        st.MorselsRun,
+			Steals:         st.MorselsStolen,
+			PagesRead:      st.PagesRead,
+			BytesScanned:   st.BytesScanned,
+			ValuesDecoded:  st.ValuesDecoded,
+			CacheHits:      st.CacheHits,
+			CacheMisses:    st.CacheMisses,
+			ArenaHighWater: st.ArenaHighWater,
+		}
+	}
 }
 
 // fail finishes a trace for a query that errored mid-execution: the span

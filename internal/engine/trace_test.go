@@ -86,12 +86,16 @@ func TestTraceSpanTreeShape(t *testing.T) {
 // part of the trace contract (consumers parse slow-query log lines).
 func TestTraceJSONGolden(t *testing.T) {
 	tr := NewTrace("SELECT SUM(A) FROM ts", "ETSQP", 2)
+	tr.TraceID = "00f1e2d3c4b5a697" // minted IDs are process-unique; pin one
 	tr.parseNs = 10
 	tr.planNs = 20
 	tr.finish(Stats{
 		SlicesRun:  1,
 		PruneNanos: 30, IONanos: 40, DecodeNanos: 50,
 		FilterNanos: 60, AggNanos: 70, WindowNanos: 5, MergeNanos: 80,
+		CPUNanos: 100, MorselsRun: 3, MorselsStolen: 1,
+		PagesRead: 2, BytesScanned: 64, ValuesDecoded: 8,
+		CacheHits: 1, CacheMisses: 1, ArenaHighWater: 4096,
 	}, 400*time.Nanosecond)
 	tr.addSlice(SliceEvent{StartRow: 0, EndRow: 8, Rows: 8, Fused: true, Width: 4, Nv: 7, DurNs: 90})
 	var b strings.Builder
@@ -107,7 +111,10 @@ func TestTraceJSONGolden(t *testing.T) {
 		`{"name":"merge","dur_ns":80},` +
 		`{"name":"other","dur_ns":65}]},` +
 		`"slices":[{"start_row":0,"end_row":8,"rows":8,"fused":true,"width":4,"nv":7,"dur_ns":90}],` +
-		`"slices_total":1}` + "\n"
+		`"slices_total":1,"trace_id":"00f1e2d3c4b5a697",` +
+		`"resources":{"cpu_ns":100,"morsels":3,"steals":1,"pages_read":2,` +
+		`"bytes_scanned":64,"values_decoded":8,"cache_hits":1,"cache_misses":1,` +
+		`"arena_high_bytes":4096}}` + "\n"
 	if got := b.String(); got != want {
 		t.Errorf("trace JSON mismatch\ngot:  %s\nwant: %s", got, want)
 	}

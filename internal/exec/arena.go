@@ -35,6 +35,17 @@ func (a *Arena) Int64(class, n int) []int64 {
 	return b[:n]
 }
 
+// Bytes reports the arena's current footprint: the summed capacity of
+// every class buffer in bytes. Queries record it as their arena
+// high-water mark via exec.QueryStats.
+func (a *Arena) Bytes() int64 {
+	var n int64
+	for i := range a.bufs {
+		n += int64(cap(a.bufs[i])) * 8
+	}
+	return n
+}
+
 // Reset drops every buffer, returning the memory to the collector.
 func (a *Arena) Reset() {
 	for i := range a.bufs {

@@ -72,6 +72,12 @@ type batch struct {
 	slots  int
 	joined int
 
+	// qs, when non-nil, receives per-query resource attribution for this
+	// batch. Set under the pool mutex before the batch is listed and read
+	// by helpers that joined through that mutex, so the plain field is
+	// ordered; cleared on recycle so the sink cannot outlive its query.
+	qs *QueryStats
+
 	done   atomic.Int64 //etsqp:atomic — morsels completed (executed or skipped after failure)
 	steals atomic.Int64 //etsqp:atomic
 	failed atomic.Bool  //etsqp:atomic
@@ -208,26 +214,38 @@ func (b *batch) claim(slot int) (int, bool) {
 
 // runLoop claims and executes morsels until none remain. After a morsel
 // fails, remaining claims drain without executing fn so completion
-// accounting stays exact.
+// accounting stays exact. Per-morsel timing is shared between the obs
+// histogram and the batch's QueryStats sink: the clock is read once and
+// only when at least one consumer wants it, so the plain Run path with
+// collection off still pays nothing.
 func (b *batch) runLoop(w *Worker) {
 	for {
 		i, stolen := b.claim(w.Slot)
 		if i < 0 {
-			return
+			break
 		}
 		if stolen {
 			b.steals.Add(1)
 		}
 		if !b.failed.Load() {
-			if obs.Enabled() {
+			if b.qs != nil || obs.Enabled() {
 				start := time.Now()
 				b.runOne(w, i)
-				obs.ExecHistMorsel.Observe(int64(time.Since(start)))
+				elapsed := int64(time.Since(start))
+				if b.qs != nil {
+					b.qs.cpuNanos.Add(elapsed)
+				}
+				if obs.Enabled() {
+					obs.ExecHistMorsel.Observe(elapsed)
+				}
 			} else {
 				b.runOne(w, i)
 			}
 		}
 		b.done.Add(1)
+	}
+	if b.qs != nil {
+		b.qs.noteArena(w.Arena.Bytes())
 	}
 }
 
@@ -292,6 +310,16 @@ func (p *Pool) workerLoop(w *Worker) {
 // n must be below 1<<31: chunk (next, limit) pairs are packed into 32
 // bits each, so larger batches would silently truncate their bounds.
 func (p *Pool) Run(n, par int, fn func(w *Worker, i int) error) error {
+	return p.RunWith(nil, n, par, fn)
+}
+
+// RunWith is Run with a per-query resource-attribution sink: when qs is
+// non-nil the batch charges it per-morsel CPU nanoseconds, morsel and
+// steal counts, and the participants' arena high-water mark. A nil qs
+// is exactly Run — the accounting is nil-gated like tracing, so the
+// plain path pays one predicted branch per morsel and allocates
+// nothing either way (the sink is caller-allocated).
+func (p *Pool) RunWith(qs *QueryStats, n, par int, fn func(w *Worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -309,7 +337,7 @@ func (p *Pool) Run(n, par int, fn func(w *Worker, i int) error) error {
 	}
 
 	p.mu.Lock()
-	b := p.getBatchLocked(n, par, fn)
+	b := p.getBatchLocked(qs, n, par, fn)
 	sub := p.getSubmitterLocked()
 	if par > 1 {
 		p.active = append(p.active, b)
@@ -339,6 +367,10 @@ func (p *Pool) Run(n, par int, fn func(w *Worker, i int) error) error {
 	b.mu.Unlock()
 
 	err := b.firstErr()
+	if qs != nil {
+		qs.morsels.Add(int64(n))
+		qs.steals.Add(b.steals.Load())
+	}
 	if obs.Enabled() {
 		obs.ExecBatches.Inc()
 		obs.ExecMorsels.Add(int64(n))
@@ -358,7 +390,7 @@ func (p *Pool) Run(n, par int, fn func(w *Worker, i int) error) error {
 // take those (uncontended) locks rather than racing by fiat.
 //
 //etsqp:locked mu
-func (p *Pool) getBatchLocked(n, par int, fn func(w *Worker, i int) error) *batch {
+func (p *Pool) getBatchLocked(qs *QueryStats, n, par int, fn func(w *Worker, i int) error) *batch {
 	var b *batch
 	if k := len(p.freeBatch); k > 0 {
 		b = p.freeBatch[k-1]
@@ -368,6 +400,7 @@ func (p *Pool) getBatchLocked(n, par int, fn func(w *Worker, i int) error) *batc
 		b.cond = sync.NewCond(&b.mu)
 	}
 	b.n, b.par, b.fn = n, par, fn
+	b.qs = qs
 	b.slots, b.joined = par-1, 0
 	b.mu.Lock()
 	b.exited = 0
@@ -401,6 +434,7 @@ func (p *Pool) getBatchLocked(n, par int, fn func(w *Worker, i int) error) *batc
 //etsqp:locked mu
 func (p *Pool) putBatchLocked(b *batch) {
 	b.fn = nil
+	b.qs = nil
 	p.freeBatch = append(p.freeBatch, b)
 }
 

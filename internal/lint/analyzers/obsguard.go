@@ -14,28 +14,31 @@ import (
 
 // ObsGuard enforces the observability layer's overhead contract:
 //
-//  1. Inside the obs package, the metric storage fields (Counter.v and
-//     Histogram's buckets/sum/count) may only be touched by the atomic
-//     helper methods (Counter/Timer/Histogram receivers) and the
-//     registry-wide Capture/CaptureHistograms/Reset — never by ad-hoc
-//     code that could race or bypass the enable gate.
+//  1. Inside the obs package, the metric storage fields (Counter.v,
+//     Gauge.v, and Histogram's buckets/sum/count/ex) may only be touched
+//     by the atomic helper methods (Counter/Timer/Gauge/Histogram
+//     receivers) and the registry-wide capture/reset helpers — never by
+//     ad-hoc code that could race or bypass the enable gate.
 //  2. In //etsqp:hotpath functions (and their module callees), every
-//     counter/timer/histogram mutation must sit behind an obs.Enabled()
-//     check so a disabled build pays one predicted branch, not argument
-//     computation plus an atomic load per metric.
+//     counter/timer/gauge/histogram mutation must sit behind an
+//     obs.Enabled() check so a disabled build pays one predicted branch,
+//     not argument computation plus an atomic load per metric.
 //  3. Every metric registered in the obs package (newCounter / newTimer /
-//     newHistogram) must appear in a docs/OBSERVABILITY.md table row, and
-//     every table row must name a registered metric — the doc is the
-//     reviewed metrics surface and may not drift from the registry.
+//     newGauge / newHistogram) must appear in a docs/OBSERVABILITY.md
+//     table row, and every table row must name a registered metric — the
+//     doc is the reviewed metrics surface and may not drift from the
+//     registry.
 var ObsGuard = &lint.Analyzer{
 	Name: "obsguard",
 	Doc:  "obs counters: atomic helpers only, Enabled()-gated in hot paths, docs in sync",
 	Run:  runObsGuard,
 }
 
-// obsMutators are the Counter/Timer/Histogram methods that write a metric.
+// obsMutators are the Counter/Timer/Gauge/Histogram methods that write
+// a metric.
 var obsMutators = map[string]bool{
-	"Add": true, "Inc": true, "AddNanos": true, "Since": true, "Observe": true,
+	"Add": true, "Inc": true, "AddNanos": true, "Since": true,
+	"Observe": true, "ObserveN": true, "ObserveExemplar": true, "Set": true,
 }
 
 func runObsGuard(pass *lint.Pass) error {
@@ -93,6 +96,8 @@ func checkObsFieldAccess(pass *lint.Pass, pkg *lint.Package) {
 					pass.Reportf(sel.Pos(), "direct access to counter storage outside the atomic helpers; use Add/Inc/Load")
 				case "buckets", "sum", "count":
 					pass.Reportf(sel.Pos(), "direct access to histogram storage outside the atomic helpers; use Observe/Snapshot")
+				case "ex":
+					pass.Reportf(sel.Pos(), "direct access to histogram exemplar storage outside the seqlock helpers; use ObserveExemplar/Exemplars")
 				}
 				return true
 			})
@@ -101,12 +106,12 @@ func checkObsFieldAccess(pass *lint.Pass, pkg *lint.Package) {
 }
 
 // obsHelperFunc reports whether fd is allowed to touch metric storage:
-// a method on Counter, Timer or Histogram, or the registry-wide
-// Capture/CaptureHistograms/Reset.
+// a method on Counter, Timer, Gauge or Histogram, or the registry-wide
+// capture/reset helpers.
 func obsHelperFunc(pkg *lint.Package, fd *ast.FuncDecl) bool {
 	if fd.Recv == nil {
 		switch fd.Name.Name {
-		case "Capture", "CaptureHistograms", "Reset":
+		case "Capture", "CaptureHistograms", "CaptureGauges", "CaptureExemplars", "Reset":
 			return true
 		}
 		return false
@@ -131,7 +136,9 @@ func obsHelperFunc(pkg *lint.Package, fd *ast.FuncDecl) bool {
 }
 
 // obsMetricTypes are the obs package's metric holder types.
-var obsMetricTypes = map[string]bool{"Counter": true, "Timer": true, "Histogram": true}
+var obsMetricTypes = map[string]bool{
+	"Counter": true, "Timer": true, "Gauge": true, "Histogram": true,
+}
 
 // isObsCounterType reports whether t (possibly a pointer) is the obs
 // Counter, Timer or Histogram type.
@@ -213,7 +220,9 @@ func CalleeEnabledFunc(info *types.Info, call *ast.CallExpr) bool {
 
 // obsRegistrars are the obs package constructors that register a metric
 // under a dotted name.
-var obsRegistrars = map[string]bool{"newCounter": true, "newTimer": true, "newHistogram": true}
+var obsRegistrars = map[string]bool{
+	"newCounter": true, "newTimer": true, "newGauge": true, "newHistogram": true,
+}
 
 // obsRegistration is one newCounter/newTimer/newHistogram call site.
 type obsRegistration struct {

@@ -11,4 +11,6 @@ var (
 		"missing from the doc tables")
 	Latency = newHistogram("fixture.latency_ns",
 		"query latency distribution")
+	Goroutines = newGauge("fixture.goroutines",
+		"live goroutines at last sample")
 )

@@ -33,11 +33,29 @@ type Timer struct{ c Counter }
 // AddNanos folds an elapsed duration into the timer.
 func (t *Timer) AddNanos(n int64) { t.c.Add(n) }
 
+// Gauge mirrors the real last-value metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the current value when collection is enabled.
+func (g *Gauge) Set(v int64) {
+	if !Enabled() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// exemplarCell mirrors the real seqlock exemplar slot.
+type exemplarCell struct {
+	seq atomic.Uint64
+	val atomic.Int64
+}
+
 // Histogram mirrors the real power-of-two-bucket distribution metric.
 type Histogram struct {
 	buckets [4]atomic.Int64
 	sum     atomic.Int64
 	count   atomic.Int64
+	ex      [4]exemplarCell
 	name    string
 }
 
@@ -51,12 +69,27 @@ func (h *Histogram) Observe(v int64) {
 	h.count.Add(1)
 }
 
+// ObserveExemplar records one value with an exemplar trace ID.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	h.Observe(v)
+	if !Enabled() || traceID == "" {
+		return
+	}
+	h.ex[0].val.Store(v)
+	h.ex[0].seq.Add(2)
+}
+
 // registry mirrors the real package's declaration-order metric list.
 var registry []string
 
 func newCounter(name, help string) *Counter {
 	registry = append(registry, name)
 	return new(Counter)
+}
+
+func newGauge(name, help string) *Gauge {
+	registry = append(registry, name)
+	return new(Gauge)
 }
 
 func newHistogram(name, help string) *Histogram {
@@ -77,6 +110,16 @@ func CaptureHistograms() int64 {
 	return Latency.count.Load()
 }
 
+// CaptureGauges is sanctioned for gauge storage.
+func CaptureGauges() int64 {
+	return Goroutines.v.Load()
+}
+
+// CaptureExemplars is sanctioned for exemplar storage.
+func CaptureExemplars() uint64 {
+	return Latency.ex[0].seq.Load()
+}
+
 // Zero bypasses the helpers; rule 1 flags the storage access.
 func Zero() {
 	Ops.v.Store(0) // want `direct access to counter storage outside the atomic helpers; use Add/Inc/Load`
@@ -85,4 +128,14 @@ func Zero() {
 // Drain bypasses the helpers; rule 1 flags histogram storage too.
 func Drain(h *Histogram) int64 {
 	return h.sum.Load() // want `direct access to histogram storage outside the atomic helpers; use Observe/Snapshot`
+}
+
+// Peek bypasses the gauge helpers; rule 1 flags gauge storage too.
+func Peek(g *Gauge) int64 {
+	return g.v.Load() // want `direct access to counter storage outside the atomic helpers; use Add/Inc/Load`
+}
+
+// Steal bypasses the seqlock; rule 1 flags exemplar storage.
+func Steal(h *Histogram) uint64 {
+	return h.ex[1].seq.Load() // want `direct access to histogram exemplar storage outside the seqlock helpers; use ObserveExemplar/Exemplars`
 }

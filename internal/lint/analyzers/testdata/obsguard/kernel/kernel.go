@@ -48,9 +48,35 @@ func HistGated(vals []int64) int64 {
 	return s
 }
 
+//etsqp:hotpath
+func GaugeSet(vals []int64) int64 {
+	var s int64
+	for _, v := range vals {
+		s += v
+	}
+	obs.Goroutines.Set(s) // want `obs counter update in hot path GaugeSet is not behind obs\.Enabled\(\)`
+	return s
+}
+
+//etsqp:hotpath
+func Exemplar(vals []int64) int64 {
+	var s int64
+	for _, v := range vals {
+		s += v
+	}
+	obs.Latency.ObserveExemplar(s, "tid") // want `obs counter update in hot path Exemplar is not behind obs\.Enabled\(\)`
+	if obs.Enabled() {
+		obs.Latency.ObserveExemplar(s, "tid") // gated: not flagged
+		obs.Goroutines.Set(s)                 // gated: not flagged
+	}
+	return s
+}
+
 // Cold is not a hot path; ungated updates are fine (the helper itself
 // carries the enable gate).
 func Cold(vals []int64) {
 	obs.Ops.Add(int64(len(vals)))
 	obs.Latency.Observe(int64(len(vals)))
+	obs.Goroutines.Set(int64(len(vals)))
+	obs.Latency.ObserveExemplar(int64(len(vals)), "tid")
 }

@@ -154,6 +154,12 @@ var (
 		"active-batch count observed at each multi-participant submission")
 )
 
+// Serve: the HTTP observability and query surface.
+var (
+	ServeSlowDropped = newCounter("serve.slow_dropped",
+		"slow-query traces evicted from the bounded in-memory ring (-slow-max)")
+)
+
 // Transport: the Section I encoded-delivery path.
 var (
 	TransportFramesOut = newCounter("transport.frames_out",

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestObserveExemplarStampsBucket checks an exemplar lands in the same
+// bucket as its observation and carries the trace ID, value, and a
+// timestamp.
+func TestObserveExemplarStampsBucket(t *testing.T) {
+	Reset()
+	Enable()
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	EngineHistQuery.Observe(1000)                    // no exemplar
+	EngineHistQuery.ObserveExemplar(1000, "aaaa")    // bucket 10
+	EngineHistQuery.ObserveExemplar(1_000_000, "bb") // bucket 20
+	ex := EngineHistQuery.Exemplars()
+	if len(ex) != 2 {
+		t.Fatalf("got %d exemplar buckets, want 2: %v", len(ex), ex)
+	}
+	e10, ok := ex[histBucket(1000)]
+	if !ok || e10.TraceID != "aaaa" || e10.Value != 1000 {
+		t.Errorf("bucket %d exemplar = %+v, want trace aaaa value 1000", histBucket(1000), e10)
+	}
+	e20, ok := ex[histBucket(1_000_000)]
+	if !ok || e20.TraceID != "bb" || e20.Value != 1_000_000 {
+		t.Errorf("bucket %d exemplar = %+v, want trace bb value 1000000", histBucket(1_000_000), e20)
+	}
+	if e10.UnixNanos <= 0 || e20.UnixNanos <= 0 {
+		t.Error("exemplars missing timestamps")
+	}
+	// Newest-wins within a bucket.
+	EngineHistQuery.ObserveExemplar(1001, "cccc")
+	if e := EngineHistQuery.Exemplars()[histBucket(1001)]; e.TraceID != "cccc" {
+		t.Errorf("bucket exemplar = %+v, want the newer trace cccc", e)
+	}
+	// The observation itself still counted.
+	if got := EngineHistQuery.Snapshot().Count; got != 4 {
+		t.Errorf("count = %d, want 4", got)
+	}
+}
+
+// TestObserveExemplarDisabledOrEmpty checks the gates: disabled
+// collection and empty trace IDs leave no exemplar.
+func TestObserveExemplarDisabledOrEmpty(t *testing.T) {
+	Reset()
+	EngineHistQuery.ObserveExemplar(1000, "off") // disabled: no-op
+	Enable()
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	EngineHistQuery.ObserveExemplar(1000, "") // counted, but no exemplar
+	if got := len(EngineHistQuery.Exemplars()); got != 0 {
+		t.Errorf("got %d exemplars, want 0", got)
+	}
+	if got := EngineHistQuery.Snapshot().Count; got != 1 {
+		t.Errorf("count = %d, want 1 (empty-ID observation still counts)", got)
+	}
+	// Reset clears exemplars.
+	EngineHistQuery.ObserveExemplar(1000, "x")
+	Reset()
+	if got := len(EngineHistQuery.Exemplars()); got != 0 {
+		t.Errorf("Reset left %d exemplars", got)
+	}
+}
+
+// TestCaptureExemplarsAligned checks the capture is index-aligned with
+// the histogram registry, so the exposition can zip the three captures.
+func TestCaptureExemplarsAligned(t *testing.T) {
+	Reset()
+	Enable()
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	EngineHistQuery.ObserveExemplar(2000, "dddd")
+	hists := Histograms()
+	caps := CaptureExemplars()
+	if len(caps) != len(hists) {
+		t.Fatalf("CaptureExemplars returned %d entries, registry has %d", len(caps), len(hists))
+	}
+	found := false
+	for i, c := range caps {
+		if c.Name != hists[i].Name {
+			t.Errorf("entry %d: name %q, registry %q", i, c.Name, hists[i].Name)
+		}
+		if c.Name == "engine.hist.query_ns" {
+			found = len(c.ByBucket) == 1
+		}
+	}
+	if !found {
+		t.Error("engine.hist.query_ns exemplar missing from capture")
+	}
+}
+
+// TestExemplarRace hammers ObserveExemplar against concurrent readers;
+// the seqlock must keep every returned exemplar internally consistent
+// (a trace ID always paired with its own value) and the run clean under
+// -race.
+func TestExemplarRace(t *testing.T) {
+	Reset()
+	Enable()
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	const writers, readers, rounds = 4, 4, 2000
+	ids := make([]string, writers)
+	for i := range ids {
+		// Writer w only ever records value 1000+w with trace ID "w<w>",
+		// all landing in one bucket, so a torn read would surface as a
+		// mismatched (value, id) pair.
+		ids[i] = fmt.Sprintf("w%d", i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				EngineHistQuery.ObserveExemplar(int64(1000+w), ids[w])
+			}
+		}()
+	}
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				for b, e := range EngineHistQuery.Exemplars() {
+					w := e.Value - 1000
+					if w < 0 || w >= writers || e.TraceID != ids[w] {
+						select {
+						case errs <- fmt.Sprintf("bucket %d: torn exemplar %+v", b, e):
+						default:
+						}
+						return
+					}
+				}
+				CaptureExemplars() // registry-wide read path too
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}

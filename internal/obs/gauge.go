@@ -1,0 +1,61 @@
+package obs
+
+import "sync/atomic"
+
+// Gauge is a point-in-time metric: a sampled value that can move both
+// ways (goroutine count, heap bytes in use), as opposed to a Counter's
+// monotone accumulation. It shares the Counter's storage discipline —
+// one atomic int64 behind the package-wide enable gate — so a Set on a
+// disabled registry is a single atomic load and branch, and neither
+// path allocates.
+type Gauge struct {
+	v    atomic.Int64 //etsqp:atomic
+	name string
+	help string
+}
+
+// Set records the sampled value when collection is enabled.
+func (g *Gauge) Set(v int64) {
+	if enabled.Load() {
+		g.v.Store(v)
+	}
+}
+
+// Load returns the most recently recorded value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Name returns the registered dotted metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Help returns the one-line metric description.
+func (g *Gauge) Help() string { return g.help }
+
+// gaugeRegistry holds every gauge in declaration order. Like the counter
+// registry it is fully built by package init, so reads need no lock.
+var gaugeRegistry []*Gauge
+
+func newGauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	gaugeRegistry = append(gaugeRegistry, g)
+	return g
+}
+
+// CaptureGauges copies the current value of every registered gauge,
+// keyed by metric name.
+func CaptureGauges() Snapshot {
+	s := make(Snapshot, len(gaugeRegistry))
+	for _, g := range gaugeRegistry {
+		s[g.name] = g.v.Load()
+	}
+	return s
+}
+
+// Gauges lists every registered gauge (name and help) in declaration
+// order, for documentation and exporter surfaces.
+func Gauges() []struct{ Name, Help string } {
+	out := make([]struct{ Name, Help string }, len(gaugeRegistry))
+	for i, g := range gaugeRegistry {
+		out[i] = struct{ Name, Help string }{g.name, g.help}
+	}
+	return out
+}

@@ -147,12 +147,15 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	return d
 }
 
-// Reset zeroes every registered metric and histogram. Concurrent updates
-// during the reset land in the post-reset totals of the counters already
-// visited.
+// Reset zeroes every registered metric, gauge and histogram. Concurrent
+// updates during the reset land in the post-reset totals of the counters
+// already visited.
 func Reset() {
 	for _, c := range registry {
 		c.v.Store(0)
+	}
+	for _, g := range gaugeRegistry {
+		g.v.Store(0)
 	}
 	for _, h := range histRegistry {
 		h.reset()
@@ -161,10 +164,14 @@ func Reset() {
 
 // Dump writes the current value of every metric as sorted
 // "name value" lines — the expvar-style text surface etsqp-bench and
-// etsqp-cli expose behind their -obs flags. Histograms contribute five
-// derived lines each: .count, .sum, .p50, .p90 and .p99.
+// etsqp-cli expose behind their -obs flags. Gauges contribute their last
+// sampled value; histograms contribute five derived lines each: .count,
+// .sum, .p50, .p90 and .p99.
 func Dump(w io.Writer) error {
 	s := Capture()
+	for name, v := range CaptureGauges() {
+		s[name] = v
+	}
 	for _, hs := range CaptureHistograms() {
 		s[hs.Name+".count"] = hs.Count
 		s[hs.Name+".sum"] = hs.Sum

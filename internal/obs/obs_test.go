@@ -85,10 +85,10 @@ func TestDumpSortedAndComplete(t *testing.T) {
 			t.Fatal(err)
 		}
 		lines := strings.Split(strings.TrimSpace(b.String()), "\n")
-		want := len(registry) + 5*len(histRegistry)
+		want := len(registry) + len(gaugeRegistry) + 5*len(histRegistry)
 		if len(lines) != want {
-			t.Fatalf("dump has %d lines, want %d (%d counters + 5x%d histograms)",
-				len(lines), want, len(registry), len(histRegistry))
+			t.Fatalf("dump has %d lines, want %d (%d counters + %d gauges + 5x%d histograms)",
+				len(lines), want, len(registry), len(gaugeRegistry), len(histRegistry))
 		}
 		for i := 1; i < len(lines); i++ {
 			if lines[i-1] >= lines[i] {

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+)
+
+// Go runtime telemetry: sampled from runtime/metrics into the registry
+// so /metrics exposes runtime health (etsqp_go_* families) without the
+// operator scraping pprof. Gauges hold the latest sample; the GC pause
+// histogram folds the runtime's cumulative pause distribution into the
+// registry's power-of-two nanosecond buckets by observing per-bucket
+// count deltas at each runtime bucket's midpoint.
+var (
+	GoGoroutines = newGauge("go.goroutines",
+		"live goroutines at the last runtime sample")
+	GoHeapInuse = newGauge("go.heap_inuse_bytes",
+		"heap bytes in use (live objects plus unswept span slack) at the last runtime sample")
+	GoGCCycles = newGauge("go.gc_cycles",
+		"completed GC cycles at the last runtime sample")
+	GoHistGCPause = newHistogram("go.hist.gc_pause_ns",
+		"distribution of GC stop-the-world pause times")
+)
+
+// runtimeSamples is the fixed runtime/metrics query set. Indices match
+// the reads in SampleRuntime.
+var runtimeSamples = []metrics.Sample{
+	{Name: "/sched/goroutines:goroutines"},
+	{Name: "/memory/classes/heap/objects:bytes"},
+	{Name: "/memory/classes/heap/unused:bytes"},
+	{Name: "/gc/cycles/total:gc-cycles"},
+	{Name: "/gc/pauses:seconds"},
+}
+
+var (
+	runtimeMu sync.Mutex
+	// lastPauseCounts remembers the cumulative per-bucket pause counts of
+	// the previous sample so only new pauses are folded into the
+	// histogram.
+	lastPauseCounts []uint64 //etsqp:guardedby runtimeMu
+)
+
+// SampleRuntime reads the runtime metrics into the go.* gauges and the
+// GC pause histogram. It is called on every /metrics scrape and every
+// Window tick; the mutex serializes concurrent samplers so the pause
+// deltas are never double-counted. A no-op while collection is off.
+func SampleRuntime() {
+	if !enabled.Load() {
+		return
+	}
+	runtimeMu.Lock()
+	defer runtimeMu.Unlock()
+	metrics.Read(runtimeSamples)
+	if v := &runtimeSamples[0].Value; v.Kind() == metrics.KindUint64 {
+		GoGoroutines.Set(int64(v.Uint64()))
+	}
+	var heap uint64
+	if v := &runtimeSamples[1].Value; v.Kind() == metrics.KindUint64 {
+		heap += v.Uint64()
+	}
+	if v := &runtimeSamples[2].Value; v.Kind() == metrics.KindUint64 {
+		heap += v.Uint64()
+	}
+	GoHeapInuse.Set(int64(heap))
+	if v := &runtimeSamples[3].Value; v.Kind() == metrics.KindUint64 {
+		GoGCCycles.Set(int64(v.Uint64()))
+	}
+	if v := &runtimeSamples[4].Value; v.Kind() == metrics.KindFloat64Histogram {
+		feedPauseHistogram(v.Float64Histogram())
+	}
+}
+
+// feedPauseHistogram folds the cumulative runtime pause histogram into
+// GoHistGCPause: for each runtime bucket whose count grew since the
+// previous sample, the new pauses are observed at the bucket's midpoint
+// converted from seconds to nanoseconds.
+func feedPauseHistogram(h *metrics.Float64Histogram) {
+	if h == nil || len(h.Counts) == 0 || len(h.Buckets) != len(h.Counts)+1 {
+		return
+	}
+	if len(lastPauseCounts) != len(h.Counts) {
+		lastPauseCounts = make([]uint64, len(h.Counts))
+	}
+	for i, c := range h.Counts {
+		prev := lastPauseCounts[i]
+		lastPauseCounts[i] = c
+		if c <= prev {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := midpointSeconds(lo, hi)
+		GoHistGCPause.ObserveN(int64(mid*1e9), int64(c-prev))
+	}
+}
+
+// midpointSeconds picks a representative value for a runtime histogram
+// bucket, tolerating the ±Inf bounds of the edge buckets.
+func midpointSeconds(lo, hi float64) float64 {
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi / 2
+	case math.IsInf(hi, 1):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}

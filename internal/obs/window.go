@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// windowSpan is how much history a Window retains by default: enough
+// for a 5-minute rate with slack for tick jitter.
+const windowSpan = 5*time.Minute + 30*time.Second
+
+// Window is a lock-free ring of timestamped registry snapshots that
+// turns the process-lifetime cumulative counters into rates over recent
+// time windows (10s/1m/5m on the serving surface). A single sampler —
+// the Start goroutine, or a test driving Tick with a deterministic
+// clock — appends one immutable sample per interval; readers walk the
+// ring through atomic pointers, so a sample overwritten mid-walk is
+// detected by its newer timestamp rather than read torn.
+type Window struct {
+	interval time.Duration
+	ring     []atomic.Pointer[windowSample]
+	head     atomic.Int64 //etsqp:atomic — samples published so far
+}
+
+// windowSample is one immutable point-in-time capture of the registry.
+type windowSample struct {
+	at       int64 // unix nanoseconds
+	counters Snapshot
+	gauges   Snapshot
+	hists    []HistogramSnapshot
+}
+
+// NewWindow builds a ring sampling every interval and retaining span of
+// history. A non-positive interval defaults to one second; a
+// non-positive span defaults to 5m30s.
+func NewWindow(interval, span time.Duration) *Window {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if span <= 0 {
+		span = windowSpan
+	}
+	n := int(span/interval) + 2
+	if n < 2 {
+		n = 2
+	}
+	return &Window{interval: interval, ring: make([]atomic.Pointer[windowSample], n)}
+}
+
+// Interval returns the sampling interval the ring was built for.
+func (w *Window) Interval() time.Duration { return w.interval }
+
+// Tick captures one sample stamped with now. It is exported so tests
+// can drive the ring with a deterministic clock; production use runs it
+// from the Start goroutine. Tick also refreshes the Go runtime gauges,
+// so windowed views include runtime health without a separate sampler.
+func (w *Window) Tick(now time.Time) {
+	SampleRuntime()
+	s := &windowSample{
+		at:       now.UnixNano(),
+		counters: Capture(),
+		gauges:   CaptureGauges(),
+		hists:    CaptureHistograms(),
+	}
+	h := w.head.Load()
+	w.ring[int(h%int64(len(w.ring)))].Store(s)
+	w.head.Store(h + 1)
+}
+
+// Start launches the sampler goroutine and returns a function that
+// stops it. One initial sample is taken immediately so the first
+// interval already has a baseline.
+func (w *Window) Start() (stop func()) {
+	w.Tick(time.Now())
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(w.interval)
+		defer t.Stop()
+		for {
+			select {
+			case now := <-t.C:
+				w.Tick(now)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// WindowStats is the registry movement between two ring samples: the
+// newest sample and the oldest retained sample within the requested
+// window. Seconds is the actual elapsed time between the two, so rates
+// stay honest when ticks jitter or the ring has not yet filled.
+type WindowStats struct {
+	Seconds float64
+	// Delta holds counter movement over the window; Last holds the newest
+	// absolute counter values.
+	Delta Snapshot
+	Last  Snapshot
+	// Gauges holds the newest sampled gauge values (a gauge has no rate).
+	Gauges Snapshot
+	// Hists holds per-histogram delta distributions over the window.
+	Hists map[string]HistogramSnapshot
+}
+
+// Rate returns a counter's per-second rate over the window.
+func (ws *WindowStats) Rate(name string) float64 {
+	if ws.Seconds <= 0 {
+		return 0
+	}
+	return float64(ws.Delta[name]) / ws.Seconds
+}
+
+// Stats computes the registry movement over (up to) the last d of
+// history. It reports false when fewer than two samples are retained —
+// there is no interval to rate over yet.
+func (w *Window) Stats(d time.Duration) (*WindowStats, bool) {
+	h := w.head.Load()
+	if h < 2 {
+		return nil, false
+	}
+	n := int64(len(w.ring))
+	newest := w.ring[int((h-1)%n)].Load()
+	if newest == nil {
+		return nil, false
+	}
+	// Walk back to the oldest retained sample still inside the window.
+	// A slot overwritten by a concurrent Tick carries a timestamp newer
+	// than the sample before it in the walk; stop there.
+	base := newest
+	lo := h - n
+	if lo < 0 {
+		lo = 0
+	}
+	floor := newest.at - int64(d)
+	for i := h - 2; i >= lo; i-- {
+		s := w.ring[int(i%n)].Load()
+		if s == nil || s.at >= base.at {
+			break
+		}
+		if s.at < floor {
+			break
+		}
+		base = s
+	}
+	if base == newest {
+		return nil, false
+	}
+	ws := &WindowStats{
+		Seconds: float64(newest.at-base.at) / 1e9,
+		Delta:   newest.counters.Delta(base.counters),
+		Last:    newest.counters,
+		Gauges:  newest.gauges,
+		Hists:   make(map[string]HistogramSnapshot, len(newest.hists)),
+	}
+	for i, hs := range newest.hists {
+		if i < len(base.hists) && base.hists[i].Name == hs.Name {
+			ws.Hists[hs.Name] = hs.Delta(base.hists[i])
+		} else {
+			ws.Hists[hs.Name] = hs
+		}
+	}
+	return ws, true
+}

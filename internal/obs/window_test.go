@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWindowRatesDeterministicClock drives a small ring with a
+// synthetic clock across more ticks than it has slots and checks the
+// derived rates at every horizon: deltas divide by the actual elapsed
+// time between the samples used, the window floor bounds how far back
+// the walk goes, and wrap-around discards exactly the overwritten
+// history.
+func TestWindowRatesDeterministicClock(t *testing.T) {
+	Reset()
+	Enable()
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	// 1s interval, 4s span → 6 ring slots.
+	w := NewWindow(time.Second, 4*time.Second)
+	if _, ok := w.Stats(time.Second); ok {
+		t.Fatal("Stats reported ok with no samples")
+	}
+	base := time.Unix(1_700_000_000, 0)
+	// Tick 10 times (wrapping the 6-slot ring), bumping a counter by 10
+	// and the query histogram by one observation per second.
+	for i := 0; i < 10; i++ {
+		EngineQueries.Add(10)
+		EngineHistQuery.Observe(int64(1000 << i)) // distinct bucket per tick
+		w.Tick(base.Add(time.Duration(i) * time.Second))
+	}
+	// 2-second horizon: newest sample at t=9, base at t=7.
+	ws, ok := w.Stats(2 * time.Second)
+	if !ok {
+		t.Fatal("Stats(2s) not ok")
+	}
+	if ws.Seconds != 2 {
+		t.Fatalf("Stats(2s) spans %.1fs, want 2", ws.Seconds)
+	}
+	if got := ws.Delta["engine.queries"]; got != 20 {
+		t.Errorf("2s delta = %d, want 20 (two ticks of 10)", got)
+	}
+	if got := ws.Rate("engine.queries"); got != 10 {
+		t.Errorf("2s rate = %.1f/s, want 10", got)
+	}
+	if got := ws.Hists["engine.hist.query_ns"].Count; got != 2 {
+		t.Errorf("2s histogram delta count = %d, want 2", got)
+	}
+	if got := ws.Last["engine.queries"]; got != 100 {
+		t.Errorf("Last = %d, want the absolute 100", got)
+	}
+
+	// A horizon wider than the retained history clamps to the oldest
+	// surviving sample: 10 ticks through 6 slots leaves t=4..9, so the
+	// widest stats span 5 seconds, not the requested 60.
+	ws, ok = w.Stats(time.Minute)
+	if !ok {
+		t.Fatal("Stats(1m) not ok")
+	}
+	if ws.Seconds != 5 {
+		t.Fatalf("Stats(1m) spans %.1fs after wrap, want the 5 retained", ws.Seconds)
+	}
+	if got := ws.Delta["engine.queries"]; got != 50 {
+		t.Errorf("wrapped delta = %d, want 50", got)
+	}
+	if got := ws.Hists["engine.hist.query_ns"].Count; got != 5 {
+		t.Errorf("wrapped histogram delta count = %d, want 5", got)
+	}
+}
+
+// TestWindowGaugesAreLastValue checks gauges report the newest sampled
+// value, not a delta.
+func TestWindowGaugesAreLastValue(t *testing.T) {
+	Reset()
+	Enable()
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	w := NewWindow(time.Second, 10*time.Second)
+	base := time.Unix(1_700_000_000, 0)
+	w.Tick(base)
+	w.Tick(base.Add(time.Second))
+	ws, ok := w.Stats(5 * time.Second)
+	if !ok {
+		t.Fatal("Stats not ok")
+	}
+	// Tick samples the runtime, so the goroutine gauge is live.
+	if got := ws.Gauges["go.goroutines"]; got <= 0 {
+		t.Errorf("go.goroutines gauge = %d, want > 0", got)
+	}
+}
+
+// TestWindowStartStop smoke-tests the production sampler goroutine.
+func TestWindowStartStop(t *testing.T) {
+	Reset()
+	Enable()
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	w := NewWindow(time.Millisecond, 100*time.Millisecond)
+	stop := w.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := w.Stats(time.Second); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sampler produced no usable window within 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+)
+
+// handleDash serves the self-contained ops dashboard: one HTML page,
+// no external assets, polling /debug/windows every second from the
+// browser.
+func handleDash(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = io.WriteString(w, dashHTML)
+}
+
+// dashHTML is the whole dashboard. It renders the same document the
+// etsqp-cli top console consumes, so the two views can never disagree
+// about what the server is doing.
+const dashHTML = `<!doctype html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>etsqp ops</title>
+<style>
+body { font-family: ui-monospace, Menlo, Consolas, monospace; background: #101418; color: #d8dee4; margin: 2em; }
+h1 { font-size: 1.2em; } h2 { font-size: 1em; margin-top: 1.5em; }
+table { border-collapse: collapse; margin-top: 0.5em; }
+th, td { border: 1px solid #2c333a; padding: 0.3em 0.8em; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+.err { color: #e06c75; }
+#stamp { color: #7a828a; font-size: 0.85em; }
+</style>
+</head>
+<body>
+<h1>etsqp ops console</h1>
+<div id="stamp">connecting&hellip;</div>
+<h2>windows</h2>
+<table id="win"><thead><tr>
+<th>window</th><th>qps</th><th>p50</th><th>p99</th><th>pool util</th><th>cache hit</th><th>decode B/s</th><th>morsels/s</th>
+</tr></thead><tbody></tbody></table>
+<h2>runtime</h2>
+<table id="rt"><thead><tr><th>gauge</th><th>value</th></tr></thead><tbody></tbody></table>
+<h2>top queries by worker CPU</h2>
+<table id="top"><thead><tr>
+<th>trace id</th><th>query</th><th>cpu</th><th>elapsed</th>
+</tr></thead><tbody></tbody></table>
+<h2>slow-query log</h2>
+<div id="slow"></div>
+<script>
+function ns(v) {
+  if (!v) return "0";
+  if (v >= 1e9) return (v / 1e9).toFixed(2) + "s";
+  if (v >= 1e6) return (v / 1e6).toFixed(2) + "ms";
+  if (v >= 1e3) return (v / 1e3).toFixed(1) + "us";
+  return v.toFixed(0) + "ns";
+}
+function pct(v) { return (100 * v).toFixed(1) + "%"; }
+function cell(tr, text) {
+  var td = document.createElement("td");
+  td.textContent = text;
+  tr.appendChild(td);
+}
+function fill(id, rows) {
+  var tb = document.querySelector(id + " tbody");
+  tb.textContent = "";
+  rows.forEach(function (r) {
+    var tr = document.createElement("tr");
+    r.forEach(function (c) { cell(tr, c); });
+    tb.appendChild(tr);
+  });
+}
+async function refresh() {
+  var stamp = document.getElementById("stamp");
+  try {
+    var res = await fetch("/debug/windows");
+    var doc = await res.json();
+    stamp.className = "";
+    stamp.textContent = new Date(doc.at_unix_ns / 1e6).toLocaleTimeString() +
+      " · " + doc.pool_workers + " pool workers";
+    fill("#win", (doc.windows || []).map(function (w) {
+      return [w.label, w.qps.toFixed(2), ns(w.p50_ns), ns(w.p99_ns),
+        pct(w.pool_utilization), pct(w.cache_hit_ratio),
+        w.decode_bytes_per_sec.toFixed(0), w.morsels_per_sec.toFixed(1)];
+    }));
+    fill("#rt", Object.keys(doc.gauges || {}).sort().map(function (k) {
+      return [k, String(doc.gauges[k])];
+    }));
+    fill("#top", (doc.top || []).map(function (q) {
+      return [q.trace_id, q.query, ns(q.cpu_ns), ns(q.elapsed_ns)];
+    }));
+    document.getElementById("slow").textContent =
+      doc.slow.count + " slow (" + doc.slow.dropped + " dropped, ring max " +
+      doc.slow.max + "), last " + ns(doc.slow.last_ns);
+  } catch (e) {
+    stamp.className = "err";
+    stamp.textContent = "fetch failed: " + e;
+  }
+}
+refresh();
+setInterval(refresh, 1000);
+</script>
+</body>
+</html>
+`

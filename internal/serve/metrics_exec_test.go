@@ -51,28 +51,29 @@ func TestMetricsExecCacheGolden(t *testing.T) {
 			block = append(block, ln)
 		}
 	}
+	// Families expose sorted by series name, not registration order.
 	want := []string{
-		`# HELP etsqp_exec_cache_hits decoded-page cache lookups served without re-decoding`,
-		`# TYPE etsqp_exec_cache_hits counter`,
-		`etsqp_exec_cache_hits 3`,
-		`# HELP etsqp_exec_cache_misses decoded-page cache lookups that fell through to the decode path`,
-		`# TYPE etsqp_exec_cache_misses counter`,
-		`etsqp_exec_cache_misses 3`,
-		`# HELP etsqp_exec_cache_inserts decoded page columns admitted to the cache`,
-		`# TYPE etsqp_exec_cache_inserts counter`,
-		`etsqp_exec_cache_inserts 3`,
-		`# HELP etsqp_exec_cache_insert_bytes decoded bytes admitted to the cache`,
-		`# TYPE etsqp_exec_cache_insert_bytes counter`,
-		`etsqp_exec_cache_insert_bytes 24576`,
-		`# HELP etsqp_exec_cache_evictions cache entries evicted by the clock sweep to meet the byte budget`,
-		`# TYPE etsqp_exec_cache_evictions counter`,
-		`etsqp_exec_cache_evictions 0`,
 		`# HELP etsqp_exec_cache_evicted_bytes decoded bytes reclaimed by clock eviction`,
 		`# TYPE etsqp_exec_cache_evicted_bytes counter`,
 		`etsqp_exec_cache_evicted_bytes 0`,
+		`# HELP etsqp_exec_cache_evictions cache entries evicted by the clock sweep to meet the byte budget`,
+		`# TYPE etsqp_exec_cache_evictions counter`,
+		`etsqp_exec_cache_evictions 0`,
+		`# HELP etsqp_exec_cache_hits decoded-page cache lookups served without re-decoding`,
+		`# TYPE etsqp_exec_cache_hits counter`,
+		`etsqp_exec_cache_hits 3`,
+		`# HELP etsqp_exec_cache_insert_bytes decoded bytes admitted to the cache`,
+		`# TYPE etsqp_exec_cache_insert_bytes counter`,
+		`etsqp_exec_cache_insert_bytes 24576`,
+		`# HELP etsqp_exec_cache_inserts decoded page columns admitted to the cache`,
+		`# TYPE etsqp_exec_cache_inserts counter`,
+		`etsqp_exec_cache_inserts 3`,
 		`# HELP etsqp_exec_cache_invalidated cache entries dropped because their series was mutated by ingest`,
 		`# TYPE etsqp_exec_cache_invalidated counter`,
 		`etsqp_exec_cache_invalidated 3`,
+		`# HELP etsqp_exec_cache_misses decoded-page cache lookups that fell through to the decode path`,
+		`# TYPE etsqp_exec_cache_misses counter`,
+		`etsqp_exec_cache_misses 3`,
 	}
 	if len(block) != len(want) {
 		t.Fatalf("got %d lines, want %d:\n%s", len(block), len(want), strings.Join(block, "\n"))

@@ -17,6 +17,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -28,6 +29,13 @@ import (
 	"etsqp/internal/storage"
 	"etsqp/internal/transport"
 )
+
+// defaultSlowMax bounds the in-memory slow-query trace ring when the
+// server does not configure SlowMax.
+const defaultSlowMax = 1024
+
+// recentCap bounds the recent-query ring feeding the top-N view.
+const recentCap = 512
 
 // Server wires an engine and its store to the HTTP surface.
 type Server struct {
@@ -42,10 +50,26 @@ type Server struct {
 	SlowLog io.Writer
 	// MaxRows caps row output on /query (0 = unlimited).
 	MaxRows int
+	// SlowMax caps the slow-query traces retained in memory for
+	// /debug/windows and exemplar resolution; when the ring is full the
+	// oldest entry is dropped and counted (obs serve.slow_dropped). Zero
+	// selects defaultSlowMax; negative retains none.
+	SlowMax int
+	// Windows, when non-nil, is the rolling-window sampler backing
+	// /debug/windows and /debug/dash. The caller owns its lifecycle
+	// (obs.NewWindow(...).Start()).
+	Windows *obs.Window
 
-	logMu      sync.Mutex
-	slowCount  int64 //etsqp:guardedby logMu
-	lastSlowNs int64 //etsqp:guardedby logMu
+	logMu       sync.Mutex
+	slowCount   int64           //etsqp:guardedby logMu
+	lastSlowNs  int64           //etsqp:guardedby logMu
+	slowRing    []*engine.Trace //etsqp:guardedby logMu
+	slowHead    int             //etsqp:guardedby logMu
+	slowDropped int64           //etsqp:guardedby logMu
+
+	recMu   sync.Mutex
+	recent  []QuerySummary //etsqp:guardedby recMu
+	recHead int            //etsqp:guardedby recMu
 }
 
 // Handler builds the HTTP mux:
@@ -70,6 +94,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/windows", s.handleWindows)
+	mux.HandleFunc("/debug/dash", handleDash)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -98,11 +124,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// query did before it errored.
 		if tr != nil {
 			s.logSlow(tr)
+			s.recordQuery(tr)
 		}
 		writeQueryError(w, err)
 		return
 	}
 	s.logSlow(tr)
+	s.recordQuery(tr)
 	if r.URL.Query().Get("trace") != "" {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = tr.WriteJSON(w)
@@ -136,11 +164,25 @@ func writeQueryError(w http.ResponseWriter, err error) {
 	_ = json.NewEncoder(w).Encode(qe)
 }
 
-// logSlow counts the query as slow and emits the trace as one JSON
-// line when a log sink is configured. Lines are written whole under
-// logMu, so concurrent slow queries never interleave mid-line; the
-// same lock guards the slow-query counters so SlowStats is consistent
-// with the log even when SlowLog is nil.
+// slowMax resolves the configured slow-ring bound: 0 means the
+// default, negative means retain nothing (counting still happens).
+func (s *Server) slowMax() int {
+	if s.SlowMax == 0 {
+		return defaultSlowMax
+	}
+	if s.SlowMax < 0 {
+		return 0
+	}
+	return s.SlowMax
+}
+
+// logSlow counts the query as slow, retains the trace in the bounded
+// in-memory ring (evicting — and counting — the oldest entry when
+// full), and emits the trace as one JSON line when a log sink is
+// configured. Lines are written whole under logMu, so concurrent slow
+// queries never interleave mid-line; the same lock guards the
+// slow-query counters so SlowStats is consistent with the log even
+// when SlowLog is nil.
 func (s *Server) logSlow(tr *engine.Trace) {
 	if s.SlowThreshold < 0 || time.Duration(tr.ElapsedNs) < s.SlowThreshold {
 		return
@@ -149,6 +191,16 @@ func (s *Server) logSlow(tr *engine.Trace) {
 	defer s.logMu.Unlock()
 	s.slowCount++
 	s.lastSlowNs = tr.ElapsedNs
+	if max := s.slowMax(); max > 0 {
+		if len(s.slowRing) < max {
+			s.slowRing = append(s.slowRing, tr)
+		} else {
+			s.slowRing[s.slowHead] = tr
+			s.slowHead = (s.slowHead + 1) % max
+			s.slowDropped++
+			obs.ServeSlowDropped.Inc()
+		}
+	}
 	if s.SlowLog != nil {
 		_ = tr.WriteJSON(s.SlowLog)
 	}
@@ -160,6 +212,68 @@ func (s *Server) SlowStats() (count, lastNs int64) {
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
 	return s.slowCount, s.lastSlowNs
+}
+
+// SlowEntries returns the retained slow-query traces, oldest first.
+// The returned slice is a copy; the traces themselves are shared (a
+// trace is immutable once finished).
+func (s *Server) SlowEntries() []*engine.Trace {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	out := make([]*engine.Trace, 0, len(s.slowRing))
+	out = append(out, s.slowRing[s.slowHead:]...)
+	out = append(out, s.slowRing[:s.slowHead]...)
+	return out
+}
+
+// SlowDropped reports how many slow-query traces the bounded ring has
+// evicted.
+func (s *Server) SlowDropped() int64 {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	return s.slowDropped
+}
+
+// recordQuery adds the finished query to the bounded recent-query ring
+// that feeds the /debug/windows top-N view. Every traced /query run is
+// recorded regardless of the slow threshold.
+func (s *Server) recordQuery(tr *engine.Trace) {
+	sum := QuerySummary{
+		TraceID:   tr.TraceID,
+		Query:     tr.Query,
+		ElapsedNs: tr.ElapsedNs,
+		AtUnixNs:  time.Now().UnixNano(),
+	}
+	if tr.Resources != nil {
+		sum.CPUNs = tr.Resources.CPUNanos
+	}
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	if len(s.recent) < recentCap {
+		s.recent = append(s.recent, sum)
+	} else {
+		s.recent[s.recHead] = sum
+		s.recHead = (s.recHead + 1) % recentCap
+	}
+}
+
+// TopQueries returns the n recent queries that consumed the most
+// worker CPU (ties broken by wall time), most expensive first.
+func (s *Server) TopQueries(n int) []QuerySummary {
+	s.recMu.Lock()
+	out := make([]QuerySummary, len(s.recent))
+	copy(out, s.recent)
+	s.recMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CPUNs != out[j].CPUNs {
+			return out[i].CPUNs > out[j].CPUNs
+		}
+		return out[i].ElapsedNs > out[j].ElapsedNs
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
 }
 
 // ServeIngest accepts transport connections on l, ingesting frames into
@@ -190,43 +304,96 @@ func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// WriteMetrics writes every obs counter, timer, and histogram in the
-// Prometheus text exposition format. Counters and timers expose as
-// counter series; histograms expose cumulative _bucket{le=...} series
-// over their non-empty power-of-two buckets plus the mandatory
-// le="+Inf" bucket, and _sum/_count series.
+// promExemplar renders an OpenMetrics exemplar suffix for a bucket
+// line: " # {trace_id=\"...\"} value timestamp" with the timestamp in
+// seconds.
+func promExemplar(e obs.Exemplar) string {
+	return fmt.Sprintf(" # {trace_id=%q} %d %s",
+		e.TraceID, e.Value,
+		strconv.FormatFloat(float64(e.UnixNanos)/1e9, 'f', 3, 64))
+}
+
+// metricFamily is one exposition family, assembled before writing so
+// the output can be sorted by series name regardless of registration
+// order.
+type metricFamily struct {
+	name string // prometheus series name
+	help string
+	kind string // "counter", "gauge", or "histogram"
+	val  int64  // counter/gauge value
+	hist obs.HistogramSnapshot
+	ex   map[int]obs.Exemplar // histogram bucket exemplars
+}
+
+// WriteMetrics writes every obs counter, gauge, and histogram in the
+// Prometheus text exposition format, families sorted by series name.
+// Counters and timers expose as counter series; gauges (sampled from
+// runtime/metrics just before capture) as gauge series; histograms as
+// cumulative _bucket{le=...} series over their non-empty power-of-two
+// buckets plus the mandatory le="+Inf" bucket, and _sum/_count series.
+// A bucket whose histogram holds an exemplar (the most recent traced
+// observation landing in it) carries an OpenMetrics exemplar suffix
+// with the trace ID, so a /metrics scrape links a latency bucket to a
+// resolvable slow-query-log entry.
 func WriteMetrics(w io.Writer) error {
+	obs.SampleRuntime()
+	var fams []metricFamily
 	snap := obs.Capture()
 	for _, m := range obs.Metrics() {
-		n := promName(m.Name)
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
-			n, m.Help, n, n, snap[m.Name]); err != nil {
-			return err
-		}
+		fams = append(fams, metricFamily{
+			name: promName(m.Name), help: m.Help, kind: "counter", val: snap[m.Name],
+		})
+	}
+	gsnap := obs.CaptureGauges()
+	for _, g := range obs.Gauges() {
+		fams = append(fams, metricFamily{
+			name: promName(g.Name), help: g.Help, kind: "gauge", val: gsnap[g.Name],
+		})
 	}
 	helps := obs.Histograms()
+	exemplars := obs.CaptureExemplars()
 	for i, hs := range obs.CaptureHistograms() {
-		n := promName(hs.Name)
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
-			n, helps[i].Help, n); err != nil {
+		fams = append(fams, metricFamily{
+			name: promName(hs.Name), help: helps[i].Help, kind: "histogram",
+			hist: hs, ex: exemplars[i].ByBucket,
+		})
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, f.help, f.name, f.kind); err != nil {
 			return err
+		}
+		if f.kind != "histogram" {
+			if _, err := fmt.Fprintf(w, "%s %d\n", f.name, f.val); err != nil {
+				return err
+			}
+			continue
 		}
 		var cum int64
 		// The top bucket's bound is +Inf, already covered by the
 		// mandatory trailing le="+Inf" line — emitting it here too would
 		// duplicate the sample.
 		for b := 0; b < obs.HistBuckets-1; b++ {
-			if hs.Buckets[b] == 0 {
+			if f.hist.Buckets[b] == 0 {
 				continue
 			}
-			cum += hs.Buckets[b]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
-				n, promFloat(obs.BucketUpperBound(b)), cum); err != nil {
+			cum += f.hist.Buckets[b]
+			suffix := ""
+			if e, ok := f.ex[b]; ok {
+				suffix = promExemplar(e)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n",
+				f.name, promFloat(obs.BucketUpperBound(b)), cum, suffix); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
-			n, hs.Count, n, hs.Sum, n, hs.Count); err != nil {
+		suffix := ""
+		if e, ok := f.ex[obs.HistBuckets-1]; ok {
+			suffix = promExemplar(e)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n%s_sum %d\n%s_count %d\n",
+			f.name, f.hist.Count, suffix, f.name, f.hist.Sum, f.name, f.hist.Count); err != nil {
 			return err
 		}
 	}
@@ -243,13 +410,17 @@ type histVar struct {
 }
 
 // WriteVars writes the whole obs registry as one JSON object — the
-// /debug/vars-style surface. Counter names map to their values;
+// /debug/vars-style surface. Counter and gauge names map to their values;
 // histogram names map to {count, sum, p50, p90, p99} objects. Keys are
 // the dotted metric names, sorted (encoding/json sorts map keys), so
 // the document layout is stable.
 func WriteVars(w io.Writer) error {
+	obs.SampleRuntime()
 	vars := make(map[string]any)
 	for name, v := range obs.Capture() {
+		vars[name] = v
+	}
+	for name, v := range obs.CaptureGauges() {
 		vars[name] = v
 	}
 	for _, hs := range obs.CaptureHistograms() {

@@ -146,8 +146,9 @@ func TestMetricsExpositionValid(t *testing.T) {
 	}
 	out := b.String()
 	helpRe := regexp.MustCompile(`^# HELP etsqp_[a-z0-9_]+ .+$`)
-	typeRe := regexp.MustCompile(`^# TYPE etsqp_[a-z0-9_]+ (counter|histogram)$`)
-	sampleRe := regexp.MustCompile(`^etsqp_[a-z0-9_]+(_bucket\{le="([0-9.e+]+|\+Inf)"\})? -?\d+$`)
+	typeRe := regexp.MustCompile(`^# TYPE etsqp_[a-z0-9_]+ (counter|gauge|histogram)$`)
+	sampleRe := regexp.MustCompile(`^etsqp_[a-z0-9_]+(_bucket\{le="([0-9.e+]+|\+Inf)"\})? -?\d+` +
+		`( # \{trace_id="[0-9a-f]+"\} -?\d+ \d+\.\d{3})?$`)
 	for _, ln := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
 		switch {
 		case strings.HasPrefix(ln, "# HELP "):
@@ -167,6 +168,11 @@ func TestMetricsExpositionValid(t *testing.T) {
 	for _, m := range obs.Metrics() {
 		if !strings.Contains(out, promName(m.Name)+" ") {
 			t.Errorf("counter %s missing from exposition", m.Name)
+		}
+	}
+	for _, g := range obs.Gauges() {
+		if !strings.Contains(out, "# TYPE "+promName(g.Name)+" gauge\n") {
+			t.Errorf("gauge %s missing from exposition", g.Name)
 		}
 	}
 	for _, h := range obs.Histograms() {

@@ -1,0 +1,135 @@
+// Live terminal ops console: the client side of /debug/windows. The
+// etsqp-cli top subcommand polls the endpoint and renders a refreshing
+// table of window rates, quantiles, pool utilization, and the most
+// expensive recent queries — the operator view of the per-query
+// resource attribution the engine collects.
+
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FetchWindows GETs baseURL+"/debug/windows" and decodes the document.
+func FetchWindows(baseURL string) (*WindowsDoc, error) {
+	resp, err := http.Get(strings.TrimRight(baseURL, "/") + "/debug/windows")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/windows: %s", resp.Status)
+	}
+	var doc WindowsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("decode /debug/windows: %w", err)
+	}
+	return &doc, nil
+}
+
+// fmtNs renders a nanosecond quantity human-readably.
+func fmtNs(v float64) string {
+	switch {
+	case v <= 0:
+		return "-"
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fus", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", v)
+	}
+}
+
+// trimQuery bounds a query string for one-line table display.
+func trimQuery(q string, max int) string {
+	q = strings.Join(strings.Fields(q), " ")
+	if len(q) > max {
+		return q[:max-1] + "…"
+	}
+	return q
+}
+
+// RenderTop writes one frame of the ops console.
+func RenderTop(w io.Writer, doc *WindowsDoc, topN int) {
+	fmt.Fprintf(w, "etsqp top — %s · %d pool workers\n\n",
+		time.Unix(0, doc.AtUnixNs).Format("15:04:05"), doc.PoolWorkers)
+	fmt.Fprintf(w, "%-6s %10s %10s %10s %9s %9s %12s %11s\n",
+		"window", "qps", "p50", "p99", "pool%", "cache%", "decode B/s", "morsels/s")
+	if len(doc.Windows) == 0 {
+		fmt.Fprintln(w, "(no window samples yet)")
+	}
+	for _, win := range doc.Windows {
+		fmt.Fprintf(w, "%-6s %10.2f %10s %10s %8.1f%% %8.1f%% %12.0f %11.1f\n",
+			win.Label, win.QPS, fmtNs(win.P50Ns), fmtNs(win.P99Ns),
+			100*win.PoolUtilization, 100*win.CacheHitRatio,
+			win.DecodeBytesPerSec, win.MorselsPerSec)
+	}
+	if len(doc.Gauges) > 0 {
+		names := make([]string, 0, len(doc.Gauges))
+		for name := range doc.Gauges {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "\nruntime:")
+		for _, name := range names {
+			fmt.Fprintf(w, " %s=%d", name, doc.Gauges[name])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "\nslow: %d logged, %d dropped (ring max %d), last %s\n",
+		doc.Slow.Count, doc.Slow.Dropped, doc.Slow.Max, fmtNs(float64(doc.Slow.LastNs)))
+	top := doc.Top
+	if topN > 0 && len(top) > topN {
+		top = top[:topN]
+	}
+	fmt.Fprintf(w, "\n%-18s %10s %10s  %s\n", "trace id", "cpu", "elapsed", "query")
+	if len(top) == 0 {
+		fmt.Fprintln(w, "(no queries recorded)")
+	}
+	for _, q := range top {
+		fmt.Fprintf(w, "%-18s %10s %10s  %s\n",
+			q.TraceID, fmtNs(float64(q.CPUNs)), fmtNs(float64(q.ElapsedNs)),
+			trimQuery(q.Query, 60))
+	}
+}
+
+// clearScreen is the ANSI home-and-clear sequence each refresh starts
+// with, giving the console its top(1)-style in-place redraw.
+const clearScreen = "\x1b[H\x1b[2J"
+
+// RunTop polls a server's /debug/windows every interval and renders
+// the console to w. iterations > 0 bounds the number of frames (for CI
+// smoke runs and tests); 0 runs until a fetch fails twice in a row.
+func RunTop(w io.Writer, baseURL string, interval time.Duration, iterations, topN int) error {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	fails := 0
+	for frame := 0; iterations <= 0 || frame < iterations; frame++ {
+		if frame > 0 {
+			time.Sleep(interval)
+		}
+		doc, err := FetchWindows(baseURL)
+		if err != nil {
+			fails++
+			if iterations > 0 || fails >= 2 {
+				return err
+			}
+			fmt.Fprintf(w, "fetch failed (%v), retrying\n", err)
+			continue
+		}
+		fails = 0
+		fmt.Fprint(w, clearScreen)
+		RenderTop(w, doc, topN)
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"etsqp/internal/exec"
+	"etsqp/internal/obs"
+)
+
+// topQueryCount is how many recent queries the /debug/windows document
+// ranks by worker CPU.
+const topQueryCount = 10
+
+// QuerySummary is one recent query in the /debug/windows top-N list:
+// enough to rank by cost and to chase the trace ID into the slow-query
+// log.
+type QuerySummary struct {
+	TraceID   string `json:"trace_id"`
+	Query     string `json:"query"`
+	ElapsedNs int64  `json:"elapsed_ns"`
+	CPUNs     int64  `json:"cpu_ns"`
+	AtUnixNs  int64  `json:"at_unix_ns"`
+}
+
+// SlowDoc summarizes the slow-query log state.
+type SlowDoc struct {
+	Count   int64 `json:"count"`
+	Dropped int64 `json:"dropped"`
+	LastNs  int64 `json:"last_ns"`
+	Max     int   `json:"max"`
+}
+
+// WindowDoc is one rolling window's derived statistics. Rates carries
+// the per-second rate of every counter that moved inside the window,
+// keyed by dotted obs name; the named fields are the headline numbers
+// the ops console renders.
+type WindowDoc struct {
+	Label             string             `json:"label"`
+	Seconds           float64            `json:"seconds"`
+	QPS               float64            `json:"qps"`
+	P50Ns             float64            `json:"p50_ns"`
+	P99Ns             float64            `json:"p99_ns"`
+	DecodeBytesPerSec float64            `json:"decode_bytes_per_sec"`
+	MorselsPerSec     float64            `json:"morsels_per_sec"`
+	PoolUtilization   float64            `json:"pool_utilization"`
+	CacheHitRatio     float64            `json:"cache_hit_ratio"`
+	Rates             map[string]float64 `json:"rates,omitempty"`
+}
+
+// WindowsDoc is the /debug/windows JSON document: rolling-window rates
+// and quantiles at three horizons, current runtime gauges, the top
+// recent queries by worker CPU, and the slow-query log summary.
+type WindowsDoc struct {
+	AtUnixNs    int64            `json:"at_unix_ns"`
+	PoolWorkers int              `json:"pool_workers"`
+	Windows     []WindowDoc      `json:"windows"`
+	Gauges      map[string]int64 `json:"gauges,omitempty"`
+	Top         []QuerySummary   `json:"top"`
+	Slow        SlowDoc          `json:"slow"`
+}
+
+// poolWorkers reports the size of the pool the served engine runs on.
+func (s *Server) poolWorkers() int {
+	if s.Engine != nil && s.Engine.Pool != nil {
+		return s.Engine.Pool.Size()
+	}
+	return exec.Default().Size()
+}
+
+// windowHorizons are the durations /debug/windows reports, labeled the
+// way the console shows them.
+var windowHorizons = []struct {
+	label string
+	d     time.Duration
+}{
+	{"10s", 10 * time.Second},
+	{"1m", time.Minute},
+	{"5m", 5 * time.Minute},
+}
+
+// buildWindowDoc derives the headline numbers from one window's delta
+// snapshot.
+func buildWindowDoc(label string, ws *obs.WindowStats, workers int) WindowDoc {
+	d := WindowDoc{
+		Label:             label,
+		Seconds:           ws.Seconds,
+		DecodeBytesPerSec: ws.Rate("storage.bytes_scanned"),
+		MorselsPerSec:     ws.Rate("exec.morsels"),
+	}
+	if qh, ok := ws.Hists["engine.hist.query_ns"]; ok {
+		if ws.Seconds > 0 {
+			d.QPS = float64(qh.Count) / ws.Seconds
+		}
+		if qh.Count > 0 {
+			d.P50Ns = qh.Quantile(0.50)
+			d.P99Ns = qh.Quantile(0.99)
+		}
+	}
+	if mh, ok := ws.Hists["exec.hist.morsel_ns"]; ok && workers > 0 && ws.Seconds > 0 {
+		d.PoolUtilization = float64(mh.Sum) / (ws.Seconds * 1e9 * float64(workers))
+	}
+	hits := ws.Delta["exec.cache.hits"]
+	misses := ws.Delta["exec.cache.misses"]
+	if hits+misses > 0 {
+		d.CacheHitRatio = float64(hits) / float64(hits+misses)
+	}
+	for name, v := range ws.Delta {
+		if v == 0 || ws.Seconds <= 0 {
+			continue
+		}
+		if d.Rates == nil {
+			d.Rates = make(map[string]float64)
+		}
+		d.Rates[name] = float64(v) / ws.Seconds
+	}
+	return d
+}
+
+// WindowsSnapshot assembles the /debug/windows document. With no
+// Windows sampler configured the document still carries the top-N and
+// slow-log sections; the windows list is just empty.
+func (s *Server) WindowsSnapshot(now time.Time) WindowsDoc {
+	doc := WindowsDoc{
+		AtUnixNs:    now.UnixNano(),
+		PoolWorkers: s.poolWorkers(),
+		Windows:     []WindowDoc{},
+	}
+	if s.Windows != nil {
+		for _, h := range windowHorizons {
+			ws, ok := s.Windows.Stats(h.d)
+			if !ok {
+				continue
+			}
+			doc.Windows = append(doc.Windows, buildWindowDoc(h.label, ws, doc.PoolWorkers))
+			if doc.Gauges == nil && len(ws.Gauges) > 0 {
+				doc.Gauges = ws.Gauges
+			}
+		}
+	}
+	doc.Top = s.TopQueries(topQueryCount)
+	count, last := s.SlowStats()
+	doc.Slow = SlowDoc{Count: count, Dropped: s.SlowDropped(), LastNs: last, Max: s.slowMax()}
+	return doc
+}
+
+// handleWindows serves the rolling-window statistics document as JSON.
+func (s *Server) handleWindows(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.WindowsSnapshot(time.Now()))
+}

@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"etsqp/internal/engine"
+	"etsqp/internal/obs"
+)
+
+// TestMetricsExemplarGolden pins the OpenMetrics exemplar syntax: a
+// bucket line whose histogram holds an exemplar carries
+// `# {trace_id="..."} value timestamp` with the timestamp in seconds.
+func TestMetricsExemplarGolden(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	obs.TransportHistFrameBytes.ObserveExemplar(3, "00f1e2d3c4b5a697") // bucket le="4"
+	obs.TransportHistFrameBytes.ObserveExemplar(1<<62, "ffff00001111aaaa")
+	ex := obs.TransportHistFrameBytes.Exemplars()
+	var b strings.Builder
+	if err := WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	stamp := func(e obs.Exemplar) string {
+		return strconv.FormatFloat(float64(e.UnixNanos)/1e9, 'f', 3, 64)
+	}
+	e4, ok := ex[2] // histBucket(3) = 2, bound 4
+	if !ok {
+		t.Fatal("no exemplar recorded in bucket 2")
+	}
+	wantBucket := fmt.Sprintf(
+		`etsqp_transport_hist_frame_bytes_bucket{le="4"} 1 # {trace_id="00f1e2d3c4b5a697"} 3 %s`,
+		stamp(e4))
+	if !strings.Contains(b.String(), wantBucket+"\n") {
+		t.Errorf("exposition missing exemplar line %q in:\n%s", wantBucket, b.String())
+	}
+	eInf, ok := ex[obs.HistBuckets-1]
+	if !ok {
+		t.Fatal("no exemplar recorded in the top bucket")
+	}
+	wantInf := fmt.Sprintf(
+		`etsqp_transport_hist_frame_bytes_bucket{le="+Inf"} 2 # {trace_id="ffff00001111aaaa"} %d %s`,
+		int64(1)<<62, stamp(eInf))
+	if !strings.Contains(b.String(), wantInf+"\n") {
+		t.Errorf("exposition missing top-bucket exemplar line %q in:\n%s", wantInf, b.String())
+	}
+}
+
+// TestSlowRingBoundedAndDropped checks the in-memory slow-query ring
+// holds at most SlowMax traces, evicts oldest-first, and counts every
+// eviction both on the server and in the obs registry.
+func TestSlowRingBoundedAndDropped(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	s := testServer(t, nil)
+	s.SlowMax = 2
+	var traces []*engine.Trace
+	for i := 0; i < 5; i++ {
+		tr := engine.NewTrace(fmt.Sprintf("SELECT %d", i), "ETSQP", 1)
+		tr.ElapsedNs = int64(i + 1)
+		traces = append(traces, tr)
+		s.logSlow(tr)
+	}
+	got := s.SlowEntries()
+	if len(got) != 2 {
+		t.Fatalf("ring holds %d traces, want 2", len(got))
+	}
+	// Oldest-first: the two survivors are traces 3 and 4.
+	if got[0].TraceID != traces[3].TraceID || got[1].TraceID != traces[4].TraceID {
+		t.Errorf("ring holds %s,%s, want %s,%s (newest two, oldest first)",
+			got[0].TraceID, got[1].TraceID, traces[3].TraceID, traces[4].TraceID)
+	}
+	if d := s.SlowDropped(); d != 3 {
+		t.Errorf("SlowDropped() = %d, want 3", d)
+	}
+	if v := obs.Capture()["serve.slow_dropped"]; v != 3 {
+		t.Errorf("serve.slow_dropped = %d, want 3", v)
+	}
+	count, _ := s.SlowStats()
+	if count != 5 {
+		t.Errorf("slow count = %d, want 5 (eviction does not uncount)", count)
+	}
+}
+
+// TestSlowMaxDisabled checks a negative SlowMax retains nothing while
+// still counting.
+func TestSlowMaxDisabled(t *testing.T) {
+	s := testServer(t, nil)
+	s.SlowMax = -1
+	tr := engine.NewTrace("SELECT 1", "ETSQP", 1)
+	tr.ElapsedNs = 1
+	s.logSlow(tr)
+	if got := s.SlowEntries(); len(got) != 0 {
+		t.Errorf("ring holds %d traces with SlowMax<0, want 0", len(got))
+	}
+	if count, _ := s.SlowStats(); count != 1 {
+		t.Errorf("slow count = %d, want 1", count)
+	}
+}
+
+// TestExemplarResolvesToSlowLogEntry is the acceptance scenario: run a
+// query, scrape /metrics, take the trace ID off the query-latency
+// bucket exemplar, and resolve it to the matching trace in the
+// slow-query ring.
+func TestExemplarResolvesToSlowLogEntry(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	var slowLog bytes.Buffer
+	s := testServer(t, &slowLog)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	httpGet(t, srv.URL+"/query?q=SELECT+SUM(A)+FROM+ts")
+	metrics := httpGet(t, srv.URL+"/metrics")
+	re := regexp.MustCompile(`etsqp_engine_hist_query_ns_bucket\{le="[^"]+"\} \d+ # \{trace_id="([0-9a-f]+)"\}`)
+	m := re.FindStringSubmatch(metrics)
+	if m == nil {
+		t.Fatalf("no exemplar on etsqp_engine_hist_query_ns buckets:\n%s", metrics)
+	}
+	traceID := m[1]
+	var found *engine.Trace
+	for _, tr := range s.SlowEntries() {
+		if tr.TraceID == traceID {
+			found = tr
+		}
+	}
+	if found == nil {
+		t.Fatalf("exemplar trace %s not in the slow-query ring", traceID)
+	}
+	if found.Query != "SELECT SUM(A) FROM ts" || found.ElapsedNs <= 0 {
+		t.Errorf("resolved trace implausible: %+v", found)
+	}
+	// The stderr-style log line carries the same ID.
+	if !strings.Contains(slowLog.String(), `"trace_id":"`+traceID+`"`) {
+		t.Errorf("slow log line missing trace_id %s:\n%s", traceID, slowLog.String())
+	}
+}
+
+// TestWindowsEndpoint drives the sampler with a deterministic clock
+// around real /query traffic and checks the /debug/windows document:
+// per-horizon QPS and quantiles, the top-queries ranking with trace
+// IDs, and the slow-log summary.
+func TestWindowsEndpoint(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	s := testServer(t, nil)
+	s.Windows = obs.NewWindow(time.Second, time.Minute)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	base := time.Unix(1_700_000_000, 0)
+	s.Windows.Tick(base)
+	httpGet(t, srv.URL+"/query?q=SELECT+SUM(A)+FROM+ts")
+	httpGet(t, srv.URL+"/query?q=SELECT+COUNT(A)+FROM+ts")
+	s.Windows.Tick(base.Add(2 * time.Second))
+
+	doc, err := FetchWindows(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.PoolWorkers <= 0 {
+		t.Errorf("PoolWorkers = %d, want > 0", doc.PoolWorkers)
+	}
+	if len(doc.Windows) != 3 {
+		t.Fatalf("got %d windows, want 3 (10s/1m/5m): %+v", len(doc.Windows), doc.Windows)
+	}
+	for _, w := range doc.Windows {
+		if w.Seconds != 2 {
+			t.Errorf("window %s spans %.1fs, want the 2s between ticks", w.Label, w.Seconds)
+		}
+		if w.QPS != 1 { // 2 queries / 2 seconds
+			t.Errorf("window %s QPS = %.2f, want 1", w.Label, w.QPS)
+		}
+		if w.P99Ns <= 0 || w.P50Ns <= 0 {
+			t.Errorf("window %s quantiles missing: p50=%v p99=%v", w.Label, w.P50Ns, w.P99Ns)
+		}
+		if w.MorselsPerSec <= 0 {
+			t.Errorf("window %s morsels/s = %v, want > 0", w.Label, w.MorselsPerSec)
+		}
+	}
+	if doc.Gauges["go.goroutines"] <= 0 {
+		t.Errorf("runtime gauges missing: %v", doc.Gauges)
+	}
+	if len(doc.Top) != 2 {
+		t.Fatalf("top list has %d entries, want 2", len(doc.Top))
+	}
+	for _, q := range doc.Top {
+		if q.TraceID == "" || q.ElapsedNs <= 0 {
+			t.Errorf("top entry implausible: %+v", q)
+		}
+	}
+	if doc.Top[0].CPUNs < doc.Top[1].CPUNs {
+		t.Errorf("top list not sorted by CPU: %d before %d", doc.Top[0].CPUNs, doc.Top[1].CPUNs)
+	}
+	if doc.Slow.Count != 2 || doc.Slow.Max != defaultSlowMax {
+		t.Errorf("slow summary = %+v, want count 2 max %d", doc.Slow, defaultSlowMax)
+	}
+}
+
+// TestWindowsEndpointNoSampler checks the endpoint degrades cleanly
+// with no Window configured.
+func TestWindowsEndpointNoSampler(t *testing.T) {
+	s := testServer(t, nil)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	doc, err := FetchWindows(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Windows) != 0 {
+		t.Errorf("got %d windows without a sampler, want 0", len(doc.Windows))
+	}
+}
+
+// TestDashServes checks the ops dashboard is mounted and
+// self-contained.
+func TestDashServes(t *testing.T) {
+	s := testServer(t, nil)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	body := httpGet(t, srv.URL+"/debug/dash")
+	for _, want := range []string{"<html", "/debug/windows", "etsqp ops"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	if strings.Contains(body, "src=\"http") || strings.Contains(body, "href=\"http") {
+		t.Error("dashboard references external assets")
+	}
+}
+
+// TestRunTopRendersFrame runs one console frame against a live server
+// and checks the headline sections render.
+func TestRunTopRendersFrame(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	s := testServer(t, nil)
+	s.Windows = obs.NewWindow(time.Second, time.Minute)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	base := time.Unix(1_700_000_000, 0)
+	s.Windows.Tick(base)
+	httpGet(t, srv.URL+"/query?q=SELECT+SUM(A)+FROM+ts")
+	s.Windows.Tick(base.Add(time.Second))
+
+	var out bytes.Buffer
+	if err := RunTop(&out, srv.URL, time.Millisecond, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"etsqp top", "window", "trace id", "10s", "SELECT SUM(A) FROM ts"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("console frame missing %q:\n%s", want, got)
+		}
+	}
+	if err := RunTop(&out, "http://127.0.0.1:1", time.Millisecond, 1, 5); err == nil {
+		t.Error("RunTop against a dead server returned nil error")
+	}
+}

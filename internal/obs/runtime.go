@@ -8,17 +8,19 @@ import (
 
 // Go runtime telemetry: sampled from runtime/metrics into the registry
 // so /metrics exposes runtime health (etsqp_go_* families) without the
-// operator scraping pprof. Gauges hold the latest sample; the GC pause
-// histogram folds the runtime's cumulative pause distribution into the
-// registry's power-of-two nanosecond buckets by observing per-bucket
-// count deltas at each runtime bucket's midpoint.
+// operator scraping pprof. Gauges hold the latest sample; the GC cycle
+// counter advances by the per-sample delta so it keeps counter
+// semantics; the GC pause histogram folds the runtime's cumulative
+// pause distribution into the registry's power-of-two nanosecond
+// buckets by observing per-bucket count deltas at each runtime bucket's
+// midpoint (the first sample only records the baseline).
 var (
 	GoGoroutines = newGauge("go.goroutines",
 		"live goroutines at the last runtime sample")
 	GoHeapInuse = newGauge("go.heap_inuse_bytes",
 		"heap bytes in use (live objects plus unswept span slack) at the last runtime sample")
-	GoGCCycles = newGauge("go.gc_cycles",
-		"completed GC cycles at the last runtime sample")
+	GoGCCycles = newCounter("go.gc_cycles",
+		"completed GC cycles (monotonic, fed by per-sample deltas from runtime/metrics)")
 	GoHistGCPause = newHistogram("go.hist.gc_pause_ns",
 		"distribution of GC stop-the-world pause times")
 )
@@ -39,6 +41,9 @@ var (
 	// the previous sample so only new pauses are folded into the
 	// histogram.
 	lastPauseCounts []uint64 //etsqp:guardedby runtimeMu
+	// lastGCCycles remembers the previous cumulative GC cycle count so
+	// GoGCCycles advances by the delta each sample.
+	lastGCCycles uint64 //etsqp:guardedby runtimeMu
 )
 
 // SampleRuntime reads the runtime metrics into the go.* gauges and the
@@ -64,7 +69,13 @@ func SampleRuntime() {
 	}
 	GoHeapInuse.Set(int64(heap))
 	if v := &runtimeSamples[3].Value; v.Kind() == metrics.KindUint64 {
-		GoGCCycles.Set(int64(v.Uint64()))
+		// Fed as deltas so the counter stays monotone across obs.Reset()
+		// (PromQL rate() needs counter semantics, which a gauge set to the
+		// cumulative value would not give after a reset).
+		if cur := v.Uint64(); cur >= lastGCCycles {
+			GoGCCycles.Add(int64(cur - lastGCCycles))
+			lastGCCycles = cur
+		}
 	}
 	if v := &runtimeSamples[4].Value; v.Kind() == metrics.KindFloat64Histogram {
 		feedPauseHistogram(v.Float64Histogram())
@@ -80,7 +91,13 @@ func feedPauseHistogram(h *metrics.Float64Histogram) {
 		return
 	}
 	if len(lastPauseCounts) != len(h.Counts) {
+		// First sample (or a runtime bucket-layout change): record the
+		// baseline without observing. Folding the cumulative counts in here
+		// would replay the process's entire pre-enable pause history into
+		// the histogram as if those pauses just happened.
 		lastPauseCounts = make([]uint64, len(h.Counts))
+		copy(lastPauseCounts, h.Counts)
+		return
 	}
 	for i, c := range h.Counts {
 		prev := lastPauseCounts[i]

@@ -81,7 +81,15 @@ type Server struct {
 //	/healthz          liveness probe
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Exemplars are OpenMetrics-only syntax: a classic text-format
+		// parser errors on the trailing "# {...}", so the richer format is
+		// served only to scrapers that negotiate it via Accept.
+		if acceptsOpenMetrics(r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", openMetricsContentType)
+			_ = WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WriteMetrics(w)
 	})
@@ -304,6 +312,24 @@ func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// openMetricsContentType is the content type negotiated for the
+// exemplar-bearing exposition.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// acceptsOpenMetrics reports whether an Accept header asks for the
+// OpenMetrics exposition format. Parameters (version, q-weights) are
+// ignored: offering the media type at all is taken as the opt-in, which
+// matches how Prometheus negotiates its scrape format.
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, _, _ := strings.Cut(part, ";")
+		if strings.EqualFold(strings.TrimSpace(mediaType), "application/openmetrics-text") {
+			return true
+		}
+	}
+	return false
+}
+
 // promExemplar renders an OpenMetrics exemplar suffix for a bucket
 // line: " # {trace_id=\"...\"} value timestamp" with the timestamp in
 // seconds.
@@ -326,16 +352,28 @@ type metricFamily struct {
 }
 
 // WriteMetrics writes every obs counter, gauge, and histogram in the
-// Prometheus text exposition format, families sorted by series name.
-// Counters and timers expose as counter series; gauges (sampled from
-// runtime/metrics just before capture) as gauge series; histograms as
-// cumulative _bucket{le=...} series over their non-empty power-of-two
-// buckets plus the mandatory le="+Inf" bucket, and _sum/_count series.
-// A bucket whose histogram holds an exemplar (the most recent traced
-// observation landing in it) carries an OpenMetrics exemplar suffix
-// with the trace ID, so a /metrics scrape links a latency bucket to a
-// resolvable slow-query-log entry.
+// classic Prometheus text exposition format (version 0.0.4), families
+// sorted by series name. Counters and timers expose as counter series;
+// gauges (sampled from runtime/metrics just before capture) as gauge
+// series; histograms as cumulative _bucket{le=...} series over their
+// non-empty power-of-two buckets plus the mandatory le="+Inf" bucket,
+// and _sum/_count series. Exemplars are omitted — they are not valid in
+// this format; scrapers that want them negotiate WriteOpenMetrics.
 func WriteMetrics(w io.Writer) error {
+	return writeMetrics(w, false)
+}
+
+// WriteOpenMetrics writes the same registry in OpenMetrics 1.0 syntax:
+// counter samples carry the mandated _total suffix, a bucket whose
+// histogram holds an exemplar (the most recent traced observation
+// landing in it) carries an exemplar suffix with the trace ID — so a
+// scrape links a latency bucket to a resolvable slow-query-log entry —
+// and the exposition ends with the required "# EOF" trailer.
+func WriteOpenMetrics(w io.Writer) error {
+	return writeMetrics(w, true)
+}
+
+func writeMetrics(w io.Writer, openMetrics bool) error {
 	obs.SampleRuntime()
 	var fams []metricFamily
 	snap := obs.Capture()
@@ -365,7 +403,13 @@ func WriteMetrics(w io.Writer) error {
 			return err
 		}
 		if f.kind != "histogram" {
-			if _, err := fmt.Fprintf(w, "%s %d\n", f.name, f.val); err != nil {
+			sample := f.name
+			if openMetrics && f.kind == "counter" {
+				// OpenMetrics mandates the _total suffix on counter samples
+				// (the family name in TYPE/HELP stays bare).
+				sample += "_total"
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", sample, f.val); err != nil {
 				return err
 			}
 			continue
@@ -380,8 +424,10 @@ func WriteMetrics(w io.Writer) error {
 			}
 			cum += f.hist.Buckets[b]
 			suffix := ""
-			if e, ok := f.ex[b]; ok {
-				suffix = promExemplar(e)
+			if openMetrics {
+				if e, ok := f.ex[b]; ok {
+					suffix = promExemplar(e)
+				}
 			}
 			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n",
 				f.name, promFloat(obs.BucketUpperBound(b)), cum, suffix); err != nil {
@@ -389,11 +435,18 @@ func WriteMetrics(w io.Writer) error {
 			}
 		}
 		suffix := ""
-		if e, ok := f.ex[obs.HistBuckets-1]; ok {
-			suffix = promExemplar(e)
+		if openMetrics {
+			if e, ok := f.ex[obs.HistBuckets-1]; ok {
+				suffix = promExemplar(e)
+			}
 		}
 		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n%s_sum %d\n%s_count %d\n",
 			f.name, f.hist.Count, suffix, f.name, f.hist.Sum, f.name, f.hist.Count); err != nil {
+			return err
+		}
+	}
+	if openMetrics {
+		if _, err := io.WriteString(w, "# EOF\n"); err != nil {
 			return err
 		}
 	}

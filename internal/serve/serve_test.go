@@ -124,10 +124,12 @@ func TestMetricsTopBucketNoDuplicateInf(t *testing.T) {
 	}
 }
 
-// TestMetricsExpositionValid checks every line of /metrics is
-// well-formed Prometheus text exposition and every registered metric
-// appears: counters as single samples, histograms with bucket, sum and
-// count series ending in the mandatory le="+Inf" bucket.
+// TestMetricsExpositionValid checks every line of the classic /metrics
+// exposition is well-formed Prometheus text format (version 0.0.4) and
+// every registered metric appears: counters as single samples,
+// histograms with bucket, sum and count series ending in the mandatory
+// le="+Inf" bucket — and no OpenMetrics-only syntax (exemplars, # EOF)
+// leaks in, since a 0.0.4 parser rejects it.
 func TestMetricsExpositionValid(t *testing.T) {
 	obs.Reset()
 	obs.Enable()
@@ -147,8 +149,7 @@ func TestMetricsExpositionValid(t *testing.T) {
 	out := b.String()
 	helpRe := regexp.MustCompile(`^# HELP etsqp_[a-z0-9_]+ .+$`)
 	typeRe := regexp.MustCompile(`^# TYPE etsqp_[a-z0-9_]+ (counter|gauge|histogram)$`)
-	sampleRe := regexp.MustCompile(`^etsqp_[a-z0-9_]+(_bucket\{le="([0-9.e+]+|\+Inf)"\})? -?\d+` +
-		`( # \{trace_id="[0-9a-f]+"\} -?\d+ \d+\.\d{3})?$`)
+	sampleRe := regexp.MustCompile(`^etsqp_[a-z0-9_]+(_bucket\{le="([0-9.e+]+|\+Inf)"\})? -?\d+$`)
 	for _, ln := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
 		switch {
 		case strings.HasPrefix(ln, "# HELP "):
@@ -186,6 +187,111 @@ func TestMetricsExpositionValid(t *testing.T) {
 	// The query must have landed in the query-latency histogram.
 	if !regexp.MustCompile(`etsqp_engine_hist_query_ns_count [1-9]`).MatchString(out) {
 		t.Error("engine.hist.query_ns count is zero after a query")
+	}
+}
+
+// TestOpenMetricsExpositionValid checks the negotiated OpenMetrics
+// exposition: counter samples carry the mandated _total suffix,
+// exemplar suffixes are well-formed, and the document ends with # EOF.
+func TestOpenMetricsExpositionValid(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	e := engine.New(testStore(t), engine.ModeETSQP)
+	if _, err := e.ExecuteSQL("SELECT SUM(A), COUNT(A) FROM ts"); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasSuffix(out, "\n# EOF\n") {
+		t.Error("OpenMetrics exposition does not end with # EOF")
+	}
+	sampleRe := regexp.MustCompile(`^etsqp_[a-z0-9_]+(_bucket\{le="([0-9.e+]+|\+Inf)"\})? -?\d+` +
+		`( # \{trace_id="[0-9a-f]+"\} -?\d+ \d+\.\d{3})?$`)
+	for _, ln := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(ln, "# ") {
+			continue // HELP/TYPE/EOF lines, covered by the plain-format test
+		}
+		if !sampleRe.MatchString(ln) {
+			t.Errorf("malformed OpenMetrics sample line: %q", ln)
+		}
+	}
+	for _, m := range obs.Metrics() {
+		if !strings.Contains(out, promName(m.Name)+"_total ") {
+			t.Errorf("counter %s missing its _total sample", m.Name)
+		}
+		if strings.Contains(out, "# TYPE "+promName(m.Name)+"_total ") {
+			t.Errorf("counter %s family metadata must not carry _total", m.Name)
+		}
+	}
+}
+
+// TestMetricsContentNegotiation checks /metrics serves the classic
+// text format by default and the exemplar-bearing OpenMetrics format
+// only to scrapers that ask for it via Accept.
+func TestMetricsContentNegotiation(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	s := testServer(t, nil)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	httpGet(t, srv.URL+"/query?q=SELECT+SUM(A)+FROM+ts") // seeds a latency exemplar
+
+	get := func(accept string) (string, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		res, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		body, err := io.ReadAll(res.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), res.Header.Get("Content-Type")
+	}
+
+	plain, ct := get("")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("default scrape Content-Type = %q, want classic 0.0.4", ct)
+	}
+	if strings.Contains(plain, " # {") || strings.Contains(plain, "# EOF") {
+		t.Error("classic scrape carries OpenMetrics-only syntax")
+	}
+	if !strings.Contains(plain, "etsqp_engine_queries 1\n") {
+		t.Error("classic scrape missing bare counter sample etsqp_engine_queries")
+	}
+
+	// The Prometheus scraper offers both formats, OpenMetrics preferred.
+	om, ct := get("application/openmetrics-text; version=1.0.0; q=0.5, text/plain; version=0.0.4; q=0.4")
+	if ct != openMetricsContentType {
+		t.Errorf("negotiated Content-Type = %q, want %q", ct, openMetricsContentType)
+	}
+	if !strings.HasSuffix(om, "\n# EOF\n") {
+		t.Error("OpenMetrics scrape missing # EOF trailer")
+	}
+	if !strings.Contains(om, " # {trace_id=") {
+		t.Error("OpenMetrics scrape missing the seeded exemplar")
+	}
+	if !strings.Contains(om, "etsqp_engine_queries_total 1\n") {
+		t.Error("OpenMetrics scrape missing _total counter sample")
 	}
 }
 
@@ -402,7 +508,21 @@ func TestIngestListenerFeedsQueries(t *testing.T) {
 
 func httpGet(t *testing.T, url string) string {
 	t.Helper()
-	res, err := http.Get(url)
+	return httpGetAccept(t, url, "")
+}
+
+// httpGetAccept is httpGet with an explicit Accept header, for
+// content-negotiation tests.
+func httpGetAccept(t *testing.T, url, accept string) string {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	res, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 	"time"
+	"unicode/utf8"
 )
 
 // FetchWindows GETs baseURL+"/debug/windows" and decodes the document.
@@ -49,13 +50,19 @@ func fmtNs(v float64) string {
 	}
 }
 
-// trimQuery bounds a query string for one-line table display.
+// trimQuery bounds a query string for one-line table display. The cut
+// lands on a rune boundary so a multi-byte character at the limit is
+// dropped whole rather than split into an invalid sequence.
 func trimQuery(q string, max int) string {
 	q = strings.Join(strings.Fields(q), " ")
-	if len(q) > max {
-		return q[:max-1] + "…"
+	if len(q) <= max {
+		return q
 	}
-	return q
+	cut := max - 1
+	for cut > 0 && !utf8.RuneStart(q[cut]) {
+		cut--
+	}
+	return q[:cut] + "…"
 }
 
 // RenderTop writes one frame of the ops console.

@@ -99,7 +99,14 @@ func buildWindowDoc(label string, ws *obs.WindowStats, workers int) WindowDoc {
 		}
 	}
 	if mh, ok := ws.Hists["exec.hist.morsel_ns"]; ok && workers > 0 && ws.Seconds > 0 {
-		d.PoolUtilization = float64(mh.Sum) / (ws.Seconds * 1e9 * float64(workers))
+		// Morsel time includes submitter goroutines running morsels
+		// alongside the pool workers, so the raw ratio over worker capacity
+		// can exceed 1; clamp — 100% already means the pool is saturated.
+		u := float64(mh.Sum) / (ws.Seconds * 1e9 * float64(workers))
+		if u > 1 {
+			u = 1
+		}
+		d.PoolUtilization = u
 	}
 	hits := ws.Delta["exec.cache.hits"]
 	misses := ws.Delta["exec.cache.misses"]

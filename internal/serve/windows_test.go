@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 	"time"
+	"unicode/utf8"
 
 	"etsqp/internal/engine"
 	"etsqp/internal/obs"
@@ -16,7 +17,8 @@ import (
 
 // TestMetricsExemplarGolden pins the OpenMetrics exemplar syntax: a
 // bucket line whose histogram holds an exemplar carries
-// `# {trace_id="..."} value timestamp` with the timestamp in seconds.
+// `# {trace_id="..."} value timestamp` with the timestamp in seconds,
+// and the exposition ends with the mandatory "# EOF" trailer.
 func TestMetricsExemplarGolden(t *testing.T) {
 	obs.Reset()
 	obs.Enable()
@@ -28,8 +30,11 @@ func TestMetricsExemplarGolden(t *testing.T) {
 	obs.TransportHistFrameBytes.ObserveExemplar(1<<62, "ffff00001111aaaa")
 	ex := obs.TransportHistFrameBytes.Exemplars()
 	var b strings.Builder
-	if err := WriteMetrics(&b); err != nil {
+	if err := WriteOpenMetrics(&b); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.HasSuffix(b.String(), "\n# EOF\n") {
+		t.Error("OpenMetrics exposition does not end with the # EOF trailer")
 	}
 	stamp := func(e obs.Exemplar) string {
 		return strconv.FormatFloat(float64(e.UnixNanos)/1e9, 'f', 3, 64)
@@ -129,7 +134,7 @@ func TestExemplarResolvesToSlowLogEntry(t *testing.T) {
 	defer srv.Close()
 
 	httpGet(t, srv.URL+"/query?q=SELECT+SUM(A)+FROM+ts")
-	metrics := httpGet(t, srv.URL+"/metrics")
+	metrics := httpGetAccept(t, srv.URL+"/metrics", "application/openmetrics-text; version=1.0.0")
 	re := regexp.MustCompile(`etsqp_engine_hist_query_ns_bucket\{le="[^"]+"\} \d+ # \{trace_id="([0-9a-f]+)"\}`)
 	m := re.FindStringSubmatch(metrics)
 	if m == nil {
@@ -216,6 +221,44 @@ func TestWindowsEndpoint(t *testing.T) {
 	}
 	if doc.Slow.Count != 2 || doc.Slow.Max != defaultSlowMax {
 		t.Errorf("slow summary = %+v, want count 2 max %d", doc.Slow, defaultSlowMax)
+	}
+}
+
+// TestPoolUtilizationClamped checks the derived utilization caps at
+// 100%: submitter goroutines run morsels alongside the pool workers, so
+// raw morsel time can exceed worker capacity.
+func TestPoolUtilizationClamped(t *testing.T) {
+	ws := &obs.WindowStats{
+		Seconds: 1,
+		Hists: map[string]obs.HistogramSnapshot{
+			// 3s of morsel time against 2 workers over a 1s window.
+			"exec.hist.morsel_ns": {Name: "exec.hist.morsel_ns", Sum: 3_000_000_000, Count: 3},
+		},
+	}
+	if d := buildWindowDoc("10s", ws, 2); d.PoolUtilization != 1 {
+		t.Errorf("PoolUtilization = %v with oversubscribed morsel time, want clamped 1", d.PoolUtilization)
+	}
+	ws.Hists["exec.hist.morsel_ns"] = obs.HistogramSnapshot{
+		Name: "exec.hist.morsel_ns", Sum: 1_000_000_000, Count: 1,
+	}
+	if d := buildWindowDoc("10s", ws, 2); d.PoolUtilization != 0.5 {
+		t.Errorf("PoolUtilization = %v, want 0.5", d.PoolUtilization)
+	}
+}
+
+// TestTrimQueryRuneBoundary checks table truncation never splits a
+// multi-byte rune into an invalid sequence.
+func TestTrimQueryRuneBoundary(t *testing.T) {
+	q := strings.Repeat("€", 5) // 3 bytes per rune
+	got := trimQuery(q, 9)      // cut lands mid-rune at byte 8
+	if !utf8.ValidString(got) {
+		t.Errorf("trimQuery produced invalid UTF-8: %q", got)
+	}
+	if want := "€€…"; got != want {
+		t.Errorf("trimQuery = %q, want %q", got, want)
+	}
+	if got := trimQuery("SELECT 1", 60); got != "SELECT 1" {
+		t.Errorf("short query mangled: %q", got)
 	}
 }
 
